@@ -1,0 +1,194 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out.
+
+Not paper figures — these quantify the GENTRANSEQ design decisions:
+
+* swap actions (the paper's choice) vs insertion actions;
+* the penalty weight ``W`` of Eq. 8;
+* the target-network update period of Table II;
+* the Eq. 9 exponential schedule vs the paper's literal (typo) form.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.config import GenTranSeqConfig
+from repro.core import InsertionReorderEnv, ReorderEnv
+from repro.drl import (
+    DoubleDQNAgent,
+    DQNAgent,
+    EpsilonSchedule,
+    PrioritizedDQNAgent,
+    train,
+)
+from repro.workloads import case_study_fixture
+from repro.workloads.scenarios import IFU
+
+BUDGET = dict(episodes=10, steps_per_episode=40)
+
+
+def _train_on_case_study(env_cls, config, agent_cls=DQNAgent):
+    workload = case_study_fixture()
+    env = env_cls(
+        pre_state=workload.pre_state,
+        transactions=workload.transactions,
+        ifus=(IFU,),
+        config=config,
+    )
+    agent = agent_cls(env.observation_size, env.action_count, config=config)
+    history = train(env, agent, config)
+    return env, history
+
+
+def test_ablation_swap_vs_insertion(benchmark, save_artifact):
+    """The paper's swap-action MDP vs the insertion-action variant."""
+    config = GenTranSeqConfig(seed=3, **BUDGET)
+
+    def run():
+        rows = []
+        for name, env_cls in (
+            ("swap (paper)", ReorderEnv),
+            ("insertion", InsertionReorderEnv),
+        ):
+            env, history = _train_on_case_study(env_cls, config)
+            solutions = history.first_profit_steps()
+            rows.append(
+                (
+                    name,
+                    env.action_count,
+                    f"{history.best_profit:.4f}",
+                    f"{min(solutions) if solutions else '-'}",
+                    len(solutions),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact(
+        "ablation_swap_vs_insertion",
+        format_table(
+            ("Action space", "#actions", "Best profit (ETH)",
+             "Min solution size", "Episodes w/ solution"),
+            rows,
+        ),
+    )
+    # Both action spaces must be able to exploit the case study.
+    assert all(float(row[2]) > 0 for row in rows)
+    # Insertion has the larger action space (N(N-1) vs N(N-1)/2).
+    assert rows[1][1] == 2 * rows[0][1]
+
+
+def test_ablation_penalty_weight(benchmark, save_artifact):
+    """Eq. 8's W: how hard to punish infeasible/losing orders."""
+
+    def run():
+        rows = []
+        for weight in (1.0, 10.0, 50.0):
+            config = GenTranSeqConfig(seed=3, penalty_weight=weight, **BUDGET)
+            _, history = _train_on_case_study(ReorderEnv, config)
+            rows.append(
+                (
+                    f"W={weight:g}",
+                    f"{history.best_profit:.4f}",
+                    f"{sum(history.rewards) / len(history.rewards):.0f}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact(
+        "ablation_penalty_weight",
+        format_table(("Penalty", "Best profit (ETH)", "Mean episode reward"), rows),
+    )
+    # All weights complete and the paper's W>1 setting still finds profit.
+    assert all(float(row[1]) >= 0 for row in rows)
+    assert float(rows[1][1]) > 0  # W=10 (library default)
+    # Stronger penalties push mean episode reward down (more negative).
+    assert float(rows[2][2]) <= float(rows[0][2])
+
+
+def test_ablation_target_network_period(benchmark, save_artifact):
+    """Table II updates the target network every 30 steps; vary it."""
+
+    def run():
+        rows = []
+        for period in (5, 30, 10_000):
+            config = GenTranSeqConfig(
+                seed=3, target_network_update_every=period, **BUDGET
+            )
+            _, history = _train_on_case_study(ReorderEnv, config)
+            label = "never (10k)" if period == 10_000 else f"every {period}"
+            rows.append((label, f"{history.best_profit:.4f}"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact(
+        "ablation_target_period",
+        format_table(("Target update", "Best profit (ETH)"), rows),
+    )
+    assert len(rows) == 3
+    assert all(float(row[1]) >= 0 for row in rows)
+
+
+def test_ablation_dqn_variants(benchmark, save_artifact):
+    """Vanilla DQN (the paper) vs Double DQN vs prioritized replay."""
+    config = GenTranSeqConfig(seed=3, **BUDGET)
+
+    def run():
+        rows = []
+        for name, agent_cls in (
+            ("vanilla (paper)", DQNAgent),
+            ("double", DoubleDQNAgent),
+            ("prioritized", PrioritizedDQNAgent),
+        ):
+            _, history = _train_on_case_study(ReorderEnv, config, agent_cls)
+            rows.append(
+                (
+                    name,
+                    f"{history.best_profit:.4f}",
+                    len(history.first_profit_steps()),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact(
+        "ablation_dqn_variants",
+        format_table(
+            ("Agent", "Best profit (ETH)", "Episodes w/ solution"), rows
+        ),
+    )
+    # All variants must exploit the case study within the budget.
+    assert all(float(row[1]) > 0 for row in rows)
+
+
+def test_ablation_epsilon_schedule_modes(benchmark, save_artifact):
+    """Eq. 9 as printed grows above 1; the exponential fix decays."""
+
+    def run():
+        exponential = EpsilonSchedule(
+            epsilon_max=0.95, epsilon_min=0.01, decay=0.05
+        )
+        literal = EpsilonSchedule(
+            epsilon_max=0.95, epsilon_min=0.01, decay=0.05, mode="literal"
+        )
+        return (
+            [exponential.value(i) for i in (0, 25, 50, 99)],
+            [literal.value(i) for i in (0, 25, 50, 99)],
+        )
+
+    exp_values, lit_values = benchmark(run)
+    save_artifact(
+        "ablation_epsilon_schedule",
+        format_table(
+            ("Episode", "Exponential (ours)", "Literal Eq. 9 (clamped)"),
+            [
+                (episode, f"{e:.4f}", f"{l:.4f}")
+                for episode, e, l in zip((0, 25, 50, 99), exp_values, lit_values)
+            ],
+        ),
+    )
+    # The exponential schedule decays toward eps_min...
+    assert exp_values[0] > exp_values[-1]
+    assert exp_values[-1] == pytest.approx(0.01, abs=0.01)
+    # ...while the literal formula never decays (clamps at eps_max).
+    assert all(v == pytest.approx(0.95) for v in lit_values)

@@ -1,0 +1,55 @@
+"""Figure 6 bench: average attack profit per IFU vs #IFUs served.
+
+Runs the shared-pool sweep at benchmark scale (reduced DQN budget,
+reduced grid) and checks the paper's qualitative shape: a single IFU
+earns the highest average profit per IFU, and a higher adversarial
+fraction earns more in total.
+"""
+
+import pytest
+
+from repro.experiments import EffortPreset, render_fig6, run_fig6
+
+BENCH = EffortPreset(name="bench", episodes=4, steps_per_episode=30, trials=2)
+
+
+def _run():
+    return run_fig6(
+        adversarial_fractions=(0.1, 0.5),
+        mempool_sizes=(10, 25),
+        ifu_counts=(1, 2, 4),
+        num_aggregators=6,
+        preset=BENCH,
+        seed=0,
+    )
+
+
+def _mean(values):
+    return sum(values) / len(values)
+
+
+def test_fig6_profit_vs_ifus(benchmark, save_artifact):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_artifact("fig6_profit_vs_ifus", render_fig6(points))
+
+    assert len(points) == 2 * 2 * 3
+
+    # Shape 1 (paper: "serving less number of IFUs incurs better results
+    # in terms of average profit per IFU"): the 1-IFU cells average the
+    # highest per-IFU profit across the whole grid.
+    mean_by_ifus = {
+        n: _mean([p.avg_profit_per_ifu_eth for p in points if p.num_ifus == n])
+        for n in (1, 2, 4)
+    }
+    assert mean_by_ifus[1] > mean_by_ifus[2]
+    assert mean_by_ifus[1] > mean_by_ifus[4]
+
+    # Shape 2: 50% adversarial earns more total profit than 10%.
+    total_10 = sum(p.total_profit_eth for p in points if p.adversarial_fraction == 0.1)
+    total_50 = sum(p.total_profit_eth for p in points if p.adversarial_fraction == 0.5)
+    assert total_50 > total_10
+
+    # Shape 3: the larger mempool earns at least as much in total.
+    total_small = sum(p.total_profit_eth for p in points if p.mempool_size == 10)
+    total_large = sum(p.total_profit_eth for p in points if p.mempool_size == 25)
+    assert total_large >= total_small

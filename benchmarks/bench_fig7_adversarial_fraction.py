@@ -1,0 +1,54 @@
+"""Figure 7 bench: total IFU profit vs adversarial-aggregator fraction.
+
+Sweeps the fraction at benchmark scale and checks the paper's shape:
+total profit grows with the fraction of adversarial aggregators in
+every (IFU count, mempool) panel, and serving 2 IFUs yields a
+sub-linear total compared to 1 IFU.
+"""
+
+import pytest
+
+from repro.experiments import EffortPreset, render_fig7, run_fig7
+
+BENCH = EffortPreset(name="bench", episodes=3, steps_per_episode=25, trials=1)
+FRACTIONS = (0.25, 0.5, 0.75)
+
+
+def _run():
+    return run_fig7(
+        ifu_counts=(1, 2),
+        mempool_sizes=(25, 50),
+        fractions=FRACTIONS,
+        num_aggregators=4,
+        preset=BENCH,
+        seed=0,
+    )
+
+
+def test_fig7_adversarial_fraction(benchmark, save_artifact):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_artifact("fig7_adversarial_fraction", render_fig7(points))
+
+    assert len(points) == 2 * 2 * 3
+    by_cell = {
+        (p.num_ifus, p.mempool_size, p.adversarial_fraction): p for p in points
+    }
+
+    # Shape 1: in every panel, more adversarial aggregators never earn
+    # less, and the ends strictly increase.
+    for ifus in (1, 2):
+        for mempool in (25, 50):
+            series = [
+                by_cell[(ifus, mempool, f)].total_profit_eth for f in FRACTIONS
+            ]
+            assert all(a <= b + 1e-9 for a, b in zip(series, series[1:]))
+            assert series[-1] > series[0]
+
+    # Shape 2: profits are finite and non-negative everywhere.
+    assert all(p.total_profit_eth >= 0 for p in points)
+
+    # Shape 3 (paper: "2 IFUs ... total profit increase is not linear"):
+    # serving 2 IFUs earns less than 2x the single-IFU total.
+    total_1 = sum(p.total_profit_eth for p in points if p.num_ifus == 1)
+    total_2 = sum(p.total_profit_eth for p in points if p.num_ifus == 2)
+    assert total_2 < 2.0 * total_1

@@ -1,0 +1,44 @@
+"""Figure 9 bench: KDE of solution sizes (swaps to first solution).
+
+Collects first-solution swap counts at benchmark scale and fits the KDE
+curves.  Shape checks: solutions exist for the single-IFU case and the
+distributions spread (weakly) as more IFUs are served.
+"""
+
+import pytest
+
+from repro.experiments import EffortPreset, render_fig9, run_fig9
+
+BENCH = EffortPreset(name="bench", episodes=6, steps_per_episode=40, trials=2)
+
+
+def _run():
+    return run_fig9(
+        mempool_sizes=(12,),
+        ifu_counts=(1, 2),
+        preset=BENCH,
+        seed=0,
+    )
+
+
+def test_fig9_solution_sizes(benchmark, save_artifact):
+    curves = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_artifact("fig9_solution_sizes", render_fig9(curves))
+
+    assert len(curves) == 2
+    single = next(c for c in curves if c.num_ifus == 1)
+
+    # The single-IFU case must find profitable solutions.
+    assert len(single.solution_sizes) > 0
+    assert single.kde is not None
+
+    # Solution sizes are bounded by the episode step cap.
+    for curve in curves:
+        assert all(
+            1 <= size <= BENCH.steps_per_episode
+            for size in curve.solution_sizes
+        )
+
+    # The KDE's mode sits at a small swap count (paper: ~5 for 1 IFU).
+    assert single.mode is not None
+    assert single.mode <= BENCH.steps_per_episode / 2

@@ -1,0 +1,81 @@
+"""Table II tuning-claim sweeps (extension).
+
+Section V-C justifies Table II empirically: "Experimentation with
+learning rates ranging from 0.05 to 0.75 shows 0.7 as favorable for
+rapid learning and stability" and "a discount factor of 0.618 balances
+short-term and long-term rewards effectively".  These benches rerun the
+sweeps at benchmark scale and archive the resulting tables; the loose
+assertion is that the paper's chosen values remain competitive (within
+the best observed profit), not that they strictly dominate at this
+reduced budget.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.config import GenTranSeqConfig
+from repro.core import GenTranSeq
+from repro.workloads import case_study_fixture
+
+BUDGET = dict(episodes=8, steps_per_episode=35)
+
+
+def _train(config):
+    workload = case_study_fixture()
+    module = GenTranSeq(config=config)
+    return module.optimize(
+        workload.pre_state, workload.transactions, workload.ifus
+    )
+
+
+def test_learning_rate_sweep(benchmark, save_artifact):
+    rates = (0.05, 0.35, 0.7)
+
+    def run():
+        rows = []
+        for rate in rates:
+            result = _train(GenTranSeqConfig(
+                learning_rate=rate, seed=3, **BUDGET
+            ))
+            rows.append((f"alpha={rate:g}", result.profit))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact(
+        "table2_learning_rate",
+        format_table(
+            ("Learning rate", "Best profit (ETH)"),
+            [(label, f"{profit:.4f}") for label, profit in rows],
+        ),
+    )
+    best = max(profit for _, profit in rows)
+    paper_choice = dict(rows)["alpha=0.7"]
+    # The paper's alpha=0.7 finds profit and stays near the sweep's best.
+    assert paper_choice > 0
+    assert paper_choice >= 0.5 * best
+
+
+def test_discount_factor_sweep(benchmark, save_artifact):
+    gammas = (0.1, 0.618, 0.95)
+
+    def run():
+        rows = []
+        for gamma in gammas:
+            result = _train(GenTranSeqConfig(
+                discount_factor=gamma, seed=3, **BUDGET
+            ))
+            rows.append((f"gamma={gamma:g}", result.profit))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact(
+        "table2_discount_factor",
+        format_table(
+            ("Discount factor", "Best profit (ETH)"),
+            [(label, f"{profit:.4f}") for label, profit in rows],
+        ),
+    )
+    paper_choice = dict(rows)["gamma=0.618"]
+    best = max(profit for _, profit in rows)
+    assert paper_choice > 0
+    assert paper_choice >= 0.5 * best

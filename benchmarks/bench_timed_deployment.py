@@ -1,0 +1,102 @@
+"""Timed-deployment bench (extension): attack success vs slot deadline.
+
+Section VII-F's motivation — "time is critical in off-chain transaction
+processing" — made concrete: the adversarial aggregator's reordering
+must fit inside the Bedrock block interval or it forfeits the arbitrage.
+This bench sweeps the reorder deadline against the measured compute cost
+of DQN inference and checks that tight deadlines suppress the attack
+without disturbing liveness.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.config import AttackConfig, GenTranSeqConfig, WorkloadConfig
+from repro.core import ParoleAttack
+from repro.sim import TimedRollupScenario
+from repro.workloads import generate_workload
+
+
+def _workload():
+    return generate_workload(
+        WorkloadConfig(mempool_size=16, num_users=10, num_ifus=1,
+                       min_ifu_involvement=4, seed=5)
+    )
+
+
+def _timed_reorderer(workload):
+    attack = ParoleAttack(
+        config=AttackConfig(
+            ifu_accounts=workload.ifus,
+            gentranseq=GenTranSeqConfig(episodes=3, steps_per_episode=20, seed=0),
+        )
+    )
+
+    def reorder(pre_state, collected):
+        started = time.perf_counter()
+        executed = attack.run(pre_state, collected).executed_sequence
+        # Simulated compute cost = measured wall time, scaled into the
+        # simulation's time units (1 sim unit ~ 1 second of compute).
+        return executed, time.perf_counter() - started
+
+    return reorder
+
+
+def _run():
+    workload = _workload()
+    rows = []
+    for deadline in (1e-4, 10.0):
+        metrics = TimedRollupScenario(
+            workload,
+            collect_size=8,
+            reorderer=_timed_reorderer(workload),
+            reorder_deadline=deadline,
+            seed=0,
+        ).run()
+        rows.append((deadline, metrics))
+    honest = TimedRollupScenario(workload, collect_size=8, seed=0).run()
+    return rows, honest
+
+
+def test_deadline_gates_the_attack(benchmark, save_artifact):
+    (sweeps, honest) = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table_rows = [
+        (
+            f"{deadline:g}",
+            metrics.attacks_fired,
+            metrics.missed_deadlines,
+            metrics.transactions_included,
+            f"{metrics.mean_inclusion_latency:.3f}",
+        )
+        for deadline, metrics in sweeps
+    ]
+    table_rows.append(
+        ("honest", honest.attacks_fired, honest.missed_deadlines,
+         honest.transactions_included,
+         f"{honest.mean_inclusion_latency:.3f}")
+    )
+    save_artifact(
+        "timed_deployment",
+        format_table(
+            ("Reorder deadline", "Attacks fired", "Missed deadlines",
+             "TXs included", "Mean inclusion latency"),
+            table_rows,
+        ),
+    )
+
+    tight, generous = sweeps[0][1], sweeps[1][1]
+    # A deadline far below real DQN compute suppresses the attack...
+    assert tight.attacks_fired == 0
+    assert tight.missed_deadlines > 0
+    # ...while a generous one lets it fire.
+    assert generous.attacks_fired > 0
+    assert generous.missed_deadlines == 0
+    # Liveness holds in every configuration.
+    assert tight.transactions_included == 16
+    assert generous.transactions_included == 16
+    # And reordering is invisible to verifiers either way.
+    assert tight.challenges == 0
+    assert generous.challenges == 0

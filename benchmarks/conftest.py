@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates its paper table/figure as text; outputs are
+printed (visible with ``pytest -s``) and archived under
+``benchmarks/results/`` so a bench run leaves the full set of regenerated
+artifacts on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    """Persist one regenerated table/figure and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, content: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(content + "\n")
+        print(f"\n===== {name} =====\n{content}\n")
+
+    return _save

@@ -1,0 +1,52 @@
+"""Multi-round attack campaign with a persistent DQN agent.
+
+Section VII-F's premise is that the IFU trains the model offline and
+the aggregator pays only inference cost online.  This example shows the
+training transfer concretely: one agent attacks a stream of fresh
+mempools, and its accumulated experience is compared against cold
+(fresh-agent-per-round) attacks on the same workloads.
+
+Usage::
+
+    python examples/attack_campaign.py
+"""
+
+from repro.config import GenTranSeqConfig, WorkloadConfig
+from repro.core import AttackCampaign, cold_vs_warm
+
+
+def main() -> None:
+    workload_config = WorkloadConfig(
+        mempool_size=12, num_users=10, num_ifus=1,
+        min_ifu_involvement=4, seed=0,
+    )
+    gts_config = GenTranSeqConfig(episodes=5, steps_per_episode=30, seed=0)
+    rounds = 6
+
+    print(f"running {rounds}-round campaign (mempool 12, 1 IFU)...")
+    campaign = AttackCampaign(workload_config, gts_config)
+    report = campaign.run(rounds)
+
+    print()
+    print("round  profit (ETH)  attacked  min swaps to solution")
+    for record in report.rounds:
+        swaps = record.min_solution_swaps
+        print(f"{record.round_index:>5}  {record.profit_eth:>12.4f}  "
+              f"{str(record.attacked):>8}  "
+              f"{swaps if swaps is not None else '-':>21}")
+    print()
+    print(f"cumulative profit : {report.total_profit_eth:.4f} ETH")
+    print(f"hit rate          : {report.hit_rate:.0%}")
+
+    print()
+    print("cold (fresh agent per round) vs warm (persistent agent):")
+    cold, warm = cold_vs_warm(workload_config, gts_config, rounds=4)
+    print(f"  cold total profit: {cold.total_profit_eth:.4f} ETH")
+    print(f"  warm total profit: {warm.total_profit_eth:.4f} ETH")
+    early, late = warm.split_halves()
+    print(f"  warm early-half mean: {sum(early) / len(early):.4f} ETH")
+    print(f"  warm late-half mean : {sum(late) / len(late):.4f} ETH")
+
+
+if __name__ == "__main__":
+    main()

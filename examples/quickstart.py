@@ -1,0 +1,54 @@
+"""Quickstart: reproduce the paper's Section VI case study, then attack.
+
+Runs in under a minute:
+
+1. builds the exact Figure 5 fixture (PAROLE Token, 8 transactions);
+2. replays the paper's three orderings and prints their tables;
+3. unleashes the PAROLE attack (GENTRANSEQ DQN) on the same collection
+   and shows the profitable order it discovers.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import GenTranSeqConfig, ParoleAttack, AttackConfig
+from repro.experiments import render_case_studies, run_case_studies
+from repro.workloads import case_study_fixture
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Figure 5 case studies (exact replay)")
+    print("=" * 72)
+    print(render_case_studies(run_case_studies()))
+
+    print()
+    print("=" * 72)
+    print("PAROLE attack on the case-study collection")
+    print("=" * 72)
+    workload = case_study_fixture()
+    attack = ParoleAttack(
+        config=AttackConfig(
+            ifu_accounts=workload.ifus,
+            gentranseq=GenTranSeqConfig(
+                episodes=30, steps_per_episode=60, seed=3
+            ),
+        )
+    )
+    outcome = attack.run(workload.pre_state, workload.transactions)
+    result = outcome.result
+    assert result is not None
+    print(f"original final balance : {result.original_objective:.4f} ETH")
+    print(f"attacked final balance : {result.best_objective:.4f} ETH")
+    print(f"profit                 : {result.profit:+.4f} ETH")
+    print("discovered order       :",
+          " -> ".join(tx.label for tx in result.best_sequence))
+    print()
+    print("(The paper's hand-derived optimum, case 3, reaches 2.7333 ETH;")
+    print(" the DQN may find slightly more under the batch-netting")
+    print(" semantics the paper's own case 2 relies on - see EXPERIMENTS.md.)")
+
+
+if __name__ == "__main__":
+    main()

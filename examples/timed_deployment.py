@@ -1,0 +1,83 @@
+"""Timed rollup deployment: latency, deadlines and the attack.
+
+Runs the discrete-event simulation of a full deployment — users
+submitting over a jittery network, Bedrock-interval aggregation,
+verifiers re-executing each batch — in three configurations:
+
+1. honest aggregation;
+2. the PAROLE attack with a generous reordering deadline;
+3. the same attack under a tight deadline (the reordering cannot finish
+   inside the Bedrock slot, so the aggregator falls back to honest).
+
+Usage::
+
+    python examples/timed_deployment.py
+"""
+
+import time
+
+from repro.config import AttackConfig, GenTranSeqConfig, WorkloadConfig
+from repro.core import ParoleAttack
+from repro.sim import LatencyModel, TimedRollupScenario
+from repro.workloads import generate_workload
+
+
+def show(name: str, metrics) -> None:
+    print(f"[{name}]")
+    print(f"  batches committed      : {metrics.batches_committed}")
+    print(f"  transactions included  : {metrics.transactions_included}")
+    print(f"  attacks fired          : {metrics.attacks_fired}")
+    print(f"  missed reorder slots   : {metrics.missed_deadlines}")
+    print(f"  verifier challenges    : {metrics.challenges}")
+    print(f"  mean inclusion latency : {metrics.mean_inclusion_latency:.3f} units")
+    print()
+
+
+def main() -> None:
+    workload = generate_workload(
+        WorkloadConfig(mempool_size=16, num_users=10, num_ifus=1,
+                       min_ifu_involvement=4, seed=5)
+    )
+
+    show("honest", TimedRollupScenario(workload, collect_size=8).run())
+
+    def make_reorderer():
+        attack = ParoleAttack(
+            config=AttackConfig(
+                ifu_accounts=workload.ifus,
+                gentranseq=GenTranSeqConfig(
+                    episodes=3, steps_per_episode=20, seed=0
+                ),
+            )
+        )
+
+        def reorder(pre_state, collected):
+            started = time.perf_counter()
+            executed = attack.run(pre_state, collected).executed_sequence
+            return executed, time.perf_counter() - started
+
+        return reorder
+
+    show(
+        "PAROLE, generous deadline",
+        TimedRollupScenario(
+            workload, collect_size=8,
+            reorderer=make_reorderer(), reorder_deadline=10.0,
+        ).run(),
+    )
+
+    show(
+        "PAROLE, tight deadline (0.1 ms of compute allowed)",
+        TimedRollupScenario(
+            workload, collect_size=8,
+            reorderer=make_reorderer(), reorder_deadline=1e-4,
+        ).run(),
+    )
+
+    print("Takeaway: fraud proofs never fire (challenges = 0 in all runs);")
+    print("only the compute deadline constrains the attack - which is why")
+    print("the paper benchmarks DQN inference against NLP solvers (Fig. 11).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Wash-trading detection over a simulated marketplace session.
+
+Two colluding wallets pump a PAROLE-token's apparent volume by cycling a
+token between themselves while organic users trade normally.  The
+graph-based detector flags the cycles and the wallet cluster, and
+reports the artificial-volume share — the quantity the wash-trading
+literature the paper cites (Section III) measures at ecosystem scale.
+
+Usage::
+
+    python examples/wash_trading_demo.py
+"""
+
+from repro.config import NFTContractConfig
+from repro.market import Marketplace, WashTradeDetector
+from repro.tokens import LimitedEditionNFT
+
+
+def main() -> None:
+    contract = LimitedEditionNFT(
+        NFTContractConfig(symbol="PT", name="ParoleToken",
+                          max_supply=12, initial_price_eth=0.2)
+    )
+    balances = {
+        "washer-1": 20.0, "washer-2": 20.0,
+        "alice": 10.0, "bob": 10.0, "carol": 10.0,
+    }
+    market = Marketplace(contract, balances)
+
+    # Organic activity: mints and one-way sales.
+    token_a, _ = market.mint("alice")
+    token_b, _ = market.mint("bob")
+    market.list_token("alice", token_a, ask_price_eth=0.4)
+    market.buy("carol", token_a)
+    market.list_token("bob", token_b, ask_price_eth=0.35)
+    market.buy("alice", token_b)
+
+    # The wash: one token ping-pongs between two colluders.
+    washed, _ = market.mint("washer-1")
+    for _ in range(3):
+        market.list_token("washer-1", washed, ask_price_eth=1.0)
+        market.buy("washer-2", washed)
+        market.list_token("washer-2", washed, ask_price_eth=1.1)
+        market.buy("washer-1", washed)
+
+    report = WashTradeDetector(max_cycle_blocks=1000).inspect(list(market.sales))
+
+    print(f"total marketplace volume : {report.total_volume_eth:.2f} ETH")
+    print(f"artificial (wash) volume : {report.artificial_volume_eth:.2f} ETH "
+          f"({report.artificial_fraction:.0%})")
+    print(f"wash cycles detected     : {len(report.cycles)}")
+    print(f"suspicious wallets       : {', '.join(report.suspicious_wallets)}")
+    organic = {"alice", "bob", "carol"} & set(report.suspicious_wallets)
+    print(f"false positives          : {sorted(organic) or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

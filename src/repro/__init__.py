@@ -1,0 +1,98 @@
+"""PAROLE — Profitable Arbitrage in Optimistic Rollup with ERC-721 tokens.
+
+A full reproduction of Khalil & Rahman's DSN 2024 paper: the optimistic
+rollup substrate (L1 contract, Bedrock-style mempool, OVM, aggregators,
+verifiers, fraud proofs), the limited-edition ERC-721 state machine with
+scarcity pricing, the GENTRANSEQ deep-Q-network re-ordering module, the
+PAROLE attack orchestration, baseline solvers, the NFT market study and
+the Section VIII defense.
+
+Quickstart
+----------
+>>> from repro import ParoleAttack, case_study_fixture
+>>> workload = case_study_fixture()
+>>> attack = ParoleAttack()                       # doctest: +SKIP
+>>> outcome = attack.run(workload.pre_state, workload.transactions)  # doctest: +SKIP
+>>> outcome.profit > 0                            # doctest: +SKIP
+True
+"""
+
+from .config import (
+    AttackConfig,
+    DefenseConfig,
+    GenTranSeqConfig,
+    NFTContractConfig,
+    RollupConfig,
+    SnapshotStudyConfig,
+    WorkloadConfig,
+    eth_to_wei,
+    wei_to_eth,
+)
+from .errors import ReproError
+from .core import (
+    ArbitrageAssessment,
+    AttackOutcome,
+    GenTranSeq,
+    GenTranSeqResult,
+    ParoleAttack,
+    ReorderEnv,
+    assess_opportunity,
+)
+from .rollup import (
+    AdversarialAggregator,
+    Aggregator,
+    BedrockMempool,
+    ExecutionMode,
+    L2State,
+    NFTTransaction,
+    OVM,
+    RollupNode,
+    TxKind,
+    Verifier,
+)
+from .tokens import LimitedEditionNFT, ScarcityPricing
+from .workloads import Workload, case_study_fixture, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configs
+    "AttackConfig",
+    "DefenseConfig",
+    "GenTranSeqConfig",
+    "NFTContractConfig",
+    "RollupConfig",
+    "SnapshotStudyConfig",
+    "WorkloadConfig",
+    "eth_to_wei",
+    "wei_to_eth",
+    # errors
+    "ReproError",
+    # core
+    "ArbitrageAssessment",
+    "AttackOutcome",
+    "GenTranSeq",
+    "GenTranSeqResult",
+    "ParoleAttack",
+    "ReorderEnv",
+    "assess_opportunity",
+    # rollup
+    "AdversarialAggregator",
+    "Aggregator",
+    "BedrockMempool",
+    "ExecutionMode",
+    "L2State",
+    "NFTTransaction",
+    "OVM",
+    "RollupNode",
+    "TxKind",
+    "Verifier",
+    # tokens
+    "LimitedEditionNFT",
+    "ScarcityPricing",
+    # workloads
+    "Workload",
+    "case_study_fixture",
+    "generate_workload",
+]

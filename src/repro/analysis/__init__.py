@@ -1,0 +1,34 @@
+"""Analysis utilities shared by the evaluation benches.
+
+* :mod:`repro.analysis.stats`     — moving averages, summaries;
+* :mod:`repro.analysis.kde`       — Gaussian kernel density estimates
+  (Figure 9's solution-size curves);
+* :mod:`repro.analysis.reporting` — plain-text tables/series printers.
+"""
+
+from .stats import moving_average, summarize, Summary
+from .kde import KDECurve, kde_curve
+from .reporting import format_table, format_series
+from .convergence import (
+    ConvergenceReport,
+    analyse_curve,
+    convergence_episode,
+    is_plateaued,
+)
+from .bootstrap import ConfidenceInterval, bootstrap_ci
+
+__all__ = [
+    "moving_average",
+    "summarize",
+    "Summary",
+    "KDECurve",
+    "kde_curve",
+    "format_table",
+    "format_series",
+    "ConvergenceReport",
+    "analyse_curve",
+    "convergence_episode",
+    "is_plateaued",
+    "ConfidenceInterval",
+    "bootstrap_ci",
+]

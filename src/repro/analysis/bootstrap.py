@@ -1,0 +1,80 @@
+"""Bootstrap confidence intervals for experiment aggregates.
+
+The evaluation sweeps average noisy per-trial profits; reporting a point
+estimate alone overstates certainty.  :func:`bootstrap_ci` resamples the
+trial values with replacement and returns a percentile confidence
+interval for any statistic (mean by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+    @property
+    def width(self) -> float:
+        """Interval width."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` falls inside the interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.4f} "
+            f"[{self.low:.4f}, {self.high:.4f}] "
+            f"@{self.confidence:.0%}"
+        )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap interval for ``statistic`` over ``values``."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ReproError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ReproError("confidence must be in (0, 1)")
+    if resamples < 10:
+        raise ReproError("need at least 10 resamples")
+    random = rng or np.random.default_rng(0)
+    estimate = float(statistic(data))
+    if data.size == 1:
+        return ConfidenceInterval(
+            estimate=estimate, low=estimate, high=estimate,
+            confidence=confidence, resamples=resamples,
+        )
+    stats = np.empty(resamples)
+    for index in range(resamples):
+        sample = random.choice(data, size=data.size, replace=True)
+        stats[index] = statistic(sample)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(stats, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(
+        estimate=estimate,
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        resamples=resamples,
+    )

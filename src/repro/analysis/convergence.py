@@ -1,0 +1,95 @@
+"""Learning-curve convergence analysis.
+
+Figure 8's discussion says the eps=1 agent "does not increase the reward
+prominently after around 70 episodes since the maximum achievable reward
+is reached".  These helpers quantify that: the convergence episode (the
+first episode after which the smoothed curve stays within a tolerance
+band of its final level), the curve's area-under-curve (total learning
+progress), and plateau detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from .stats import moving_average
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Summary of one learning curve."""
+
+    converged: bool
+    convergence_episode: Optional[int]
+    final_level: float
+    auc: float
+    improvement: float
+
+
+def convergence_episode(
+    rewards: Sequence[float],
+    window: int = 9,
+    tolerance: float = 0.1,
+) -> Optional[int]:
+    """First episode after which the smoothed curve stays within
+    ``tolerance`` (relative to the curve's range) of its final level.
+
+    Returns ``None`` when the curve never settles.
+    """
+    if not len(rewards):
+        raise ReproError("cannot analyse an empty curve")
+    smoothed = moving_average(rewards, window)
+    final = smoothed[-1]
+    spread = max(smoothed) - min(smoothed)
+    if spread == 0.0:
+        return 0
+    band = tolerance * spread
+    for episode in range(len(smoothed)):
+        tail = smoothed[episode:]
+        if all(abs(value - final) <= band for value in tail):
+            return episode
+    return None  # pragma: no cover - last episode always qualifies
+
+
+def analyse_curve(
+    rewards: Sequence[float],
+    window: int = 9,
+    tolerance: float = 0.1,
+) -> ConvergenceReport:
+    """Full convergence report for one reward curve."""
+    if not len(rewards):
+        raise ReproError("cannot analyse an empty curve")
+    smoothed = moving_average(rewards, window)
+    episode = convergence_episode(rewards, window, tolerance)
+    auc = float(np.trapezoid(smoothed)) if len(smoothed) > 1 else float(smoothed[0])
+    return ConvergenceReport(
+        converged=episode is not None and episode < len(smoothed) - 1,
+        convergence_episode=episode,
+        final_level=float(smoothed[-1]),
+        auc=auc,
+        improvement=float(smoothed[-1] - smoothed[0]),
+    )
+
+
+def is_plateaued(
+    rewards: Sequence[float],
+    window: int = 9,
+    lookback: int = 10,
+    tolerance: float = 0.05,
+) -> bool:
+    """Whether the last ``lookback`` smoothed points are flat.
+
+    Useful as an early-stopping signal for long GENTRANSEQ campaigns.
+    """
+    if len(rewards) < lookback + 1:
+        return False
+    smoothed = moving_average(rewards, window)
+    tail = smoothed[-lookback:]
+    spread = max(smoothed) - min(smoothed)
+    if spread == 0.0:
+        return True
+    return (max(tail) - min(tail)) <= tolerance * spread

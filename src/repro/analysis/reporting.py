@@ -1,0 +1,39 @@
+"""Plain-text tables and series printers used by the benches.
+
+Every benchmark regenerates its paper table/figure as text; these
+helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width table with a header rule."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        )
+    rule = "  ".join("-" * width for width in widths)
+    body = [line(headers), rule]
+    body.extend(line(row) for row in materialized)
+    return "\n".join(body)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], precision: int = 4
+) -> str:
+    """One labelled (x, y) series as ``name: x=y`` pairs."""
+    pairs = ", ".join(
+        f"{x}={y:.{precision}f}" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"

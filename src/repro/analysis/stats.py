@@ -1,0 +1,64 @@
+"""Moving averages and summary statistics.
+
+Figure 8 plots "the moving average of the episode rewards ... with a
+window size of 9"; :func:`moving_average` reproduces that exact
+smoothing (trailing window, partial at the start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def moving_average(values: Sequence[float], window: int = 9) -> List[float]:
+    """Trailing moving average with a partially-filled warm-up.
+
+    Element ``i`` averages ``values[max(0, i - window + 1) : i + 1]``, so
+    the output has the same length as the input and the first points
+    average fewer samples — matching how Fig. 8's first plotted moving
+    average covers the first nine episodes.
+    """
+    if window <= 0:
+        raise ReproError("window must be positive")
+    data = list(values)
+    output: List[float] = []
+    running = 0.0
+    for index, value in enumerate(data):
+        running += value
+        if index >= window:
+            running -= data[index - window]
+        count = min(index + 1, window)
+        output.append(running / count)
+    return output
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a non-empty sample."""
+    if not len(values):
+        raise ReproError("cannot summarize an empty sample")
+    array = np.asarray(values, dtype=np.float64)
+    return Summary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=0)),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        median=float(np.median(array)),
+    )

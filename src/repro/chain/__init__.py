@@ -1,0 +1,32 @@
+"""Layer-1 chain substrate.
+
+A minimal but complete in-process Ethereum-like main chain: integer-wei
+account ledger, block production with Merkle transaction roots, a gas
+schedule, and the Optimistic Rollup Smart Contract (ORSC) that the paper's
+users, aggregators and verifiers interact with (Section V-A).
+"""
+
+from .account import Account, AccountLedger
+from .block import Block, BlockHeader
+from .gas import GasSchedule, GasUsage
+from .ledger import L1Chain
+from .orsc import (
+    BatchCommitment,
+    BatchStatus,
+    ChallengeOutcome,
+    OptimisticRollupContract,
+)
+
+__all__ = [
+    "Account",
+    "AccountLedger",
+    "Block",
+    "BlockHeader",
+    "GasSchedule",
+    "GasUsage",
+    "L1Chain",
+    "BatchCommitment",
+    "BatchStatus",
+    "ChallengeOutcome",
+    "OptimisticRollupContract",
+]

@@ -1,0 +1,106 @@
+"""Accounts and the integer-wei balance ledger.
+
+All L1 money movement in the simulator goes through
+:class:`AccountLedger`, which enforces non-negative balances and keeps a
+running nonce per account, mirroring Ethereum's account model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+from ..errors import InsufficientBalanceError, UnknownAccountError
+
+
+@dataclass
+class Account:
+    """A single externally-owned account."""
+
+    address: str
+    balance_wei: int = 0
+    nonce: int = 0
+
+    def snapshot(self) -> Tuple[str, int, int]:
+        """Return an immutable (address, balance, nonce) view."""
+        return (self.address, self.balance_wei, self.nonce)
+
+
+class AccountLedger:
+    """Mapping of addresses to accounts with safe transfer semantics."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, Account] = {}
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._accounts
+
+    def __iter__(self) -> Iterator[Account]:
+        return iter(self._accounts.values())
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    def create(self, address: str, balance_wei: int = 0) -> Account:
+        """Create an account; re-creating an address is an error."""
+        if address in self._accounts:
+            raise UnknownAccountError(f"account {address!r} already exists")
+        if balance_wei < 0:
+            raise InsufficientBalanceError(address, 0, balance_wei)
+        account = Account(address=address, balance_wei=balance_wei)
+        self._accounts[address] = account
+        return account
+
+    def get_or_create(self, address: str) -> Account:
+        """Fetch an account, creating it with zero balance if missing."""
+        if address not in self._accounts:
+            return self.create(address)
+        return self._accounts[address]
+
+    def get(self, address: str) -> Account:
+        """Fetch an existing account or raise :class:`UnknownAccountError`."""
+        try:
+            return self._accounts[address]
+        except KeyError:
+            raise UnknownAccountError(f"unknown account {address!r}") from None
+
+    def balance(self, address: str) -> int:
+        """Balance in wei of an existing account."""
+        return self.get(address).balance_wei
+
+    def credit(self, address: str, amount_wei: int) -> None:
+        """Add ``amount_wei`` (must be non-negative) to an account."""
+        if amount_wei < 0:
+            raise InsufficientBalanceError(address, amount_wei, 0)
+        self.get_or_create(address).balance_wei += amount_wei
+
+    def debit(self, address: str, amount_wei: int) -> None:
+        """Remove ``amount_wei`` from an account; never goes negative."""
+        account = self.get(address)
+        if amount_wei < 0 or account.balance_wei < amount_wei:
+            raise InsufficientBalanceError(
+                address, amount_wei, account.balance_wei
+            )
+        account.balance_wei -= amount_wei
+
+    def transfer(self, sender: str, recipient: str, amount_wei: int) -> None:
+        """Atomically move wei between two accounts."""
+        self.debit(sender, amount_wei)
+        self.credit(recipient, amount_wei)
+
+    def bump_nonce(self, address: str) -> int:
+        """Increment and return an account's nonce."""
+        account = self.get(address)
+        account.nonce += 1
+        return account.nonce
+
+    def total_supply(self) -> int:
+        """Total wei held across all accounts (conservation checks)."""
+        return sum(account.balance_wei for account in self._accounts.values())
+
+    def snapshot(self) -> Dict[str, Tuple[int, int]]:
+        """Immutable {address: (balance, nonce)} view of the whole ledger."""
+        return {
+            address: (account.balance_wei, account.nonce)
+            for address, account in self._accounts.items()
+        }

@@ -1,0 +1,59 @@
+"""L1 blocks and headers.
+
+Blocks carry opaque payload digests (rollup batch commitments, deposits)
+and a Merkle root over their payloads so confirmation can be proven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence, Tuple
+
+from ..crypto import MerkleTree, hash_value
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Header committing to a block's parent, height and payload root."""
+
+    height: int
+    parent_hash: str
+    payload_root: str
+    timestamp: int
+
+    @property
+    def block_hash(self) -> str:
+        """Digest identifying this block."""
+        return hash_value(
+            ["block", self.height, self.parent_hash, self.payload_root, self.timestamp]
+        )
+
+
+@dataclass(frozen=True)
+class Block:
+    """A sealed L1 block: header plus ordered payload entries."""
+
+    header: BlockHeader
+    payloads: Tuple[Any, ...]
+
+    @staticmethod
+    def seal(
+        height: int,
+        parent_hash: str,
+        payloads: Sequence[Any],
+        timestamp: int,
+    ) -> "Block":
+        """Build a block, computing the payload Merkle root."""
+        tree = MerkleTree(list(payloads))
+        header = BlockHeader(
+            height=height,
+            parent_hash=parent_hash,
+            payload_root=tree.root,
+            timestamp=timestamp,
+        )
+        return Block(header=header, payloads=tuple(payloads))
+
+    @property
+    def block_hash(self) -> str:
+        """Digest identifying this block (delegates to the header)."""
+        return self.header.block_hash

@@ -1,0 +1,90 @@
+"""The L1 chain: block production over an account ledger.
+
+:class:`L1Chain` is the simulator's main chain.  It advances in discrete
+timesteps, sealing a block per step from whatever payloads contracts have
+queued; rollup batches become final only ``challenge_period_blocks`` after
+their inclusion height (Section II-A's challenge window).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..crypto import hash_value
+from ..errors import ChainError
+from .account import AccountLedger
+from .block import Block
+
+GENESIS_PARENT = hash_value("repro.chain.genesis")
+
+
+class L1Chain:
+    """An in-process Layer-1 chain with deterministic block production."""
+
+    def __init__(self) -> None:
+        self.accounts = AccountLedger()
+        self._blocks: List[Block] = []
+        self._pending_payloads: List[Any] = []
+        self._time = 0
+
+    @property
+    def height(self) -> int:
+        """Number of sealed blocks."""
+        return len(self._blocks)
+
+    @property
+    def head(self) -> Optional[Block]:
+        """The most recently sealed block, or ``None`` pre-genesis."""
+        return self._blocks[-1] if self._blocks else None
+
+    @property
+    def time(self) -> int:
+        """Current simulated timestamp (one unit per sealed block)."""
+        return self._time
+
+    def block_at(self, height: int) -> Block:
+        """Fetch the sealed block at ``height``."""
+        if not 0 <= height < len(self._blocks):
+            raise ChainError(f"no block at height {height} (chain height {self.height})")
+        return self._blocks[height]
+
+    def queue_payload(self, payload: Any) -> None:
+        """Schedule a payload for inclusion in the next sealed block."""
+        self._pending_payloads.append(payload)
+
+    def seal_block(self) -> Block:
+        """Seal pending payloads into a new block and advance time."""
+        parent_hash = self.head.block_hash if self.head else GENESIS_PARENT
+        self._time += 1
+        block = Block.seal(
+            height=len(self._blocks),
+            parent_hash=parent_hash,
+            payloads=self._pending_payloads,
+            timestamp=self._time,
+        )
+        self._blocks.append(block)
+        self._pending_payloads = []
+        return block
+
+    def seal_blocks(self, count: int) -> List[Block]:
+        """Seal ``count`` consecutive blocks (empty ones included)."""
+        if count < 0:
+            raise ChainError("cannot seal a negative number of blocks")
+        return [self.seal_block() for _ in range(count)]
+
+    def find_payload(self, predicate) -> Optional[Any]:
+        """Return the first payload matching ``predicate``, newest first."""
+        for block in reversed(self._blocks):
+            for payload in block.payloads:
+                if predicate(payload):
+                    return payload
+        return None
+
+    def verify_ancestry(self) -> bool:
+        """Check the parent-hash links across the whole chain."""
+        previous = GENESIS_PARENT
+        for block in self._blocks:
+            if block.header.parent_hash != previous:
+                return False
+            previous = block.block_hash
+        return True

@@ -1,0 +1,306 @@
+"""The Optimistic Rollup Smart Contract (ORSC).
+
+Section V-A formalises the contract users, aggregators and verifiers
+interact with:
+
+* ``deposit`` — a user exchanges L1 ETH for an equal amount of L2 tokens
+  (``U_k.SubmitTX`` path via the L1 contract);
+* ``register_aggregator`` / ``register_verifier`` — participants post bonds;
+* ``commit_batch`` — an aggregator submits a rollup batch commitment
+  (transactions digest + claimed post-state root) that starts its
+  challenge window;
+* ``challenge`` — a verifier disputes a commitment; a correct challenge
+  slashes the aggregator's bond and reverts the batch, an incorrect one
+  slashes the verifier's bond (the two slashing rules of Section V-A);
+* ``finalize`` — after the challenge window passes unchallenged the batch
+  is confirmed onto L1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..config import RollupConfig
+from ..errors import BatchError, BondError, ChallengeError, ChainError
+from .ledger import L1Chain
+
+
+class BatchStatus(enum.Enum):
+    """Lifecycle of a committed rollup batch."""
+
+    PENDING = "pending"
+    FINALIZED = "finalized"
+    REVERTED = "reverted"
+
+
+class ChallengeOutcome(enum.Enum):
+    """Result of a verifier's fraud-proof challenge."""
+
+    UPHELD = "upheld"          # fraud proven; aggregator slashed
+    REJECTED = "rejected"      # proof was valid; verifier slashed
+
+
+@dataclass
+class BatchCommitment:
+    """An on-chain record of one committed rollup batch."""
+
+    batch_id: int
+    aggregator: str
+    tx_root: str
+    claimed_state_root: str
+    committed_at_height: int
+    status: BatchStatus = BatchStatus.PENDING
+    challenged_by: Optional[str] = None
+
+
+@dataclass
+class _Participant:
+    address: str
+    bond_wei: int
+
+
+class OptimisticRollupContract:
+    """The L1-resident rollup contract (deposits, bonds, batches)."""
+
+    def __init__(self, chain: L1Chain, config: Optional[RollupConfig] = None) -> None:
+        self.chain = chain
+        self.config = config or RollupConfig()
+        self.address = "0xORSC"
+        chain.accounts.get_or_create(self.address)
+        self._l2_balances: Dict[str, int] = {}
+        self._exit_queue: List[Dict[str, int]] = []
+        self._aggregators: Dict[str, _Participant] = {}
+        self._verifiers: Dict[str, _Participant] = {}
+        self._batches: List[BatchCommitment] = []
+
+    # ------------------------------------------------------------------ #
+    # Deposits / withdrawals (ETH <-> L2 tokens, 1:1)
+    # ------------------------------------------------------------------ #
+
+    def deposit(self, user: str, amount_wei: int) -> int:
+        """Lock L1 ETH in the contract and mint equal L2 tokens.
+
+        Returns the user's new L2 token balance.
+        """
+        if amount_wei <= 0:
+            raise ChainError("deposit amount must be positive")
+        self.chain.accounts.transfer(user, self.address, amount_wei)
+        self._l2_balances[user] = self._l2_balances.get(user, 0) + amount_wei
+        self.chain.queue_payload({"kind": "deposit", "user": user, "wei": amount_wei})
+        return self._l2_balances[user]
+
+    def withdraw(self, user: str, amount_wei: int) -> int:
+        """Burn L2 tokens and release the equivalent L1 ETH immediately.
+
+        The fast path used by tests and the simulator's bridge; real
+        rollup withdrawals go through :meth:`request_withdrawal` /
+        :meth:`claim_withdrawal` and wait out the challenge period.
+        """
+        held = self._l2_balances.get(user, 0)
+        if amount_wei <= 0 or held < amount_wei:
+            raise ChainError(
+                f"user {user!r} cannot withdraw {amount_wei} (holds {held})"
+            )
+        self._l2_balances[user] = held - amount_wei
+        self.chain.accounts.transfer(self.address, user, amount_wei)
+        self.chain.queue_payload({"kind": "withdraw", "user": user, "wei": amount_wei})
+        return self._l2_balances[user]
+
+    # ------------------------------------------------------------------ #
+    # Delayed withdrawals (the optimistic-rollup exit game)
+    # ------------------------------------------------------------------ #
+
+    def request_withdrawal(self, user: str, amount_wei: int) -> int:
+        """Lock L2 tokens into the exit queue; claimable after the
+        challenge period (the optimistic rollup's withdrawal delay).
+
+        Returns the L1 height at which the withdrawal unlocks.
+        """
+        held = self._l2_balances.get(user, 0)
+        if amount_wei <= 0 or held < amount_wei:
+            raise ChainError(
+                f"user {user!r} cannot exit {amount_wei} (holds {held})"
+            )
+        self._l2_balances[user] = held - amount_wei
+        unlock_height = self.chain.height + self.config.challenge_period_blocks
+        self._exit_queue.append(
+            {"user": user, "wei": amount_wei, "unlock": unlock_height}
+        )
+        self.chain.queue_payload(
+            {"kind": "exit-request", "user": user, "wei": amount_wei,
+             "unlock": unlock_height}
+        )
+        return unlock_height
+
+    def pending_withdrawals(self, user: str) -> int:
+        """Total wei the user has waiting in the exit queue."""
+        return sum(
+            entry["wei"] for entry in self._exit_queue
+            if entry["user"] == user
+        )
+
+    def claim_withdrawals(self, user: str) -> int:
+        """Release every matured exit for ``user``; returns the wei paid."""
+        matured = [
+            entry for entry in self._exit_queue
+            if entry["user"] == user and self.chain.height >= entry["unlock"]
+        ]
+        if not matured:
+            raise ChainError(
+                f"user {user!r} has no matured withdrawals at height "
+                f"{self.chain.height}"
+            )
+        total = sum(entry["wei"] for entry in matured)
+        self._exit_queue = [
+            entry for entry in self._exit_queue if entry not in matured
+        ]
+        self.chain.accounts.transfer(self.address, user, total)
+        self.chain.queue_payload(
+            {"kind": "exit-claim", "user": user, "wei": total}
+        )
+        return total
+
+    def l2_balance(self, user: str) -> int:
+        """L2 token balance held through the bridge, in wei units."""
+        return self._l2_balances.get(user, 0)
+
+    def total_value_locked(self) -> int:
+        """Total wei locked across deposits and bonds."""
+        return self.chain.accounts.balance(self.address)
+
+    # ------------------------------------------------------------------ #
+    # Participants and bonds
+    # ------------------------------------------------------------------ #
+
+    def register_aggregator(self, address: str) -> None:
+        """Post the aggregator bond and join the operator set."""
+        if address in self._aggregators:
+            raise BondError(f"aggregator {address!r} already registered")
+        bond = self.config.aggregator_bond_wei
+        self.chain.accounts.transfer(address, self.address, bond)
+        self._aggregators[address] = _Participant(address=address, bond_wei=bond)
+
+    def register_verifier(self, address: str) -> None:
+        """Post the verifier bond and join the watcher set."""
+        if address in self._verifiers:
+            raise BondError(f"verifier {address!r} already registered")
+        bond = self.config.verifier_bond_wei
+        self.chain.accounts.transfer(address, self.address, bond)
+        self._verifiers[address] = _Participant(address=address, bond_wei=bond)
+
+    def aggregator_bond(self, address: str) -> int:
+        """Remaining bond of a registered aggregator."""
+        return self._require_aggregator(address).bond_wei
+
+    def verifier_bond(self, address: str) -> int:
+        """Remaining bond of a registered verifier."""
+        return self._require_verifier(address).bond_wei
+
+    def _require_aggregator(self, address: str) -> _Participant:
+        try:
+            return self._aggregators[address]
+        except KeyError:
+            raise BondError(f"{address!r} is not a registered aggregator") from None
+
+    def _require_verifier(self, address: str) -> _Participant:
+        try:
+            return self._verifiers[address]
+        except KeyError:
+            raise BondError(f"{address!r} is not a registered verifier") from None
+
+    def _slash(self, participant: _Participant) -> int:
+        slashed = int(participant.bond_wei * self.config.slash_fraction)
+        participant.bond_wei -= slashed
+        # Slashed funds are burned from the contract's holdings.
+        self.chain.accounts.debit(self.address, slashed)
+        return slashed
+
+    # ------------------------------------------------------------------ #
+    # Batch lifecycle
+    # ------------------------------------------------------------------ #
+
+    def commit_batch(
+        self, aggregator: str, tx_root: str, claimed_state_root: str
+    ) -> BatchCommitment:
+        """Record a batch commitment and open its challenge window."""
+        self._require_aggregator(aggregator)
+        commitment = BatchCommitment(
+            batch_id=len(self._batches),
+            aggregator=aggregator,
+            tx_root=tx_root,
+            claimed_state_root=claimed_state_root,
+            committed_at_height=self.chain.height,
+        )
+        self._batches.append(commitment)
+        self.chain.queue_payload(
+            {
+                "kind": "batch",
+                "batch_id": commitment.batch_id,
+                "aggregator": aggregator,
+                "tx_root": tx_root,
+                "state_root": claimed_state_root,
+            }
+        )
+        return commitment
+
+    def batch(self, batch_id: int) -> BatchCommitment:
+        """Fetch a committed batch by id."""
+        if not 0 <= batch_id < len(self._batches):
+            raise BatchError(f"unknown batch id {batch_id}")
+        return self._batches[batch_id]
+
+    @property
+    def batches(self) -> List[BatchCommitment]:
+        """All commitments in submission order."""
+        return list(self._batches)
+
+    def in_challenge_window(self, batch_id: int) -> bool:
+        """Whether the batch can still be challenged."""
+        commitment = self.batch(batch_id)
+        deadline = commitment.committed_at_height + self.config.challenge_period_blocks
+        return commitment.status is BatchStatus.PENDING and self.chain.height < deadline
+
+    def challenge(
+        self,
+        verifier: str,
+        batch_id: int,
+        recomputed_state_root: str,
+    ) -> ChallengeOutcome:
+        """A verifier disputes a batch by recomputing the state root.
+
+        If the recomputed root differs from the claimed root the fraud is
+        proven: the batch reverts and the aggregator is slashed.  If they
+        match, the challenge was frivolous and the verifier is slashed.
+        """
+        participant = self._require_verifier(verifier)
+        commitment = self.batch(batch_id)
+        if commitment.status is not BatchStatus.PENDING:
+            raise ChallengeError(
+                f"batch {batch_id} is {commitment.status.value}, not challengeable"
+            )
+        if not self.in_challenge_window(batch_id):
+            raise ChallengeError(f"challenge window for batch {batch_id} has closed")
+        commitment.challenged_by = verifier
+        if recomputed_state_root != commitment.claimed_state_root:
+            commitment.status = BatchStatus.REVERTED
+            self._slash(self._require_aggregator(commitment.aggregator))
+            return ChallengeOutcome.UPHELD
+        self._slash(participant)
+        return ChallengeOutcome.REJECTED
+
+    def finalize(self, batch_id: int) -> BatchCommitment:
+        """Confirm a batch whose challenge window has passed unchallenged."""
+        commitment = self.batch(batch_id)
+        if commitment.status is BatchStatus.REVERTED:
+            raise BatchError(f"batch {batch_id} was reverted and cannot finalize")
+        if commitment.status is BatchStatus.FINALIZED:
+            return commitment
+        if self.in_challenge_window(batch_id):
+            raise BatchError(
+                f"batch {batch_id} is still inside its challenge window"
+            )
+        commitment.status = BatchStatus.FINALIZED
+        self.chain.queue_payload({"kind": "finalize", "batch_id": batch_id})
+        return commitment

@@ -1,0 +1,233 @@
+"""Command-line interface: ``parole <subcommand>``.
+
+Subcommands map one-to-one onto the experiment harnesses so every paper
+table and figure can be regenerated from the shell::
+
+    parole case-studies           # Figure 5
+    parole attack --mempool 20    # one end-to-end attack round
+    parole table3                 # Table III
+    parole fig6 / fig7 / fig8 / fig9 / fig10 / fig11
+    parole defense                # Section VIII evaluation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import experiments
+from .config import eth_to_satoshi
+from .experiments import FULL, QUICK, EffortPreset
+
+
+def _preset(args: argparse.Namespace) -> EffortPreset:
+    return FULL if getattr(args, "full", False) else QUICK
+
+
+def _cmd_case_studies(args: argparse.Namespace) -> int:
+    cases = experiments.run_case_studies(certify_optimum=args.certify)
+    print(experiments.render_case_studies(cases))
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    outcome = experiments.attack_round(
+        mempool_size=args.mempool,
+        num_ifus=args.ifus,
+        preset=_preset(args),
+        seed=args.seed,
+    )
+    print(f"arbitrage opportunity: {outcome.assessment.has_opportunity}")
+    if outcome.result is not None:
+        print(f"original objective : {outcome.result.original_objective:.4f} ETH")
+        print(f"best objective     : {outcome.result.best_objective:.4f} ETH")
+        print(f"profit             : {outcome.profit:.4f} ETH "
+              f"({eth_to_satoshi(outcome.profit):,.0f} satoshi)")
+    for ifu, profit in outcome.per_ifu_profit.items():
+        print(f"  {ifu}: {profit:+.4f} ETH")
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    print(experiments.render_table3())
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    print(experiments.render_fig6(experiments.run_fig6(preset=_preset(args))))
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    print(experiments.render_fig7(experiments.run_fig7(preset=_preset(args))))
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    print(experiments.render_fig8(experiments.run_fig8(preset=_preset(args))))
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    print(experiments.render_fig9(experiments.run_fig9(preset=_preset(args))))
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    print(experiments.render_fig10())
+    return 0
+
+
+def _cmd_fig11(args: argparse.Namespace) -> int:
+    print(experiments.render_fig11(experiments.run_fig11()))
+    return 0
+
+
+def _cmd_defense(args: argparse.Namespace) -> int:
+    print(
+        experiments.render_defense_eval(
+            experiments.run_defense_eval(preset=_preset(args))
+        )
+    )
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .config import GenTranSeqConfig, WorkloadConfig
+    from .core import AttackCampaign
+
+    preset = _preset(args)
+    campaign = AttackCampaign(
+        WorkloadConfig(
+            mempool_size=args.mempool, num_users=max(8, args.mempool // 2),
+            num_ifus=args.ifus, min_ifu_involvement=max(2, args.mempool // 4),
+            seed=args.seed,
+        ),
+        preset.config(seed=args.seed),
+    )
+    report = campaign.run(args.rounds)
+    for record in report.rounds:
+        print(f"round {record.round_index}: {record.profit_eth:+.4f} ETH "
+              f"(attacked: {record.attacked})")
+    print(f"cumulative profit: {report.total_profit_eth:.4f} ETH, "
+          f"hit rate {report.hit_rate:.0%}")
+    return 0
+
+
+def _cmd_bisect(args: argparse.Namespace) -> int:
+    from .rollup import BisectionGame, CorruptExecutor, honest_commitment
+    from .workloads import case_study_fixture
+
+    workload = case_study_fixture()
+    game = BisectionGame(workload.pre_state)
+
+    honest = honest_commitment(workload.pre_state, workload.transactions)
+    clean = game.play(honest)
+    print(f"honest batch       : fraud found = {clean.fraud_found}")
+
+    corrupt = CorruptExecutor(fault_step=args.fault_step)
+    forged = corrupt.commitment(workload.pre_state, workload.transactions)
+    caught = game.play(forged)
+    print(f"corrupted at step {args.fault_step}: fraud found = "
+          f"{caught.fraud_found}, localised to step "
+          f"{caught.divergent_step} in {caught.rounds_played} rounds")
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .experiments import run_all
+
+    records = run_all(
+        pathlib.Path(args.out), preset=_preset(args), only=args.only
+    )
+    failures = 0
+    for record in records:
+        status = "ok" if record.ok else f"FAILED ({record.error})"
+        print(f"{record.experiment_id:<10} {record.elapsed_seconds:7.1f}s  {status}")
+        failures += 0 if record.ok else 1
+    from .experiments import write_report
+
+    report_path = write_report(args.out)
+    print(f"artifacts in {args.out}/, report at {report_path}")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="parole",
+        description="PAROLE (DSN 2024) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    cases = subparsers.add_parser(
+        "case-studies", help="replay the Figure 5 case studies"
+    )
+    cases.add_argument(
+        "--certify", action="store_true",
+        help="also exhaustively certify the optimal order",
+    )
+    cases.set_defaults(handler=_cmd_case_studies)
+
+    attack = subparsers.add_parser("attack", help="run one attack round")
+    attack.add_argument("--mempool", type=int, default=20)
+    attack.add_argument("--ifus", type=int, default=1)
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument("--full", action="store_true",
+                        help="use the paper's full Table II budget")
+    attack.set_defaults(handler=_cmd_attack)
+
+    for name, handler, help_text in (
+        ("table3", _cmd_table3, "regenerate Table III"),
+        ("fig6", _cmd_fig6, "profit vs number of IFUs"),
+        ("fig7", _cmd_fig7, "profit vs adversarial fraction"),
+        ("fig8", _cmd_fig8, "DQN learning curves"),
+        ("fig9", _cmd_fig9, "solution-size KDEs"),
+        ("fig10", _cmd_fig10, "NFT snapshot study"),
+        ("fig11", _cmd_fig11, "solver comparison"),
+        ("defense", _cmd_defense, "Section VIII defense evaluation"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--full", action="store_true",
+                         help="use the paper's full budgets")
+        sub.set_defaults(handler=handler)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="multi-round attack with a persistent agent"
+    )
+    campaign.add_argument("--rounds", type=int, default=5)
+    campaign.add_argument("--mempool", type=int, default=12)
+    campaign.add_argument("--ifus", type=int, default=1)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--full", action="store_true")
+    campaign.set_defaults(handler=_cmd_campaign)
+
+    bisect = subparsers.add_parser(
+        "bisect", help="interactive fraud-proof bisection demo"
+    )
+    bisect.add_argument("--fault-step", type=int, default=3)
+    bisect.set_defaults(handler=_cmd_bisect)
+
+    run_all = subparsers.add_parser(
+        "run-all", help="run every experiment, archiving text+JSON artifacts"
+    )
+    run_all.add_argument("--out", default="experiment-artifacts")
+    run_all.add_argument("--only", nargs="*", default=None,
+                         help="experiment ids to run (default: all)")
+    run_all.add_argument("--full", action="store_true")
+    run_all.set_defaults(handler=_cmd_run_all)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

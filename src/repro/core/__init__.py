@@ -1,0 +1,50 @@
+"""The paper's primary contribution: the PAROLE attack.
+
+* :mod:`repro.core.arbitrage`   — the opportunity pre-check (Section V-B);
+* :mod:`repro.core.encoding`    — transaction → 8-feature tensors (Fig. 4);
+* :mod:`repro.core.environment` — the GENTRANSEQ MDP (Section V-C-1);
+* :mod:`repro.core.gentranseq`  — the DQN-driven reordering module;
+* :mod:`repro.core.parole`      — Algorithm 1, end-to-end orchestration;
+* :mod:`repro.core.multi_ifu`   — objectives over several favored users;
+* :mod:`repro.core.metrics`     — profit accounting helpers.
+"""
+
+from .arbitrage import ArbitrageAssessment, assess_opportunity
+from .encoding import TransactionEncoder
+from .environment import ReorderEnv, swap_action_table
+from .insertion_env import InsertionReorderEnv, insertion_action_table
+from .gentranseq import GenTranSeq, GenTranSeqResult
+from .multi_ifu import (
+    ifu_objective,
+    mean_wealth,
+    min_gain_objective,
+    min_wealth_gain,
+)
+from .parole import ParoleAttack, AttackOutcome
+from .campaign import AttackCampaign, CampaignReport, RoundRecord, cold_vs_warm
+from .metrics import profit_eth, profit_percent, profit_satoshi
+
+__all__ = [
+    "ArbitrageAssessment",
+    "assess_opportunity",
+    "TransactionEncoder",
+    "ReorderEnv",
+    "swap_action_table",
+    "InsertionReorderEnv",
+    "insertion_action_table",
+    "GenTranSeq",
+    "GenTranSeqResult",
+    "ifu_objective",
+    "mean_wealth",
+    "min_gain_objective",
+    "min_wealth_gain",
+    "ParoleAttack",
+    "AttackOutcome",
+    "AttackCampaign",
+    "CampaignReport",
+    "RoundRecord",
+    "cold_vs_warm",
+    "profit_eth",
+    "profit_percent",
+    "profit_satoshi",
+]

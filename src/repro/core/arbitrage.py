@@ -1,0 +1,100 @@
+"""Arbitrage-opportunity assessment (paper Section V-B).
+
+Before spending DQN budget, the PAROLE module checks whether the
+collected transaction set can possibly be reordered in the IFU's favor:
+
+* the IFU must be involved in multiple transactions — "ideally at least
+  a pair of minting and transfer transactions";
+* the set must contain at least one price-moving transaction (mint or
+  burn) whose position relative to the IFU's transactions matters;
+* sequences with fewer than two transactions are trivially unalterable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..rollup.transaction import NFTTransaction, TxKind
+
+
+@dataclass(frozen=True)
+class ArbitrageAssessment:
+    """Result of the pre-check, with per-IFU involvement detail."""
+
+    has_opportunity: bool
+    reasons: Tuple[str, ...]
+    involvement: Dict[str, int]
+    price_moving_count: int
+    ifu_mint_count: int
+    ifu_transfer_count: int
+    ifu_burn_count: int
+
+    @property
+    def total_ifu_involvement(self) -> int:
+        """Total transactions any IFU participates in."""
+        return sum(self.involvement.values())
+
+
+def assess_opportunity(
+    transactions: Sequence[NFTTransaction],
+    ifus: Sequence[str],
+) -> ArbitrageAssessment:
+    """Decide whether reordering could favor the IFUs.
+
+    The check is conservative in the permissive direction (it may pass a
+    set the DQN later fails to improve) but never blocks a genuinely
+    profitable set: every profitable reordering requires IFU involvement
+    plus at least one price-moving transaction, which is exactly what is
+    tested here.
+    """
+    reasons: List[str] = []
+    involvement = {ifu: 0 for ifu in ifus}
+    ifu_mints = ifu_transfers = ifu_burns = 0
+    price_moving = 0
+    for tx in transactions:
+        if tx.kind in (TxKind.MINT, TxKind.BURN):
+            price_moving += 1
+        for ifu in ifus:
+            if tx.involves(ifu):
+                involvement[ifu] += 1
+                if tx.kind is TxKind.MINT:
+                    ifu_mints += 1
+                elif tx.kind is TxKind.TRANSFER:
+                    ifu_transfers += 1
+                else:
+                    ifu_burns += 1
+
+    if len(transactions) < 2:
+        reasons.append("fewer than two transactions: nothing to reorder")
+    if all(count == 0 for count in involvement.values()):
+        reasons.append("no IFU participates in any collected transaction")
+    elif all(count < 2 for count in involvement.values()):
+        reasons.append(
+            "no IFU is involved in multiple transactions; a single "
+            "transaction cannot be repositioned against itself profitably"
+        )
+    if price_moving == 0:
+        reasons.append(
+            "no mint or burn in the set: the unit price is constant, so "
+            "every ordering yields the same final balance"
+        )
+
+    has_opportunity = not reasons
+    if has_opportunity and ifu_mints == 0 and ifu_burns == 0:
+        # IFU only transfers; still exploitable when others move the price,
+        # so flag the weaker setup without blocking it.
+        reasons = (
+            "IFU lacks a mint/transfer pair; relying on third-party "
+            "price movement only",
+        )
+        reasons = tuple(reasons)
+    return ArbitrageAssessment(
+        has_opportunity=has_opportunity,
+        reasons=tuple(reasons),
+        involvement=involvement,
+        price_moving_count=price_moving,
+        ifu_mint_count=ifu_mints,
+        ifu_transfer_count=ifu_transfers,
+        ifu_burn_count=ifu_burns,
+    )

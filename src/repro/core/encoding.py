@@ -1,0 +1,98 @@
+"""Transaction-sequence encoding for the DQN (paper Figure 4).
+
+Each transaction becomes an 8-element tensor: type one-hots, IFU
+involvement flags, and state-dependent values (current token price,
+remaining mintable supply) sampled from a dry-run replay at that
+transaction's position.  Stacking the rows gives the 2D tensor the DQN
+flattens into its ``8 x N`` input layer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..config import TX_FEATURE_WIDTH
+from ..rollup.ovm import OVM
+from ..rollup.state import L2State
+from ..rollup.transaction import NFTTransaction, TxKind
+
+
+class TransactionEncoder:
+    """Encodes transaction sequences into DQN observations.
+
+    Normalisation constants come from the pre-state so encodings are
+    comparable across candidate orderings of the same collection.
+    """
+
+    def __init__(self, pre_state: L2State, ifus: Sequence[str]) -> None:
+        self.pre_state = pre_state
+        self.ifus = tuple(ifus)
+        self._ovm = OVM()
+        max_supply = pre_state.nft_config.max_supply
+        # Price at one remaining token is the model's observable maximum.
+        self._price_ceiling = pre_state.pricing.price(1)
+        self._supply_ceiling = float(max_supply)
+        self._fee_ceiling = 1.0
+
+    @property
+    def feature_width(self) -> int:
+        """Features per transaction (always 8, Section V-C-2)."""
+        return TX_FEATURE_WIDTH
+
+    def observation_size(self, sequence_length: int) -> int:
+        """Width of the flattened observation for ``sequence_length`` txs."""
+        return TX_FEATURE_WIDTH * sequence_length
+
+    def encode(self, transactions: Sequence[NFTTransaction]) -> np.ndarray:
+        """Flattened ``8 x N`` observation for one candidate ordering."""
+        return self.encode_2d(transactions).reshape(-1)
+
+    def encode_from_trace(
+        self, transactions: Sequence[NFTTransaction], trace
+    ) -> np.ndarray:
+        """Flattened observation reusing an existing replay trace.
+
+        The environment already replays each candidate order to score it
+        (Eq. 8); passing that trace here avoids a second replay per step.
+        """
+        return self._rows(transactions, trace).reshape(-1)
+
+    def encode_2d(self, transactions: Sequence[NFTTransaction]) -> np.ndarray:
+        """The per-transaction feature matrix of shape ``(N, 8)``."""
+        trace = self._ovm.replay(self.pre_state, transactions)
+        return self._rows(transactions, trace)
+
+    def _rows(
+        self, transactions: Sequence[NFTTransaction], trace
+    ) -> np.ndarray:
+        fee_ceiling = max(
+            [self._fee_ceiling] + [tx.total_fee for tx in transactions]
+        )
+        rows = np.zeros((len(transactions), TX_FEATURE_WIDTH))
+        for index, (tx, step) in enumerate(zip(transactions, trace.steps)):
+            ifu_involved = any(tx.involves(ifu) for ifu in self.ifus)
+            ifu_gains = tx.recipient in self.ifus or (
+                tx.kind is TxKind.MINT and tx.sender in self.ifus
+            )
+            rows[index] = (
+                1.0 if tx.kind is TxKind.MINT else 0.0,
+                1.0 if tx.kind is TxKind.TRANSFER else 0.0,
+                1.0 if tx.kind is TxKind.BURN else 0.0,
+                1.0 if ifu_involved else 0.0,
+                1.0 if ifu_gains else 0.0,
+                step.result.price_before / self._price_ceiling,
+                step.result.remaining_supply / self._supply_ceiling,
+                tx.total_fee / fee_ceiling,
+            )
+        return rows
+
+
+def encode_for_inference(
+    pre_state: L2State,
+    ifus: Sequence[str],
+    transactions: Sequence[NFTTransaction],
+) -> np.ndarray:
+    """One-shot encoding helper for solver/DQN comparisons."""
+    return TransactionEncoder(pre_state, ifus).encode(transactions)

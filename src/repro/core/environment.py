@@ -1,0 +1,195 @@
+"""The GENTRANSEQ MDP (paper Section V-C-1).
+
+* **State** — the current ordering of the N collected transactions,
+  observed as the flattened ``8 x N`` encoding of Figure 4.
+* **Action** — swapping two transactions: :math:`\\binom{N}{2}` actions.
+* **Reward** — Eq. 8: ``r_k = W * (B_IFU^{N,k} - B_IFU^{N,0})`` where
+  both balances are *final* balances after a full OVM replay; ``W`` is a
+  high positive penalty weight for penalizable actions (orders that break
+  an originally-executable transaction or decrease the final balance) and
+  1 otherwise.
+
+The environment also tracks, per episode, the first swap count at which a
+profitable and *feasible* order appeared (Figure 9's "solution size") and
+the best order seen so far.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import GenTranSeqConfig
+from ..drl.env_base import Environment
+from ..errors import DRLError
+from ..rollup.ovm import OVM
+from ..rollup.state import L2State
+from ..rollup.transaction import NFTTransaction
+from .encoding import TransactionEncoder
+from .multi_ifu import Objective, mean_wealth, wealth_of
+
+
+def swap_action_table(sequence_length: int) -> Tuple[Tuple[int, int], ...]:
+    """Enumerate the ``N choose 2`` swap actions as (i, j) index pairs."""
+    return tuple(combinations(range(sequence_length), 2))
+
+
+class ReorderEnv(Environment):
+    """Transaction-reordering MDP for one aggregator's collection."""
+
+    def __init__(
+        self,
+        pre_state: L2State,
+        transactions: Sequence[NFTTransaction],
+        ifus: Sequence[str],
+        config: Optional[GenTranSeqConfig] = None,
+        objective: Objective = mean_wealth,
+    ) -> None:
+        if len(transactions) < 2:
+            raise DRLError("need at least two transactions to reorder")
+        self.config = config or GenTranSeqConfig()
+        self.pre_state = pre_state
+        self.transactions = tuple(transactions)
+        self.ifus = tuple(ifus)
+        self.objective = objective
+        self._ovm = OVM()
+        self._encoder = TransactionEncoder(pre_state, ifus)
+        self._actions = swap_action_table(len(transactions))
+        self._order: List[int] = list(range(len(transactions)))
+        self._steps = 0
+
+        baseline = self._ovm.replay(pre_state, self.transactions)
+        #: Final objective value of the original ordering — ``B^{N,0}``.
+        self.original_objective = self.objective(
+            wealth_of(baseline.final_state, self.ifus)
+        )
+        #: Which positions executed under the original ordering; a candidate
+        #: order must keep all of these executable to be feasible.
+        self._original_executed = frozenset(
+            step.index for step in baseline.steps if step.executed
+        )
+        self.best_order: Tuple[int, ...] = tuple(self._order)
+        self.best_objective = self.original_objective
+        self.first_profit_swaps: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Environment protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def observation_size(self) -> int:
+        """Flattened observation width (``8 x N``)."""
+        return self._encoder.observation_size(len(self.transactions))
+
+    @property
+    def action_count(self) -> int:
+        """``N choose 2`` pairwise swaps."""
+        return len(self._actions)
+
+    @property
+    def sequence_length(self) -> int:
+        """N — the aggregator's "Mempool" size."""
+        return len(self.transactions)
+
+    def action_pair(self, action: int) -> Tuple[int, int]:
+        """The (position i, position j) swap an action index denotes."""
+        return self._actions[action]
+
+    def current_order(self) -> Tuple[int, ...]:
+        """Current permutation as indices into the original sequence."""
+        return tuple(self._order)
+
+    def current_sequence(self) -> Tuple[NFTTransaction, ...]:
+        """Current candidate ordering as transactions."""
+        return tuple(self.transactions[i] for i in self._order)
+
+    def sequence_for(self, order: Sequence[int]) -> Tuple[NFTTransaction, ...]:
+        """Materialise a permutation into transactions."""
+        return tuple(self.transactions[i] for i in order)
+
+    def reset(self) -> np.ndarray:
+        """Restart from the original fee-priority ordering."""
+        self._order = list(range(len(self.transactions)))
+        self._steps = 0
+        self.first_profit_swaps = None
+        return self._observe()
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        """Swap two transactions and score the resulting full replay."""
+        if not 0 <= action < len(self._actions):
+            raise DRLError(
+                f"action {action} outside [0, {len(self._actions)})"
+            )
+        i, j = self._actions[action]
+        self._order[i], self._order[j] = self._order[j], self._order[i]
+        self._steps += 1
+        reward, info = self._score()
+        done = self._steps >= self.config.steps_per_episode
+        observation = self._observe(info.pop("trace", None))
+        return observation, reward, done, info
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+
+    def evaluate_order(self, order: Sequence[int]) -> Dict[str, Any]:
+        """Replay a permutation and report objective/feasibility.
+
+        The replay trace is kept in ``info["trace"]`` so the observation
+        encoding can reuse it instead of replaying a second time.
+        """
+        sequence = self.sequence_for(order)
+        trace = self._ovm.replay(self.pre_state, sequence)
+        executed = frozenset(
+            order[step.index] for step in trace.steps if step.executed
+        )
+        feasible = (
+            self._original_executed <= executed and trace.consistent()
+        )
+        value = self.objective(wealth_of(trace.final_state, self.ifus))
+        return {
+            "objective": value,
+            "delta": value - self.original_objective,
+            "feasible": feasible,
+            "executed_count": trace.executed_count,
+            "final_price": trace.final_price,
+            "trace": trace,
+        }
+
+    def _score(self) -> Tuple[float, Dict[str, Any]]:
+        evaluation = self.evaluate_order(self._order)
+        delta = evaluation["delta"]
+        feasible = evaluation["feasible"]
+        scale = self.config.reward_scale
+        if not feasible:
+            # Breaking an originally-executable transaction is the
+            # penalizable case: W amplifies a guaranteed-negative reward.
+            magnitude = max(
+                abs(delta), self.pre_state.nft_config.initial_price_eth
+            )
+            reward = -self.config.penalty_weight * magnitude * scale
+            profit = 0.0
+        elif delta < 0.0:
+            reward = self.config.penalty_weight * delta * scale
+            profit = 0.0
+        else:
+            reward = delta * scale
+            profit = delta
+        if profit > 0.0:
+            if self.first_profit_swaps is None:
+                self.first_profit_swaps = self._steps
+            if evaluation["objective"] > self.best_objective:
+                self.best_objective = evaluation["objective"]
+                self.best_order = tuple(self._order)
+        info = dict(evaluation)
+        info["profit"] = profit
+        info["swaps"] = self._steps
+        return reward, info
+
+    def _observe(self, trace=None) -> np.ndarray:
+        sequence = self.current_sequence()
+        if trace is not None:
+            return self._encoder.encode_from_trace(sequence, trace)
+        return self._encoder.encode(sequence)

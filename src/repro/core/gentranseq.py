@@ -1,0 +1,222 @@
+"""The GENTRANSEQ module: DQN-driven transaction re-ordering.
+
+Wraps the :class:`~repro.core.environment.ReorderEnv` MDP and the
+:class:`~repro.drl.dqn.DQNAgent` into the module Figure 3 shows inside
+the PAROLE box: given the IFU information and the L2 chain state, train
+for the configured episode budget and return the best profitable order
+found (or the original order when none exists).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import GenTranSeqConfig
+from ..drl import DQNAgent, TrainingHistory, train
+from ..rollup.state import L2State
+from ..rollup.transaction import NFTTransaction
+from .environment import ReorderEnv
+from .multi_ifu import Objective, mean_wealth
+
+
+@dataclass
+class GenTranSeqResult:
+    """Outcome of one GENTRANSEQ run."""
+
+    original_sequence: Tuple[NFTTransaction, ...]
+    best_sequence: Tuple[NFTTransaction, ...]
+    original_objective: float
+    best_objective: float
+    history: TrainingHistory
+    elapsed_seconds: float
+    first_solution_swaps: List[int] = field(default_factory=list)
+
+    @property
+    def profit(self) -> float:
+        """Objective gain over the original ordering (ETH)."""
+        return self.best_objective - self.original_objective
+
+    @property
+    def improved(self) -> bool:
+        """Whether a strictly better feasible ordering was found."""
+        return self.profit > 1e-12
+
+    @property
+    def episode_rewards(self) -> List[float]:
+        """Per-episode cumulative rewards (Figure 8's raw series)."""
+        return self.history.rewards
+
+
+class GenTranSeq:
+    """The reordering module an adversarial aggregator embeds."""
+
+    def __init__(
+        self,
+        config: Optional[GenTranSeqConfig] = None,
+        objective: Objective = mean_wealth,
+    ) -> None:
+        self.config = config or GenTranSeqConfig()
+        self.objective = objective
+        self._agent: Optional[DQNAgent] = None
+        self._env_shape: Optional[Tuple[int, int]] = None
+
+    def build_env(
+        self,
+        pre_state: L2State,
+        transactions: Sequence[NFTTransaction],
+        ifus: Sequence[str],
+        objective: Optional[Objective] = None,
+    ) -> ReorderEnv:
+        """Construct the MDP for one collection."""
+        return ReorderEnv(
+            pre_state=pre_state,
+            transactions=transactions,
+            ifus=ifus,
+            config=self.config,
+            objective=objective or self.objective,
+        )
+
+    def _agent_for(self, env: ReorderEnv) -> DQNAgent:
+        shape = (env.observation_size, env.action_count)
+        if self._agent is None or self._env_shape != shape:
+            rng = np.random.default_rng(self.config.seed)
+            self._agent = DQNAgent(
+                observation_size=shape[0],
+                action_count=shape[1],
+                config=self.config,
+                rng=rng,
+            )
+            self._env_shape = shape
+        return self._agent
+
+    def optimize(
+        self,
+        pre_state: L2State,
+        transactions: Sequence[NFTTransaction],
+        ifus: Sequence[str],
+        stop_when_profitable: bool = False,
+        objective: Optional[Objective] = None,
+    ) -> GenTranSeqResult:
+        """Train the DQN on this collection and return the best order.
+
+        The agent persists across calls with matching shapes, so repeated
+        rounds keep accumulated experience (the IFU "trains the model
+        offline", Section VII-F).  ``objective`` overrides the module's
+        objective for this run only (used by the min-gain mode, whose
+        objective depends on the original order's outcome).
+        """
+        env = self.build_env(pre_state, transactions, ifus, objective=objective)
+        agent = self._agent_for(env)
+        started = time.perf_counter()
+        history = train(
+            env, agent, self.config, stop_when_profitable=stop_when_profitable
+        )
+        elapsed = time.perf_counter() - started
+        best_sequence = env.sequence_for(env.best_order)
+        return GenTranSeqResult(
+            original_sequence=tuple(transactions),
+            best_sequence=best_sequence,
+            original_objective=env.original_objective,
+            best_objective=env.best_objective,
+            history=history,
+            elapsed_seconds=elapsed,
+            first_solution_swaps=history.first_profit_steps(),
+        )
+
+    def infer(
+        self,
+        pre_state: L2State,
+        transactions: Sequence[NFTTransaction],
+        ifus: Sequence[str],
+        max_swaps: Optional[int] = None,
+    ) -> GenTranSeqResult:
+        """Greedy inference with the trained Q-network (no learning).
+
+        Used by the Figure 11 comparison: the IFU trains offline, the
+        aggregator runs cheap greedy rollouts online.
+        """
+        env = self.build_env(pre_state, transactions, ifus)
+        agent = self._agent_for(env)
+        budget = max_swaps or self.config.steps_per_episode
+        started = time.perf_counter()
+        observation = env.reset()
+        for _ in range(budget):
+            action = agent.act(observation, greedy=True)
+            observation, _, done, info = env.step(action)
+            if done or info.get("profit", 0.0) > 0.0:
+                break
+        elapsed = time.perf_counter() - started
+        return GenTranSeqResult(
+            original_sequence=tuple(transactions),
+            best_sequence=env.sequence_for(env.best_order),
+            original_objective=env.original_objective,
+            best_objective=env.best_objective,
+            history=TrainingHistory(),
+            elapsed_seconds=elapsed,
+            first_solution_swaps=(
+                [env.first_profit_swaps] if env.first_profit_swaps else []
+            ),
+        )
+
+    def inference_memory_bytes(self) -> int:
+        """Q-network parameter footprint (Figure 11(b))."""
+        if self._agent is None:
+            return 0
+        return self._agent.inference_memory_bytes()
+
+    def save_model(self, path) -> None:
+        """Persist the trained Q-network (Section VII-F's offline model).
+
+        Raises when no agent has been trained yet.
+        """
+        if self._agent is None:
+            from ..errors import DRLError
+
+            raise DRLError("no trained agent to save; run optimize() first")
+        self._agent.q_network.save(path)
+
+    def load_model(
+        self,
+        path,
+        pre_state: L2State,
+        transactions: Sequence[NFTTransaction],
+        ifus: Sequence[str],
+    ) -> None:
+        """Load a saved Q-network, shaped for the given problem class.
+
+        The environment built from the arguments determines the expected
+        observation/action sizes; a mismatched archive raises.
+        """
+        import numpy as np
+
+        from ..drl import DQNAgent, MLP
+        from ..errors import DRLError
+
+        env = self.build_env(pre_state, transactions, ifus)
+        rng = np.random.default_rng(self.config.seed)
+        network = MLP.load(
+            path, rng, learning_rate=self.config.gradient_learning_rate
+        )
+        if (
+            network.input_size != env.observation_size
+            or network.output_size != env.action_count
+        ):
+            raise DRLError(
+                f"archive shaped ({network.input_size} -> "
+                f"{network.output_size}) does not fit problem "
+                f"({env.observation_size} -> {env.action_count})"
+            )
+        agent = DQNAgent(
+            observation_size=env.observation_size,
+            action_count=env.action_count,
+            config=self.config,
+            rng=rng,
+        )
+        agent.q_network.copy_weights_from(network)
+        agent.sync_target()
+        self._agent = agent
+        self._env_shape = (env.observation_size, env.action_count)

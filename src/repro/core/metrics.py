@@ -1,0 +1,36 @@
+"""Profit accounting helpers shared by the evaluation benches."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..config import eth_to_satoshi
+
+
+def profit_eth(final_balance: float, original_balance: float) -> float:
+    """Attack profit in ETH: final minus original-order balance."""
+    return final_balance - original_balance
+
+
+def profit_percent(final_balance: float, original_balance: float) -> float:
+    """Relative profit in percent (the case studies' +7% / +24%)."""
+    if original_balance == 0.0:
+        return 0.0
+    return 100.0 * (final_balance - original_balance) / original_balance
+
+
+def profit_satoshi(final_balance: float, original_balance: float) -> float:
+    """Profit in the satoshi-equivalents Figure 7 reports."""
+    return eth_to_satoshi(final_balance - original_balance)
+
+
+def total_profit(per_ifu_profits: Sequence[float]) -> float:
+    """Summed profit across all served IFUs (Figure 7's y-axis)."""
+    return float(sum(per_ifu_profits))
+
+
+def average_profit(per_ifu_profits: Sequence[float]) -> float:
+    """Mean profit per IFU (Figure 6's y-axis)."""
+    if not per_ifu_profits:
+        return 0.0
+    return float(sum(per_ifu_profits)) / len(per_ifu_profits)

@@ -1,0 +1,68 @@
+"""Objectives over one or more illicitly favored users.
+
+Figures 6 and 7 serve multiple IFUs from a single reordering.  The
+environment optimises a scalar objective over the IFU set; we provide the
+mean-wealth objective (the paper's "maximize the balance of the
+IFU/IFUs") and a max-min variant that forbids sacrificing one IFU for
+another.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..rollup.state import L2State
+
+#: An objective maps {ifu: final_wealth} to a scalar to maximise.
+Objective = Callable[[Dict[str, float]], float]
+
+
+def mean_wealth(final_wealth: Dict[str, float]) -> float:
+    """Average final balance across IFUs (the paper's default)."""
+    if not final_wealth:
+        return 0.0
+    return sum(final_wealth.values()) / len(final_wealth)
+
+
+def min_wealth_gain(final_wealth: Dict[str, float]) -> float:
+    """Worst-off IFU's balance; maximising it shares gains fairly."""
+    if not final_wealth:
+        return 0.0
+    return min(final_wealth.values())
+
+
+def min_gain_objective(original_wealth: Dict[str, float]) -> Objective:
+    """Maximise the worst IFU's *gain* over its original-order wealth.
+
+    A candidate order only scores above zero when every IFU strictly
+    benefits — the strongest reading of "serving" several IFUs, and the
+    one that makes Figure 6's per-IFU profit fall with the IFU count.
+    """
+
+    def objective(final_wealth: Dict[str, float]) -> float:
+        if not final_wealth:
+            return 0.0
+        return min(
+            final_wealth[ifu] - original_wealth.get(ifu, 0.0)
+            for ifu in final_wealth
+        )
+
+    return objective
+
+
+def ifu_objective(name: str = "mean") -> Objective:
+    """Resolve an objective by name (``"mean"`` or ``"min"``).
+
+    The ``"min-gain"`` objective needs the original-order wealth and is
+    built per-run via :func:`min_gain_objective`.
+    """
+    if name == "mean":
+        return mean_wealth
+    if name == "min":
+        return min_wealth_gain
+    raise ValueError(f"unknown IFU objective {name!r}")
+
+
+def wealth_of(state: L2State, ifus: Sequence[str]) -> Dict[str, float]:
+    """Final wealth of every IFU under ``state``."""
+    return {ifu: state.wealth(ifu) for ifu in ifus}

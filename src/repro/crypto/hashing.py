@@ -1,0 +1,67 @@
+"""Deterministic hashing of structured Python values.
+
+The rollup hashes transactions, state entries and Merkle nodes.  To make
+state roots reproducible across runs and platforms we canonicalise values
+before hashing: containers are serialised recursively with explicit type
+tags so that, e.g., the string ``"1"`` and the integer ``1`` never collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from ..errors import CryptoError
+
+
+def hash_bytes(data: bytes) -> bytes:
+    """SHA-256 digest of raw bytes."""
+    return hashlib.sha256(data).digest()
+
+
+def hash_hex(data: bytes) -> str:
+    """Hex-encoded SHA-256 digest of raw bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def _canonical(value: Any) -> bytes:
+    """Serialise ``value`` into a canonical, type-tagged byte string."""
+    if value is None:
+        return b"N:"
+    if isinstance(value, bool):
+        # bool before int: bool is a subclass of int.
+        return b"B:1" if value else b"B:0"
+    if isinstance(value, int):
+        return b"I:" + str(value).encode("ascii")
+    if isinstance(value, float):
+        return b"F:" + repr(value).encode("ascii")
+    if isinstance(value, str):
+        encoded = value.encode("utf-8")
+        return b"S:" + str(len(encoded)).encode("ascii") + b":" + encoded
+    if isinstance(value, bytes):
+        return b"Y:" + str(len(value)).encode("ascii") + b":" + value
+    if isinstance(value, (list, tuple)):
+        parts = [b"L:", str(len(value)).encode("ascii")]
+        for item in value:
+            inner = _canonical(item)
+            parts.append(str(len(inner)).encode("ascii"))
+            parts.append(b":")
+            parts.append(inner)
+        return b"".join(parts)
+    if isinstance(value, dict):
+        try:
+            items = sorted(value.items(), key=lambda kv: _canonical(kv[0]))
+        except TypeError as exc:  # unhashable / unorderable keys
+            raise CryptoError(f"cannot canonicalise dict keys: {exc}") from exc
+        return b"D:" + _canonical([list(kv) for kv in items])
+    raise CryptoError(f"cannot hash value of type {type(value).__name__}")
+
+
+def hash_value(value: Any) -> str:
+    """Hex digest of any canonically-serialisable Python value."""
+    return hash_hex(_canonical(value))
+
+
+def hash_pair(left: str, right: str) -> str:
+    """Hash two hex digests into a parent node digest (Merkle interior)."""
+    return hash_hex(b"P:" + left.encode("ascii") + b"|" + right.encode("ascii"))

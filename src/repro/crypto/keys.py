@@ -1,0 +1,45 @@
+"""Deterministic key pairs and address derivation for simulated accounts.
+
+Real Ethereum uses secp256k1; the attack does not depend on signature
+algebra, only on stable, unique account identities, so we derive addresses
+by hashing a private seed.  Signatures are HMAC-style digests sufficient
+for the rollup to attribute transactions in the simulator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+import numpy as np
+
+from .hashing import hash_hex
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A simulated account key pair."""
+
+    private_key: bytes
+    address: str
+
+    def sign(self, message: bytes) -> str:
+        """Produce a deterministic signature over ``message``."""
+        return hmac.new(self.private_key, message, hashlib.sha256).hexdigest()
+
+    def verify(self, message: bytes, signature: str) -> bool:
+        """Check a signature produced by :meth:`sign`."""
+        expected = hmac.new(self.private_key, message, hashlib.sha256).hexdigest()
+        return hmac.compare_digest(expected, signature)
+
+
+def derive_address(private_key: bytes) -> str:
+    """Derive a 0x-prefixed 20-byte address from a private key."""
+    return "0x" + hash_hex(b"addr:" + private_key)[:40]
+
+
+def generate_keypair(rng: np.random.Generator) -> KeyPair:
+    """Generate a key pair from the supplied random generator."""
+    private_key = rng.bytes(32)
+    return KeyPair(private_key=private_key, address=derive_address(private_key))

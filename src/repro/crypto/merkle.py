@@ -1,0 +1,102 @@
+"""Binary Merkle tree with inclusion proofs.
+
+The rollup's state root and the fraud proof both rest on this tree.  The
+tree duplicates the final leaf at odd levels (Bitcoin-style) so any number
+of leaves produces a well-defined root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+from ..errors import CryptoError
+from .hashing import hash_pair, hash_value
+
+#: Root of an empty tree, a fixed domain-separated digest.
+EMPTY_ROOT = hash_value("repro.merkle.empty")
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof for a single leaf.
+
+    ``path`` holds ``(sibling_digest, sibling_is_right)`` pairs from leaf
+    level to root.
+    """
+
+    leaf: str
+    index: int
+    path: Tuple[Tuple[str, bool], ...]
+
+
+class MerkleTree:
+    """Binary Merkle tree over canonical hashes of arbitrary values."""
+
+    def __init__(self, leaves: Sequence[Any]) -> None:
+        self._leaf_digests: List[str] = [hash_value(leaf) for leaf in leaves]
+        self._levels: List[List[str]] = self._build_levels(self._leaf_digests)
+
+    @staticmethod
+    def _build_levels(leaf_digests: Sequence[str]) -> List[List[str]]:
+        if not leaf_digests:
+            return [[EMPTY_ROOT]]
+        levels = [list(leaf_digests)]
+        current = list(leaf_digests)
+        while len(current) > 1:
+            if len(current) % 2 == 1:
+                current = current + [current[-1]]
+                levels[-1] = current
+            parent = [
+                hash_pair(current[i], current[i + 1])
+                for i in range(0, len(current), 2)
+            ]
+            levels.append(parent)
+            current = parent
+        return levels
+
+    def __len__(self) -> int:
+        return len(self._leaf_digests)
+
+    @property
+    def root(self) -> str:
+        """Hex digest of the tree root."""
+        return self._levels[-1][0]
+
+    @property
+    def leaf_digests(self) -> Tuple[str, ...]:
+        """Digests of the original leaves (without padding duplicates)."""
+        return tuple(self._leaf_digests)
+
+    def proof(self, index: int) -> MerkleProof:
+        """Build an inclusion proof for the leaf at ``index``."""
+        if not 0 <= index < len(self._leaf_digests):
+            raise CryptoError(
+                f"leaf index {index} out of range [0, {len(self._leaf_digests)})"
+            )
+        path: List[Tuple[str, bool]] = []
+        position = index
+        for level in self._levels[:-1]:
+            if position % 2 == 0:
+                sibling_index = position + 1
+                sibling_is_right = True
+            else:
+                sibling_index = position - 1
+                sibling_is_right = False
+            sibling = level[sibling_index] if sibling_index < len(level) else level[position]
+            path.append((sibling, sibling_is_right))
+            position //= 2
+        return MerkleProof(
+            leaf=self._leaf_digests[index], index=index, path=tuple(path)
+        )
+
+
+def verify_proof(root: str, proof: MerkleProof) -> bool:
+    """Check a :class:`MerkleProof` against an expected root digest."""
+    digest = proof.leaf
+    for sibling, sibling_is_right in proof.path:
+        if sibling_is_right:
+            digest = hash_pair(digest, sibling)
+        else:
+            digest = hash_pair(sibling, digest)
+    return digest == root

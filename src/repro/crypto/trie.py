@@ -1,0 +1,200 @@
+"""A binary Merkle state trie with per-key inclusion proofs.
+
+The flat state root of :func:`repro.rollup.fraud_proof.state_root`
+commits to the whole state at once; disputing it requires re-executing
+the batch.  Ethereum instead uses a Merkle-Patricia trie so a single
+account's value can be proven against the root.  This module provides
+the equivalent capability in simplified form: a binary trie keyed by
+the bits of each key's digest, supporting
+
+* ``put`` / ``get`` with structural sharing (persistent updates),
+* a root hash that only depends on contents (insertion-order free),
+* per-key :class:`TrieProof` inclusion proofs verified against the root.
+
+:func:`repro.rollup.fraud_proof.account_state_root` builds the L2 state
+into this trie so verifiers can dispute *one account's* balance rather
+than the whole state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import CryptoError
+from .hashing import hash_hex, hash_value
+
+#: Depth of the key space: keys are mapped to this many digest bits.
+KEY_BITS = 32
+
+EMPTY_TRIE_DIGEST = hash_value("repro.trie.empty")
+
+
+def _key_path(key: Any) -> Tuple[int, ...]:
+    """Map any hashable key to a fixed-length bit path."""
+    digest = hash_value(["trie-key", key])
+    bits: List[int] = []
+    for char in digest:
+        nibble = int(char, 16)
+        for shift in (3, 2, 1, 0):
+            bits.append((nibble >> shift) & 1)
+            if len(bits) == KEY_BITS:
+                return tuple(bits)
+    raise CryptoError("digest too short for key path")  # pragma: no cover
+
+
+class _Node:
+    """Internal trie node (leaf when ``key`` is set)."""
+
+    __slots__ = ("left", "right", "key", "value", "digest")
+
+    def __init__(
+        self,
+        left: Optional["_Node"] = None,
+        right: Optional["_Node"] = None,
+        key: Any = None,
+        value: Any = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.key = key
+        self.value = value
+        if key is not None:
+            self.digest = hash_value(["leaf", hash_value(key), hash_value(value)])
+        else:
+            left_digest = left.digest if left else EMPTY_TRIE_DIGEST
+            right_digest = right.digest if right else EMPTY_TRIE_DIGEST
+            self.digest = hash_value(["node", left_digest, right_digest])
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.key is not None
+
+
+@dataclass(frozen=True)
+class TrieProof:
+    """Inclusion proof: sibling digests from root to the leaf."""
+
+    key: Any
+    value: Any
+    siblings: Tuple[str, ...]  # one per level, root-side first
+
+    def verify(self, root: str) -> bool:
+        """Recompute the root from the leaf and siblings."""
+        path = _key_path(self.key)
+        digest = hash_value(
+            ["leaf", hash_value(self.key), hash_value(self.value)]
+        )
+        # Walk back up: the last sibling pairs with the leaf.
+        depth = len(self.siblings)
+        for level in range(depth - 1, -1, -1):
+            sibling = self.siblings[level]
+            if path[level] == 0:
+                digest = hash_value(["node", digest, sibling])
+            else:
+                digest = hash_value(["node", sibling, digest])
+        return digest == root
+
+
+class MerkleTrie:
+    """Persistent binary trie over hashed key paths."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._items: Dict[Any, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._items
+
+    def __iter__(self) -> Iterator[Tuple[Any, Any]]:
+        return iter(self._items.items())
+
+    @property
+    def root(self) -> str:
+        """Root digest (stable under insertion order)."""
+        return self._root.digest if self._root else EMPTY_TRIE_DIGEST
+
+    # ------------------------------------------------------------------ #
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert or update a key."""
+        path = _key_path(key)
+        self._root = self._put(self._root, path, 0, key, value)
+        self._items[key] = value
+
+    def _put(
+        self,
+        node: Optional[_Node],
+        path: Tuple[int, ...],
+        depth: int,
+        key: Any,
+        value: Any,
+    ) -> _Node:
+        if depth == KEY_BITS:
+            if node is not None and node.is_leaf and node.key != key:
+                raise CryptoError(
+                    f"key digest collision between {node.key!r} and {key!r}"
+                )
+            return _Node(key=key, value=value)
+        if node is None:
+            child = self._put(None, path, depth + 1, key, value)
+            return _Node(left=child if path[depth] == 0 else None,
+                         right=child if path[depth] == 1 else None)
+        if node.is_leaf:
+            raise CryptoError("unexpected interior leaf")  # pragma: no cover
+        if path[depth] == 0:
+            return _Node(
+                left=self._put(node.left, path, depth + 1, key, value),
+                right=node.right,
+            )
+        return _Node(
+            left=node.left,
+            right=self._put(node.right, path, depth + 1, key, value),
+        )
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Fetch a value (``default`` when missing)."""
+        return self._items.get(key, default)
+
+    def delete(self, key: Any) -> None:
+        """Remove a key; missing keys raise :class:`CryptoError`."""
+        if key not in self._items:
+            raise CryptoError(f"key {key!r} not in trie")
+        del self._items[key]
+        # Rebuild from the remaining items: simple and obviously correct;
+        # deletions are rare in the simulator's usage.
+        rebuilt = MerkleTrie()
+        for existing_key, value in self._items.items():
+            rebuilt.put(existing_key, value)
+        self._root = rebuilt._root
+
+    def prove(self, key: Any) -> TrieProof:
+        """Build an inclusion proof for an existing key."""
+        if key not in self._items:
+            raise CryptoError(f"key {key!r} not in trie")
+        path = _key_path(key)
+        siblings: List[str] = []
+        node = self._root
+        for depth in range(KEY_BITS):
+            assert node is not None and not node.is_leaf
+            if path[depth] == 0:
+                sibling = node.right.digest if node.right else EMPTY_TRIE_DIGEST
+                node = node.left
+            else:
+                sibling = node.left.digest if node.left else EMPTY_TRIE_DIGEST
+                node = node.right
+            siblings.append(sibling)
+        return TrieProof(
+            key=key, value=self._items[key], siblings=tuple(siblings)
+        )
+
+    @classmethod
+    def from_items(cls, items: Dict[Any, Any]) -> "MerkleTrie":
+        """Build a trie from a mapping."""
+        trie = cls()
+        for key, value in items.items():
+            trie.put(key, value)
+        return trie

@@ -1,0 +1,32 @@
+"""The Section VIII defense: GENTRANSEQ as a mempool detector.
+
+* :mod:`repro.defense.detector`   — probe the fee-priority order's
+  worst-case reordering profit;
+* :mod:`repro.defense.mitigation` — demote the minimal transaction set
+  needed to push the worst case under the threshold.
+"""
+
+from .detector import DetectionReport, MempoolGuard
+from .mitigation import MitigationPlan, plan_demotion
+from .guarded_node import GuardedRollupNode, GuardedRoundReport
+from .order_commitment import (
+    CommittedBatch,
+    OrderCheckingVerifier,
+    OrderVerificationReport,
+    commit_with_order,
+    order_commitment,
+)
+
+__all__ = [
+    "DetectionReport",
+    "MempoolGuard",
+    "MitigationPlan",
+    "plan_demotion",
+    "GuardedRollupNode",
+    "GuardedRoundReport",
+    "CommittedBatch",
+    "OrderCheckingVerifier",
+    "OrderVerificationReport",
+    "commit_with_order",
+    "order_commitment",
+]

@@ -1,0 +1,124 @@
+"""Arbitrage detection inside Bedrock's mempool (Section VIII).
+
+"Initially, the order with the base and priority fee will be considered
+and sent to the GENTRANSEQ module to observe the worst case (maximum
+profit for any of the users involved in the pending transactions)."
+
+:class:`MempoolGuard` runs exactly that probe: for every user involved
+in the pending batch it searches for the most profitable reordering
+(with a bounded GENTRANSEQ budget) and compares the worst case against
+a — optionally fee-scaled — threshold.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+logger = logging.getLogger(__name__)
+
+from ..config import DefenseConfig, GenTranSeqConfig
+from ..core.gentranseq import GenTranSeq
+from ..rollup.state import L2State
+from ..rollup.transaction import NFTTransaction
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """What the guard found for one pending batch."""
+
+    worst_case_profit_eth: float
+    worst_case_user: Optional[str]
+    per_user_profit: Dict[str, float]
+    threshold_eth: float
+    flagged: bool
+
+    @property
+    def margin_eth(self) -> float:
+        """How far above (+) or below (-) the threshold the worst case is."""
+        return self.worst_case_profit_eth - self.threshold_eth
+
+
+class MempoolGuard:
+    """Pre-sequencing arbitrage detector for Bedrock's mempool."""
+
+    def __init__(
+        self,
+        config: Optional[DefenseConfig] = None,
+        probe_config: Optional[GenTranSeqConfig] = None,
+    ) -> None:
+        self.config = config or DefenseConfig()
+        self.probe_config = probe_config or GenTranSeqConfig(
+            episodes=self.config.probe_episodes,
+            steps_per_episode=50,
+        )
+
+    def threshold_for(self, transactions: Sequence[NFTTransaction]) -> float:
+        """The profit threshold, optionally scaled by mean priority fee.
+
+        A batch whose users paid high priority fees tolerates more
+        re-sequencing slack before demotion is justified ("depending on
+        the priority fee", Section VIII)."""
+        base = self.config.profit_threshold_eth
+        if not self.config.fee_scaled_threshold or not transactions:
+            return base
+        mean_priority = sum(tx.priority_fee for tx in transactions) / len(
+            transactions
+        )
+        return base * (1.0 + mean_priority)
+
+    def involved_users(
+        self, transactions: Sequence[NFTTransaction]
+    ) -> Tuple[str, ...]:
+        """Users participating in more than one pending transaction —
+        the only ones a reordering can favor (Section V-B)."""
+        counts: Dict[str, int] = {}
+        for tx in transactions:
+            for party in tx.parties():
+                counts[party] = counts.get(party, 0) + 1
+        return tuple(sorted(u for u, c in counts.items() if c >= 2))
+
+    def probe_user(
+        self,
+        pre_state: L2State,
+        transactions: Sequence[NFTTransaction],
+        user: str,
+    ) -> float:
+        """Best reordering profit achievable for one user."""
+        module = GenTranSeq(config=self.probe_config)
+        result = module.optimize(
+            pre_state, transactions, (user,), stop_when_profitable=False
+        )
+        return max(0.0, result.profit)
+
+    def inspect(
+        self,
+        pre_state: L2State,
+        transactions: Sequence[NFTTransaction],
+    ) -> DetectionReport:
+        """Run the worst-case probe over every involved user."""
+        threshold = self.threshold_for(transactions)
+        per_user: Dict[str, float] = {}
+        worst_user: Optional[str] = None
+        worst = 0.0
+        for user in self.involved_users(transactions):
+            profit = self.probe_user(pre_state, transactions, user)
+            per_user[user] = profit
+            if profit > worst:
+                worst = profit
+                worst_user = user
+        flagged = worst > threshold
+        if flagged:
+            logger.info(
+                "mempool guard flagged batch: worst case %.4f ETH for %s "
+                "(threshold %.4f)",
+                worst, worst_user, threshold,
+            )
+        return DetectionReport(
+            worst_case_profit_eth=worst,
+            worst_case_user=worst_user,
+            per_user_profit=per_user,
+            threshold_eth=threshold,
+            flagged=flagged,
+        )

@@ -1,0 +1,90 @@
+"""Minimal transaction demotion (Section VIII's mitigation).
+
+"If the worst case is above the calculated threshold, then the minimal
+number of involved transactions to avoid arbitrage will be sent to the
+block behind."
+
+:func:`plan_demotion` greedily removes, one at a time, the transaction
+whose exclusion shrinks the worst-case profit the most, re-probing
+after each removal, until the worst case falls under the threshold.
+Greedy minimality matches the paper's sketch; exact minimal subsets are
+exponential and unnecessary in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..rollup.state import L2State
+from ..rollup.transaction import NFTTransaction
+from .detector import DetectionReport, MempoolGuard
+
+
+@dataclass
+class MitigationPlan:
+    """The guard's decision for one pending batch."""
+
+    kept: Tuple[NFTTransaction, ...]
+    demoted: Tuple[NFTTransaction, ...]
+    initial_report: DetectionReport
+    final_report: DetectionReport
+    rounds: int
+
+    @property
+    def demoted_count(self) -> int:
+        """How many transactions were pushed to the next block."""
+        return len(self.demoted)
+
+    @property
+    def resolved(self) -> bool:
+        """Whether the final worst case is under the threshold."""
+        return not self.final_report.flagged
+
+
+def plan_demotion(
+    guard: MempoolGuard,
+    pre_state: L2State,
+    transactions: Sequence[NFTTransaction],
+    max_demotions: Optional[int] = None,
+) -> MitigationPlan:
+    """Greedy minimal demotion until the batch is arbitrage-safe.
+
+    Candidates are restricted to transactions involving the worst-case
+    user — removing unrelated transactions cannot reduce that user's
+    profit opportunity.
+    """
+    kept: List[NFTTransaction] = list(transactions)
+    demoted: List[NFTTransaction] = []
+    initial = guard.inspect(pre_state, kept)
+    report = initial
+    limit = max_demotions if max_demotions is not None else len(transactions)
+    rounds = 0
+    while report.flagged and demoted.__len__() < limit and len(kept) > 2:
+        rounds += 1
+        target_user = report.worst_case_user
+        candidates = [
+            tx for tx in kept if target_user is not None and tx.involves(target_user)
+        ] or list(kept)
+        best_tx = None
+        best_worst = report.worst_case_profit_eth
+        for tx in candidates:
+            trial = [t for t in kept if t is not tx]
+            trial_report = guard.inspect(pre_state, trial)
+            if trial_report.worst_case_profit_eth < best_worst:
+                best_worst = trial_report.worst_case_profit_eth
+                best_tx = tx
+        if best_tx is None:
+            # No single removal helps; demote the worst user's highest-fee
+            # transaction to guarantee progress.
+            best_tx = max(candidates, key=lambda tx: tx.total_fee)
+        kept.remove(best_tx)
+        demoted.append(best_tx)
+        report = guard.inspect(pre_state, kept)
+    return MitigationPlan(
+        kept=tuple(kept),
+        demoted=tuple(demoted),
+        initial_report=initial,
+        final_report=report,
+        rounds=rounds,
+    )

@@ -1,0 +1,106 @@
+"""Protocol-level defense: fee-order commitments.
+
+Section VIII's defense is heuristic (probe + demote).  The *protocol*
+fix is stronger: extend the batch commitment so the aggregator also
+commits to the fee-priority order of its collection, and make verifiers
+check that the executed order matches it.  Under this rule a PAROLE
+reordering is no longer invisible — the executed transaction list
+diverges from the order commitment, the challenge succeeds, and the
+aggregator's bond is slashed.
+
+This module implements that extension and quantifies its cost: the
+commitment is one extra digest per batch, and verification is one sort
+plus one comparison — no re-execution beyond what fraud proofs already
+do.  It exists to show *why* the paper's threat model holds today
+(deployed rollups commit to no ordering policy) and what closing the
+gap takes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..crypto import MerkleTree
+from ..rollup.batch import Batch
+from ..rollup.state import L2State
+from ..rollup.transaction import NFTTransaction, sort_by_fee
+from ..rollup.verifier import VerificationReport, Verifier
+
+
+def order_commitment(collected: Sequence[NFTTransaction]) -> str:
+    """Digest of the canonical fee-priority order of a collection.
+
+    The commitment is computed over the *sorted* collection, so any
+    honest party holding the same transaction set derives the same
+    digest regardless of how the aggregator actually executed.
+    """
+    canonical = sort_by_fee(collected)
+    return MerkleTree([tx.tx_hash for tx in canonical]).root
+
+
+@dataclass(frozen=True)
+class CommittedBatch:
+    """A batch plus its mandatory order commitment."""
+
+    batch: Batch
+    order_root: str
+
+    @property
+    def executed_order_root(self) -> str:
+        """Digest of the order the aggregator actually executed."""
+        return MerkleTree(
+            [tx.tx_hash for tx in self.batch.transactions]
+        ).root
+
+    def order_respected(self) -> bool:
+        """Whether execution followed the committed fee order."""
+        return self.executed_order_root == self.order_root
+
+
+def commit_with_order(
+    aggregator: str,
+    pre_state: L2State,
+    collected: Sequence[NFTTransaction],
+    executed_order: Optional[Sequence[NFTTransaction]] = None,
+) -> CommittedBatch:
+    """Build a batch under the order-commitment rule.
+
+    ``executed_order`` defaults to the canonical fee order (honest); an
+    adversarial aggregator passes its reordered sequence — and thereby
+    produces a batch whose violation is publicly checkable.
+    """
+    from ..rollup.batch import build_batch
+
+    order = tuple(executed_order) if executed_order is not None else sort_by_fee(collected)
+    batch, _ = build_batch(aggregator, pre_state, order)
+    return CommittedBatch(
+        batch=batch, order_root=order_commitment(collected)
+    )
+
+
+@dataclass(frozen=True)
+class OrderVerificationReport:
+    """Fraud-proof report extended with the ordering check."""
+
+    execution: VerificationReport
+    order_respected: bool
+
+    @property
+    def should_challenge(self) -> bool:
+        """Challenge on state fraud *or* ordering violation."""
+        return self.execution.should_challenge or not self.order_respected
+
+
+class OrderCheckingVerifier(Verifier):
+    """A verifier that additionally enforces the order commitment."""
+
+    def inspect_committed(
+        self, committed: CommittedBatch, pre_state: L2State
+    ) -> OrderVerificationReport:
+        """Full check: re-execution plus ordering-policy compliance."""
+        execution = self.inspect(committed.batch, pre_state)
+        return OrderVerificationReport(
+            execution=execution,
+            order_respected=committed.order_respected(),
+        )

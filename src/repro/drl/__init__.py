@@ -1,0 +1,35 @@
+"""Deep reinforcement learning substrate.
+
+A from-scratch numpy implementation of the DQN machinery of Section II-C
+and Figure 2: an MLP Q-network with manual backpropagation and Adam, a
+replay memory buffer, a periodically-synchronised target network, and the
+epsilon-greedy exploration schedule of Eq. 9.
+"""
+
+from .network import MLP, AdamOptimizer
+from .replay import ReplayBuffer, Transition
+from .schedule import EpsilonSchedule
+from .env_base import Environment
+from .dqn import DQNAgent
+from .variants import (
+    DoubleDQNAgent,
+    PrioritizedDQNAgent,
+    PrioritizedReplayBuffer,
+)
+from .trainer import EpisodeStats, TrainingHistory, train
+
+__all__ = [
+    "MLP",
+    "AdamOptimizer",
+    "ReplayBuffer",
+    "Transition",
+    "EpsilonSchedule",
+    "Environment",
+    "DQNAgent",
+    "DoubleDQNAgent",
+    "PrioritizedDQNAgent",
+    "PrioritizedReplayBuffer",
+    "EpisodeStats",
+    "TrainingHistory",
+    "train",
+]

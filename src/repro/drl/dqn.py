@@ -1,0 +1,150 @@
+"""The DQN agent (Figure 2, Algorithm 1 lines 7-16).
+
+Combines the numpy Q-network, the target network, the replay buffer and
+the epsilon-greedy policy.  Updates follow the paper's cadence: the
+Q-network trains every ``q_network_update_every`` environment steps, the
+target network copies the Q-network every ``target_network_update_every``
+steps, and additionally whenever a profitable sequence is found
+(Algorithm 1 line 16: ``TargetNet.copy(QNet) if Profit``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import GenTranSeqConfig
+from ..errors import DRLError
+from .network import MLP
+from .replay import ReplayBuffer, Transition
+from .schedule import EpsilonSchedule
+
+
+class DQNAgent:
+    """Epsilon-greedy deep Q-learning over a discrete action space."""
+
+    def __init__(
+        self,
+        observation_size: int,
+        action_count: int,
+        config: Optional[GenTranSeqConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if action_count <= 0:
+            raise DRLError("action_count must be positive")
+        self.config = config or GenTranSeqConfig()
+        self.rng = rng or np.random.default_rng(self.config.seed)
+        self.observation_size = observation_size
+        self.action_count = action_count
+        self.q_network = MLP(
+            observation_size,
+            self.config.hidden_layers,
+            action_count,
+            self.rng,
+            learning_rate=self.config.gradient_learning_rate,
+        )
+        self.target_network = self.q_network.clone(self.rng)
+        self.replay = ReplayBuffer(self.config.replay_buffer_size)
+        self.schedule = EpsilonSchedule(
+            epsilon_max=self.config.epsilon,
+            epsilon_min=self.config.epsilon_min,
+            decay=self.config.epsilon_decay,
+        )
+        self.epsilon = self.config.epsilon
+        self._steps = 0
+        self._losses: list = []
+
+    # ------------------------------------------------------------------ #
+    # Policy
+    # ------------------------------------------------------------------ #
+
+    def act(self, observation: np.ndarray, greedy: bool = False) -> int:
+        """Pick an action: epsilon-greedy unless ``greedy`` forces argmax."""
+        if not greedy and self.rng.random() < self.epsilon:
+            return int(self.rng.integers(self.action_count))
+        q_values = self.q_network.forward(observation)
+        return int(np.argmax(q_values))
+
+    def q_values(self, observation: np.ndarray) -> np.ndarray:
+        """Raw Q-value vector for an observation (inference path)."""
+        return self.q_network.forward(observation)
+
+    def begin_episode(self, episode: int) -> float:
+        """Set epsilon for ``episode`` from the Eq. 9 schedule."""
+        self.epsilon = self.schedule.value(episode)
+        return self.epsilon
+
+    # ------------------------------------------------------------------ #
+    # Learning
+    # ------------------------------------------------------------------ #
+
+    def observe(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+        profit_found: bool = False,
+    ) -> Optional[float]:
+        """Store a transition and run scheduled updates.
+
+        Returns the TD loss when a Q-network update happened, else None.
+        """
+        self.replay.push(
+            Transition(
+                state=np.asarray(state, dtype=np.float64),
+                action=action,
+                reward=reward,
+                next_state=np.asarray(next_state, dtype=np.float64),
+                done=done,
+            )
+        )
+        self._steps += 1
+        loss: Optional[float] = None
+        if (
+            self._steps % self.config.q_network_update_every == 0
+            and len(self.replay) >= self.config.batch_size
+        ):
+            loss = self._train_batch()
+        if profit_found or self._steps % self.config.target_network_update_every == 0:
+            self.sync_target()
+        return loss
+
+    def _train_batch(self) -> float:
+        states, actions, rewards, next_states, dones = self.replay.sample(
+            self.config.batch_size, self.rng
+        )
+        next_q = self.target_network.forward(next_states)
+        best_next = next_q.max(axis=1)
+        targets = rewards + self.config.discount_factor * best_next * (~dones)
+        # The paper's Q-learning step size alpha blends the bootstrapped
+        # target with the current estimate before the gradient step.
+        current = self.q_network.forward(states)
+        rows = np.arange(states.shape[0])
+        blended = (
+            (1.0 - self.config.learning_rate) * current[rows, actions]
+            + self.config.learning_rate * targets
+        )
+        loss = self.q_network.train_on_targets(states, actions, blended)
+        self._losses.append(loss)
+        return loss
+
+    def sync_target(self) -> None:
+        """Copy Q-network weights into the target network."""
+        self.target_network.copy_weights_from(self.q_network)
+
+    @property
+    def steps(self) -> int:
+        """Total environment steps observed."""
+        return self._steps
+
+    @property
+    def losses(self) -> list:
+        """TD losses of every executed update, oldest first."""
+        return list(self._losses)
+
+    def inference_memory_bytes(self) -> int:
+        """Parameter bytes needed at inference (Fig. 11(b) accounting)."""
+        return self.q_network.memory_bytes()

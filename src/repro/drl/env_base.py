@@ -1,0 +1,35 @@
+"""The environment interface the DQN agent trains against.
+
+Any MDP exposing this protocol can be plugged into
+:func:`repro.drl.trainer.train`; the GENTRANSEQ reordering environment of
+:mod:`repro.core.environment` is the paper's instance.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+
+class Environment(abc.ABC):
+    """Episodic MDP with a discrete action space and vector observations."""
+
+    @property
+    @abc.abstractmethod
+    def observation_size(self) -> int:
+        """Width of the flattened observation vector."""
+
+    @property
+    @abc.abstractmethod
+    def action_count(self) -> int:
+        """Number of discrete actions."""
+
+    @abc.abstractmethod
+    def reset(self) -> np.ndarray:
+        """Start a new episode; returns the initial observation."""
+
+    @abc.abstractmethod
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        """Apply ``action``; returns ``(observation, reward, done, info)``."""

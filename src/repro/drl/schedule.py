@@ -1,0 +1,58 @@
+"""Exploration schedule (paper Eq. 9).
+
+The paper writes the per-episode exploration parameter as
+
+.. math::  \\epsilon_i = \\epsilon_{min} + (\\epsilon_{max} - \\epsilon_{min})^{-(d \\cdot i)}
+
+Taken literally, a base below one raised to a negative exponent *grows*
+above one with ``i`` — the opposite of decay — so the printed formula is a
+typo for the standard exponential schedule
+
+.. math::  \\epsilon_i = \\epsilon_{min} + (\\epsilon_{max} - \\epsilon_{min}) e^{-d i}
+
+which is what we implement by default (and what reproduces Fig. 8's
+behaviour).  The literal form is available as ``mode="literal"`` for
+completeness; it clamps into ``[eps_min, eps_max]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import DRLError
+
+
+@dataclass(frozen=True)
+class EpsilonSchedule:
+    """Per-episode epsilon with exponential decay."""
+
+    epsilon_max: float
+    epsilon_min: float
+    decay: float
+    mode: str = "exponential"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.epsilon_min <= self.epsilon_max <= 1.0:
+            raise DRLError("need 0 <= eps_min <= eps_max <= 1")
+        if self.decay <= 0:
+            raise DRLError("decay must be positive")
+        if self.mode not in ("exponential", "literal"):
+            raise DRLError(f"unknown schedule mode {self.mode!r}")
+
+    def value(self, episode: int) -> float:
+        """Epsilon for ``episode`` (0-indexed)."""
+        if episode < 0:
+            raise DRLError("episode index cannot be negative")
+        span = self.epsilon_max - self.epsilon_min
+        if span == 0.0:
+            return self.epsilon_max
+        if self.mode == "literal":
+            raw = self.epsilon_min + span ** (-(self.decay * episode))
+        else:
+            raw = self.epsilon_min + span * math.exp(-self.decay * episode)
+        return min(self.epsilon_max, max(self.epsilon_min, raw))
+
+    def values(self, episodes: int) -> list:
+        """Epsilons for episodes ``0..episodes-1``."""
+        return [self.value(i) for i in range(episodes)]

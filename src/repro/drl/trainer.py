@@ -1,0 +1,129 @@
+"""Generic DQN training loop over :class:`~repro.drl.env_base.Environment`.
+
+Implements the outer loop of Algorithm 1 (episodes x steps), recording the
+per-episode cumulative reward ``R^ep = sum r_sp`` of Eq. 7 plus profit and
+solution-size telemetry consumed by the Figure 8 and Figure 9 benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..config import GenTranSeqConfig
+from .dqn import DQNAgent
+from .env_base import Environment
+
+
+@dataclass
+class EpisodeStats:
+    """Telemetry of one training episode."""
+
+    episode: int
+    total_reward: float
+    epsilon: float
+    steps: int
+    best_profit: float
+    first_profit_step: Optional[int]
+    final_info: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class TrainingHistory:
+    """Full training record returned by :func:`train`."""
+
+    episodes: List[EpisodeStats] = field(default_factory=list)
+
+    @property
+    def rewards(self) -> List[float]:
+        """Per-episode cumulative rewards, in order."""
+        return [e.total_reward for e in self.episodes]
+
+    @property
+    def best_profit(self) -> float:
+        """Best profit observed across all episodes."""
+        if not self.episodes:
+            return 0.0
+        return max(e.best_profit for e in self.episodes)
+
+    def first_profit_steps(self) -> List[int]:
+        """Swap counts needed to reach the first profitable sequence,
+        one entry per episode that found one (Figure 9's solution sizes)."""
+        return [
+            e.first_profit_step
+            for e in self.episodes
+            if e.first_profit_step is not None
+        ]
+
+
+def train(
+    env: Environment,
+    agent: DQNAgent,
+    config: Optional[GenTranSeqConfig] = None,
+    stop_when_profitable: bool = False,
+) -> TrainingHistory:
+    """Run the Algorithm 1 training loop and return its history.
+
+    Parameters
+    ----------
+    env:
+        The MDP to train against (a fresh episode per ``reset``).
+    agent:
+        The DQN agent; mutated in place.
+    config:
+        Episode/step budget; defaults to the agent's config (Table II).
+    stop_when_profitable:
+        Early-exit an episode at the first profitable sequence; used by
+        the defense probe where only existence of profit matters.
+    """
+    cfg = config or agent.config
+    history = TrainingHistory()
+    patience = cfg.early_stop_patience
+    for episode in range(cfg.episodes):
+        if patience is not None and len(history.episodes) > patience:
+            from ..analysis.convergence import is_plateaued
+
+            if is_plateaued(history.rewards, lookback=patience):
+                break
+        epsilon = agent.begin_episode(episode)
+        observation = env.reset()
+        total_reward = 0.0
+        best_profit = 0.0
+        first_profit_step: Optional[int] = None
+        info: Dict[str, Any] = {}
+        steps_taken = 0
+        for step in range(cfg.steps_per_episode):
+            action = agent.act(observation)
+            next_observation, reward, done, info = env.step(action)
+            profit = float(info.get("profit", 0.0))
+            profitable = profit > 0.0
+            if profitable and first_profit_step is None:
+                first_profit_step = step + 1
+            best_profit = max(best_profit, profit)
+            agent.observe(
+                observation,
+                action,
+                reward,
+                next_observation,
+                done,
+                profit_found=profitable,
+            )
+            observation = next_observation
+            total_reward += reward
+            steps_taken = step + 1
+            if done or (stop_when_profitable and profitable):
+                break
+        history.episodes.append(
+            EpisodeStats(
+                episode=episode,
+                total_reward=total_reward,
+                epsilon=epsilon,
+                steps=steps_taken,
+                best_profit=best_profit,
+                first_profit_step=first_profit_step,
+                final_info=dict(info),
+            )
+        )
+    return history

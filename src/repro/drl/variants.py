@@ -1,0 +1,170 @@
+"""DQN variants: Double DQN and prioritized experience replay.
+
+The paper uses vanilla DQN (Section II-C).  Two standard refinements are
+provided as extensions and exercised by the ablation benches:
+
+* :class:`DoubleDQNAgent` — decouples action *selection* (online
+  Q-network) from action *evaluation* (target network) in the bootstrap
+  target, removing vanilla DQN's max-operator over-estimation bias
+  (van Hasselt et al., 2016).
+* :class:`PrioritizedReplayBuffer` — samples transitions proportionally
+  to their last TD error (Schaul et al., 2016), with importance-sampling
+  weights to keep the update unbiased.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DRLError
+from .dqn import DQNAgent
+from .replay import ReplayBuffer, Transition
+
+
+class DoubleDQNAgent(DQNAgent):
+    """DQN with the Double-DQN bootstrap target."""
+
+    def _train_batch(self) -> float:
+        states, actions, rewards, next_states, dones = self.replay.sample(
+            self.config.batch_size, self.rng
+        )
+        # Select the best next action with the *online* network...
+        online_next = self.q_network.forward(next_states)
+        best_actions = online_next.argmax(axis=1)
+        # ...but evaluate it with the *target* network.
+        target_next = self.target_network.forward(next_states)
+        rows = np.arange(states.shape[0])
+        best_next = target_next[rows, best_actions]
+        targets = rewards + self.config.discount_factor * best_next * (~dones)
+        current = self.q_network.forward(states)
+        blended = (
+            (1.0 - self.config.learning_rate) * current[rows, actions]
+            + self.config.learning_rate * targets
+        )
+        loss = self.q_network.train_on_targets(states, actions, blended)
+        self._losses.append(loss)
+        return loss
+
+
+class PrioritizedReplayBuffer(ReplayBuffer):
+    """Proportional prioritized replay with IS weights.
+
+    ``alpha`` controls how strongly priorities skew sampling (0 =
+    uniform); ``beta`` the strength of the importance-sampling
+    correction.  New transitions enter at the current maximum priority so
+    every experience is replayed at least once.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        alpha: float = 0.6,
+        beta: float = 0.4,
+        epsilon: float = 1e-3,
+    ) -> None:
+        super().__init__(capacity)
+        if not 0.0 <= alpha <= 1.0:
+            raise DRLError("alpha must be in [0, 1]")
+        if not 0.0 <= beta <= 1.0:
+            raise DRLError("beta must be in [0, 1]")
+        self.alpha = alpha
+        self.beta = beta
+        self.epsilon = epsilon
+        self._priorities = np.zeros(capacity, dtype=np.float64)
+        self._max_priority = 1.0
+        self._last_indices: Optional[np.ndarray] = None
+
+    def push(self, transition: Transition) -> None:
+        """Insert at maximum priority."""
+        index = self._next  # position the parent will write to
+        super().push(transition)
+        self._priorities[index] = self._max_priority
+
+    def sample(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Priority-proportional sampling; records indices for updates."""
+        if batch_size <= 0:
+            raise DRLError("batch_size must be positive")
+        if len(self) < batch_size:
+            raise DRLError(
+                f"buffer holds {len(self)} transitions, need {batch_size}"
+            )
+        raw = self._priorities[: len(self)] ** self.alpha
+        probabilities = raw / raw.sum()
+        indices = rng.choice(
+            len(self), size=batch_size, replace=False, p=probabilities
+        )
+        self._last_indices = indices
+        batch = [self._storage[i] for i in indices]
+        states = np.stack([t.state for t in batch])
+        actions = np.array([t.action for t in batch], dtype=np.int64)
+        rewards = np.array([t.reward for t in batch], dtype=np.float64)
+        next_states = np.stack([t.next_state for t in batch])
+        dones = np.array([t.done for t in batch], dtype=bool)
+        return states, actions, rewards, next_states, dones
+
+    def importance_weights(self) -> np.ndarray:
+        """IS weights for the last sampled batch, normalised to max 1."""
+        if self._last_indices is None:
+            raise DRLError("sample() must run before importance_weights()")
+        raw = self._priorities[: len(self)] ** self.alpha
+        probabilities = raw / raw.sum()
+        selected = probabilities[self._last_indices]
+        weights = (len(self) * selected) ** (-self.beta)
+        return weights / weights.max()
+
+    def update_priorities(self, td_errors: np.ndarray) -> None:
+        """Refresh the last batch's priorities from its TD errors."""
+        if self._last_indices is None:
+            raise DRLError("sample() must run before update_priorities()")
+        if len(td_errors) != len(self._last_indices):
+            raise DRLError("one TD error per sampled transition required")
+        new_priorities = np.abs(td_errors) + self.epsilon
+        self._priorities[self._last_indices] = new_priorities
+        self._max_priority = max(
+            self._max_priority, float(new_priorities.max())
+        )
+        self._last_indices = None
+
+    def clear(self) -> None:
+        """Drop transitions and priorities."""
+        super().clear()
+        self._priorities[:] = 0.0
+        self._max_priority = 1.0
+        self._last_indices = None
+
+
+class PrioritizedDQNAgent(DQNAgent):
+    """DQN trained from a prioritized replay buffer."""
+
+    def __init__(self, *args, alpha: float = 0.6, beta: float = 0.4, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.replay = PrioritizedReplayBuffer(
+            self.config.replay_buffer_size, alpha=alpha, beta=beta
+        )
+
+    def _train_batch(self) -> float:
+        states, actions, rewards, next_states, dones = self.replay.sample(
+            self.config.batch_size, self.rng
+        )
+        next_q = self.target_network.forward(next_states)
+        best_next = next_q.max(axis=1)
+        targets = rewards + self.config.discount_factor * best_next * (~dones)
+        current = self.q_network.forward(states)
+        rows = np.arange(states.shape[0])
+        predictions = current[rows, actions]
+        td_errors = targets - predictions
+        weights = self.replay.importance_weights()
+        blended = (
+            (1.0 - self.config.learning_rate) * predictions
+            + self.config.learning_rate * (
+                predictions + weights * td_errors
+            )
+        )
+        loss = self.q_network.train_on_targets(states, actions, blended)
+        self.replay.update_priorities(td_errors)
+        self._losses.append(loss)
+        return loss

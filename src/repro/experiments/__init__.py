@@ -1,0 +1,64 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each harness exposes a ``run_*`` function returning structured results
+plus a ``render`` helper that prints the same rows/series the paper
+reports.  Benchmarks, examples and the CLI all call into this package,
+so the reproduction logic lives in exactly one place.
+
+Scale presets: every harness accepts an :class:`EffortPreset`.  ``FULL``
+matches Table II budgets (minutes of compute per point); ``QUICK``
+shrinks training budgets for CI/benchmark runs while preserving the
+figures' qualitative shape.
+"""
+
+from .common import EffortPreset, QUICK, FULL, attack_round, quick_config
+from .table3_gas import run_table3, render_table3
+from .fig5_cases import CaseTrace, run_case_studies, render_case_studies
+from .fig6_profit import Fig6Point, run_fig6, render_fig6
+from .fig7_adversarial import Fig7Point, run_fig7, render_fig7
+from .fig8_learning import Fig8Series, run_fig8, render_fig8
+from .fig9_solutions import Fig9Curve, run_fig9, render_fig9
+from .fig10_snapshots import run_fig10, render_fig10
+from .fig11_solvers import Fig11Row, run_fig11, render_fig11
+from .defense_eval import DefensePoint, run_defense_eval, render_defense_eval
+from .runner import REGISTRY, ExperimentSpec, RunRecord, run_all
+from .report import build_report, write_report
+
+__all__ = [
+    "EffortPreset",
+    "QUICK",
+    "FULL",
+    "attack_round",
+    "quick_config",
+    "run_table3",
+    "render_table3",
+    "CaseTrace",
+    "run_case_studies",
+    "render_case_studies",
+    "Fig6Point",
+    "run_fig6",
+    "render_fig6",
+    "Fig7Point",
+    "run_fig7",
+    "render_fig7",
+    "Fig8Series",
+    "run_fig8",
+    "render_fig8",
+    "Fig9Curve",
+    "run_fig9",
+    "render_fig9",
+    "run_fig10",
+    "render_fig10",
+    "Fig11Row",
+    "run_fig11",
+    "render_fig11",
+    "DefensePoint",
+    "run_defense_eval",
+    "render_defense_eval",
+    "REGISTRY",
+    "ExperimentSpec",
+    "RunRecord",
+    "run_all",
+    "build_report",
+    "write_report",
+]

@@ -1,0 +1,125 @@
+"""Shared experiment plumbing: effort presets and attack rounds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import AttackConfig, GenTranSeqConfig, WorkloadConfig
+from ..core import ParoleAttack
+from ..core.parole import AttackOutcome
+from ..workloads import Workload, generate_workload
+
+
+@dataclass(frozen=True)
+class EffortPreset:
+    """Training budget preset for experiment sweeps."""
+
+    name: str
+    episodes: int
+    steps_per_episode: int
+    trials: int
+
+    def config(self, seed: int = 0, **overrides: object) -> GenTranSeqConfig:
+        """A GENTRANSEQ config at this effort level."""
+        base = GenTranSeqConfig(
+            episodes=self.episodes,
+            steps_per_episode=self.steps_per_episode,
+            seed=seed,
+        )
+        if overrides:
+            base = base.with_overrides(**overrides)
+        return base
+
+
+#: CI/benchmark preset: seconds per sweep point, same qualitative shape.
+QUICK = EffortPreset(name="quick", episodes=6, steps_per_episode=40, trials=2)
+
+#: Paper-faithful Table II preset.
+FULL = EffortPreset(name="full", episodes=100, steps_per_episode=200, trials=5)
+
+
+def quick_config(seed: int = 0, **overrides: object) -> GenTranSeqConfig:
+    """Shorthand for ``QUICK.config(...)``."""
+    return QUICK.config(seed=seed, **overrides)
+
+
+def attack_round(
+    mempool_size: int,
+    num_ifus: int,
+    preset: EffortPreset = QUICK,
+    seed: int = 0,
+    num_users: int = 20,
+) -> AttackOutcome:
+    """Generate one workload and run the PAROLE attack on it.
+
+    Returns the attack outcome, whose ``per_ifu_profit`` carries the
+    quantities Figures 6 and 7 aggregate.
+    """
+    workload_config = WorkloadConfig(
+        mempool_size=mempool_size,
+        num_users=max(num_users, num_ifus + 4),
+        num_ifus=num_ifus,
+        min_ifu_involvement=max(2, mempool_size // 12),
+        seed=seed,
+    )
+    workload = generate_workload(workload_config)
+    attack_config = AttackConfig(
+        ifu_accounts=workload.ifus,
+        gentranseq=preset.config(seed=seed),
+    )
+    attack = ParoleAttack(config=attack_config)
+    return attack.run(workload.pre_state, workload.transactions)
+
+
+def shared_pool_round(
+    mempool_size: int,
+    num_ifus: int,
+    num_aggregators: int,
+    adversarial_fraction: float,
+    preset: EffortPreset = QUICK,
+    seed: int = 0,
+) -> Tuple[List[AttackOutcome], Workload]:
+    """A full round over a shared transaction pool (Figures 6-7).
+
+    One big pool of ``num_aggregators * mempool_size`` transactions is
+    generated; aggregators collect fee-priority slices in turn, and a
+    random ``adversarial_fraction`` of them run PAROLE on their slice.
+    The IFUs' exploitable transactions are finite across the pool, which
+    produces the saturation the paper observes for small mempools.
+    """
+    rng = np.random.default_rng(seed)
+    pool_size = num_aggregators * mempool_size
+    workload_config = WorkloadConfig(
+        mempool_size=pool_size,
+        num_users=max(20, num_ifus + 6),
+        num_ifus=num_ifus,
+        min_ifu_involvement=max(2, pool_size // (8 * num_ifus)),
+        seed=seed,
+    )
+    workload = generate_workload(workload_config)
+    adversarial_count = max(1, round(adversarial_fraction * num_aggregators))
+    adversarial_slots = set(
+        int(i) for i in rng.choice(num_aggregators, adversarial_count, replace=False)
+    )
+    outcomes: List[AttackOutcome] = []
+    for slot in range(num_aggregators):
+        batch = workload.transactions[
+            slot * mempool_size : (slot + 1) * mempool_size
+        ]
+        if slot not in adversarial_slots or len(batch) < 2:
+            continue
+        attack = ParoleAttack(
+            config=AttackConfig(
+                ifu_accounts=workload.ifus,
+                gentranseq=preset.config(seed=seed + slot),
+            ),
+            # Serving several IFUs means *every* IFU must benefit; the
+            # min-gain objective encodes that, and it is what makes the
+            # per-IFU profit fall with the IFU count (Figure 6).
+            objective_name="min-gain" if num_ifus > 1 else "mean",
+        )
+        outcomes.append(attack.run(workload.pre_state, batch))
+    return outcomes, workload

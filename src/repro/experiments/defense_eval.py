@@ -1,0 +1,122 @@
+"""Section VIII defense evaluation (extension experiment).
+
+Sweeps the detection threshold over attacked mempools and measures:
+detection rate, demotions needed, and residual worst-case profit.  Not a
+paper figure — the paper leaves the defense's validation to future work
+— but DESIGN.md lists it as the natural ablation of the proposal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis import format_table
+from ..config import DefenseConfig, GenTranSeqConfig, WorkloadConfig
+from ..defense import MempoolGuard, plan_demotion
+from ..workloads import generate_workload
+from .common import QUICK, EffortPreset
+
+
+@dataclass(frozen=True)
+class DefensePoint:
+    """One threshold setting's aggregate outcome."""
+
+    threshold_eth: float
+    rounds: int
+    flagged_rounds: int
+    resolved_rounds: int
+    mean_demotions: float
+    mean_residual_profit_eth: float
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of rounds flagged."""
+        return self.flagged_rounds / self.rounds if self.rounds else 0.0
+
+
+def run_defense_eval(
+    thresholds: Sequence[float] = (0.01, 0.05, 0.2),
+    rounds: int = 3,
+    mempool_size: int = 12,
+    preset: EffortPreset = QUICK,
+    seed: int = 0,
+) -> List[DefensePoint]:
+    """Probe + demote across rounds for each threshold."""
+    points: List[DefensePoint] = []
+    probe_config = GenTranSeqConfig(
+        episodes=preset.episodes,
+        steps_per_episode=preset.steps_per_episode,
+        seed=seed,
+    )
+    for threshold in thresholds:
+        guard = MempoolGuard(
+            config=DefenseConfig(
+                profit_threshold_eth=threshold, fee_scaled_threshold=False
+            ),
+            probe_config=probe_config,
+        )
+        flagged = resolved = 0
+        demotions: List[int] = []
+        residuals: List[float] = []
+        for round_index in range(rounds):
+            workload = generate_workload(
+                WorkloadConfig(
+                    mempool_size=mempool_size,
+                    num_users=10,
+                    num_ifus=1,
+                    min_ifu_involvement=3,
+                    seed=seed + 101 * round_index,
+                )
+            )
+            report = guard.inspect(workload.pre_state, workload.transactions)
+            if not report.flagged:
+                residuals.append(report.worst_case_profit_eth)
+                continue
+            flagged += 1
+            plan = plan_demotion(
+                guard, workload.pre_state, workload.transactions,
+                max_demotions=mempool_size // 2,
+            )
+            demotions.append(plan.demoted_count)
+            residuals.append(plan.final_report.worst_case_profit_eth)
+            if plan.resolved:
+                resolved += 1
+        points.append(
+            DefensePoint(
+                threshold_eth=threshold,
+                rounds=rounds,
+                flagged_rounds=flagged,
+                resolved_rounds=resolved,
+                mean_demotions=(
+                    sum(demotions) / len(demotions) if demotions else 0.0
+                ),
+                mean_residual_profit_eth=(
+                    sum(residuals) / len(residuals) if residuals else 0.0
+                ),
+            )
+        )
+    return points
+
+
+def render_defense_eval(points: Optional[List[DefensePoint]] = None) -> str:
+    """Threshold sweep as a table."""
+    data = points if points is not None else run_defense_eval()
+    rows = [
+        (
+            f"{point.threshold_eth:.3f}",
+            point.rounds,
+            f"{point.detection_rate:.0%}",
+            point.resolved_rounds,
+            f"{point.mean_demotions:.1f}",
+            f"{point.mean_residual_profit_eth:.4f}",
+        )
+        for point in data
+    ]
+    return format_table(
+        (
+            "Threshold (ETH)", "Rounds", "Flagged", "Resolved",
+            "Mean demotions", "Residual profit (ETH)",
+        ),
+        rows,
+    )

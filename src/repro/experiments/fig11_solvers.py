@@ -1,0 +1,125 @@
+"""Figure 11: DQN inference vs NLP solvers (time and memory).
+
+For mempool sizes {5, 10, 25, 50, 100}: profile the DQN's greedy
+inference and the APOPT/MINOS/SNOPT stand-ins on the same reordering
+problem.  Paper observations to reproduce:
+
+* DQN inference time grows near-linearly with mempool size and is the
+  fastest overall (SNOPT may edge it out only at N=5);
+* the NLP solvers' time and memory blow up super-linearly;
+* DQN memory stays near-flat (the Q-network dominates and is fixed per
+  problem size class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis import format_table
+from ..config import GenTranSeqConfig, WorkloadConfig
+from ..solvers import (
+    ApoptLikeSolver,
+    DQNInferenceSolver,
+    MinosLikeSolver,
+    ProfiledRun,
+    ReorderProblem,
+    SnoptLikeSolver,
+    profile_solver,
+)
+from ..workloads import generate_workload
+
+DEFAULT_SIZES: Tuple[int, ...] = (5, 10, 25, 50, 100)
+
+
+@dataclass(frozen=True)
+class Fig11Row:
+    """One (solver, mempool size) measurement."""
+
+    solver_name: str
+    mempool_size: int
+    elapsed_seconds: float
+    peak_memory_kib: float
+    profit_eth: float
+
+
+def _problem_for(size: int, seed: int) -> ReorderProblem:
+    workload = generate_workload(
+        WorkloadConfig(
+            mempool_size=size,
+            num_users=max(12, size // 4),
+            num_ifus=1,
+            min_ifu_involvement=max(2, size // 10),
+            seed=seed,
+        )
+    )
+    return ReorderProblem(
+        pre_state=workload.pre_state,
+        transactions=workload.transactions,
+        ifus=workload.ifus,
+    )
+
+
+def run_fig11(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    dqn_train_episodes: int = 4,
+    nlp_restarts: int = 1,
+    nlp_max_iterations: int = 40,
+    seed: int = 0,
+) -> List[Fig11Row]:
+    """Profile every solver at every mempool size.
+
+    The DQN trains offline first (not billed); the profiled call is the
+    greedy inference rollout, mirroring Section VII-F's setup.
+    """
+    rows: List[Fig11Row] = []
+    for size in sizes:
+        problem = _problem_for(size, seed)
+        dqn = DQNInferenceSolver(
+            config=GenTranSeqConfig(
+                episodes=max(dqn_train_episodes, 1),
+                steps_per_episode=40,
+                seed=seed,
+            ),
+            train_episodes=dqn_train_episodes,
+            max_swaps=min(size, 50),
+        )
+        dqn.ensure_trained(problem)
+        solvers = [
+            (dqn, dqn.model_memory_bytes()),
+            (ApoptLikeSolver(restarts=nlp_restarts, max_iterations=nlp_max_iterations), 0),
+            (MinosLikeSolver(restarts=nlp_restarts, max_iterations=nlp_max_iterations), 0),
+            (SnoptLikeSolver(restarts=nlp_restarts, max_iterations=nlp_max_iterations), 0),
+        ]
+        for solver, extra_memory in solvers:
+            fresh = _problem_for(size, seed)
+            profiled = profile_solver(solver, fresh, extra_memory_bytes=extra_memory)
+            rows.append(
+                Fig11Row(
+                    solver_name=solver.name,
+                    mempool_size=size,
+                    elapsed_seconds=profiled.elapsed_seconds,
+                    peak_memory_kib=profiled.peak_memory_kib,
+                    profit_eth=profiled.result.profit,
+                )
+            )
+    return rows
+
+
+def render_fig11(rows: Optional[List[Fig11Row]] = None) -> str:
+    """Both panels (time and memory) as one table."""
+    data = rows if rows is not None else run_fig11()
+    formatted = [
+        (
+            row.solver_name,
+            row.mempool_size,
+            f"{row.elapsed_seconds * 1000:.1f} ms",
+            f"{row.peak_memory_kib:.0f} KiB",
+            f"{row.profit_eth:.4f}",
+        )
+        for row in data
+    ]
+    return format_table(
+        ("Solver", "Mempool", "Exec time", "Peak memory", "Profit (ETH)"),
+        formatted,
+    )

@@ -1,0 +1,114 @@
+"""Figure 6: average attack profit per IFU vs number of IFUs served.
+
+Two panels — 10% and 50% of aggregators adversarial — each sweeping the
+number of IFUs (1-4) for aggregator mempool sizes {25, 50, 100}.  The
+paper's observations to reproduce:
+
+* average profit per IFU *decreases* as more IFUs are served;
+* larger mempools earn more, with diminishing returns (the 50 -> 100
+  gap is smaller than the 25 -> 50 gap);
+* 50% adversarial earns substantially more per IFU than 10%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis import bootstrap_ci, format_table
+from ..config import eth_to_satoshi
+from .common import QUICK, EffortPreset, shared_pool_round
+
+DEFAULT_MEMPOOL_SIZES: Tuple[int, ...] = (25, 50, 100)
+DEFAULT_IFU_COUNTS: Tuple[int, ...] = (1, 2, 3, 4)
+DEFAULT_AGGREGATORS = 10
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    """One sweep point of Figure 6."""
+
+    adversarial_fraction: float
+    mempool_size: int
+    num_ifus: int
+    avg_profit_per_ifu_eth: float
+    total_profit_eth: float
+    attacks_fired: int
+    #: Per-trial total profits, for uncertainty quantification.
+    trial_totals: Tuple[float, ...] = ()
+
+    @property
+    def avg_profit_per_ifu_satoshi(self) -> float:
+        """Figure 6's y-axis units."""
+        return eth_to_satoshi(self.avg_profit_per_ifu_eth)
+
+    def profit_ci(self, confidence: float = 0.95):
+        """Bootstrap CI over the per-trial totals (None if < 2 trials)."""
+        if len(self.trial_totals) < 2:
+            return None
+        return bootstrap_ci(self.trial_totals, confidence=confidence)
+
+
+def run_fig6(
+    adversarial_fractions: Sequence[float] = (0.1, 0.5),
+    mempool_sizes: Sequence[int] = DEFAULT_MEMPOOL_SIZES,
+    ifu_counts: Sequence[int] = DEFAULT_IFU_COUNTS,
+    num_aggregators: int = DEFAULT_AGGREGATORS,
+    preset: EffortPreset = QUICK,
+    seed: int = 0,
+) -> List[Fig6Point]:
+    """Sweep the full Figure 6 grid."""
+    points: List[Fig6Point] = []
+    for fraction in adversarial_fractions:
+        for mempool_size in mempool_sizes:
+            for num_ifus in ifu_counts:
+                trial_totals = []
+                fired = 0
+                for trial in range(preset.trials):
+                    outcomes, _ = shared_pool_round(
+                        mempool_size=mempool_size,
+                        num_ifus=num_ifus,
+                        num_aggregators=num_aggregators,
+                        adversarial_fraction=fraction,
+                        preset=preset,
+                        seed=seed + 1000 * trial,
+                    )
+                    trial_totals.append(
+                        sum(outcome.total_profit for outcome in outcomes)
+                    )
+                    fired += sum(1 for outcome in outcomes if outcome.attacked)
+                total = sum(trial_totals) / max(len(trial_totals), 1)
+                points.append(
+                    Fig6Point(
+                        adversarial_fraction=fraction,
+                        mempool_size=mempool_size,
+                        num_ifus=num_ifus,
+                        avg_profit_per_ifu_eth=total / num_ifus,
+                        total_profit_eth=total,
+                        attacks_fired=fired,
+                        trial_totals=tuple(trial_totals),
+                    )
+                )
+    return points
+
+
+def render_fig6(points: Optional[List[Fig6Point]] = None) -> str:
+    """Figure 6 as a table grouped by panel."""
+    data = points if points is not None else run_fig6()
+    rows = [
+        (
+            f"{point.adversarial_fraction:.0%}",
+            point.mempool_size,
+            point.num_ifus,
+            f"{point.avg_profit_per_ifu_eth:.4f}",
+            f"{point.avg_profit_per_ifu_satoshi:,.0f}",
+        )
+        for point in data
+    ]
+    return format_table(
+        (
+            "Adversarial", "Mempool", "#IFUs",
+            "Avg profit/IFU (ETH)", "Avg profit/IFU (Satoshi)",
+        ),
+        rows,
+    )

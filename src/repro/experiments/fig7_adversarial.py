@@ -1,0 +1,104 @@
+"""Figure 7: total profit vs the fraction of adversarial aggregators.
+
+Two panels (1 IFU, 2 IFUs), sweeping the adversarial fraction 10-50% for
+mempool sizes {50, 100}.  Paper observations to reproduce:
+
+* total profit rises with the adversarial fraction;
+* with mempool 50 the rise saturates (the pool's exploitable
+  transactions are finite), while mempool 100 stays near-linear;
+* serving 2 IFUs yields a sub-linear total compared to 1 IFU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis import bootstrap_ci, format_table
+from ..config import eth_to_satoshi
+from .common import QUICK, EffortPreset, shared_pool_round
+
+DEFAULT_FRACTIONS: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
+DEFAULT_MEMPOOL_SIZES: Tuple[int, ...] = (50, 100)
+
+
+@dataclass(frozen=True)
+class Fig7Point:
+    """One sweep point of Figure 7."""
+
+    num_ifus: int
+    mempool_size: int
+    adversarial_fraction: float
+    total_profit_eth: float
+    #: Per-trial totals, for uncertainty quantification.
+    trial_totals: Tuple[float, ...] = ()
+
+    @property
+    def total_profit_satoshi(self) -> float:
+        """Figure 7's y-axis units."""
+        return eth_to_satoshi(self.total_profit_eth)
+
+    def profit_ci(self, confidence: float = 0.95):
+        """Bootstrap CI over the per-trial totals (None if < 2 trials)."""
+        if len(self.trial_totals) < 2:
+            return None
+        return bootstrap_ci(self.trial_totals, confidence=confidence)
+
+
+def run_fig7(
+    ifu_counts: Sequence[int] = (1, 2),
+    mempool_sizes: Sequence[int] = DEFAULT_MEMPOOL_SIZES,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    num_aggregators: int = 10,
+    preset: EffortPreset = QUICK,
+    seed: int = 0,
+) -> List[Fig7Point]:
+    """Sweep the full Figure 7 grid."""
+    points: List[Fig7Point] = []
+    for num_ifus in ifu_counts:
+        for mempool_size in mempool_sizes:
+            for fraction in fractions:
+                trial_totals = []
+                for trial in range(preset.trials):
+                    outcomes, _ = shared_pool_round(
+                        mempool_size=mempool_size,
+                        num_ifus=num_ifus,
+                        num_aggregators=num_aggregators,
+                        adversarial_fraction=fraction,
+                        preset=preset,
+                        seed=seed + 1000 * trial,
+                    )
+                    trial_totals.append(
+                        sum(outcome.total_profit for outcome in outcomes)
+                    )
+                points.append(
+                    Fig7Point(
+                        num_ifus=num_ifus,
+                        mempool_size=mempool_size,
+                        adversarial_fraction=fraction,
+                        total_profit_eth=(
+                            sum(trial_totals) / max(len(trial_totals), 1)
+                        ),
+                        trial_totals=tuple(trial_totals),
+                    )
+                )
+    return points
+
+
+def render_fig7(points: Optional[List[Fig7Point]] = None) -> str:
+    """Figure 7 as a table grouped by panel."""
+    data = points if points is not None else run_fig7()
+    rows = [
+        (
+            point.num_ifus,
+            point.mempool_size,
+            f"{point.adversarial_fraction:.0%}",
+            f"{point.total_profit_eth:.4f}",
+            f"{point.total_profit_satoshi:,.0f}",
+        )
+        for point in data
+    ]
+    return format_table(
+        ("#IFUs", "Mempool", "Adversarial", "Total profit (ETH)", "Total (Satoshi)"),
+        rows,
+    )

@@ -1,0 +1,101 @@
+"""Figure 8: DQN learning curves under different exploration settings.
+
+Moving average (window 9) of per-episode rewards while training on one
+collection, for epsilon starting points {0, 0.5, 1} and 1 or 2 IFUs.
+Paper observations to reproduce:
+
+* epsilon = 0 (pure exploitation) plateaus at a poor local optimum;
+* epsilon = 1 explores widely and reaches the best rewards;
+* epsilon = 0.5 learns but more slowly;
+* serving 2 IFUs drags the whole reward range down (more penalizable
+  exploration needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis import format_series, moving_average
+from ..config import AttackConfig, GenTranSeqConfig, WorkloadConfig
+from ..core import GenTranSeq
+from ..workloads import generate_workload
+from .common import QUICK, EffortPreset
+
+DEFAULT_EPSILONS: Tuple[float, ...] = (0.0, 0.5, 1.0)
+
+
+@dataclass(frozen=True)
+class Fig8Series:
+    """One learning curve."""
+
+    epsilon: float
+    num_ifus: int
+    episode_rewards: Tuple[float, ...]
+    moving_avg: Tuple[float, ...]
+    best_profit: float = 0.0
+
+    @property
+    def final_moving_avg(self) -> float:
+        """The last smoothed reward value."""
+        return self.moving_avg[-1] if self.moving_avg else 0.0
+
+
+def run_fig8(
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    ifu_counts: Sequence[int] = (1, 2),
+    mempool_size: int = 20,
+    preset: EffortPreset = QUICK,
+    window: int = 9,
+    seed: int = 0,
+    epsilon_decay: float = 0.05,
+) -> List[Fig8Series]:
+    """Train one agent per (epsilon, #IFUs) cell and record rewards."""
+    series: List[Fig8Series] = []
+    for num_ifus in ifu_counts:
+        workload = generate_workload(
+            WorkloadConfig(
+                mempool_size=mempool_size,
+                num_users=max(12, num_ifus + 6),
+                num_ifus=num_ifus,
+                min_ifu_involvement=max(2, mempool_size // 8),
+                seed=seed,
+            )
+        )
+        for epsilon in epsilons:
+            config = GenTranSeqConfig(
+                epsilon=epsilon,
+                epsilon_min=0.0 if epsilon == 0.0 else 0.01,
+                epsilon_decay=epsilon_decay,
+                episodes=preset.episodes,
+                steps_per_episode=preset.steps_per_episode,
+                seed=seed,
+            )
+            module = GenTranSeq(config=config)
+            result = module.optimize(
+                workload.pre_state, workload.transactions, workload.ifus
+            )
+            rewards = tuple(result.episode_rewards)
+            series.append(
+                Fig8Series(
+                    epsilon=epsilon,
+                    num_ifus=num_ifus,
+                    episode_rewards=rewards,
+                    moving_avg=tuple(moving_average(rewards, window)),
+                    best_profit=result.history.best_profit,
+                )
+            )
+    return series
+
+
+def render_fig8(series: Optional[List[Fig8Series]] = None) -> str:
+    """Each curve as a labelled series of smoothed rewards."""
+    data = series if series is not None else run_fig8()
+    lines = []
+    for curve in data:
+        label = f"ifus={curve.num_ifus} eps={curve.epsilon}"
+        xs = list(range(len(curve.moving_avg)))
+        lines.append(format_series(label, xs, curve.moving_avg, precision=1))
+    return "\n".join(lines)

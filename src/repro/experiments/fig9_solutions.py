@@ -1,0 +1,103 @@
+"""Figure 9: KDE of solution sizes (swaps to the first candidate order).
+
+For mempool sizes 50 and 100 and 1-4 IFUs, collect — per episode — the
+number of swap actions the agent performed before first producing a
+feasible, profitable order, then fit a Gaussian KDE.  Paper observations
+to reproduce:
+
+* with 1 IFU the mass concentrates at small solution sizes (~5 swaps);
+* serving more IFUs spreads the distribution to larger sizes;
+* at mempool 100 the 3-4 IFU curves become multi-modal (multiple
+  candidate strategies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis import KDECurve, kde_curve
+from ..config import GenTranSeqConfig, WorkloadConfig
+from ..core import GenTranSeq
+from ..workloads import generate_workload
+from .common import QUICK, EffortPreset
+
+
+@dataclass(frozen=True)
+class Fig9Curve:
+    """One KDE curve of Figure 9."""
+
+    mempool_size: int
+    num_ifus: int
+    solution_sizes: Tuple[int, ...]
+    kde: Optional[KDECurve]
+
+    @property
+    def mode(self) -> Optional[float]:
+        """Most probable solution size (the KDE peak)."""
+        if self.kde is None:
+            return None
+        return self.kde.peak()[0]
+
+
+def run_fig9(
+    mempool_sizes: Sequence[int] = (50, 100),
+    ifu_counts: Sequence[int] = (1, 2, 3, 4),
+    preset: EffortPreset = QUICK,
+    seed: int = 0,
+) -> List[Fig9Curve]:
+    """Collect solution sizes and fit KDEs for the full grid."""
+    curves: List[Fig9Curve] = []
+    for mempool_size in mempool_sizes:
+        for num_ifus in ifu_counts:
+            sizes: List[int] = []
+            for trial in range(preset.trials):
+                workload = generate_workload(
+                    WorkloadConfig(
+                        mempool_size=mempool_size,
+                        num_users=max(20, num_ifus + 6),
+                        num_ifus=num_ifus,
+                        min_ifu_involvement=max(2, mempool_size // 10),
+                        seed=seed + 31 * trial,
+                    )
+                )
+                config = GenTranSeqConfig(
+                    episodes=preset.episodes,
+                    steps_per_episode=preset.steps_per_episode,
+                    seed=seed + trial,
+                )
+                module = GenTranSeq(config=config)
+                result = module.optimize(
+                    workload.pre_state, workload.transactions, workload.ifus
+                )
+                sizes.extend(result.first_solution_swaps)
+            kde = kde_curve(sizes, grid_min=0.0) if sizes else None
+            curves.append(
+                Fig9Curve(
+                    mempool_size=mempool_size,
+                    num_ifus=num_ifus,
+                    solution_sizes=tuple(sizes),
+                    kde=kde,
+                )
+            )
+    return curves
+
+
+def render_fig9(curves: Optional[List[Fig9Curve]] = None) -> str:
+    """Each curve's sample count, mode and peak locations."""
+    data = curves if curves is not None else run_fig9()
+    lines = []
+    for curve in data:
+        if curve.kde is None:
+            lines.append(
+                f"mempool={curve.mempool_size} ifus={curve.num_ifus}: "
+                "no profitable solutions found"
+            )
+            continue
+        peaks = ", ".join(f"{p:.1f}" for p in curve.kde.peaks())
+        lines.append(
+            f"mempool={curve.mempool_size} ifus={curve.num_ifus}: "
+            f"n={len(curve.solution_sizes)} mode={curve.mode:.1f} "
+            f"peaks=[{peaks}]"
+        )
+    return "\n".join(lines)

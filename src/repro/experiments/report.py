@@ -1,0 +1,95 @@
+"""Markdown report generation from run-all artifacts.
+
+``parole run-all`` leaves a directory of per-experiment text and JSON
+artifacts; :func:`build_report` stitches them into one self-contained
+Markdown document with the reproduction checklist up top — the file a
+reviewer would read first.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Union
+
+from ..errors import ReproError
+
+#: Section ordering and titles for the report.
+SECTIONS = (
+    ("table3", "Table III — PT gas/fee behaviour"),
+    ("fig5", "Figure 5 — case studies"),
+    ("fig6", "Figure 6 — profit per IFU vs #IFUs"),
+    ("fig7", "Figure 7 — profit vs adversarial fraction"),
+    ("fig8", "Figure 8 — DQN learning curves"),
+    ("fig9", "Figure 9 — solution-size KDEs"),
+    ("fig10", "Figure 10 — NFT snapshot study"),
+    ("fig11", "Figure 11 — solver comparison"),
+    ("defense", "Section VIII — defense evaluation"),
+)
+
+
+def build_report(
+    artifact_dir: Union[str, pathlib.Path],
+    title: str = "PAROLE reproduction report",
+) -> str:
+    """Assemble a Markdown report from an artifact directory.
+
+    Missing experiments appear in the checklist as *not run* rather than
+    failing the whole report.
+    """
+    directory = pathlib.Path(artifact_dir)
+    if not directory.is_dir():
+        raise ReproError(f"artifact directory {directory} does not exist")
+
+    lines: List[str] = [f"# {title}", ""]
+
+    lines.append("## Checklist")
+    lines.append("")
+    lines.append("| Experiment | Status | Preset |")
+    lines.append("|---|---|---|")
+    payloads: Dict[str, dict] = {}
+    for experiment_id, section_title in SECTIONS:
+        json_path = directory / f"{experiment_id}.json"
+        if json_path.exists():
+            try:
+                payload = json.loads(json_path.read_text())
+                payloads[experiment_id] = payload
+                status = "reproduced"
+                preset = payload.get("preset", "?")
+            except json.JSONDecodeError:
+                status, preset = "corrupt artifact", "?"
+        else:
+            status, preset = "not run", "-"
+        lines.append(f"| {section_title} | {status} | {preset} |")
+    lines.append("")
+
+    for experiment_id, section_title in SECTIONS:
+        text_path = directory / f"{experiment_id}.txt"
+        if not text_path.exists():
+            continue
+        lines.append(f"## {section_title}")
+        lines.append("")
+        description = payloads.get(experiment_id, {}).get("description")
+        if description:
+            lines.append(f"*{description}*")
+            lines.append("")
+        lines.append("```")
+        lines.append(text_path.read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    artifact_dir: Union[str, pathlib.Path],
+    output_path: Optional[Union[str, pathlib.Path]] = None,
+) -> pathlib.Path:
+    """Build and write the report; returns the written path."""
+    directory = pathlib.Path(artifact_dir)
+    target = (
+        pathlib.Path(output_path)
+        if output_path is not None
+        else directory / "REPORT.md"
+    )
+    target.write_text(build_report(directory) + "\n")
+    return target

@@ -1,0 +1,226 @@
+"""Run-everything orchestration with archived artifacts.
+
+``run_all`` executes every registered experiment at a chosen effort
+preset and writes, per experiment, both the rendered text (what the
+paper's table/figure shows) and a JSON payload with the structured
+results — so a full reproduction run leaves a self-describing artifact
+directory behind.  The CLI exposes it as ``parole run-all``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from .common import EffortPreset, QUICK
+from . import (
+    defense_eval,
+    fig5_cases,
+    fig6_profit,
+    fig7_adversarial,
+    fig8_learning,
+    fig9_solutions,
+    fig10_snapshots,
+    fig11_solvers,
+    table3_gas,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: id, runner, renderer, JSON extractor."""
+
+    experiment_id: str
+    description: str
+    run: Callable[[EffortPreset], Any]
+    render: Callable[[Any], str]
+    to_json: Callable[[Any], Any]
+
+
+def _dataclass_list(items: Any) -> Any:
+    if isinstance(items, list):
+        return [_dataclass_list(item) for item in items]
+    if isinstance(items, dict):
+        return {str(k): _dataclass_list(v) for k, v in items.items()}
+    if dataclasses.is_dataclass(items) and not isinstance(items, type):
+        return _dataclass_list(dataclasses.asdict(items))
+    if isinstance(items, (tuple, set)):
+        return [_dataclass_list(item) for item in items]
+    if hasattr(items, "value") and items.__class__.__module__.startswith("repro"):
+        return items.value  # enums
+    return items
+
+
+REGISTRY: Tuple[ExperimentSpec, ...] = (
+    ExperimentSpec(
+        "table3",
+        "PT gas/fee behaviour in OpenSea transactions",
+        lambda preset: table3_gas.run_table3(),
+        table3_gas.render_table3,
+        _dataclass_list,
+    ),
+    ExperimentSpec(
+        "fig5",
+        "Section VI case studies",
+        lambda preset: fig5_cases.run_case_studies(),
+        fig5_cases.render_case_studies,
+        _dataclass_list,
+    ),
+    ExperimentSpec(
+        "fig6",
+        "average profit per IFU vs #IFUs",
+        lambda preset: fig6_profit.run_fig6(
+            # The paper's grid at FULL; a reduced grid for QUICK runs.
+            mempool_sizes=(25, 50, 100) if preset.name == "full" else (10, 25),
+            ifu_counts=(1, 2, 3, 4) if preset.name == "full" else (1, 2, 4),
+            num_aggregators=10 if preset.name == "full" else 6,
+            preset=preset,
+        ),
+        fig6_profit.render_fig6,
+        _dataclass_list,
+    ),
+    ExperimentSpec(
+        "fig7",
+        "total profit vs adversarial fraction",
+        lambda preset: fig7_adversarial.run_fig7(
+            mempool_sizes=(50, 100) if preset.name == "full" else (25, 50),
+            fractions=(
+                (0.1, 0.2, 0.3, 0.4, 0.5) if preset.name == "full"
+                else (0.25, 0.5, 0.75)
+            ),
+            num_aggregators=10 if preset.name == "full" else 4,
+            preset=preset,
+        ),
+        fig7_adversarial.render_fig7,
+        _dataclass_list,
+    ),
+    ExperimentSpec(
+        "fig8",
+        "DQN learning curves vs exploration",
+        lambda preset: fig8_learning.run_fig8(
+            ifu_counts=(1,), mempool_size=12, preset=preset,
+            epsilon_decay=0.3 if preset.episodes < 50 else 0.05,
+        ),
+        fig8_learning.render_fig8,
+        _dataclass_list,
+    ),
+    ExperimentSpec(
+        "fig9",
+        "KDE of solution sizes",
+        lambda preset: fig9_solutions.run_fig9(
+            mempool_sizes=(12,), ifu_counts=(1, 2), preset=preset,
+        ),
+        fig9_solutions.render_fig9,
+        lambda curves: [
+            {
+                "mempool_size": c.mempool_size,
+                "num_ifus": c.num_ifus,
+                "solution_sizes": list(c.solution_sizes),
+                "mode": c.mode,
+            }
+            for c in curves
+        ],
+    ),
+    ExperimentSpec(
+        "fig10",
+        "NFT snapshot study",
+        lambda preset: fig10_snapshots.run_fig10(),
+        fig10_snapshots.render_fig10,
+        _dataclass_list,
+    ),
+    ExperimentSpec(
+        "fig11",
+        "DQN inference vs NLP solvers",
+        lambda preset: fig11_solvers.run_fig11(
+            sizes=(
+                (5, 10, 25, 50, 100) if preset.name == "full"
+                else (5, 10, 25)
+            ),
+        ),
+        fig11_solvers.render_fig11,
+        _dataclass_list,
+    ),
+    ExperimentSpec(
+        "defense",
+        "Section VIII detection + demotion",
+        lambda preset: defense_eval.run_defense_eval(
+            thresholds=(0.01, 0.3), rounds=2, preset=preset,
+        ),
+        defense_eval.render_defense_eval,
+        _dataclass_list,
+    ),
+)
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one experiment run."""
+
+    experiment_id: str
+    elapsed_seconds: float
+    text_path: str
+    json_path: str
+    ok: bool
+    error: Optional[str] = None
+
+
+def run_all(
+    output_dir: pathlib.Path,
+    preset: EffortPreset = QUICK,
+    only: Optional[List[str]] = None,
+) -> List[RunRecord]:
+    """Run every (or the selected) experiment, archiving artifacts."""
+    output_dir = pathlib.Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    wanted = set(only) if only else None
+    unknown = (wanted or set()) - {spec.experiment_id for spec in REGISTRY}
+    if unknown:
+        raise ReproError(f"unknown experiment ids: {sorted(unknown)}")
+    records: List[RunRecord] = []
+    for spec in REGISTRY:
+        if wanted is not None and spec.experiment_id not in wanted:
+            continue
+        text_path = output_dir / f"{spec.experiment_id}.txt"
+        json_path = output_dir / f"{spec.experiment_id}.json"
+        started = time.perf_counter()
+        try:
+            result = spec.run(preset)
+            text_path.write_text(spec.render(result) + "\n")
+            json_path.write_text(
+                json.dumps(
+                    {
+                        "experiment": spec.experiment_id,
+                        "description": spec.description,
+                        "preset": preset.name,
+                        "data": spec.to_json(result),
+                    },
+                    indent=2,
+                    default=str,
+                )
+            )
+            records.append(
+                RunRecord(
+                    experiment_id=spec.experiment_id,
+                    elapsed_seconds=time.perf_counter() - started,
+                    text_path=str(text_path),
+                    json_path=str(json_path),
+                    ok=True,
+                )
+            )
+        except Exception as exc:  # archive partial failures, keep going
+            records.append(
+                RunRecord(
+                    experiment_id=spec.experiment_id,
+                    elapsed_seconds=time.perf_counter() - started,
+                    text_path=str(text_path),
+                    json_path=str(json_path),
+                    ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+    return records

@@ -1,0 +1,25 @@
+"""Table III: behaviour of the PAROLE Token in OpenSea transactions."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis import format_table
+from ..market import TransactionRecord, table3_rows
+
+
+def run_table3() -> List[TransactionRecord]:
+    """Regenerate the three Table III rows from the gas model."""
+    return table3_rows()
+
+
+def render_table3(records: List[TransactionRecord] = None) -> str:
+    """The table in the paper's column layout."""
+    rows = records if records is not None else run_table3()
+    return format_table(
+        headers=(
+            "TX Type", "TX Hash", "Block Number",
+            "L1 state index", "Gas usage", "TX fees",
+        ),
+        rows=[record.as_row() for record in rows],
+    )

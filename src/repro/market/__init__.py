@@ -1,0 +1,45 @@
+"""NFT market substrate: gas model, snapshots, scanner, marketplace.
+
+* :mod:`repro.market.gasmodel`        — Table III regeneration;
+* :mod:`repro.market.nft_collections` — synthetic Optimism/Arbitrum
+  collections by transaction-frequency tier (LFT/MFT/HFT);
+* :mod:`repro.market.snapshot`        — holders.at-style snapshot store;
+* :mod:`repro.market.scanner`         — the Figure 10 arbitrage scanner;
+* :mod:`repro.market.opensea`         — an OpenSea-testnet-like
+  marketplace over a deployed :class:`~repro.tokens.LimitedEditionNFT`.
+"""
+
+from .gasmodel import TransactionRecord, record_for, table3_rows
+from .nft_collections import (
+    Chain,
+    FrequencyTier,
+    SyntheticCollection,
+    generate_collection,
+    generate_study_collections,
+)
+from .snapshot import NFTSnapshot, SnapshotStore
+from .scanner import ArbitrageFinding, ArbitrageScanner, TierSummary
+from .opensea import Marketplace, MarketplaceListing, SaleRecord
+from .wash_trading import WashCycle, WashReport, WashTradeDetector
+
+__all__ = [
+    "TransactionRecord",
+    "record_for",
+    "table3_rows",
+    "Chain",
+    "FrequencyTier",
+    "SyntheticCollection",
+    "generate_collection",
+    "generate_study_collections",
+    "NFTSnapshot",
+    "SnapshotStore",
+    "ArbitrageFinding",
+    "ArbitrageScanner",
+    "TierSummary",
+    "Marketplace",
+    "MarketplaceListing",
+    "SaleRecord",
+    "WashCycle",
+    "WashReport",
+    "WashTradeDetector",
+]

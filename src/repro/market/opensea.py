@@ -1,0 +1,167 @@
+"""An OpenSea-testnet-like marketplace over the limited-edition NFT.
+
+The paper validated PT behaviour by trading it on the OpenSea testnet
+via Optimism Goerli.  :class:`Marketplace` provides the equivalent
+surface in-process: listings, purchases (which execute ERC-721
+transfers), mints and burns — each action also emits a Table III-style
+:class:`~repro.market.gasmodel.TransactionRecord` so marketplace
+activity and gas accounting stay linked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, MutableMapping, Optional, Tuple
+
+from ..chain.gas import GasSchedule
+from ..errors import MarketError
+from ..tokens import LimitedEditionNFT
+from .gasmodel import TransactionRecord, record_for
+
+
+@dataclass(frozen=True)
+class MarketplaceListing:
+    """An active sell listing."""
+
+    token_id: int
+    seller: str
+    ask_price_eth: float
+    listed_at_block: int
+
+
+@dataclass(frozen=True)
+class SaleRecord:
+    """A completed marketplace sale."""
+
+    token_id: int
+    seller: str
+    buyer: str
+    price_eth: float
+    block_number: int
+
+
+class Marketplace:
+    """Listings and sales over one deployed NFT contract."""
+
+    def __init__(
+        self,
+        contract: LimitedEditionNFT,
+        balances: MutableMapping[str, float],
+        start_block: int = 17_934_499,
+        gas_schedule: Optional[GasSchedule] = None,
+    ) -> None:
+        self.contract = contract
+        self.balances = balances
+        self.block_number = start_block
+        self.gas_schedule = gas_schedule or GasSchedule()
+        self._listings: Dict[int, MarketplaceListing] = {}
+        self._sales: List[SaleRecord] = []
+        self._records: List[TransactionRecord] = []
+        self._l1_state_index = 115_922
+
+    # ------------------------------------------------------------------ #
+
+    def _advance(self, tx_type: str) -> TransactionRecord:
+        self.block_number += 1
+        self._l1_state_index += 1
+        record = record_for(
+            tx_type, self.block_number, self._l1_state_index, self.gas_schedule
+        )
+        self._records.append(record)
+        return record
+
+    @property
+    def listings(self) -> Tuple[MarketplaceListing, ...]:
+        """Active listings, by token id order."""
+        return tuple(self._listings[t] for t in sorted(self._listings))
+
+    @property
+    def sales(self) -> Tuple[SaleRecord, ...]:
+        """Completed sales, oldest first."""
+        return tuple(self._sales)
+
+    @property
+    def records(self) -> Tuple[TransactionRecord, ...]:
+        """Gas/fee records of every marketplace-driven transaction."""
+        return tuple(self._records)
+
+    # ------------------------------------------------------------------ #
+    # Actions
+    # ------------------------------------------------------------------ #
+
+    def mint(self, minter: str) -> Tuple[int, TransactionRecord]:
+        """Mint through the marketplace; pays the Eq. 10 price."""
+        token_id = self.contract.mint(minter, self.balances)
+        return token_id, self._advance("mint")
+
+    def list_token(self, seller: str, token_id: int, ask_price_eth: float) -> None:
+        """Create a sell listing (the collection price still floors it)."""
+        if self.contract.owner_of(token_id) != seller:
+            raise MarketError(
+                f"{seller!r} cannot list token {token_id}: not the owner"
+            )
+        if ask_price_eth <= 0:
+            raise MarketError("ask price must be positive")
+        if token_id in self._listings:
+            raise MarketError(f"token {token_id} is already listed")
+        self._listings[token_id] = MarketplaceListing(
+            token_id=token_id,
+            seller=seller,
+            ask_price_eth=ask_price_eth,
+            listed_at_block=self.block_number,
+        )
+
+    def delist(self, seller: str, token_id: int) -> None:
+        """Remove a listing; only the lister may."""
+        listing = self._listings.get(token_id)
+        if listing is None:
+            raise MarketError(f"token {token_id} is not listed")
+        if listing.seller != seller:
+            raise MarketError(f"{seller!r} did not create this listing")
+        del self._listings[token_id]
+
+    def buy(self, buyer: str, token_id: int) -> Tuple[SaleRecord, TransactionRecord]:
+        """Fill a listing: executes the ERC-721 transfer at the Eq. 10
+        collection price (scarcity floors the sale) and settles any ask
+        premium buyer → seller on top."""
+        listing = self._listings.get(token_id)
+        if listing is None:
+            raise MarketError(f"token {token_id} is not listed")
+        floor = self.contract.unit_price
+        premium = max(0.0, listing.ask_price_eth - floor)
+        if self.balances.get(buyer, 0.0) < floor + premium:
+            raise MarketError(
+                f"buyer {buyer!r} cannot cover {floor + premium:.4f} ETH"
+            )
+        self.contract.transfer(listing.seller, buyer, token_id, self.balances)
+        if premium > 0:
+            self.balances[buyer] -= premium
+            self.balances[listing.seller] = (
+                self.balances.get(listing.seller, 0.0) + premium
+            )
+        del self._listings[token_id]
+        record = self._advance("transfer")
+        sale = SaleRecord(
+            token_id=token_id,
+            seller=listing.seller,
+            buyer=buyer,
+            price_eth=floor + premium,
+            block_number=self.block_number,
+        )
+        self._sales.append(sale)
+        return sale, record
+
+    def burn(self, owner: str, token_id: int) -> TransactionRecord:
+        """Burn through the marketplace (delists first if needed)."""
+        if token_id in self._listings:
+            if self._listings[token_id].seller != owner:
+                raise MarketError(
+                    f"token {token_id} is listed by someone else"
+                )
+            del self._listings[token_id]
+        self.contract.burn(owner, token_id)
+        return self._advance("burn")
+
+    def total_volume_eth(self) -> float:
+        """Cumulative sale volume."""
+        return sum(sale.price_eth for sale in self._sales)

@@ -1,0 +1,99 @@
+"""holders.at-style NFT snapshot store (Section VII-E's data source).
+
+The paper looked up wallets and minting-contract addresses on
+``holders.at`` to obtain historical NFT snapshots — prices, transaction
+volumes, ownerships.  :class:`SnapshotStore` provides the equivalent
+query surface over synthetic collections: lookups by contract address,
+by chain, by tier, and time-windowed price series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import MarketError
+from .nft_collections import Chain, FrequencyTier, SyntheticCollection
+
+
+@dataclass(frozen=True)
+class NFTSnapshot:
+    """One point-in-time observation of a collection."""
+
+    contract_address: str
+    chain: Chain
+    tier: FrequencyTier
+    timestamp: int
+    price_eth: float
+    owners: int
+    tx_count: int
+
+
+class SnapshotStore:
+    """Queryable archive of collection snapshots."""
+
+    def __init__(self, collections: Sequence[SyntheticCollection] = ()) -> None:
+        self._collections: Dict[str, SyntheticCollection] = {}
+        for collection in collections:
+            self.ingest(collection)
+
+    def __len__(self) -> int:
+        return len(self._collections)
+
+    def __iter__(self) -> Iterator[SyntheticCollection]:
+        return iter(self._collections.values())
+
+    def ingest(self, collection: SyntheticCollection) -> None:
+        """Add a collection's history to the archive."""
+        if collection.address in self._collections:
+            raise MarketError(
+                f"collection {collection.short_address} already ingested"
+            )
+        self._collections[collection.address] = collection
+
+    def lookup(self, contract_address: str) -> SyntheticCollection:
+        """Contract-address lookup (the holders.at query)."""
+        try:
+            return self._collections[contract_address]
+        except KeyError:
+            raise MarketError(
+                f"no snapshots for contract {contract_address!r}"
+            ) from None
+
+    def by_chain(self, chain: Chain) -> List[SyntheticCollection]:
+        """All collections deployed via ``chain``."""
+        return [c for c in self._collections.values() if c.chain is chain]
+
+    def by_tier(self, tier: FrequencyTier) -> List[SyntheticCollection]:
+        """All collections in a transaction-frequency tier."""
+        return [c for c in self._collections.values() if c.tier is tier]
+
+    def snapshots_of(
+        self,
+        contract_address: str,
+        since: int = 0,
+        until: Optional[int] = None,
+    ) -> List[NFTSnapshot]:
+        """Time-windowed snapshots of one collection."""
+        collection = self.lookup(contract_address)
+        end = until if until is not None else float("inf")
+        return [
+            NFTSnapshot(
+                contract_address=collection.address,
+                chain=collection.chain,
+                tier=collection.tier,
+                timestamp=point.timestamp,
+                price_eth=point.price_eth,
+                owners=collection.owners,
+                tx_count=collection.tx_count,
+            )
+            for point in collection.price_history
+            if since <= point.timestamp <= end
+        ]
+
+    def price_series(self, contract_address: str) -> List[float]:
+        """The full price series of one collection."""
+        return [
+            point.price_eth
+            for point in self.lookup(contract_address).price_history
+        ]

@@ -1,0 +1,103 @@
+"""Rollup aggregators: honest and adversarial.
+
+Honest aggregators execute their collected transactions in the fee-
+priority order the mempool handed them (Section IV-B: "the aggregators
+collect the transactions and are supposed to execute them in order of
+their base and priority fees").  The adversarial aggregator routes its
+collection through a *reorderer* — the PAROLE module — before executing;
+the reorderer is injected as a callable so this package stays independent
+of :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .batch import Batch, build_batch
+from .ovm import OVM, ReplayTrace
+from .state import L2State
+from .transaction import NFTTransaction
+
+#: Signature of a reordering strategy: (pre-state, collected txs) -> new order.
+Reorderer = Callable[[L2State, Sequence[NFTTransaction]], Sequence[NFTTransaction]]
+
+
+@dataclass
+class AggregationResult:
+    """What one aggregator produced in a round."""
+
+    batch: Batch
+    trace: ReplayTrace
+    original_order: Tuple[NFTTransaction, ...]
+    executed_order: Tuple[NFTTransaction, ...]
+
+    @property
+    def reordered(self) -> bool:
+        """Whether the executed order differs from the collected order."""
+        return self.original_order != self.executed_order
+
+
+class Aggregator:
+    """An honest rollup operator."""
+
+    def __init__(self, address: str, ovm: Optional[OVM] = None) -> None:
+        self.address = address
+        self.ovm = ovm or OVM()
+
+    def process(
+        self, pre_state: L2State, collected: Sequence[NFTTransaction]
+    ) -> AggregationResult:
+        """Execute the collected transactions and seal a batch."""
+        order = self.order_transactions(pre_state, collected)
+        batch, trace = build_batch(self.address, pre_state, order, self.ovm)
+        return AggregationResult(
+            batch=batch,
+            trace=trace,
+            original_order=tuple(collected),
+            executed_order=tuple(order),
+        )
+
+    def order_transactions(
+        self, pre_state: L2State, collected: Sequence[NFTTransaction]
+    ) -> Sequence[NFTTransaction]:
+        """Honest policy: keep the mempool's fee-priority order."""
+        return tuple(collected)
+
+
+class AdversarialAggregator(Aggregator):
+    """``A_P`` — the aggregator committing the PAROLE attack.
+
+    Parameters
+    ----------
+    address:
+        The aggregator's account.
+    reorderer:
+        The PAROLE module entry point (see
+        :meth:`repro.core.parole.ParoleAttack.as_reorderer`).
+    """
+
+    def __init__(
+        self,
+        address: str,
+        reorderer: Reorderer,
+        ovm: Optional[OVM] = None,
+    ) -> None:
+        super().__init__(address, ovm)
+        self.reorderer = reorderer
+        self.rounds_attacked = 0
+
+    def order_transactions(
+        self, pre_state: L2State, collected: Sequence[NFTTransaction]
+    ) -> Sequence[NFTTransaction]:
+        """Route the collection through the PAROLE module."""
+        reordered = tuple(self.reorderer(pre_state, collected))
+        if sorted(tx.tx_hash for tx in reordered) != sorted(
+            tx.tx_hash for tx in collected
+        ):
+            # The PAROLE module may only permute — never drop or inject.
+            # Fall back to the honest order if the reorderer misbehaved.
+            return tuple(collected)
+        if reordered != tuple(collected):
+            self.rounds_attacked += 1
+        return reordered

@@ -1,0 +1,96 @@
+"""Rollup batches: ordered transactions plus state-root commitments.
+
+``A.AggregateTX(BedRockMemPool) -> RollupTX, Proof`` (Section V-A): an
+aggregator executes its collected transactions and bundles them with the
+Merkle root over the transaction list and the claimed post-state root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..crypto import MerkleTree
+from ..errors import BatchError
+from .ovm import OVM, ReplayTrace
+from .state import L2State
+from .transaction import NFTTransaction
+from .fraud_proof import state_root
+
+
+@dataclass(frozen=True)
+class Batch:
+    """An executed, committed bundle of L2 transactions."""
+
+    aggregator: str
+    transactions: Tuple[NFTTransaction, ...]
+    tx_root: str
+    pre_state_root: str
+    post_state_root: str
+    executed_count: int
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def fee_revenue(self) -> float:
+        """Total fees the aggregator earns from this batch.
+
+        A permutation invariant: the PAROLE attack re-orders but neither
+        drops nor injects, so the adversarial aggregator's fee revenue is
+        identical to honest aggregation — the attack's gain is entirely
+        the IFU's arbitrage, not fee capture.
+        """
+        return sum(tx.total_fee for tx in self.transactions)
+
+    def posting_cost_wei(self, gas_schedule=None) -> int:
+        """L1 data-availability cost of publishing this batch.
+
+        Optimistic rollups pay L1 calldata for every included
+        transaction; the per-type fees come from the Table III-calibrated
+        gas schedule.  Like :attr:`fee_revenue`, this is permutation
+        invariant — the attack shifts neither cost nor revenue, only the
+        IFU's balance.
+        """
+        from ..chain.gas import GasSchedule
+
+        schedule = gas_schedule or GasSchedule()
+        return sum(
+            schedule.usage_for(tx.kind.value).fee_wei
+            for tx in self.transactions
+        )
+
+    def merkle_tree(self) -> MerkleTree:
+        """Rebuild the Merkle tree over the transaction hashes."""
+        return MerkleTree([tx.tx_hash for tx in self.transactions])
+
+    def verify_tx_root(self) -> bool:
+        """Recompute and compare the transaction Merkle root."""
+        return self.merkle_tree().root == self.tx_root
+
+
+def build_batch(
+    aggregator: str,
+    pre_state: L2State,
+    transactions: Sequence[NFTTransaction],
+    ovm: OVM = None,
+) -> Tuple[Batch, ReplayTrace]:
+    """Execute ``transactions`` against ``pre_state`` and seal a batch.
+
+    Returns the sealed batch and the execution trace.  The input state is
+    not mutated; the trace's ``final_state`` is the post-state.
+    """
+    if not transactions:
+        raise BatchError("cannot build an empty batch")
+    machine = ovm or OVM()
+    trace = machine.replay(pre_state, transactions)
+    tree = MerkleTree([tx.tx_hash for tx in transactions])
+    batch = Batch(
+        aggregator=aggregator,
+        transactions=tuple(transactions),
+        tx_root=tree.root,
+        pre_state_root=state_root(pre_state),
+        post_state_root=state_root(trace.final_state),
+        executed_count=trace.executed_count,
+    )
+    return batch, trace

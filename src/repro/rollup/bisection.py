@@ -1,0 +1,206 @@
+"""Interactive fraud-proof bisection (the dispute game, refined).
+
+The basic challenge of :mod:`repro.rollup.fraud_proof` re-executes a
+whole batch.  Production optimistic rollups (Arbitrum, Optimism's
+cannon) instead play an *interactive bisection game*: the claimant
+commits to intermediate state roots, the challenger repeatedly picks the
+half whose endpoint roots disagree, and after ``log2(N)`` rounds the
+dispute narrows to a single transaction that the L1 contract re-executes
+cheaply.  This module implements that game over the OVM:
+
+* :class:`ExecutionCommitment` — the claimant's (possibly fraudulent)
+  per-step state roots;
+* :class:`BisectionGame` — drives the narrowing and the final
+  single-step adjudication;
+* :func:`honest_commitment` / :class:`CorruptExecutor` — honest and
+  fault-injected claimants for testing and demonstration.
+
+The game proves the same property the paper relies on: a PAROLE-reordered
+batch yields an honest commitment for its (reordered) transaction list,
+so bisection finds no divergent step — ordering policy remains outside
+what any fraud proof can see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ChallengeError
+from .fraud_proof import state_root
+from .ovm import OVM
+from .state import L2State
+from .transaction import NFTTransaction
+
+
+@dataclass(frozen=True)
+class ExecutionCommitment:
+    """A claimant's step-by-step commitment for one batch.
+
+    ``roots[k]`` is the claimed state root *after* executing the first
+    ``k`` transactions; ``roots[0]`` is the pre-state root and
+    ``roots[N]`` the claimed post-state root.
+    """
+
+    transactions: Tuple[NFTTransaction, ...]
+    roots: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.roots) != len(self.transactions) + 1:
+            raise ChallengeError(
+                f"commitment needs {len(self.transactions) + 1} roots, "
+                f"got {len(self.roots)}"
+            )
+
+    @property
+    def pre_root(self) -> str:
+        """Root before any transaction."""
+        return self.roots[0]
+
+    @property
+    def post_root(self) -> str:
+        """Claimed root after the full batch."""
+        return self.roots[-1]
+
+
+def honest_commitment(
+    pre_state: L2State,
+    transactions: Sequence[NFTTransaction],
+    ovm: Optional[OVM] = None,
+) -> ExecutionCommitment:
+    """Execute honestly and commit to every intermediate root."""
+    machine = ovm or OVM()
+    working = pre_state.copy()
+    if machine.mode is not None:
+        working.mode = machine.mode
+    roots: List[str] = [state_root(working)]
+    for tx in transactions:
+        working.apply(tx)
+        roots.append(state_root(working))
+    return ExecutionCommitment(
+        transactions=tuple(transactions), roots=tuple(roots)
+    )
+
+
+class CorruptExecutor:
+    """A claimant that lies about the state from ``fault_step`` onward.
+
+    Models an aggregator that mis-executes one transaction (e.g. skips a
+    payment) and then carries the corrupted state forward — the scenario
+    bisection exists to catch.
+    """
+
+    def __init__(self, fault_step: int, bonus_eth: float = 1.0) -> None:
+        self.fault_step = fault_step
+        self.bonus_eth = bonus_eth
+
+    def commitment(
+        self,
+        pre_state: L2State,
+        transactions: Sequence[NFTTransaction],
+    ) -> ExecutionCommitment:
+        """Produce a commitment with a hidden mis-execution."""
+        if not 0 <= self.fault_step < len(transactions):
+            raise ChallengeError(
+                f"fault step {self.fault_step} outside the batch"
+            )
+        working = pre_state.copy()
+        roots: List[str] = [state_root(working)]
+        for index, tx in enumerate(transactions):
+            working.apply(tx)
+            if index == self.fault_step:
+                # The lie: quietly credit the sender a bonus.
+                working.balances[tx.sender] = (
+                    working.balance(tx.sender) + self.bonus_eth
+                )
+            roots.append(state_root(working))
+        return ExecutionCommitment(
+            transactions=tuple(transactions), roots=tuple(roots)
+        )
+
+
+@dataclass
+class BisectionResult:
+    """Outcome of one dispute game."""
+
+    fraud_found: bool
+    divergent_step: Optional[int]
+    rounds_played: int
+    claimed_root_at_step: Optional[str] = None
+    recomputed_root_at_step: Optional[str] = None
+
+
+class BisectionGame:
+    """The challenger's side of the interactive dispute.
+
+    The challenger holds the true pre-state and re-executes locally; the
+    claimant's commitment supplies the claimed roots.  Each round halves
+    the disputed range; the final round adjudicates one transaction.
+    """
+
+    def __init__(self, pre_state: L2State, ovm: Optional[OVM] = None) -> None:
+        self.pre_state = pre_state
+        self.ovm = ovm or OVM()
+
+    def _recomputed_roots(
+        self, transactions: Sequence[NFTTransaction]
+    ) -> List[str]:
+        honest = honest_commitment(self.pre_state, transactions, self.ovm)
+        return list(honest.roots)
+
+    def play(self, commitment: ExecutionCommitment) -> BisectionResult:
+        """Run the full game against a commitment.
+
+        Returns immediately (no fraud) when the claimed post-root matches
+        honest re-execution; otherwise narrows to the first step whose
+        claimed post-step root diverges and reports it.
+        """
+        truth = self._recomputed_roots(commitment.transactions)
+        if commitment.pre_root != truth[0]:
+            # The claimant cannot even agree on the pre-state.
+            return BisectionResult(
+                fraud_found=True,
+                divergent_step=0,
+                rounds_played=0,
+                claimed_root_at_step=commitment.pre_root,
+                recomputed_root_at_step=truth[0],
+            )
+        if commitment.post_root == truth[-1]:
+            return BisectionResult(
+                fraud_found=False, divergent_step=None, rounds_played=0
+            )
+
+        low, high = 0, len(commitment.transactions)
+        rounds = 0
+        # Invariant: roots agree at `low`, disagree at `high`.
+        while high - low > 1:
+            rounds += 1
+            mid = (low + high) // 2
+            if commitment.roots[mid] == truth[mid]:
+                low = mid
+            else:
+                high = mid
+        return BisectionResult(
+            fraud_found=True,
+            divergent_step=high - 1,
+            rounds_played=rounds,
+            claimed_root_at_step=commitment.roots[high],
+            recomputed_root_at_step=truth[high],
+        )
+
+    def adjudicate_step(
+        self,
+        commitment: ExecutionCommitment,
+        step: int,
+    ) -> bool:
+        """One-step re-execution: is the claimed transition at ``step``
+        correct given the *agreed* state before it?
+
+        Mirrors the L1 contract's final cheap check: replay only
+        ``transactions[step]`` from the last agreed root.  Returns True
+        when the claimant's root is honest.
+        """
+        if not 0 <= step < len(commitment.transactions):
+            raise ChallengeError(f"step {step} outside the batch")
+        truth = self._recomputed_roots(commitment.transactions[: step + 1])
+        return commitment.roots[step + 1] == truth[step + 1]

@@ -1,0 +1,100 @@
+"""Bedrock's private mempool (Sections II-A, IV-A and VIII).
+
+Bedrock creates blocks at fixed intervals, so pending transactions wait
+in a *private* mempool; aggregators must collect them in priority order
+(base + priority fee) rather than hand-picking.  ``collect`` therefore
+always returns the top-fee prefix — the adversarial aggregator's only
+freedom is what it does *after* collection, which is precisely the PAROLE
+attack surface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import MempoolError
+from .transaction import NFTTransaction, sort_by_fee
+
+
+class BedrockMempool:
+    """Private fee-priority mempool with fixed-interval draining."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[str, NFTTransaction] = {}
+        self._arrival: int = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, tx_hash: str) -> bool:
+        return tx_hash in self._pending
+
+    def submit(self, tx: NFTTransaction) -> str:
+        """Accept a transaction into the pool; returns its hash.
+
+        Transactions are stamped with an arrival sequence number used for
+        fee-tie ordering, mirroring first-come-first-served within a fee
+        level.
+        """
+        stamped = tx if tx.submitted_at else self._stamp(tx)
+        tx_hash = stamped.tx_hash
+        if tx_hash in self._pending:
+            raise MempoolError(f"duplicate transaction {tx_hash[:12]}...")
+        self._pending[tx_hash] = stamped
+        return tx_hash
+
+    def _stamp(self, tx: NFTTransaction) -> NFTTransaction:
+        self._arrival += 1
+        return NFTTransaction(
+            kind=tx.kind,
+            sender=tx.sender,
+            recipient=tx.recipient,
+            token_id=tx.token_id,
+            base_fee=tx.base_fee,
+            priority_fee=tx.priority_fee,
+            nonce=tx.nonce,
+            submitted_at=self._arrival,
+            label=tx.label,
+        )
+
+    def submit_all(self, txs: Sequence[NFTTransaction]) -> List[str]:
+        """Submit several transactions, preserving order."""
+        return [self.submit(tx) for tx in txs]
+
+    def peek(self, count: int) -> Tuple[NFTTransaction, ...]:
+        """The next ``count`` transactions in priority order (no removal)."""
+        ordered = sort_by_fee(self._pending.values())
+        return ordered[:count]
+
+    def collect(self, count: int) -> Tuple[NFTTransaction, ...]:
+        """Remove and return the top ``count`` transactions by fee priority.
+
+        This is the aggregator's "Mempool" of the evaluation section: the
+        set of transactions one aggregator processes per round.
+        """
+        if count <= 0:
+            raise MempoolError("collect count must be positive")
+        selected = self.peek(count)
+        for tx in selected:
+            del self._pending[tx.tx_hash]
+        return selected
+
+    def requeue(self, txs: Sequence[NFTTransaction]) -> None:
+        """Return transactions to the pool (the defense's demotion path)."""
+        for tx in txs:
+            if tx.tx_hash in self._pending:
+                raise MempoolError(
+                    f"transaction {tx.tx_hash[:12]}... is already pending"
+                )
+            self._pending[tx.tx_hash] = tx
+
+    def drop(self, tx_hash: str) -> NFTTransaction:
+        """Remove one transaction by hash."""
+        try:
+            return self._pending.pop(tx_hash)
+        except KeyError:
+            raise MempoolError(f"unknown transaction {tx_hash[:12]}...") from None
+
+    def pending(self) -> Tuple[NFTTransaction, ...]:
+        """All pending transactions in priority order."""
+        return sort_by_fee(self._pending.values())

@@ -1,0 +1,177 @@
+"""The end-to-end rollup node: L1 + mempool + aggregators + verifiers.
+
+:class:`RollupNode` wires every substrate together and drives the full
+workflow of Figure 1 / Figure 3: users submit through the ORSC into
+Bedrock's private mempool; aggregators (some adversarial) collect and
+execute; batches are committed on L1 with fraud proofs; verifiers
+re-execute and challenge; unchallenged batches finalize after the
+challenge window.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+logger = logging.getLogger(__name__)
+
+from ..chain import L1Chain, OptimisticRollupContract
+from ..config import RollupConfig, eth_to_wei
+from ..errors import RollupError
+from .aggregator import AggregationResult, Aggregator
+from .batch import Batch
+from .fraud_proof import state_root
+from .mempool import BedrockMempool
+from .state import L2State
+from .transaction import NFTTransaction
+from .verifier import Verifier
+
+
+@dataclass
+class RoundReport:
+    """Everything that happened in one rollup round."""
+
+    results: List[AggregationResult] = field(default_factory=list)
+    challenges: List[Tuple[str, int, str]] = field(default_factory=list)
+    finalized_batch_ids: List[int] = field(default_factory=list)
+
+    @property
+    def batches(self) -> List[Batch]:
+        """Batches committed this round, in aggregator order."""
+        return [result.batch for result in self.results]
+
+    @property
+    def attacked(self) -> bool:
+        """Whether any aggregator reordered its collection."""
+        return any(result.reordered for result in self.results)
+
+
+class RollupNode:
+    """A complete in-process optimistic rollup deployment."""
+
+    def __init__(
+        self,
+        l2_state: L2State,
+        config: Optional[RollupConfig] = None,
+    ) -> None:
+        self.config = config or RollupConfig()
+        self.chain = L1Chain()
+        self.contract = OptimisticRollupContract(self.chain, self.config)
+        self.mempool = BedrockMempool()
+        self.l2_state = l2_state
+        self.aggregators: List[Aggregator] = []
+        self.verifiers: List[Verifier] = []
+        self._batch_prestates: Dict[int, L2State] = {}
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+
+    def fund_and_deposit(self, user: str, amount_eth: float) -> None:
+        """Give a user L1 ETH and bridge it to L2 (Figure 1's first step)."""
+        wei = eth_to_wei(amount_eth)
+        self.chain.accounts.get_or_create(user)
+        self.chain.accounts.credit(user, wei)
+        self.contract.deposit(user, wei)
+        self.l2_state.balances[user] = self.l2_state.balance(user) + amount_eth
+
+    def add_aggregator(self, aggregator: Aggregator) -> None:
+        """Register an aggregator, funding and posting its bond."""
+        self.chain.accounts.get_or_create(aggregator.address)
+        self.chain.accounts.credit(
+            aggregator.address, self.config.aggregator_bond_wei
+        )
+        self.contract.register_aggregator(aggregator.address)
+        self.aggregators.append(aggregator)
+
+    def add_verifier(self, verifier: Verifier) -> None:
+        """Register a verifier, funding and posting its bond."""
+        self.chain.accounts.get_or_create(verifier.address)
+        self.chain.accounts.credit(verifier.address, self.config.verifier_bond_wei)
+        self.contract.register_verifier(verifier.address)
+        self.verifiers.append(verifier)
+
+    def submit(self, tx: NFTTransaction) -> str:
+        """User-facing transaction submission into Bedrock's mempool."""
+        return self.mempool.submit(tx)
+
+    # ------------------------------------------------------------------ #
+    # Round execution
+    # ------------------------------------------------------------------ #
+
+    def run_round(self, collect_per_aggregator: Optional[int] = None) -> RoundReport:
+        """One full rollup round across every registered aggregator.
+
+        Each aggregator collects its fee-priority share from the mempool,
+        executes (adversarial ones reorder first), commits the batch on
+        L1, and the verifiers inspect it.  The L2 state advances batch by
+        batch in commitment order.
+        """
+        if not self.aggregators:
+            raise RollupError("no aggregators registered")
+        count = collect_per_aggregator or self.config.aggregator_mempool_size
+        report = RoundReport()
+        for aggregator in self.aggregators:
+            if len(self.mempool) == 0:
+                break
+            collected = self.mempool.collect(min(count, len(self.mempool)))
+            pre_state = self.l2_state.copy()
+            result = aggregator.process(pre_state, collected)
+            commitment = self.contract.commit_batch(
+                aggregator.address,
+                result.batch.tx_root,
+                result.batch.post_state_root,
+            )
+            self._batch_prestates[commitment.batch_id] = pre_state
+            self.l2_state = result.trace.final_state
+            report.results.append(result)
+            logger.debug(
+                "batch %d committed by %s: %d txs%s",
+                commitment.batch_id, aggregator.address, len(result.batch),
+                " (reordered)" if result.reordered else "",
+            )
+            self._inspect(commitment.batch_id, result.batch, pre_state, report)
+        self.chain.seal_block()
+        return report
+
+    def _inspect(
+        self,
+        batch_id: int,
+        batch: Batch,
+        pre_state: L2State,
+        report: RoundReport,
+    ) -> None:
+        for verifier in self.verifiers:
+            inspection = verifier.inspect(batch, pre_state)
+            if inspection.should_challenge:
+                outcome = self.contract.challenge(
+                    verifier.address, batch_id, inspection.recomputed_post_root
+                )
+                logger.warning(
+                    "verifier %s challenged batch %d: %s",
+                    verifier.address, batch_id, outcome.value,
+                )
+                report.challenges.append(
+                    (verifier.address, batch_id, outcome.value)
+                )
+
+    def finalize_ready_batches(self) -> List[int]:
+        """Finalize every pending batch whose challenge window has closed."""
+        finalized = []
+        for commitment in self.contract.batches:
+            if (
+                commitment.status.value == "pending"
+                and not self.contract.in_challenge_window(commitment.batch_id)
+            ):
+                self.contract.finalize(commitment.batch_id)
+                finalized.append(commitment.batch_id)
+        return finalized
+
+    def advance_challenge_window(self) -> None:
+        """Seal enough empty L1 blocks to close all open windows."""
+        self.chain.seal_blocks(self.config.challenge_period_blocks)
+
+    def current_state_root(self) -> str:
+        """Canonical root of the current L2 state."""
+        return state_root(self.l2_state)

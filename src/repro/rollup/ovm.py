@@ -1,0 +1,129 @@
+"""The Optimistic Virtual Machine (OVM).
+
+Section IV-B: the GENTRANSEQ module "executes each candidate solution
+using an optimistic virtual machine and observes the balance update of
+the IFU".  :class:`OVM` replays a transaction sequence against a copy of
+the L2 state and returns a full trace — per-step prices, validity, and
+the balance trajectory of any watched users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..tokens import TxValidity
+from .state import ExecutionMode, L2State, StepResult
+from .transaction import NFTTransaction
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One row of a replay trace (mirrors a case-study table row)."""
+
+    index: int
+    tx: NFTTransaction
+    result: StepResult
+    watched_wealth: Tuple[Tuple[str, float], ...]
+
+    @property
+    def executed(self) -> bool:
+        """Whether the transaction executed at this position."""
+        return self.result.executed
+
+
+@dataclass
+class ReplayTrace:
+    """Complete result of replaying a sequence through the OVM."""
+
+    steps: List[TraceStep]
+    final_state: L2State
+    watched_users: Tuple[str, ...]
+
+    @property
+    def executed_count(self) -> int:
+        """Number of transactions that executed."""
+        return sum(1 for step in self.steps if step.executed)
+
+    @property
+    def skipped_indices(self) -> Tuple[int, ...]:
+        """Positions whose transaction failed its constraint."""
+        return tuple(step.index for step in self.steps if not step.executed)
+
+    @property
+    def all_executed(self) -> bool:
+        """Whether every transaction in the sequence executed."""
+        return self.executed_count == len(self.steps)
+
+    @property
+    def final_price(self) -> float:
+        """Unit price after the last transaction."""
+        return self.final_state.unit_price
+
+    def final_wealth(self, user: str) -> float:
+        """Total balance of ``user`` after the full replay."""
+        return self.final_state.wealth(user)
+
+    def wealth_trajectory(self, user: str) -> List[float]:
+        """Per-step total balance of a watched user."""
+        trajectory = []
+        for step in self.steps:
+            for watched, value in step.watched_wealth:
+                if watched == user:
+                    trajectory.append(value)
+        return trajectory
+
+    def price_trajectory(self) -> List[float]:
+        """Unit price after each step (the case-study "PT Price" column)."""
+        return [step.result.price_after for step in self.steps]
+
+    def consistent(self) -> bool:
+        """Batch-end inventory consistency (no user net-negative)."""
+        return self.final_state.inventory_is_consistent()
+
+
+class OVM:
+    """Replays transaction sequences against copies of the L2 state."""
+
+    def __init__(self, mode: Optional[ExecutionMode] = None) -> None:
+        self.mode = mode
+
+    def replay(
+        self,
+        state: L2State,
+        transactions: Sequence[NFTTransaction],
+        watch: Sequence[str] = (),
+    ) -> ReplayTrace:
+        """Execute ``transactions`` in order against a copy of ``state``.
+
+        ``watch`` lists users whose wealth is sampled after every step.
+        The input ``state`` is never mutated.
+        """
+        working = state.copy()
+        if self.mode is not None:
+            working.mode = self.mode
+        watched = tuple(watch)
+        steps: List[TraceStep] = []
+        for index, tx in enumerate(transactions):
+            result = working.apply(tx)
+            wealth = tuple((user, working.wealth(user)) for user in watched)
+            steps.append(
+                TraceStep(index=index, tx=tx, result=result, watched_wealth=wealth)
+            )
+        return ReplayTrace(steps=steps, final_state=working, watched_users=watched)
+
+    def final_wealth(
+        self,
+        state: L2State,
+        transactions: Sequence[NFTTransaction],
+        user: str,
+    ) -> float:
+        """Shortcut: the user's total balance after a full replay."""
+        return self.replay(state, transactions, watch=(user,)).final_wealth(user)
+
+    def executed_mask(
+        self, state: L2State, transactions: Sequence[NFTTransaction]
+    ) -> Tuple[bool, ...]:
+        """Which positions execute under the current mode."""
+        trace = self.replay(state, transactions)
+        return tuple(step.executed for step in trace.steps)

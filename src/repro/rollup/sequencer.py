@@ -1,0 +1,168 @@
+"""Bedrock-style L2 block production (Section IV-A).
+
+"The legacy network generates a block for each transaction ... while
+Bedrock creates blocks at fixed intervals, necessitating a Mempool to
+hold pending transactions until they're incorporated into a block."
+
+:class:`Sequencer` drives that clock: every ``block_interval`` ticks it
+drains the private mempool through the registered aggregators and seals
+an :class:`L2Block` per produced batch, maintaining the canonical L2
+chain of blocks whose state roots chain together.  The centralisation
+concern the paper opens with (Section I) is visible here: whoever owns
+the sequencer owns the ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import RollupConfig
+from ..crypto import hash_value
+from ..errors import RollupError
+from .aggregator import AggregationResult, Aggregator
+from .fee_market import FeeMarket
+from .fraud_proof import state_root
+from .mempool import BedrockMempool
+from .state import L2State
+from .transaction import NFTTransaction
+
+
+@dataclass(frozen=True)
+class L2Block:
+    """One sealed Layer-2 block."""
+
+    number: int
+    parent_hash: str
+    tx_root: str
+    state_root: str
+    timestamp: int
+    aggregator: str
+    tx_count: int
+
+    @property
+    def block_hash(self) -> str:
+        """Digest identifying this L2 block."""
+        return hash_value(
+            [
+                "l2-block",
+                self.number,
+                self.parent_hash,
+                self.tx_root,
+                self.state_root,
+                self.timestamp,
+            ]
+        )
+
+
+GENESIS_L2_PARENT = hash_value("repro.rollup.l2genesis")
+
+
+class Sequencer:
+    """Fixed-interval L2 block production over the private mempool."""
+
+    def __init__(
+        self,
+        state: L2State,
+        config: Optional[RollupConfig] = None,
+        fee_market: Optional[FeeMarket] = None,
+    ) -> None:
+        self.config = config or RollupConfig()
+        self.state = state
+        self.mempool = BedrockMempool()
+        self.aggregators: List[Aggregator] = []
+        self.blocks: List[L2Block] = []
+        #: Optional EIP-1559 controller updated on every produced block.
+        self.fee_market = fee_market
+        self._clock = 0
+        self._next_aggregator = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def height(self) -> int:
+        """Number of sealed L2 blocks."""
+        return len(self.blocks)
+
+    @property
+    def head(self) -> Optional[L2Block]:
+        """Latest sealed L2 block."""
+        return self.blocks[-1] if self.blocks else None
+
+    @property
+    def clock(self) -> int:
+        """Current tick count."""
+        return self._clock
+
+    def register(self, aggregator: Aggregator) -> None:
+        """Add an aggregator to the round-robin rotation."""
+        self.aggregators.append(aggregator)
+
+    def submit(self, tx: NFTTransaction) -> str:
+        """User-facing submission into the private mempool."""
+        return self.mempool.submit(tx)
+
+    # ------------------------------------------------------------------ #
+
+    def tick(self) -> Optional[Tuple[L2Block, AggregationResult]]:
+        """Advance the Bedrock clock by one tick.
+
+        A block is produced only on interval boundaries and only when
+        transactions are pending — empty intervals seal nothing (Bedrock
+        skips empty blocks in this simulation to keep the chain dense).
+        """
+        if not self.aggregators:
+            raise RollupError("sequencer has no registered aggregators")
+        self._clock += 1
+        if self._clock % self.config.block_interval != 0:
+            return None
+        if len(self.mempool) == 0:
+            return None
+        return self._produce_block()
+
+    def run_until_empty(self, max_ticks: int = 10_000) -> List[L2Block]:
+        """Tick until the mempool drains; returns the sealed blocks."""
+        produced: List[L2Block] = []
+        for _ in range(max_ticks):
+            if len(self.mempool) == 0:
+                break
+            outcome = self.tick()
+            if outcome is not None:
+                produced.append(outcome[0])
+        else:
+            raise RollupError("sequencer failed to drain the mempool")
+        return produced
+
+    def _produce_block(self) -> Tuple[L2Block, AggregationResult]:
+        aggregator = self.aggregators[self._next_aggregator]
+        self._next_aggregator = (self._next_aggregator + 1) % len(self.aggregators)
+        count = min(self.config.aggregator_mempool_size, len(self.mempool))
+        collected = self.mempool.collect(count)
+        result = aggregator.process(self.state.copy(), collected)
+        self.state = result.trace.final_state
+        parent = self.head.block_hash if self.head else GENESIS_L2_PARENT
+        block = L2Block(
+            number=len(self.blocks),
+            parent_hash=parent,
+            tx_root=result.batch.tx_root,
+            state_root=result.batch.post_state_root,
+            timestamp=self._clock,
+            aggregator=aggregator.address,
+            tx_count=len(collected),
+        )
+        self.blocks.append(block)
+        if self.fee_market is not None:
+            fullness = len(collected) / self.config.aggregator_mempool_size
+            self.fee_market.on_block(min(1.0, fullness))
+        return block, result
+
+    def verify_chain(self) -> bool:
+        """Check parent-hash links and the head state root."""
+        parent = GENESIS_L2_PARENT
+        for block in self.blocks:
+            if block.parent_hash != parent:
+                return False
+            parent = block.block_hash
+        if self.blocks and self.blocks[-1].state_root != state_root(self.state):
+            return False
+        return True

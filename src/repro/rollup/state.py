@@ -1,0 +1,216 @@
+"""The L2 chain state the OVM executes against.
+
+:class:`L2State` tracks, per Table I: user balances ``B_k`` (float ETH,
+matching the paper's arithmetic), per-user NFT inventory ``O_k``, the
+remaining mintable supply ``S`` and the scarcity price ``P`` (Eq. 10).
+
+Two execution modes reflect the paper's semantics:
+
+* ``STRICT`` — the constraints of Eq. 1, 3 and 5 are enforced at every
+  position, including token ownership.  This is how honest aggregators
+  and verifiers execute.
+* ``BATCH``  — the within-batch netting the case studies use: balance and
+  supply constraints still bind position-by-position (they move prices),
+  but a seller's inventory may go transiently negative inside the batch
+  provided it nets out non-negative by batch end.  This models the
+  adversarial aggregator's knowledge that the inventory-providing
+  transactions are in the same batch (see Fig. 5(b), where
+  ``T_{U19,U6}`` precedes ``M_{U19}``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..config import NFTContractConfig
+from ..errors import InvalidTransactionError
+from ..tokens import ScarcityPricing, TxValidity
+from .transaction import NFTTransaction, TxKind
+
+
+class ExecutionMode(enum.Enum):
+    """Constraint regime the OVM applies (see module docstring)."""
+
+    STRICT = "strict"
+    BATCH = "batch"
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of attempting one transaction against the state."""
+
+    executed: bool
+    validity: TxValidity
+    price_before: float
+    price_after: float
+    remaining_supply: int
+
+
+class L2State:
+    """Mutable L2 chain state: balances, inventories, supply and price."""
+
+    #: Account that accrues execution fees when fee charging is enabled.
+    FEE_POOL = "__fee_pool__"
+
+    def __init__(
+        self,
+        nft_config: Optional[NFTContractConfig] = None,
+        balances: Optional[Mapping[str, float]] = None,
+        inventory: Optional[Mapping[str, int]] = None,
+        mode: ExecutionMode = ExecutionMode.BATCH,
+        charge_fees: bool = False,
+    ) -> None:
+        self.nft_config = nft_config or NFTContractConfig()
+        self.pricing = ScarcityPricing(
+            max_supply=self.nft_config.max_supply,
+            initial_price_eth=self.nft_config.initial_price_eth,
+        )
+        self.balances: Dict[str, float] = dict(balances or {})
+        self.inventory: Dict[str, int] = dict(inventory or {})
+        minted = sum(self.inventory.values())
+        if minted > self.nft_config.max_supply:
+            raise InvalidTransactionError(
+                f"initial inventory {minted} exceeds max supply "
+                f"{self.nft_config.max_supply}"
+            )
+        if any(count < 0 for count in self.inventory.values()):
+            raise InvalidTransactionError("initial inventory cannot be negative")
+        self.mode = mode
+        #: When enabled, ``apply`` debits each executed transaction's
+        #: total fee from its sender into :attr:`FEE_POOL`.  The paper's
+        #: balance dynamics (and the case studies) ignore fees, so this
+        #: defaults off; the timed deployment and economics tests use it.
+        self.charge_fees = charge_fees
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def minted_count(self) -> int:
+        """Live tokens across all users (may count net positions in BATCH)."""
+        return sum(self.inventory.values())
+
+    @property
+    def remaining_supply(self) -> int:
+        """``S^t`` — tokens still mintable."""
+        return self.nft_config.max_supply - self.minted_count
+
+    @property
+    def unit_price(self) -> float:
+        """``P^t`` — Eq. 10 price at the current supply."""
+        return self.pricing.price(self.remaining_supply)
+
+    def balance(self, user: str) -> float:
+        """L2 token balance ``B_k`` in ETH."""
+        return self.balances.get(user, 0.0)
+
+    def holdings(self, user: str) -> int:
+        """Number of NFTs held by ``user``."""
+        return self.inventory.get(user, 0)
+
+    def wealth(self, user: str) -> float:
+        """Total balance: L2 tokens plus NFT holdings at the unit price.
+
+        This is the quantity the case-study tables label
+        "L2 balance + (PTs owned) * Price".
+        """
+        return self.balance(user) + self.holdings(user) * self.unit_price
+
+    def copy(self) -> "L2State":
+        """Independent deep copy for speculative execution."""
+        return L2State(
+            nft_config=self.nft_config,
+            balances=dict(self.balances),
+            inventory=dict(self.inventory),
+            mode=self.mode,
+            charge_fees=self.charge_fees,
+        )
+
+    def fee_pool(self) -> float:
+        """Fees accumulated so far (zero unless ``charge_fees``)."""
+        return self.balances.get(self.FEE_POOL, 0.0)
+
+    def canonical_items(self) -> Tuple[Tuple, ...]:
+        """Deterministic serialisation for state-root hashing."""
+        return (
+            tuple(sorted((u, round(b, 12)) for u, b in self.balances.items())),
+            tuple(sorted(self.inventory.items())),
+            self.remaining_supply,
+        )
+
+    def inventory_is_consistent(self) -> bool:
+        """Whether no user holds a negative net inventory (batch-end check)."""
+        return all(count >= 0 for count in self.inventory.values())
+
+    # ------------------------------------------------------------------ #
+    # Constraint checks
+    # ------------------------------------------------------------------ #
+
+    def check(self, tx: NFTTransaction) -> TxValidity:
+        """Classify ``tx`` against Eq. 1/3/5 under the current mode."""
+        if tx.kind is TxKind.MINT:
+            if self.remaining_supply < 1:
+                return TxValidity.SUPPLY_EXHAUSTED
+            if self.balance(tx.sender) < self.unit_price:
+                return TxValidity.INSUFFICIENT_BALANCE
+            return TxValidity.VALID
+        if tx.kind is TxKind.TRANSFER:
+            assert tx.recipient is not None
+            if self.mode is ExecutionMode.STRICT and self.holdings(tx.sender) < 1:
+                return TxValidity.NOT_OWNER
+            if self.balance(tx.recipient) < self.unit_price:
+                return TxValidity.INSUFFICIENT_BALANCE
+            return TxValidity.VALID
+        # BURN
+        if self.mode is ExecutionMode.STRICT and self.holdings(tx.sender) < 1:
+            return TxValidity.NOT_OWNER
+        return TxValidity.VALID
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def apply(self, tx: NFTTransaction) -> StepResult:
+        """Attempt to execute ``tx``; invalid transactions are skipped.
+
+        Skipping (rather than raising) mirrors Section V-B: a transaction
+        whose constraints are unsatisfied at its position simply fails to
+        execute, and the assessment records that fact.
+        """
+        validity = self.check(tx)
+        price_before = self.unit_price
+        if validity is not TxValidity.VALID:
+            return StepResult(
+                executed=False,
+                validity=validity,
+                price_before=price_before,
+                price_after=price_before,
+                remaining_supply=self.remaining_supply,
+            )
+        if tx.kind is TxKind.MINT:
+            # Eq. 2: debit at P^{t-1}, grant ownership, shrink supply.
+            self.balances[tx.sender] = self.balance(tx.sender) - price_before
+            self.inventory[tx.sender] = self.holdings(tx.sender) + 1
+        elif tx.kind is TxKind.TRANSFER:
+            # Eq. 4: buyer pays seller at P^{t-1}; supply unchanged.
+            assert tx.recipient is not None
+            self.balances[tx.recipient] = self.balance(tx.recipient) - price_before
+            self.balances[tx.sender] = self.balance(tx.sender) + price_before
+            self.inventory[tx.sender] = self.holdings(tx.sender) - 1
+            self.inventory[tx.recipient] = self.holdings(tx.recipient) + 1
+        else:
+            # Eq. 6: destroy a unit, replenishing mintable supply.
+            self.inventory[tx.sender] = self.holdings(tx.sender) - 1
+        if self.charge_fees:
+            self.balances[tx.sender] = self.balance(tx.sender) - tx.total_fee
+            self.balances[self.FEE_POOL] = self.fee_pool() + tx.total_fee
+        return StepResult(
+            executed=True,
+            validity=TxValidity.VALID,
+            price_before=price_before,
+            price_after=self.unit_price,
+            remaining_supply=self.remaining_supply,
+        )

@@ -1,0 +1,53 @@
+"""Rollup verifiers and the challenge decision (Section V-A).
+
+A verifier watches batch commitments, re-executes each batch from its
+pre-state, and challenges when the recomputed root differs from the
+claimed root.  Honest re-execution uses STRICT mode — but note the batch
+the adversarial aggregator publishes was *also* executed by the same
+deterministic OVM, so reordering alone never diverges the roots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .batch import Batch
+from .fraud_proof import recompute_post_root
+from .ovm import OVM
+from .state import L2State
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of a verifier's inspection of one batch."""
+
+    batch_tx_root: str
+    recomputed_post_root: str
+    claimed_post_root: str
+    tx_root_ok: bool
+
+    @property
+    def should_challenge(self) -> bool:
+        """Challenge iff the commitment is provably wrong."""
+        return not self.tx_root_ok or (
+            self.recomputed_post_root != self.claimed_post_root
+        )
+
+
+class Verifier:
+    """An L1 watcher that re-executes batches and challenges fraud."""
+
+    def __init__(self, address: str, ovm: Optional[OVM] = None) -> None:
+        self.address = address
+        self.ovm = ovm or OVM()
+
+    def inspect(self, batch: Batch, pre_state: L2State) -> VerificationReport:
+        """Re-execute ``batch`` from ``pre_state`` and compare roots."""
+        recomputed = recompute_post_root(pre_state, batch.transactions, self.ovm)
+        return VerificationReport(
+            batch_tx_root=batch.tx_root,
+            recomputed_post_root=recomputed,
+            claimed_post_root=batch.post_state_root,
+            tx_root_ok=batch.verify_tx_root(),
+        )

@@ -1,0 +1,213 @@
+"""JSON serialization of workloads, transactions and results.
+
+Experiments should be archivable and replayable: this module round-trips
+the objects a study produces — transactions, L2 states, whole workloads,
+and attack-outcome summaries — through plain JSON-compatible dicts, plus
+file helpers.  Round-trip fidelity is property-tested.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Union
+
+from .config import NFTContractConfig, WorkloadConfig
+from .core.parole import AttackOutcome
+from .errors import ReproError
+from .rollup.state import ExecutionMode, L2State
+from .rollup.transaction import NFTTransaction, TxKind
+from .workloads.generator import Workload
+
+SCHEMA_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """Malformed payload during decode."""
+
+
+# ---------------------------------------------------------------------- #
+# Transactions
+# ---------------------------------------------------------------------- #
+
+def transaction_to_dict(tx: NFTTransaction) -> Dict[str, Any]:
+    """Encode one transaction."""
+    return {
+        "kind": tx.kind.value,
+        "sender": tx.sender,
+        "recipient": tx.recipient,
+        "token_id": tx.token_id,
+        "base_fee": tx.base_fee,
+        "priority_fee": tx.priority_fee,
+        "nonce": tx.nonce,
+        "submitted_at": tx.submitted_at,
+        "label": tx.label,
+    }
+
+
+def transaction_from_dict(data: Dict[str, Any]) -> NFTTransaction:
+    """Decode one transaction."""
+    try:
+        return NFTTransaction(
+            kind=TxKind(data["kind"]),
+            sender=data["sender"],
+            recipient=data.get("recipient"),
+            token_id=data.get("token_id"),
+            base_fee=data.get("base_fee", 1.0),
+            priority_fee=data.get("priority_fee", 0.0),
+            nonce=data.get("nonce", 0),
+            submitted_at=data.get("submitted_at", 0),
+            label=data.get("label", ""),
+        )
+    except (KeyError, ValueError) as exc:
+        raise SerializationError(f"bad transaction payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------------- #
+# State
+# ---------------------------------------------------------------------- #
+
+def state_to_dict(state: L2State) -> Dict[str, Any]:
+    """Encode an L2 state snapshot."""
+    return {
+        "nft": {
+            "symbol": state.nft_config.symbol,
+            "name": state.nft_config.name,
+            "max_supply": state.nft_config.max_supply,
+            "initial_price_eth": state.nft_config.initial_price_eth,
+        },
+        "balances": dict(state.balances),
+        "inventory": dict(state.inventory),
+        "mode": state.mode.value,
+    }
+
+
+def state_from_dict(data: Dict[str, Any]) -> L2State:
+    """Decode an L2 state snapshot."""
+    try:
+        nft = data["nft"]
+        return L2State(
+            nft_config=NFTContractConfig(
+                symbol=nft["symbol"],
+                name=nft["name"],
+                max_supply=nft["max_supply"],
+                initial_price_eth=nft["initial_price_eth"],
+            ),
+            balances=data["balances"],
+            inventory={k: int(v) for k, v in data["inventory"].items()},
+            mode=ExecutionMode(data.get("mode", "batch")),
+        )
+    except (KeyError, ValueError) as exc:
+        raise SerializationError(f"bad state payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------------- #
+# Workloads
+# ---------------------------------------------------------------------- #
+
+def workload_to_dict(workload: Workload) -> Dict[str, Any]:
+    """Encode a full workload (pre-state + original-order transactions)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "pre_state": state_to_dict(workload.pre_state),
+        "transactions": [
+            transaction_to_dict(tx) for tx in workload.transactions
+        ],
+        "ifus": list(workload.ifus),
+        "users": list(workload.users),
+        "config": {
+            "mempool_size": workload.config.mempool_size,
+            "num_users": workload.config.num_users,
+            "num_ifus": workload.config.num_ifus,
+            "seed": workload.config.seed,
+            "max_supply": workload.config.max_supply,
+        },
+    }
+
+
+def workload_from_dict(data: Dict[str, Any]) -> Workload:
+    """Decode a workload."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise SerializationError(
+            f"unsupported schema {data.get('schema')!r}; expected "
+            f"{SCHEMA_VERSION}"
+        )
+    try:
+        config_data = data["config"]
+        config = WorkloadConfig(
+            mempool_size=config_data["mempool_size"],
+            num_users=config_data["num_users"],
+            num_ifus=config_data["num_ifus"],
+            seed=config_data.get("seed", 0),
+            max_supply=config_data.get("max_supply"),
+        )
+        return Workload(
+            pre_state=state_from_dict(data["pre_state"]),
+            transactions=tuple(
+                transaction_from_dict(item) for item in data["transactions"]
+            ),
+            ifus=tuple(data["ifus"]),
+            users=tuple(data["users"]),
+            config=config,
+        )
+    except KeyError as exc:
+        raise SerializationError(f"bad workload payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------------- #
+# Attack outcomes
+# ---------------------------------------------------------------------- #
+
+def outcome_to_dict(outcome: AttackOutcome) -> Dict[str, Any]:
+    """Encode an attack outcome summary (result telemetry, not weights)."""
+    result = outcome.result
+    return {
+        "schema": SCHEMA_VERSION,
+        "attacked": outcome.attacked,
+        "profit_eth": outcome.profit,
+        "per_ifu_profit": dict(outcome.per_ifu_profit),
+        "assessment": {
+            "has_opportunity": outcome.assessment.has_opportunity,
+            "reasons": list(outcome.assessment.reasons),
+            "involvement": dict(outcome.assessment.involvement),
+        },
+        "executed_order": [
+            transaction_to_dict(tx) for tx in outcome.executed_sequence
+        ],
+        "original_objective": (
+            result.original_objective if result is not None else None
+        ),
+        "best_objective": (
+            result.best_objective if result is not None else None
+        ),
+        "episode_rewards": (
+            list(result.episode_rewards) if result is not None else []
+        ),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Files
+# ---------------------------------------------------------------------- #
+
+def save_json(data: Dict[str, Any], path: Union[str, pathlib.Path]) -> None:
+    """Write a payload as pretty-printed JSON."""
+    pathlib.Path(path).write_text(json.dumps(data, indent=2, sort_keys=True))
+
+
+def load_json(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
+    """Read a JSON payload."""
+    try:
+        return json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot load {path}: {exc}") from exc
+
+
+def save_workload(workload: Workload, path: Union[str, pathlib.Path]) -> None:
+    """Archive a workload to disk."""
+    save_json(workload_to_dict(workload), path)
+
+
+def load_workload(path: Union[str, pathlib.Path]) -> Workload:
+    """Restore a workload from disk."""
+    return workload_from_dict(load_json(path))

@@ -1,0 +1,203 @@
+"""Simulation actors: users, aggregators and verifiers on the clock.
+
+Each actor owns a name on the :class:`~repro.sim.network.SimNetwork` and
+reacts to delivered messages.  The aggregator actor is where the paper's
+timing story lives: on every Bedrock interval it collects its mempool
+share and must finish (re)ordering *within the interval* — an
+adversarial aggregator whose GENTRANSEQ compute budget exceeds the slot
+falls back to the honest order for that round (a missed arbitrage, not
+a missed batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..rollup.batch import Batch, build_batch
+from ..rollup.mempool import BedrockMempool
+from ..rollup.state import L2State
+from ..rollup.transaction import NFTTransaction
+from ..rollup.verifier import Verifier
+from .events import EventQueue
+from .network import Message, SimNetwork
+
+#: A reordering strategy plus its simulated compute cost in time units.
+TimedReorderer = Callable[
+    [L2State, Sequence[NFTTransaction]], Tuple[Sequence[NFTTransaction], float]
+]
+
+
+class Actor:
+    """Base class: a named node wired to the network and the clock."""
+
+    def __init__(self, name: str, network: SimNetwork, queue: EventQueue) -> None:
+        self.name = name
+        self.network = network
+        self.queue = queue
+        network.register(name, self.on_message)
+
+    def on_message(self, message: Message) -> None:
+        """Handle a delivered message (default: ignore)."""
+
+    def send(self, recipient: str, kind: str, payload: Any = None) -> bool:
+        """Convenience wrapper around the network."""
+        return self.network.send(self.name, recipient, kind, payload)
+
+
+class UserActor(Actor):
+    """Submits a scripted stream of transactions to the mempool node."""
+
+    def __init__(
+        self,
+        name: str,
+        network: SimNetwork,
+        queue: EventQueue,
+        mempool_node: str,
+        schedule: Sequence[Tuple[float, NFTTransaction]],
+    ) -> None:
+        super().__init__(name, network, queue)
+        self.mempool_node = mempool_node
+        self.submitted: List[Tuple[float, str]] = []
+        for at_time, tx in schedule:
+            queue.schedule(
+                at_time,
+                lambda tx=tx: self._submit(tx),
+                label=f"user-submit:{name}",
+            )
+
+    def _submit(self, tx: NFTTransaction) -> None:
+        self.send(self.mempool_node, "submit-tx", tx)
+        self.submitted.append((self.queue.now, tx.tx_hash))
+
+
+class MempoolActor(Actor):
+    """Hosts Bedrock's private mempool as a network node."""
+
+    def __init__(self, name: str, network: SimNetwork, queue: EventQueue) -> None:
+        super().__init__(name, network, queue)
+        self.mempool = BedrockMempool()
+        self.submission_times: dict = {}
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == "submit-tx":
+            tx_hash = self.mempool.submit(message.payload)
+            self.submission_times[tx_hash] = message.delivered_at
+        elif message.kind == "collect":
+            count = message.payload
+            selected = self.mempool.collect(min(count, len(self.mempool))) \
+                if len(self.mempool) else ()
+            self.send(message.sender, "collected", tuple(selected))
+
+
+class AggregatorActor(Actor):
+    """Collects on the Bedrock interval, (re)orders, commits batches."""
+
+    def __init__(
+        self,
+        name: str,
+        network: SimNetwork,
+        queue: EventQueue,
+        mempool_node: str,
+        state_provider: Callable[[], L2State],
+        state_committer: Callable[[L2State], None],
+        block_interval: float = 2.0,
+        collect_size: int = 16,
+        reorderer: Optional[TimedReorderer] = None,
+        reorder_deadline: Optional[float] = None,
+        rounds: int = 3,
+        batch_listener: Optional[Callable[[L2State, Batch], None]] = None,
+        slot_index: int = 0,
+        slot_count: int = 1,
+    ) -> None:
+        super().__init__(name, network, queue)
+        self.mempool_node = mempool_node
+        self.state_provider = state_provider
+        self.state_committer = state_committer
+        self.batch_listener = batch_listener
+        self.block_interval = block_interval
+        self.collect_size = collect_size
+        self.reorderer = reorderer
+        self.reorder_deadline = (
+            reorder_deadline if reorder_deadline is not None else block_interval
+        )
+        self.batches: List[Tuple[float, Batch]] = []
+        self.missed_deadlines = 0
+        self.attacks_fired = 0
+        # Round-robin slots: aggregator k of C owns intervals k, k+C, ...
+        for round_index in range(rounds):
+            slot = round_index * slot_count + slot_index + 1
+            queue.schedule(
+                slot * block_interval,
+                self._collect,
+                label=f"aggregate:{name}",
+            )
+
+    def _collect(self) -> None:
+        self.send(self.mempool_node, "collect", self.collect_size)
+
+    def on_message(self, message: Message) -> None:
+        if message.kind != "collected":
+            return
+        collected: Tuple[NFTTransaction, ...] = message.payload
+        if not collected:
+            return
+        pre_state = self.state_provider()
+        order: Sequence[NFTTransaction] = collected
+        compute_delay = 0.0
+        if self.reorderer is not None:
+            candidate, cost = self.reorderer(pre_state, collected)
+            if cost <= self.reorder_deadline:
+                order = candidate
+                compute_delay = cost
+                if tuple(candidate) != tuple(collected):
+                    self.attacks_fired += 1
+            else:
+                # Too slow for the slot: fall back to the honest order.
+                self.missed_deadlines += 1
+                compute_delay = self.reorder_deadline
+
+        def commit() -> None:
+            batch, trace = build_batch(self.name, pre_state, order)
+            self.state_committer(trace.final_state)
+            self.batches.append((self.queue.now, batch))
+            if self.batch_listener is not None:
+                self.batch_listener(pre_state, batch)
+            self.network.broadcast(self.name, "batch-commit", batch)
+
+        self.queue.schedule(compute_delay, commit, label=f"commit:{self.name}")
+
+
+class VerifierActor(Actor):
+    """Re-executes committed batches after a verification delay."""
+
+    def __init__(
+        self,
+        name: str,
+        network: SimNetwork,
+        queue: EventQueue,
+        pre_state_provider: Callable[[Batch], L2State],
+        verification_delay: float = 0.5,
+    ) -> None:
+        super().__init__(name, network, queue)
+        self.pre_state_provider = pre_state_provider
+        self.verification_delay = verification_delay
+        self.verifier = Verifier(name)
+        self.reports: List[Tuple[float, bool]] = []
+        self.challenges: List[Batch] = []
+
+    def on_message(self, message: Message) -> None:
+        if message.kind != "batch-commit":
+            return
+        batch: Batch = message.payload
+
+        def inspect() -> None:
+            pre_state = self.pre_state_provider(batch)
+            report = self.verifier.inspect(batch, pre_state)
+            self.reports.append((self.queue.now, report.should_challenge))
+            if report.should_challenge:
+                self.challenges.append(batch)
+
+        self.queue.schedule(
+            self.verification_delay, inspect, label=f"verify:{self.name}"
+        )

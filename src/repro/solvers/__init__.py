@@ -1,0 +1,43 @@
+"""Baseline re-ordering solvers (Figure 11's comparison set).
+
+The paper contrasts DQN inference with the commercial NLP solvers APOPT,
+MINOS and SNOPT.  Those are closed-source, so this package provides
+open stand-ins with the same job description — solve the non-linear
+transaction-ordering problem — and the same asymptotic cost behaviour:
+continuous-relaxation NLP solvers built on scipy (time/memory grow
+super-linearly with mempool size) plus combinatorial baselines
+(exhaustive, branch-and-bound, annealing, hill-climbing, greedy).
+"""
+
+from .base import ReorderProblem, ReorderSolver, SolverResult
+from .exhaustive import ExhaustiveSolver, BranchAndBoundSolver
+from .annealing import SimulatedAnnealingSolver
+from .hill_climb import HillClimbSolver, RandomRestartHillClimbSolver
+from .greedy import GreedyInsertionSolver
+from .nlp_relaxation import (
+    ApoptLikeSolver,
+    MinosLikeSolver,
+    SnoptLikeSolver,
+    RelaxationSolver,
+)
+from .dqn_solver import DQNInferenceSolver
+from .profiling import ProfiledRun, profile_solver
+
+__all__ = [
+    "ReorderProblem",
+    "ReorderSolver",
+    "SolverResult",
+    "ExhaustiveSolver",
+    "BranchAndBoundSolver",
+    "SimulatedAnnealingSolver",
+    "HillClimbSolver",
+    "RandomRestartHillClimbSolver",
+    "GreedyInsertionSolver",
+    "ApoptLikeSolver",
+    "MinosLikeSolver",
+    "SnoptLikeSolver",
+    "RelaxationSolver",
+    "DQNInferenceSolver",
+    "ProfiledRun",
+    "profile_solver",
+]

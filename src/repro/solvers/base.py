@@ -1,0 +1,122 @@
+"""Common interface for transaction re-ordering solvers.
+
+A :class:`ReorderProblem` bundles the pre-state, the original sequence
+and the IFU set; its :meth:`~ReorderProblem.score` evaluates any
+permutation (feasibility-aware, matching the GENTRANSEQ environment's
+objective).  Every solver maps a problem to a :class:`SolverResult`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.environment import ReorderEnv
+from ..core.multi_ifu import Objective, mean_wealth
+from ..config import GenTranSeqConfig
+from ..rollup.state import L2State
+from ..rollup.transaction import NFTTransaction
+
+
+@dataclass
+class ReorderProblem:
+    """One instance of the NFT transaction re-ordering problem."""
+
+    pre_state: L2State
+    transactions: Tuple[NFTTransaction, ...]
+    ifus: Tuple[str, ...]
+    objective: Objective = mean_wealth
+
+    def __post_init__(self) -> None:
+        self.transactions = tuple(self.transactions)
+        self.ifus = tuple(self.ifus)
+        self._env = ReorderEnv(
+            pre_state=self.pre_state,
+            transactions=self.transactions,
+            ifus=self.ifus,
+            config=GenTranSeqConfig(),
+            objective=self.objective,
+        )
+        self.evaluations = 0
+
+    @property
+    def size(self) -> int:
+        """N — sequence length."""
+        return len(self.transactions)
+
+    @property
+    def original_objective(self) -> float:
+        """Objective value of the original ordering."""
+        return self._env.original_objective
+
+    def score(self, order: Sequence[int]) -> float:
+        """Objective of a permutation; ``-inf`` when infeasible.
+
+        Feasible means every transaction that executed under the original
+        order still executes and batch-end inventory is consistent.
+        """
+        self.evaluations += 1
+        evaluation = self._env.evaluate_order(order)
+        if not evaluation["feasible"]:
+            return float("-inf")
+        return evaluation["objective"]
+
+    def identity_order(self) -> Tuple[int, ...]:
+        """The original permutation ``(0, 1, ..., N-1)``."""
+        return tuple(range(self.size))
+
+
+@dataclass
+class SolverResult:
+    """What a solver found and what it cost."""
+
+    solver_name: str
+    best_order: Tuple[int, ...]
+    best_objective: float
+    original_objective: float
+    elapsed_seconds: float
+    evaluations: int
+    peak_memory_bytes: int = 0
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def profit(self) -> float:
+        """Objective gain over the original ordering."""
+        return self.best_objective - self.original_objective
+
+    @property
+    def improved(self) -> bool:
+        """Whether the solver beat the original ordering."""
+        return self.profit > 1e-12
+
+
+class ReorderSolver(abc.ABC):
+    """Base class every baseline solver implements."""
+
+    name: str = "solver"
+
+    @abc.abstractmethod
+    def solve(self, problem: ReorderProblem) -> SolverResult:
+        """Search for the best feasible permutation of the problem."""
+
+    def _result(
+        self,
+        problem: ReorderProblem,
+        best_order: Sequence[int],
+        best_objective: float,
+        elapsed: float,
+        metadata: Optional[Dict[str, float]] = None,
+    ) -> SolverResult:
+        if best_objective == float("-inf"):
+            best_order = problem.identity_order()
+            best_objective = problem.original_objective
+        return SolverResult(
+            solver_name=self.name,
+            best_order=tuple(best_order),
+            best_objective=best_objective,
+            original_objective=problem.original_objective,
+            elapsed_seconds=elapsed,
+            evaluations=problem.evaluations,
+            metadata=metadata or {},
+        )

@@ -1,0 +1,123 @@
+"""Exact solvers: exhaustive enumeration and branch-and-bound.
+
+Exhaustive search certifies optimality for small N (used to validate the
+case studies and as ground truth in tests).  Branch-and-bound prunes
+partial orderings with an optimistic bound on the IFU's achievable
+wealth, extending exact solving a little further; both explode
+factorially and exist to demonstrate *why* the paper needs a learned
+policy.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import permutations
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import SolverError
+from .base import ReorderProblem, ReorderSolver, SolverResult
+
+
+class ExhaustiveSolver(ReorderSolver):
+    """Try every permutation (guarded by a hard size limit)."""
+
+    name = "exhaustive"
+
+    def __init__(self, max_size: int = 9) -> None:
+        self.max_size = max_size
+
+    def solve(self, problem: ReorderProblem) -> SolverResult:
+        """Enumerate all ``N!`` orders; raises above ``max_size``."""
+        if problem.size > self.max_size:
+            raise SolverError(
+                f"exhaustive search over {problem.size}! permutations refused "
+                f"(limit {self.max_size})"
+            )
+        started = time.perf_counter()
+        best_order: Tuple[int, ...] = problem.identity_order()
+        best_objective = problem.score(best_order)
+        for order in permutations(range(problem.size)):
+            value = problem.score(order)
+            if value > best_objective:
+                best_objective = value
+                best_order = order
+        elapsed = time.perf_counter() - started
+        return self._result(problem, best_order, best_objective, elapsed)
+
+
+class BranchAndBoundSolver(ReorderSolver):
+    """Depth-first search over orderings with optimistic-bound pruning.
+
+    The bound assumes the IFU could still capture the maximum possible
+    price appreciation on all held tokens for the unplaced suffix — a
+    valid over-estimate because Eq. 10 caps the price at the
+    one-remaining-token level.
+    """
+
+    name = "branch-and-bound"
+
+    def __init__(self, max_size: int = 12, node_budget: int = 2_000_000) -> None:
+        self.max_size = max_size
+        self.node_budget = node_budget
+
+    def solve(self, problem: ReorderProblem) -> SolverResult:
+        """Exact search with pruning; raises above ``max_size``."""
+        if problem.size > self.max_size:
+            raise SolverError(
+                f"branch-and-bound over {problem.size} transactions refused "
+                f"(limit {self.max_size})"
+            )
+        started = time.perf_counter()
+        self._nodes = 0
+        identity = problem.identity_order()
+        self._best_order: Tuple[int, ...] = identity
+        self._best_objective = problem.score(identity)
+        self._bound_ceiling = self._wealth_ceiling(problem)
+        self._search(problem, [], set(range(problem.size)))
+        elapsed = time.perf_counter() - started
+        return self._result(
+            problem,
+            self._best_order,
+            self._best_objective,
+            elapsed,
+            metadata={"nodes": float(self._nodes)},
+        )
+
+    def _wealth_ceiling(self, problem: ReorderProblem) -> float:
+        state = problem.pre_state
+        price_max = state.pricing.price(1)
+        # Most optimistic: every IFU ends holding every token it could touch
+        # at the maximum price plus its full cash balance.
+        ceiling = 0.0
+        for ifu in problem.ifus:
+            holdings_bound = state.holdings(ifu) + sum(
+                1 for tx in problem.transactions if tx.recipient == ifu or (
+                    tx.sender == ifu and tx.kind.value == "mint"
+                )
+            )
+            ceiling += state.balance(ifu) + holdings_bound * price_max
+        return ceiling / max(len(problem.ifus), 1)
+
+    def _search(
+        self,
+        problem: ReorderProblem,
+        prefix: List[int],
+        remaining: set,
+    ) -> None:
+        self._nodes += 1
+        if self._nodes > self.node_budget:
+            raise SolverError(f"branch-and-bound exceeded {self.node_budget} nodes")
+        if not remaining:
+            value = problem.score(prefix)
+            if value > self._best_objective:
+                self._best_objective = value
+                self._best_order = tuple(prefix)
+            return
+        if self._bound_ceiling <= self._best_objective:
+            return
+        for candidate in sorted(remaining):
+            prefix.append(candidate)
+            remaining.discard(candidate)
+            self._search(problem, prefix, remaining)
+            remaining.add(candidate)
+            prefix.pop()

@@ -1,0 +1,42 @@
+"""Greedy insertion heuristic.
+
+Builds an order one transaction at a time, always inserting the next
+(original-order) transaction at the position that maximises the IFU
+objective of the partial prefix.  Fast and deterministic, but blind to
+cross-transaction interactions — a useful "what a naive bot would do"
+baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from .base import ReorderProblem, ReorderSolver, SolverResult
+
+
+class GreedyInsertionSolver(ReorderSolver):
+    """Insert each transaction at its myopically-best position."""
+
+    name = "greedy-insertion"
+
+    def solve(self, problem: ReorderProblem) -> SolverResult:
+        """Greedy construction followed by a final feasibility check."""
+        started = time.perf_counter()
+        order: List[int] = []
+        for tx_index in range(problem.size):
+            best_position = len(order)
+            best_value = float("-inf")
+            for position in range(len(order) + 1):
+                candidate = order[:position] + [tx_index] + order[position:]
+                # Score the candidate prefix padded with the untouched
+                # suffix so every evaluation covers a full permutation.
+                suffix = [k for k in range(problem.size) if k not in candidate]
+                value = problem.score(candidate + suffix)
+                if value > best_value:
+                    best_value = value
+                    best_position = position
+            order.insert(best_position, tx_index)
+        final_value = problem.score(order)
+        elapsed = time.perf_counter() - started
+        return self._result(problem, tuple(order), final_value, elapsed)

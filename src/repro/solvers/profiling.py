@@ -1,0 +1,70 @@
+"""Time and peak-memory profiling of solver runs (Figure 11).
+
+Wraps a solver invocation in ``tracemalloc`` so the Figure 11(b) memory
+comparison reflects actual allocation peaks, and wall-clocks the run for
+Figure 11(a).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .base import ReorderProblem, ReorderSolver, SolverResult
+
+
+@dataclass(frozen=True)
+class ProfiledRun:
+    """A solver result annotated with measured time and memory."""
+
+    result: SolverResult
+    elapsed_seconds: float
+    peak_memory_bytes: int
+
+    @property
+    def solver_name(self) -> str:
+        """The profiled solver's name."""
+        return self.result.solver_name
+
+    @property
+    def peak_memory_kib(self) -> float:
+        """Peak traced allocation in KiB."""
+        return self.peak_memory_bytes / 1024.0
+
+
+def profile_solver(
+    solver: ReorderSolver,
+    problem: ReorderProblem,
+    extra_memory_bytes: int = 0,
+) -> ProfiledRun:
+    """Run ``solver`` on ``problem`` under tracemalloc.
+
+    ``extra_memory_bytes`` adds a constant footprint the tracer cannot
+    see — e.g. the DQN's pre-trained weights, which exist before the
+    profiled inference call (Figure 11(b) counts them against the DQN).
+    """
+    tracemalloc.start()
+    started = time.perf_counter()
+    try:
+        result = solver.solve(problem)
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    elapsed = time.perf_counter() - started
+    annotated = SolverResult(
+        solver_name=result.solver_name,
+        best_order=result.best_order,
+        best_objective=result.best_objective,
+        original_objective=result.original_objective,
+        elapsed_seconds=elapsed,
+        evaluations=result.evaluations,
+        peak_memory_bytes=peak + extra_memory_bytes,
+        metadata=result.metadata,
+    )
+    return ProfiledRun(
+        result=annotated,
+        elapsed_seconds=elapsed,
+        peak_memory_bytes=peak + extra_memory_bytes,
+    )

@@ -1,0 +1,25 @@
+"""Ethereum token standards used by the paper.
+
+* :mod:`repro.tokens.erc20` — fungible tokens (background Section II-B);
+* :mod:`repro.tokens.erc721` — the limited-edition NFT state machine with
+  the mint/transfer/burn constraints of Eq. 1-6;
+* :mod:`repro.tokens.pricing` — the scarcity pricing rule of Eq. 10.
+"""
+
+from .erc20 import ERC20Token
+from .erc721 import (
+    LimitedEditionNFT,
+    NFTEvent,
+    TxValidity,
+)
+from .pricing import ScarcityPricing
+from .registry import TokenRegistry
+
+__all__ = [
+    "ERC20Token",
+    "LimitedEditionNFT",
+    "NFTEvent",
+    "TxValidity",
+    "ScarcityPricing",
+    "TokenRegistry",
+]

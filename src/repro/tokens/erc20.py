@@ -1,0 +1,78 @@
+"""A minimal ERC-20 fungible token.
+
+The paper's L2 token (used to pay for NFTs) behaves like an ERC-20
+balance: transferable, divisible, with the usual allowance mechanics.
+Amounts are integers in the token's smallest unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import InsufficientBalanceError, TokenError
+
+
+@dataclass
+class ERC20Token:
+    """Fungible token with balances, allowances and a capped supply."""
+
+    symbol: str
+    name: str
+    decimals: int = 18
+    _balances: Dict[str, int] = field(default_factory=dict)
+    _allowances: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    _total_supply: int = 0
+
+    def total_supply(self) -> int:
+        """Total units in circulation."""
+        return self._total_supply
+
+    def balance_of(self, owner: str) -> int:
+        """Units held by ``owner`` (zero for unknown addresses)."""
+        return self._balances.get(owner, 0)
+
+    def mint(self, recipient: str, amount: int) -> None:
+        """Create ``amount`` new units for ``recipient``."""
+        if amount <= 0:
+            raise TokenError("mint amount must be positive")
+        self._balances[recipient] = self._balances.get(recipient, 0) + amount
+        self._total_supply += amount
+
+    def burn(self, owner: str, amount: int) -> None:
+        """Destroy ``amount`` units held by ``owner``."""
+        held = self.balance_of(owner)
+        if amount <= 0 or held < amount:
+            raise InsufficientBalanceError(owner, amount, held)
+        self._balances[owner] = held - amount
+        self._total_supply -= amount
+
+    def transfer(self, sender: str, recipient: str, amount: int) -> None:
+        """Move units between accounts."""
+        held = self.balance_of(sender)
+        if amount <= 0 or held < amount:
+            raise InsufficientBalanceError(sender, amount, held)
+        self._balances[sender] = held - amount
+        self._balances[recipient] = self.balance_of(recipient) + amount
+
+    def approve(self, owner: str, spender: str, amount: int) -> None:
+        """Authorise ``spender`` to move up to ``amount`` of ``owner``'s units."""
+        if amount < 0:
+            raise TokenError("allowance cannot be negative")
+        self._allowances[(owner, spender)] = amount
+
+    def allowance(self, owner: str, spender: str) -> int:
+        """Remaining authorised amount for a (owner, spender) pair."""
+        return self._allowances.get((owner, spender), 0)
+
+    def transfer_from(
+        self, spender: str, owner: str, recipient: str, amount: int
+    ) -> None:
+        """Spend an allowance to move ``owner``'s units to ``recipient``."""
+        allowed = self.allowance(owner, spender)
+        if amount <= 0 or allowed < amount:
+            raise TokenError(
+                f"spender {spender!r} allowance {allowed} insufficient for {amount}"
+            )
+        self.transfer(owner, recipient, amount)
+        self._allowances[(owner, spender)] = allowed - amount

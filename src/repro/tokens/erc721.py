@@ -1,0 +1,371 @@
+"""Limited-edition ERC-721 NFT state machine (paper Section V-B).
+
+:class:`LimitedEditionNFT` implements the three transaction types and
+their execution constraints exactly as Eq. 1-6:
+
+* **Mint** ``M_k^{i,t}`` — requires ``B_k >= P`` and remaining supply
+  ``S >= 1``; debits the price, assigns ownership, decrements supply.
+* **Transfer** ``T_{k,j}^{i,t}`` — requires the buyer's balance covers the
+  price and the seller owns the token; moves the price buyer → seller.
+* **Burn** ``D_k^{i,t}`` — requires ownership; releases the token back to
+  the mintable pool (supply increments, price falls per Eq. 10).
+
+Payments settle against a mutable ``balances`` mapping (address → ETH
+float) supplied by the caller, so the same contract logic runs inside the
+OVM replay, the RL environment and the end-to-end rollup pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, MutableMapping, Optional, Set, Tuple
+
+from ..config import NFTContractConfig
+from ..errors import NotOwnerError, SupplyExhaustedError, TokenError, UnknownTokenError
+from .pricing import ScarcityPricing
+
+
+class TxValidity(enum.Enum):
+    """Outcome classes of a constraint check (Eq. 1, 3, 5)."""
+
+    VALID = "valid"
+    INSUFFICIENT_BALANCE = "insufficient_balance"
+    SUPPLY_EXHAUSTED = "supply_exhausted"
+    NOT_OWNER = "not_owner"
+    TOKEN_ALREADY_MINTED = "token_already_minted"
+    UNKNOWN_TOKEN = "unknown_token"
+
+
+@dataclass(frozen=True)
+class NFTEvent:
+    """One applied state transition, for audit trails and fraud proofs."""
+
+    kind: str
+    actor: str
+    counterparty: Optional[str]
+    token_id: int
+    price_before: float
+    price_after: float
+    remaining_supply: int
+
+
+class LimitedEditionNFT:
+    """A scarcity-priced ERC-721 contract.
+
+    Parameters
+    ----------
+    config:
+        Supply and initial-price parameters (defaults are the PAROLE Token).
+    owners:
+        Optional pre-existing ownership map ``{token_id: owner}`` for
+        mid-life snapshots such as the case studies (5 of 10 PT minted).
+    """
+
+    def __init__(
+        self,
+        config: Optional[NFTContractConfig] = None,
+        owners: Optional[Dict[int, str]] = None,
+    ) -> None:
+        self.config = config or NFTContractConfig()
+        self.pricing = ScarcityPricing(
+            max_supply=self.config.max_supply,
+            initial_price_eth=self.config.initial_price_eth,
+        )
+        self._owners: Dict[int, str] = dict(owners or {})
+        if len(self._owners) > self.config.max_supply:
+            raise TokenError("more pre-minted tokens than max supply")
+        for token_id in self._owners:
+            if not 0 <= token_id < self.config.max_supply:
+                raise TokenError(
+                    f"pre-minted token id {token_id} outside [0, {self.config.max_supply})"
+                )
+        self._burned: Set[int] = set()
+        self._events: List[NFTEvent] = []
+        self._token_approvals: Dict[int, str] = {}
+        self._operator_approvals: Dict[Tuple[str, str], bool] = {}
+        self._metadata: Dict[int, Dict[str, str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def minted_count(self) -> int:
+        """Number of currently-live tokens."""
+        return len(self._owners)
+
+    @property
+    def remaining_supply(self) -> int:
+        """``S^t`` — tokens still available to mint (burns replenish it)."""
+        return self.config.max_supply - len(self._owners)
+
+    @property
+    def unit_price(self) -> float:
+        """``P^t`` — current price per token (Eq. 10)."""
+        return self.pricing.price(self.remaining_supply)
+
+    @property
+    def events(self) -> Tuple[NFTEvent, ...]:
+        """All applied transitions, oldest first."""
+        return tuple(self._events)
+
+    def owner_of(self, token_id: int) -> str:
+        """Current owner of a live token."""
+        try:
+            return self._owners[token_id]
+        except KeyError:
+            raise UnknownTokenError(f"token {token_id} is not live") from None
+
+    def exists(self, token_id: int) -> bool:
+        """Whether ``token_id`` is currently live (minted, not burned)."""
+        return token_id in self._owners
+
+    def tokens_of(self, owner: str) -> Tuple[int, ...]:
+        """Sorted ids of all live tokens held by ``owner``."""
+        return tuple(sorted(t for t, o in self._owners.items() if o == owner))
+
+    def holdings_value(self, owner: str) -> float:
+        """ETH valuation of ``owner``'s tokens at the current unit price."""
+        return len(self.tokens_of(owner)) * self.unit_price
+
+    def next_token_id(self) -> int:
+        """Lowest id that has never been minted (fresh-mint assignment)."""
+        for candidate in range(self.config.max_supply):
+            if candidate not in self._owners and candidate not in self._burned:
+                return candidate
+        # All ids have lived at some point; reuse the lowest burned id.
+        for candidate in range(self.config.max_supply):
+            if candidate not in self._owners:
+                return candidate
+        raise SupplyExhaustedError("every token id is live")
+
+    def snapshot(self) -> "LimitedEditionNFT":
+        """Deep copy of the contract state for speculative execution."""
+        clone = LimitedEditionNFT(config=self.config, owners=dict(self._owners))
+        clone._burned = set(self._burned)
+        clone._events = list(self._events)
+        clone._token_approvals = dict(self._token_approvals)
+        clone._operator_approvals = dict(self._operator_approvals)
+        clone._metadata = {k: dict(v) for k, v in self._metadata.items()}
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # ERC-721 approvals (`approve` / `setApprovalForAll`)
+    # ------------------------------------------------------------------ #
+
+    def approve(self, owner: str, approved: str, token_id: int) -> None:
+        """Authorise ``approved`` to transfer one specific token."""
+        if self.owner_of(token_id) != owner:
+            raise NotOwnerError(
+                f"{owner!r} cannot approve token {token_id}: not the owner"
+            )
+        self._token_approvals[token_id] = approved
+
+    def get_approved(self, token_id: int) -> Optional[str]:
+        """The single-token approvee, if any."""
+        if not self.exists(token_id):
+            raise UnknownTokenError(f"token {token_id} is not live")
+        return self._token_approvals.get(token_id)
+
+    def set_approval_for_all(
+        self, owner: str, operator: str, approved: bool
+    ) -> None:
+        """Authorise (or revoke) an operator over all of ``owner``'s tokens."""
+        self._operator_approvals[(owner, operator)] = approved
+
+    def is_approved_for_all(self, owner: str, operator: str) -> bool:
+        """Whether ``operator`` may act on all of ``owner``'s tokens."""
+        return self._operator_approvals.get((owner, operator), False)
+
+    def is_authorized(self, actor: str, token_id: int) -> bool:
+        """ERC-721's transfer authorisation: owner, approvee or operator."""
+        owner = self.owner_of(token_id)
+        return (
+            actor == owner
+            or self._token_approvals.get(token_id) == actor
+            or self.is_approved_for_all(owner, actor)
+        )
+
+    def transfer_from(
+        self,
+        operator: str,
+        seller: str,
+        buyer: str,
+        token_id: int,
+        balances: MutableMapping[str, float],
+    ) -> None:
+        """Third-party transfer under ERC-721 authorisation rules."""
+        if self.owner_of(token_id) != seller:
+            raise NotOwnerError(
+                f"{seller!r} does not own token {token_id}"
+            )
+        if not self.is_authorized(operator, token_id):
+            raise TokenError(
+                f"{operator!r} is not authorised for token {token_id}"
+            )
+        self.transfer(seller, buyer, token_id, balances)
+
+    # ------------------------------------------------------------------ #
+    # Metadata (`tokenURI`)
+    # ------------------------------------------------------------------ #
+
+    def set_metadata(self, token_id: int, **attributes: str) -> None:
+        """Attach metadata attributes to a live token."""
+        if not self.exists(token_id):
+            raise UnknownTokenError(f"token {token_id} is not live")
+        self._metadata.setdefault(token_id, {}).update(attributes)
+
+    def metadata(self, token_id: int) -> Dict[str, str]:
+        """A token's metadata attributes (empty dict when unset)."""
+        if not self.exists(token_id):
+            raise UnknownTokenError(f"token {token_id} is not live")
+        return dict(self._metadata.get(token_id, {}))
+
+    def token_uri(self, token_id: int) -> str:
+        """The ERC-721 ``tokenURI``: a deterministic per-token locator."""
+        if not self.exists(token_id):
+            raise UnknownTokenError(f"token {token_id} is not live")
+        return f"nft://{self.config.symbol.lower()}/{token_id}"
+
+    # ------------------------------------------------------------------ #
+    # Constraint checks (non-mutating)
+    # ------------------------------------------------------------------ #
+
+    def check_mint(
+        self, minter: str, balances: MutableMapping[str, float]
+    ) -> TxValidity:
+        """Eq. 1: balance covers price and supply remains."""
+        if self.remaining_supply < 1:
+            return TxValidity.SUPPLY_EXHAUSTED
+        if balances.get(minter, 0.0) < self.unit_price:
+            return TxValidity.INSUFFICIENT_BALANCE
+        return TxValidity.VALID
+
+    def check_transfer(
+        self,
+        seller: str,
+        buyer: str,
+        token_id: int,
+        balances: MutableMapping[str, float],
+    ) -> TxValidity:
+        """Eq. 3: buyer balance covers price and seller owns the token."""
+        if token_id not in self._owners:
+            return TxValidity.UNKNOWN_TOKEN
+        if self._owners[token_id] != seller:
+            return TxValidity.NOT_OWNER
+        if balances.get(buyer, 0.0) < self.unit_price:
+            return TxValidity.INSUFFICIENT_BALANCE
+        return TxValidity.VALID
+
+    def check_burn(self, owner: str, token_id: int) -> TxValidity:
+        """Eq. 5: only the owner can burn a live token."""
+        if token_id not in self._owners:
+            return TxValidity.UNKNOWN_TOKEN
+        if self._owners[token_id] != owner:
+            return TxValidity.NOT_OWNER
+        return TxValidity.VALID
+
+    # ------------------------------------------------------------------ #
+    # Mutations
+    # ------------------------------------------------------------------ #
+
+    def mint(
+        self,
+        minter: str,
+        balances: MutableMapping[str, float],
+        token_id: Optional[int] = None,
+    ) -> int:
+        """Execute ``M_k^{i,t}`` (Eq. 2); returns the minted token id."""
+        validity = self.check_mint(minter, balances)
+        if validity is TxValidity.SUPPLY_EXHAUSTED:
+            raise SupplyExhaustedError(f"{self.config.symbol} is fully minted")
+        if validity is TxValidity.INSUFFICIENT_BALANCE:
+            raise TokenError(
+                f"{minter!r} cannot afford mint at {self.unit_price:.6f} ETH"
+            )
+        if token_id is None:
+            token_id = self.next_token_id()
+        if token_id in self._owners:
+            raise TokenError(f"token {token_id} is already live")
+        price_before = self.unit_price
+        balances[minter] = balances.get(minter, 0.0) - price_before
+        self._owners[token_id] = minter
+        self._burned.discard(token_id)
+        self._events.append(
+            NFTEvent(
+                kind="mint",
+                actor=minter,
+                counterparty=None,
+                token_id=token_id,
+                price_before=price_before,
+                price_after=self.unit_price,
+                remaining_supply=self.remaining_supply,
+            )
+        )
+        return token_id
+
+    def transfer(
+        self,
+        seller: str,
+        buyer: str,
+        token_id: int,
+        balances: MutableMapping[str, float],
+    ) -> None:
+        """Execute ``T_{k,j}^{i,t}`` (Eq. 4): buyer pays seller at ``P^t``."""
+        validity = self.check_transfer(seller, buyer, token_id, balances)
+        if validity is TxValidity.UNKNOWN_TOKEN:
+            raise UnknownTokenError(f"token {token_id} is not live")
+        if validity is TxValidity.NOT_OWNER:
+            raise NotOwnerError(
+                f"{seller!r} does not own token {token_id} "
+                f"(owner is {self._owners[token_id]!r})"
+            )
+        if validity is TxValidity.INSUFFICIENT_BALANCE:
+            raise TokenError(
+                f"buyer {buyer!r} cannot afford token {token_id} "
+                f"at {self.unit_price:.6f} ETH"
+            )
+        price = self.unit_price
+        balances[buyer] = balances.get(buyer, 0.0) - price
+        balances[seller] = balances.get(seller, 0.0) + price
+        self._owners[token_id] = buyer
+        self._token_approvals.pop(token_id, None)  # ERC-721: cleared on transfer
+        self._events.append(
+            NFTEvent(
+                kind="transfer",
+                actor=seller,
+                counterparty=buyer,
+                token_id=token_id,
+                price_before=price,
+                price_after=price,
+                remaining_supply=self.remaining_supply,
+            )
+        )
+
+    def burn(self, owner: str, token_id: int) -> None:
+        """Execute ``D_k^{i,t}`` (Eq. 6): destroy and replenish supply."""
+        validity = self.check_burn(owner, token_id)
+        if validity is TxValidity.UNKNOWN_TOKEN:
+            raise UnknownTokenError(f"token {token_id} is not live")
+        if validity is TxValidity.NOT_OWNER:
+            raise NotOwnerError(
+                f"{owner!r} does not own token {token_id} "
+                f"(owner is {self._owners[token_id]!r})"
+            )
+        price_before = self.unit_price
+        del self._owners[token_id]
+        self._burned.add(token_id)
+        self._token_approvals.pop(token_id, None)
+        self._metadata.pop(token_id, None)
+        self._events.append(
+            NFTEvent(
+                kind="burn",
+                actor=owner,
+                counterparty=None,
+                token_id=token_id,
+                price_before=price_before,
+                price_after=self.unit_price,
+                remaining_supply=self.remaining_supply,
+            )
+        )

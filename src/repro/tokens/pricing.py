@@ -1,0 +1,65 @@
+"""Scarcity-driven pricing of limited-edition NFTs (paper Eq. 10).
+
+The unit price of a limited-edition token after the ``t``-th transaction is
+
+.. math::  P^t = \\frac{S^0}{S^t} \\cdot P^0
+
+where :math:`S^0` is the total mintable supply, :math:`S^t` the number of
+tokens *still mintable* after transaction ``t``, and :math:`P^0` the
+initial price.  Minting decreases :math:`S^t` (price rises); burning
+increases it (price falls); transfers leave it unchanged.
+
+Eq. 10 is undefined at :math:`S^t = 0` (everything minted).  We clamp the
+denominator at 1 so a fully-minted collection plateaus at the
+one-remaining price; this choice is documented in DESIGN.md and never
+affects the paper's experiments, which always leave supply headroom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TokenError
+
+
+@dataclass(frozen=True)
+class ScarcityPricing:
+    """Price model parameterised by total supply and initial price."""
+
+    max_supply: int
+    initial_price_eth: float
+
+    def __post_init__(self) -> None:
+        if self.max_supply <= 0:
+            raise TokenError("max_supply must be positive")
+        if self.initial_price_eth <= 0:
+            raise TokenError("initial price must be positive")
+
+    def price(self, remaining_supply: int) -> float:
+        """Unit price in ETH given ``remaining_supply`` mintable tokens."""
+        if remaining_supply < 0:
+            raise TokenError(
+                f"remaining supply cannot be negative ({remaining_supply})"
+            )
+        if remaining_supply > self.max_supply:
+            raise TokenError(
+                f"remaining supply {remaining_supply} exceeds max {self.max_supply}"
+            )
+        denominator = max(remaining_supply, 1)
+        return self.max_supply / denominator * self.initial_price_eth
+
+    def price_after_mint(self, remaining_supply: int) -> float:
+        """Price after one further mint from ``remaining_supply``."""
+        if remaining_supply < 1:
+            raise TokenError("cannot mint from zero remaining supply")
+        return self.price(remaining_supply - 1)
+
+    def price_after_burn(self, remaining_supply: int) -> float:
+        """Price after one burn returns a unit to the mintable pool."""
+        return self.price(remaining_supply + 1)
+
+    def appreciation_from(self, remaining_supply: int) -> float:
+        """Relative price increase caused by one mint (demand pressure)."""
+        before = self.price(remaining_supply)
+        after = self.price_after_mint(remaining_supply)
+        return (after - before) / before

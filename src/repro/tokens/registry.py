@@ -1,0 +1,55 @@
+"""Registry of deployed token contracts on the simulated L2.
+
+Maps symbolic contract addresses to live contract objects so the OVM can
+resolve the contract a transaction targets, mirroring how the ORSC and
+marketplace resolve collections by minting-contract address.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple, Union
+
+from ..crypto import hash_value
+from ..errors import TokenError
+from .erc20 import ERC20Token
+from .erc721 import LimitedEditionNFT
+
+Contract = Union[ERC20Token, LimitedEditionNFT]
+
+
+class TokenRegistry:
+    """Address → contract resolution for the simulated chain."""
+
+    def __init__(self) -> None:
+        self._contracts: Dict[str, Contract] = {}
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._contracts
+
+    def __len__(self) -> int:
+        return len(self._contracts)
+
+    def __iter__(self) -> Iterator[Tuple[str, Contract]]:
+        return iter(self._contracts.items())
+
+    def deploy(self, contract: Contract, deployer: str = "0x0") -> str:
+        """Register a contract and return its deterministic address."""
+        symbol = getattr(contract, "symbol", None) or contract.config.symbol
+        address = "0x" + hash_value(["deploy", deployer, symbol, len(self._contracts)])[:40]
+        self._contracts[address] = contract
+        return address
+
+    def resolve(self, address: str) -> Contract:
+        """Look up a deployed contract or raise :class:`TokenError`."""
+        try:
+            return self._contracts[address]
+        except KeyError:
+            raise TokenError(f"no contract deployed at {address!r}") from None
+
+    def nft_contracts(self) -> Dict[str, LimitedEditionNFT]:
+        """All deployed ERC-721 contracts keyed by address."""
+        return {
+            address: contract
+            for address, contract in self._contracts.items()
+            if isinstance(contract, LimitedEditionNFT)
+        }

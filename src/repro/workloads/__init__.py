@@ -1,0 +1,30 @@
+"""Workload generation for the evaluation section.
+
+* :mod:`repro.workloads.generator` — random, strictly-valid transaction
+  sequences with guaranteed IFU involvement, parameterised by mempool
+  size / user population / IFU count (Figures 6-9, 11);
+* :mod:`repro.workloads.scenarios` — named fixtures, including the exact
+  case study of Section VI (Figure 5).
+"""
+
+from .generator import Workload, generate_workload
+from .market_replay import implied_remaining_supply, workload_from_collection
+from .scenarios import (
+    CASE2_ORDER,
+    CASE3_ORDER,
+    case_study_fixture,
+    mint_frenzy_scenario,
+    burn_heavy_scenario,
+)
+
+__all__ = [
+    "Workload",
+    "generate_workload",
+    "implied_remaining_supply",
+    "workload_from_collection",
+    "CASE2_ORDER",
+    "CASE3_ORDER",
+    "case_study_fixture",
+    "mint_frenzy_scenario",
+    "burn_heavy_scenario",
+]

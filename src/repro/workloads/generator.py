@@ -1,0 +1,244 @@
+"""Random transaction-sequence workloads (evaluation Section VII).
+
+The generator builds sequences that are *strictly valid in their original
+order* — every transaction satisfies Eq. 1/3/5 at its position — by
+simulating the L2 state while generating.  IFU involvement is guaranteed:
+each IFU participates in at least ``min_ifu_involvement`` transactions,
+biased toward the mint + transfer pairing Section V-B calls the minimal
+arbitrage setup.
+
+Fees are assigned strictly decreasing along the generated order, so the
+fee-priority order Bedrock hands to the aggregator coincides with the
+generated (valid) order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import NFTContractConfig, WorkloadConfig
+from ..errors import ReproError
+from ..rollup.state import ExecutionMode, L2State
+from ..rollup.transaction import NFTTransaction, TxKind
+
+
+@dataclass
+class Workload:
+    """A generated round: pre-state plus the original-order transactions."""
+
+    pre_state: L2State
+    transactions: Tuple[NFTTransaction, ...]
+    ifus: Tuple[str, ...]
+    users: Tuple[str, ...]
+    config: WorkloadConfig
+
+    @property
+    def mempool_size(self) -> int:
+        """N — the aggregator's collection size."""
+        return len(self.transactions)
+
+    def ifu_involvement(self) -> dict:
+        """Transactions each IFU participates in."""
+        return {
+            ifu: sum(1 for tx in self.transactions if tx.involves(ifu))
+            for ifu in self.ifus
+        }
+
+
+def _user_names(config: WorkloadConfig) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    ifus = tuple(f"ifu-{i}" for i in range(config.num_ifus))
+    regulars = tuple(
+        f"user-{i}" for i in range(config.num_users - config.num_ifus)
+    )
+    return ifus, regulars
+
+
+def _build_pre_state(
+    config: WorkloadConfig,
+    ifus: Sequence[str],
+    regulars: Sequence[str],
+    rng: np.random.Generator,
+) -> L2State:
+    max_supply = config.max_supply or max(20, config.mempool_size)
+    nft_config = NFTContractConfig(
+        symbol="PT", name="ParoleToken", max_supply=max_supply,
+        initial_price_eth=0.2,
+    )
+    users = list(ifus) + list(regulars)
+    balances = {user: float(config.initial_balance_eth) for user in users}
+    inventory = {user: 0 for user in users}
+    premint = int(max_supply * config.premint_fraction)
+    # Every IFU starts with a token so a transfer-out is always available.
+    holders = list(ifus) + [
+        users[int(rng.integers(len(users)))] for _ in range(premint - len(ifus))
+    ]
+    for holder in holders[:premint]:
+        inventory[holder] += 1
+    return L2State(
+        nft_config=nft_config,
+        balances=balances,
+        inventory=inventory,
+        mode=ExecutionMode.BATCH,
+    )
+
+
+def _feasible_kinds(state: L2State, user: str) -> List[TxKind]:
+    kinds: List[TxKind] = []
+    price = state.unit_price
+    if state.remaining_supply >= 1 and state.balance(user) >= price:
+        kinds.append(TxKind.MINT)
+    if state.holdings(user) >= 1:
+        kinds.append(TxKind.TRANSFER)  # user sells
+        kinds.append(TxKind.BURN)
+    return kinds
+
+
+def _pick_buyer(
+    state: L2State, seller: str, users: Sequence[str], rng: np.random.Generator
+) -> Optional[str]:
+    price = state.unit_price
+    candidates = [
+        user for user in users if user != seller and state.balance(user) >= price
+    ]
+    if not candidates:
+        return None
+    return candidates[int(rng.integers(len(candidates)))]
+
+
+def generate_workload(
+    config: Optional[WorkloadConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Workload:
+    """Generate one round of strictly-valid transactions.
+
+    Raises :class:`ReproError` if the state space becomes so constrained
+    that no feasible transaction exists (practically impossible with the
+    default balances and supply headroom).
+    """
+    cfg = config or WorkloadConfig()
+    rand = rng or np.random.default_rng(cfg.seed)
+    ifus, regulars = _user_names(cfg)
+    users: Tuple[str, ...] = ifus + regulars
+    pre_state = _build_pre_state(cfg, ifus, regulars, rand)
+
+    sim = pre_state.copy()
+    sim.mode = ExecutionMode.STRICT
+    transactions: List[NFTTransaction] = []
+    deficits = {ifu: cfg.min_ifu_involvement for ifu in ifus}
+    mint_p, transfer_p, burn_p = cfg.tx_type_mix
+
+    for position in range(cfg.mempool_size):
+        remaining_slots = cfg.mempool_size - position
+        total_deficit = sum(max(0, d) for d in deficits.values())
+        force_ifu = total_deficit >= remaining_slots
+        # Spread IFU involvement uniformly across the sequence: prefer an
+        # IFU action with probability deficit/remaining, so the expected
+        # placement density is flat rather than front-loaded.
+        prefer_ifu = (
+            total_deficit > 0
+            and rand.random() < total_deficit / max(remaining_slots, 1)
+        )
+
+        tx = _generate_one(
+            sim, users, ifus, deficits, force_ifu or prefer_ifu,
+            (mint_p, transfer_p, burn_p), rand,
+        )
+        if tx is None:
+            raise ReproError(
+                f"no feasible transaction at position {position}; "
+                "increase balances or supply headroom"
+            )
+        result = sim.apply(tx)
+        if not result.executed:
+            raise ReproError(
+                f"generator produced an invalid transaction: {result.validity}"
+            )
+        for party in tx.parties():
+            if party in deficits:
+                deficits[party] -= 1
+        transactions.append(tx)
+
+    stamped = _assign_fees(transactions, rand)
+    return Workload(
+        pre_state=pre_state,
+        transactions=stamped,
+        ifus=ifus,
+        users=users,
+        config=cfg,
+    )
+
+
+def _generate_one(
+    sim: L2State,
+    users: Sequence[str],
+    ifus: Sequence[str],
+    deficits: dict,
+    prefer_ifu: bool,
+    mix: Tuple[float, float, float],
+    rand: np.random.Generator,
+) -> Optional[NFTTransaction]:
+    mint_p, transfer_p, burn_p = mix
+    pools: List[Sequence[str]] = []
+    if prefer_ifu:
+        needy = [ifu for ifu in ifus if deficits[ifu] > 0]
+        if needy:
+            pools.append(needy)
+    pools.append(list(users))
+
+    for pool in pools:
+        order = list(pool)
+        rand.shuffle(order)
+        for actor in order:
+            kinds = _feasible_kinds(sim, actor)
+            if not kinds:
+                continue
+            weights = np.array(
+                [
+                    {"mint": mint_p, "transfer": transfer_p, "burn": burn_p}[
+                        kind.value
+                    ]
+                    for kind in kinds
+                ]
+            )
+            if weights.sum() == 0:
+                weights = np.ones(len(kinds))
+            weights = weights / weights.sum()
+            kind = kinds[int(rand.choice(len(kinds), p=weights))]
+            if kind is TxKind.TRANSFER:
+                buyer = _pick_buyer(sim, actor, users, rand)
+                if buyer is None:
+                    continue
+                return NFTTransaction(
+                    kind=TxKind.TRANSFER, sender=actor, recipient=buyer
+                )
+            if kind is TxKind.MINT:
+                return NFTTransaction(kind=TxKind.MINT, sender=actor)
+            return NFTTransaction(kind=TxKind.BURN, sender=actor)
+    return None
+
+
+def _assign_fees(
+    transactions: Sequence[NFTTransaction], rand: np.random.Generator
+) -> Tuple[NFTTransaction, ...]:
+    """Stamp strictly-decreasing fees so fee order == generated order."""
+    count = len(transactions)
+    priorities = np.sort(rand.uniform(0.01, 2.0, size=count))[::-1]
+    stamped = []
+    for index, (tx, priority) in enumerate(zip(transactions, priorities)):
+        stamped.append(
+            NFTTransaction(
+                kind=tx.kind,
+                sender=tx.sender,
+                recipient=tx.recipient,
+                token_id=tx.token_id,
+                base_fee=1.0,
+                priority_fee=float(priority),
+                nonce=index,
+                submitted_at=index + 1,
+                label=f"tx-{index}",
+            )
+        )
+    return tuple(stamped)

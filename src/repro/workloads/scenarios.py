@@ -1,0 +1,128 @@
+"""Named scenario fixtures, including the exact Section VI case study.
+
+:func:`case_study_fixture` reproduces Figure 5's setup bit-for-bit:
+
+* PAROLE Token with max supply 10, initial price 0.2 ETH;
+* 5 tokens already minted — the IFU owns 2, ``U1`` owns 2, ``U13`` owns 1
+  — so the unit price is 0.4 ETH by Eq. 10;
+* the IFU holds 1.5 ETH of L2 tokens (total balance 2.3 ETH);
+* the 8-transaction original sequence of Figure 5(a).
+
+``CASE2_ORDER`` and ``CASE3_ORDER`` are the altered permutations of
+Figures 5(b) and 5(c), expressed as indices into the original sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..config import NFTContractConfig
+from ..rollup.state import ExecutionMode, L2State
+from ..rollup.transaction import NFTTransaction, TxKind
+from .generator import Workload, WorkloadConfig
+
+#: The IFU account name used by the fixtures.
+IFU = "IFU"
+
+#: Figure 5(b)'s altered order: TX1, TX7, TX5, TX4, TX3, TX6, TX2, TX8.
+CASE2_ORDER: Tuple[int, ...] = (0, 6, 4, 3, 2, 5, 1, 7)
+
+#: Figure 5(c)'s optimal order: TX1, TX7, TX8, TX5, TX4, TX3, TX6, TX2.
+CASE3_ORDER: Tuple[int, ...] = (0, 6, 7, 4, 3, 2, 5, 1)
+
+
+def case_study_fixture(bystander_balance_eth: float = 5.0) -> Workload:
+    """The exact Section VI system status and transaction set.
+
+    ``bystander_balance_eth`` funds the non-IFU users; the paper only
+    pins the IFU's balance (1.5 ETH), and bystander balances never affect
+    the IFU trace as long as they cover their own purchases.
+    """
+    nft_config = NFTContractConfig(
+        symbol="PT", name="ParoleToken", max_supply=10, initial_price_eth=0.2
+    )
+    users = (IFU, "U1", "U2", "U3", "U6", "U11", "U13", "U19")
+    balances: Dict[str, float] = {user: bystander_balance_eth for user in users}
+    balances[IFU] = 1.5
+    inventory = {IFU: 2, "U1": 2, "U13": 1}
+    pre_state = L2State(
+        nft_config=nft_config,
+        balances=balances,
+        inventory=inventory,
+        mode=ExecutionMode.BATCH,
+    )
+    assert abs(pre_state.unit_price - 0.4) < 1e-12
+
+    def tx(index: int, kind: TxKind, sender: str, recipient: str = None):
+        return NFTTransaction(
+            kind=kind,
+            sender=sender,
+            recipient=recipient,
+            base_fee=1.0,
+            priority_fee=float(len(users) - index) / 10.0,
+            nonce=index,
+            submitted_at=index + 1,
+            label=f"TX{index + 1}",
+        )
+
+    transactions = (
+        tx(0, TxKind.TRANSFER, "U1", "U2"),     # TX1
+        tx(1, TxKind.MINT, "U19"),              # TX2
+        tx(2, TxKind.TRANSFER, IFU, "U11"),     # TX3
+        tx(3, TxKind.TRANSFER, "U19", "U6"),    # TX4
+        tx(4, TxKind.MINT, IFU),                # TX5
+        tx(5, TxKind.TRANSFER, "U13", "U3"),    # TX6
+        tx(6, TxKind.BURN, "U2"),               # TX7
+        tx(7, TxKind.TRANSFER, "U1", IFU),      # TX8
+    )
+    config = WorkloadConfig(
+        mempool_size=len(transactions),
+        num_users=len(users),
+        num_ifus=1,
+        max_supply=10,
+    )
+    return Workload(
+        pre_state=pre_state,
+        transactions=transactions,
+        ifus=(IFU,),
+        users=users,
+        config=config,
+    )
+
+
+def mint_frenzy_scenario(seed: int = 7) -> Workload:
+    """A mint-heavy round: scarcity pressure pushes prices monotonically.
+
+    Exercises the attack when the IFU profits mostly by minting *before*
+    the crowd and selling after.
+    """
+    config = WorkloadConfig(
+        mempool_size=20,
+        num_users=12,
+        num_ifus=1,
+        tx_type_mix=(0.6, 0.35, 0.05),
+        premint_fraction=0.3,
+        seed=seed,
+    )
+    from .generator import generate_workload
+
+    return generate_workload(config)
+
+
+def burn_heavy_scenario(seed: int = 11) -> Workload:
+    """A burn-heavy round: supply replenishment deflates prices.
+
+    Exercises the attack when the IFU profits by buying *after* burns
+    crash the price and minting before the recovery.
+    """
+    config = WorkloadConfig(
+        mempool_size=20,
+        num_users=12,
+        num_ifus=1,
+        tx_type_mix=(0.25, 0.4, 0.35),
+        premint_fraction=0.7,
+        seed=seed,
+    )
+    from .generator import generate_workload
+
+    return generate_workload(config)

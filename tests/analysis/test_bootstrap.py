@@ -1,0 +1,61 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import bootstrap_ci
+from repro.errors import ReproError
+
+
+class TestBootstrapCI:
+    def test_estimate_is_statistic_of_data(self):
+        ci = bootstrap_ci([1.0, 2.0, 3.0, 4.0])
+        assert ci.estimate == pytest.approx(2.5)
+
+    def test_interval_brackets_estimate(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 2.0, size=40)
+        ci = bootstrap_ci(data)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.contains(ci.estimate)
+
+    def test_interval_tightens_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_ci(rng.normal(0, 1, size=10))
+        large = bootstrap_ci(rng.normal(0, 1, size=400))
+        assert large.width < small.width
+
+    def test_single_value_degenerate(self):
+        ci = bootstrap_ci([7.0])
+        assert ci.low == ci.high == ci.estimate == 7.0
+
+    def test_custom_statistic(self):
+        ci = bootstrap_ci([1.0, 2.0, 100.0], statistic=np.median)
+        assert ci.estimate == pytest.approx(2.0)
+
+    def test_deterministic_with_seeded_rng(self):
+        data = [1.0, 3.0, 2.0, 5.0]
+        a = bootstrap_ci(data, rng=np.random.default_rng(3))
+        b = bootstrap_ci(data, rng=np.random.default_rng(3))
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            bootstrap_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ReproError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_str_format(self):
+        text = str(bootstrap_ci([1.0, 2.0, 3.0]))
+        assert "@95%" in text
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False), min_size=2, max_size=30))
+    def test_property_interval_within_data_range_for_mean(self, values):
+        ci = bootstrap_ci(values, resamples=200)
+        assert min(values) - 1e-9 <= ci.low
+        assert ci.high <= max(values) + 1e-9

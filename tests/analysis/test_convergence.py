@@ -1,0 +1,75 @@
+"""Tests for learning-curve convergence analysis."""
+
+import pytest
+
+from repro.analysis import analyse_curve, convergence_episode, is_plateaued
+from repro.errors import ReproError
+
+
+def saturating_curve(n=60, level=100.0, ramp=20):
+    return [level * min(1.0, i / ramp) for i in range(n)]
+
+
+class TestConvergenceEpisode:
+    def test_saturating_curve_converges(self):
+        episode = convergence_episode(saturating_curve(), window=5)
+        assert episode is not None
+        assert 10 <= episode <= 35
+
+    def test_flat_curve_converges_at_zero(self):
+        assert convergence_episode([5.0] * 20) == 0
+
+    def test_rising_curve_converges_late(self):
+        rising = [float(i) for i in range(40)]
+        episode = convergence_episode(rising, window=1, tolerance=0.05)
+        assert episode is not None
+        assert episode > 30
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            convergence_episode([])
+
+
+class TestAnalyseCurve:
+    def test_report_fields(self):
+        report = analyse_curve(saturating_curve(), window=5)
+        assert report.converged
+        assert report.final_level == pytest.approx(100.0, rel=0.01)
+        assert report.improvement > 0
+        assert report.auc > 0
+
+    def test_declining_curve_negative_improvement(self):
+        declining = [100.0 - i for i in range(30)]
+        report = analyse_curve(declining, window=3)
+        assert report.improvement < 0
+
+
+class TestPlateau:
+    def test_flat_tail_plateaus(self):
+        curve = saturating_curve(n=60, ramp=10)
+        assert is_plateaued(curve, window=5, lookback=10)
+
+    def test_still_rising_not_plateaued(self):
+        rising = [float(i) for i in range(30)]
+        assert not is_plateaued(rising, window=1, lookback=10)
+
+    def test_short_curve_not_plateaued(self):
+        assert not is_plateaued([1.0, 2.0], lookback=10)
+
+    def test_constant_curve_plateaus(self):
+        assert is_plateaued([3.0] * 30, lookback=10)
+
+
+class TestOnRealTraining:
+    def test_fig8_style_curve_analysable(self, case_workload, tiny_config):
+        from repro.core import GenTranSeq
+        module = GenTranSeq(
+            config=tiny_config.with_overrides(episodes=12, steps_per_episode=30)
+        )
+        result = module.optimize(
+            case_workload.pre_state, case_workload.transactions,
+            case_workload.ifus,
+        )
+        report = analyse_curve(result.episode_rewards)
+        assert report.auc is not None
+        assert isinstance(report.converged, bool)

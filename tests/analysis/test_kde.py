@@ -1,0 +1,50 @@
+"""Tests for the KDE curves (Figure 9)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import kde_curve
+from repro.errors import ReproError
+
+
+class TestKDECurve:
+    def test_peak_near_sample_mode(self):
+        samples = [5.0] * 30 + [12.0] * 5
+        curve = kde_curve(samples)
+        peak_x, _ = curve.peak()
+        assert abs(peak_x - 5.0) < 1.5
+
+    def test_density_nonnegative(self):
+        curve = kde_curve([1.0, 2.0, 3.0, 8.0])
+        assert all(d >= 0 for d in curve.density)
+
+    def test_density_integrates_to_about_one(self):
+        curve = kde_curve(list(np.random.default_rng(0).normal(5, 2, 200)))
+        grid = np.asarray(curve.grid)
+        density = np.asarray(curve.density)
+        integral = np.trapezoid(density, grid)
+        assert integral == pytest.approx(1.0, abs=0.05)
+
+    def test_degenerate_sample_single_bump(self):
+        curve = kde_curve([4.0, 4.0, 4.0])
+        peak_x, _ = curve.peak()
+        assert abs(peak_x - 4.0) < 0.5
+
+    def test_single_sample_supported(self):
+        curve = kde_curve([2.0])
+        assert curve.sample_size == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            kde_curve([])
+
+    def test_bimodal_detects_two_peaks(self):
+        samples = [3.0 + 0.1 * i for i in range(10)] + [15.0 + 0.1 * i for i in range(10)]
+        curve = kde_curve(samples, bandwidth=0.3)
+        peaks = curve.peaks(min_prominence=0.2)
+        assert len(peaks) >= 2
+
+    def test_grid_bounds_honoured(self):
+        curve = kde_curve([5.0, 6.0], grid_min=0.0, grid_max=10.0)
+        assert curve.grid[0] == pytest.approx(0.0)
+        assert curve.grid[-1] == pytest.approx(10.0)

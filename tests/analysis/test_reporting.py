@@ -1,0 +1,31 @@
+"""Tests for text table/series formatting."""
+
+from repro.analysis import format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        table = format_table(("A", "B"), [(1, 2), (3, 4)])
+        lines = table.splitlines()
+        assert "A" in lines[0] and "B" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "1" in lines[2]
+
+    def test_column_alignment(self):
+        table = format_table(("Name", "X"), [("long-name", 1), ("s", 22)])
+        lines = table.splitlines()
+        # All rows have the same width.
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_empty_rows(self):
+        table = format_table(("A",), [])
+        assert table.splitlines()[0].strip() == "A"
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        out = format_series("curve", [1, 2], [0.5, 0.25], precision=2)
+        assert out == "curve: 1=0.50, 2=0.25"
+
+    def test_empty_series(self):
+        assert format_series("c", [], []) == "c: "

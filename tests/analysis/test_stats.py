@@ -1,0 +1,64 @@
+"""Tests for moving averages and summaries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import moving_average, summarize
+from repro.errors import ReproError
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        values = [3.0, 1.0, 4.0]
+        assert moving_average(values, window=1) == values
+
+    def test_warm_up_partial_windows(self):
+        out = moving_average([2.0, 4.0, 6.0], window=9)
+        assert out[0] == pytest.approx(2.0)
+        assert out[1] == pytest.approx(3.0)
+        assert out[2] == pytest.approx(4.0)
+
+    def test_steady_state_window(self):
+        values = list(range(20))
+        out = moving_average([float(v) for v in values], window=3)
+        assert out[10] == pytest.approx((8 + 9 + 10) / 3)
+
+    def test_same_length_as_input(self):
+        assert len(moving_average([1.0] * 37, window=9)) == 37
+
+    def test_figure8_window9_smoothing(self):
+        """The first smoothed point of Fig. 8 averages the first nine."""
+        rewards = [float(i) for i in range(30)]
+        out = moving_average(rewards, window=9)
+        assert out[8] == pytest.approx(sum(range(9)) / 9)
+
+    def test_empty_input(self):
+        assert moving_average([], window=9) == []
+
+    def test_nonpositive_window_raises(self):
+        with pytest.raises(ReproError):
+            moving_average([1.0], window=0)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1,
+                    max_size=50))
+    def test_property_bounded_by_extremes(self, values):
+        out = moving_average(values, window=5)
+        assert all(min(values) - 1e-9 <= v <= max(values) + 1e-9 for v in out)
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            summarize([])

@@ -1,0 +1,99 @@
+"""Tests for the L1 account ledger."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chain import AccountLedger
+from repro.errors import InsufficientBalanceError, UnknownAccountError
+
+
+@pytest.fixture
+def ledger():
+    book = AccountLedger()
+    book.create("alice", 100)
+    book.create("bob", 50)
+    return book
+
+
+class TestCreation:
+    def test_create_sets_balance(self, ledger):
+        assert ledger.balance("alice") == 100
+
+    def test_duplicate_create_raises(self, ledger):
+        with pytest.raises(UnknownAccountError):
+            ledger.create("alice")
+
+    def test_negative_initial_balance_raises(self):
+        with pytest.raises(InsufficientBalanceError):
+            AccountLedger().create("x", -1)
+
+    def test_get_or_create_idempotent(self, ledger):
+        first = ledger.get_or_create("carol")
+        second = ledger.get_or_create("carol")
+        assert first is second
+
+    def test_unknown_account_raises(self, ledger):
+        with pytest.raises(UnknownAccountError):
+            ledger.get("nobody")
+
+    def test_contains(self, ledger):
+        assert "alice" in ledger
+        assert "nobody" not in ledger
+
+    def test_len_and_iter(self, ledger):
+        assert len(ledger) == 2
+        assert {a.address for a in ledger} == {"alice", "bob"}
+
+
+class TestTransfers:
+    def test_transfer_moves_funds(self, ledger):
+        ledger.transfer("alice", "bob", 30)
+        assert ledger.balance("alice") == 70
+        assert ledger.balance("bob") == 80
+
+    def test_transfer_insufficient_raises(self, ledger):
+        with pytest.raises(InsufficientBalanceError):
+            ledger.transfer("bob", "alice", 51)
+
+    def test_failed_transfer_leaves_balances(self, ledger):
+        with pytest.raises(InsufficientBalanceError):
+            ledger.transfer("bob", "alice", 51)
+        assert ledger.balance("bob") == 50
+        assert ledger.balance("alice") == 100
+
+    def test_negative_amount_rejected(self, ledger):
+        with pytest.raises(InsufficientBalanceError):
+            ledger.transfer("alice", "bob", -5)
+
+    def test_credit_creates_account(self, ledger):
+        ledger.credit("carol", 10)
+        assert ledger.balance("carol") == 10
+
+    def test_debit_to_zero_allowed(self, ledger):
+        ledger.debit("bob", 50)
+        assert ledger.balance("bob") == 0
+
+    def test_conservation(self, ledger):
+        total = ledger.total_supply()
+        ledger.transfer("alice", "bob", 17)
+        assert ledger.total_supply() == total
+
+    @given(st.integers(min_value=0, max_value=100))
+    def test_property_transfer_conserves(self, amount):
+        book = AccountLedger()
+        book.create("a", 100)
+        book.create("b", 0)
+        book.transfer("a", "b", amount)
+        assert book.total_supply() == 100
+        assert book.balance("b") == amount
+
+
+class TestNonces:
+    def test_bump_nonce_increments(self, ledger):
+        assert ledger.bump_nonce("alice") == 1
+        assert ledger.bump_nonce("alice") == 2
+
+    def test_snapshot_shape(self, ledger):
+        snap = ledger.snapshot()
+        assert snap["alice"] == (100, 0)
+        assert snap["bob"] == (50, 0)

@@ -1,0 +1,38 @@
+"""Tests for L1 blocks and headers."""
+
+from repro.chain import Block
+from repro.crypto import MerkleTree
+
+
+class TestBlockSeal:
+    def test_seal_computes_payload_root(self):
+        payloads = [{"kind": "deposit"}, {"kind": "batch"}]
+        block = Block.seal(0, "parent", payloads, timestamp=1)
+        assert block.header.payload_root == MerkleTree(payloads).root
+
+    def test_block_hash_depends_on_payloads(self):
+        a = Block.seal(0, "p", [1], timestamp=1)
+        b = Block.seal(0, "p", [2], timestamp=1)
+        assert a.block_hash != b.block_hash
+
+    def test_block_hash_depends_on_height(self):
+        a = Block.seal(0, "p", [1], timestamp=1)
+        b = Block.seal(1, "p", [1], timestamp=1)
+        assert a.block_hash != b.block_hash
+
+    def test_block_hash_depends_on_parent(self):
+        a = Block.seal(0, "p1", [1], timestamp=1)
+        b = Block.seal(0, "p2", [1], timestamp=1)
+        assert a.block_hash != b.block_hash
+
+    def test_empty_block_is_sealable(self):
+        block = Block.seal(3, "p", [], timestamp=4)
+        assert block.payloads == ()
+
+    def test_payloads_preserved_in_order(self):
+        block = Block.seal(0, "p", ["x", "y", "z"], timestamp=1)
+        assert block.payloads == ("x", "y", "z")
+
+    def test_header_hash_matches_block_hash(self):
+        block = Block.seal(0, "p", [1], timestamp=1)
+        assert block.block_hash == block.header.block_hash

@@ -1,0 +1,50 @@
+"""Tests for the gas schedule (Table III calibration)."""
+
+import pytest
+
+from repro.chain import GasSchedule
+from repro.errors import ChainError
+
+
+@pytest.fixture
+def schedule():
+    return GasSchedule()
+
+
+class TestUsagePercentages:
+    """Gas usage percentages must match Table III's published values."""
+
+    def test_mint_matches_paper(self, schedule):
+        assert schedule.usage_for("mint").usage_percent == pytest.approx(90.91, abs=0.01)
+
+    def test_transfer_matches_paper(self, schedule):
+        assert schedule.usage_for("transfer").usage_percent == pytest.approx(69.84, abs=0.01)
+
+    def test_burn_matches_paper(self, schedule):
+        assert schedule.usage_for("burn").usage_percent == pytest.approx(69.82, abs=0.01)
+
+    def test_mint_is_most_expensive(self, schedule):
+        assert schedule.usage_for("mint").gas_used > schedule.usage_for("transfer").gas_used
+        assert schedule.usage_for("mint").gas_used > schedule.usage_for("burn").gas_used
+
+
+class TestFees:
+    def test_mint_fee_253_gwei(self, schedule):
+        fee_gwei = schedule.usage_for("mint").fee_wei / 10**9
+        assert fee_gwei == pytest.approx(253, rel=0.01)
+
+    def test_transfer_fee_142k_gwei(self, schedule):
+        fee_gwei = schedule.usage_for("transfer").fee_wei / 10**9
+        assert fee_gwei == pytest.approx(142_000, rel=0.01)
+
+    def test_burn_fee_141k_gwei(self, schedule):
+        fee_gwei = schedule.usage_for("burn").fee_wei / 10**9
+        assert fee_gwei == pytest.approx(141_000, rel=0.01)
+
+    def test_usage_fraction_in_unit_interval(self, schedule):
+        for tx_type in ("mint", "transfer", "burn"):
+            assert 0.0 < schedule.usage_for(tx_type).usage_fraction <= 1.0
+
+    def test_unknown_type_raises(self, schedule):
+        with pytest.raises(ChainError):
+            schedule.usage_for("swap")

@@ -1,0 +1,74 @@
+"""Tests for the L1 chain."""
+
+import pytest
+
+from repro.chain import L1Chain
+from repro.errors import ChainError
+
+
+@pytest.fixture
+def chain():
+    return L1Chain()
+
+
+class TestBlockProduction:
+    def test_starts_empty(self, chain):
+        assert chain.height == 0
+        assert chain.head is None
+
+    def test_seal_advances_height_and_time(self, chain):
+        chain.seal_block()
+        assert chain.height == 1
+        assert chain.time == 1
+
+    def test_queued_payloads_enter_next_block(self, chain):
+        chain.queue_payload({"kind": "x"})
+        block = chain.seal_block()
+        assert block.payloads == ({"kind": "x"},)
+
+    def test_payloads_cleared_after_seal(self, chain):
+        chain.queue_payload("a")
+        chain.seal_block()
+        assert chain.seal_block().payloads == ()
+
+    def test_seal_blocks_bulk(self, chain):
+        blocks = chain.seal_blocks(5)
+        assert len(blocks) == 5
+        assert chain.height == 5
+
+    def test_seal_negative_raises(self, chain):
+        with pytest.raises(ChainError):
+            chain.seal_blocks(-1)
+
+    def test_block_at(self, chain):
+        chain.seal_blocks(3)
+        assert chain.block_at(1).header.height == 1
+
+    def test_block_at_out_of_range(self, chain):
+        with pytest.raises(ChainError):
+            chain.block_at(0)
+
+
+class TestAncestry:
+    def test_ancestry_links_verified(self, chain):
+        chain.seal_blocks(4)
+        assert chain.verify_ancestry()
+
+    def test_parent_hash_chains(self, chain):
+        first = chain.seal_block()
+        second = chain.seal_block()
+        assert second.header.parent_hash == first.block_hash
+
+
+class TestFindPayload:
+    def test_finds_newest_first(self, chain):
+        chain.queue_payload({"kind": "batch", "id": 1})
+        chain.seal_block()
+        chain.queue_payload({"kind": "batch", "id": 2})
+        chain.seal_block()
+        found = chain.find_payload(lambda p: p.get("kind") == "batch")
+        assert found["id"] == 2
+
+    def test_returns_none_when_absent(self, chain):
+        chain.seal_blocks(2)
+        assert chain.find_payload(lambda p: True) is None

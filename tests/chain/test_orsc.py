@@ -1,0 +1,192 @@
+"""Tests for the Optimistic Rollup Smart Contract."""
+
+import pytest
+
+from repro.chain import (
+    BatchStatus,
+    ChallengeOutcome,
+    L1Chain,
+    OptimisticRollupContract,
+)
+from repro.config import RollupConfig
+from repro.errors import BatchError, BondError, ChainError, ChallengeError
+
+BOND = 5 * 10**18
+V_BOND = 2 * 10**18
+
+
+@pytest.fixture
+def setup():
+    chain = L1Chain()
+    config = RollupConfig(challenge_period_blocks=3)
+    contract = OptimisticRollupContract(chain, config)
+    for user, funds in (("user", 10**19), ("agg", BOND * 2), ("ver", V_BOND * 2)):
+        chain.accounts.create(user, funds)
+    contract.register_aggregator("agg")
+    contract.register_verifier("ver")
+    return chain, contract
+
+
+class TestDeposits:
+    def test_deposit_mints_l2_tokens(self, setup):
+        chain, contract = setup
+        contract.deposit("user", 10**18)
+        assert contract.l2_balance("user") == 10**18
+
+    def test_deposit_locks_l1_eth(self, setup):
+        chain, contract = setup
+        before = chain.accounts.balance("user")
+        contract.deposit("user", 10**18)
+        assert chain.accounts.balance("user") == before - 10**18
+
+    def test_deposit_zero_rejected(self, setup):
+        _, contract = setup
+        with pytest.raises(ChainError):
+            contract.deposit("user", 0)
+
+    def test_withdraw_roundtrip(self, setup):
+        chain, contract = setup
+        before = chain.accounts.balance("user")
+        contract.deposit("user", 10**18)
+        contract.withdraw("user", 10**18)
+        assert chain.accounts.balance("user") == before
+        assert contract.l2_balance("user") == 0
+
+    def test_overdraw_rejected(self, setup):
+        _, contract = setup
+        contract.deposit("user", 10**18)
+        with pytest.raises(ChainError):
+            contract.withdraw("user", 2 * 10**18)
+
+    def test_tvl_includes_deposits_and_bonds(self, setup):
+        chain, contract = setup
+        contract.deposit("user", 10**18)
+        assert contract.total_value_locked() == 10**18 + BOND + V_BOND
+
+
+class TestBonds:
+    def test_aggregator_bond_recorded(self, setup):
+        _, contract = setup
+        assert contract.aggregator_bond("agg") == BOND
+
+    def test_duplicate_registration_rejected(self, setup):
+        _, contract = setup
+        with pytest.raises(BondError):
+            contract.register_aggregator("agg")
+
+    def test_unregistered_aggregator_cannot_commit(self, setup):
+        _, contract = setup
+        with pytest.raises(BondError):
+            contract.commit_batch("stranger", "root", "state")
+
+    def test_unregistered_verifier_cannot_challenge(self, setup):
+        _, contract = setup
+        contract.commit_batch("agg", "txroot", "stateroot")
+        with pytest.raises(BondError):
+            contract.challenge("stranger", 0, "other")
+
+
+class TestBatchLifecycle:
+    def test_commit_assigns_sequential_ids(self, setup):
+        _, contract = setup
+        a = contract.commit_batch("agg", "t1", "s1")
+        b = contract.commit_batch("agg", "t2", "s2")
+        assert (a.batch_id, b.batch_id) == (0, 1)
+
+    def test_commit_starts_pending(self, setup):
+        _, contract = setup
+        assert contract.commit_batch("agg", "t", "s").status is BatchStatus.PENDING
+
+    def test_in_challenge_window_initially(self, setup):
+        _, contract = setup
+        contract.commit_batch("agg", "t", "s")
+        assert contract.in_challenge_window(0)
+
+    def test_window_closes_after_period(self, setup):
+        chain, contract = setup
+        contract.commit_batch("agg", "t", "s")
+        chain.seal_blocks(3)
+        assert not contract.in_challenge_window(0)
+
+    def test_finalize_inside_window_rejected(self, setup):
+        _, contract = setup
+        contract.commit_batch("agg", "t", "s")
+        with pytest.raises(BatchError):
+            contract.finalize(0)
+
+    def test_finalize_after_window(self, setup):
+        chain, contract = setup
+        contract.commit_batch("agg", "t", "s")
+        chain.seal_blocks(3)
+        assert contract.finalize(0).status is BatchStatus.FINALIZED
+
+    def test_finalize_idempotent(self, setup):
+        chain, contract = setup
+        contract.commit_batch("agg", "t", "s")
+        chain.seal_blocks(3)
+        contract.finalize(0)
+        assert contract.finalize(0).status is BatchStatus.FINALIZED
+
+    def test_unknown_batch_raises(self, setup):
+        _, contract = setup
+        with pytest.raises(BatchError):
+            contract.batch(7)
+
+    def test_commit_queues_l1_payload(self, setup):
+        chain, contract = setup
+        contract.commit_batch("agg", "troot", "sroot")
+        block = chain.seal_block()
+        kinds = [p["kind"] for p in block.payloads]
+        assert "batch" in kinds
+
+
+class TestChallenges:
+    def test_fraud_proven_slashes_aggregator(self, setup):
+        _, contract = setup
+        contract.commit_batch("agg", "t", "claimed")
+        outcome = contract.challenge("ver", 0, "recomputed-differs")
+        assert outcome is ChallengeOutcome.UPHELD
+        assert contract.aggregator_bond("agg") == 0
+        assert contract.batch(0).status is BatchStatus.REVERTED
+
+    def test_frivolous_challenge_slashes_verifier(self, setup):
+        _, contract = setup
+        contract.commit_batch("agg", "t", "claimed")
+        outcome = contract.challenge("ver", 0, "claimed")
+        assert outcome is ChallengeOutcome.REJECTED
+        assert contract.verifier_bond("ver") == 0
+        assert contract.batch(0).status is BatchStatus.PENDING
+
+    def test_challenge_after_window_rejected(self, setup):
+        chain, contract = setup
+        contract.commit_batch("agg", "t", "claimed")
+        chain.seal_blocks(3)
+        with pytest.raises(ChallengeError):
+            contract.challenge("ver", 0, "other")
+
+    def test_reverted_batch_cannot_finalize(self, setup):
+        chain, contract = setup
+        contract.commit_batch("agg", "t", "claimed")
+        contract.challenge("ver", 0, "different")
+        chain.seal_blocks(3)
+        with pytest.raises(BatchError):
+            contract.finalize(0)
+
+    def test_challenge_on_settled_batch_rejected(self, setup):
+        chain, contract = setup
+        contract.commit_batch("agg", "t", "claimed")
+        contract.challenge("ver", 0, "different")  # reverted now
+        with pytest.raises(ChallengeError):
+            contract.challenge("ver", 0, "different")
+
+    def test_partial_slash_fraction(self):
+        chain = L1Chain()
+        config = RollupConfig(slash_fraction=0.5, challenge_period_blocks=3)
+        contract = OptimisticRollupContract(chain, config)
+        chain.accounts.create("agg", 2 * config.aggregator_bond_wei)
+        chain.accounts.create("ver", 2 * config.verifier_bond_wei)
+        contract.register_aggregator("agg")
+        contract.register_verifier("ver")
+        contract.commit_batch("agg", "t", "claimed")
+        contract.challenge("ver", 0, "differs")
+        assert contract.aggregator_bond("agg") == config.aggregator_bond_wei // 2

@@ -1,0 +1,75 @@
+"""Tests for the delayed-withdrawal exit queue."""
+
+import pytest
+
+from repro.chain import L1Chain, OptimisticRollupContract
+from repro.config import RollupConfig
+from repro.errors import ChainError
+
+
+@pytest.fixture
+def setup():
+    chain = L1Chain()
+    contract = OptimisticRollupContract(
+        chain, RollupConfig(challenge_period_blocks=3)
+    )
+    chain.accounts.create("user", 10**19)
+    contract.deposit("user", 5 * 10**18)
+    return chain, contract
+
+
+class TestRequest:
+    def test_request_locks_l2_balance(self, setup):
+        _, contract = setup
+        contract.request_withdrawal("user", 2 * 10**18)
+        assert contract.l2_balance("user") == 3 * 10**18
+        assert contract.pending_withdrawals("user") == 2 * 10**18
+
+    def test_unlock_height_is_challenge_period_away(self, setup):
+        chain, contract = setup
+        unlock = contract.request_withdrawal("user", 10**18)
+        assert unlock == chain.height + 3
+
+    def test_overdraw_rejected(self, setup):
+        _, contract = setup
+        with pytest.raises(ChainError):
+            contract.request_withdrawal("user", 6 * 10**18)
+
+
+class TestClaim:
+    def test_claim_before_maturity_rejected(self, setup):
+        _, contract = setup
+        contract.request_withdrawal("user", 10**18)
+        with pytest.raises(ChainError):
+            contract.claim_withdrawals("user")
+
+    def test_claim_after_maturity_pays_l1(self, setup):
+        chain, contract = setup
+        l1_before = chain.accounts.balance("user")
+        contract.request_withdrawal("user", 10**18)
+        chain.seal_blocks(3)
+        paid = contract.claim_withdrawals("user")
+        assert paid == 10**18
+        assert chain.accounts.balance("user") == l1_before + 10**18
+        assert contract.pending_withdrawals("user") == 0
+
+    def test_multiple_exits_batched(self, setup):
+        chain, contract = setup
+        contract.request_withdrawal("user", 10**18)
+        contract.request_withdrawal("user", 2 * 10**18)
+        chain.seal_blocks(3)
+        assert contract.claim_withdrawals("user") == 3 * 10**18
+
+    def test_immature_exits_left_queued(self, setup):
+        chain, contract = setup
+        contract.request_withdrawal("user", 10**18)
+        chain.seal_blocks(3)
+        contract.request_withdrawal("user", 2 * 10**18)  # not yet mature
+        paid = contract.claim_withdrawals("user")
+        assert paid == 10**18
+        assert contract.pending_withdrawals("user") == 2 * 10**18
+
+    def test_claim_with_empty_queue_rejected(self, setup):
+        _, contract = setup
+        with pytest.raises(ChainError):
+            contract.claim_withdrawals("user")

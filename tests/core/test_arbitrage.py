@@ -1,0 +1,79 @@
+"""Tests for the arbitrage-opportunity pre-check."""
+
+import pytest
+
+from repro.core import assess_opportunity
+from repro.rollup import NFTTransaction, TxKind
+
+
+def mint(sender, nonce=0):
+    return NFTTransaction(kind=TxKind.MINT, sender=sender, nonce=nonce)
+
+
+def transfer(sender, recipient, nonce=0):
+    return NFTTransaction(
+        kind=TxKind.TRANSFER, sender=sender, recipient=recipient, nonce=nonce
+    )
+
+
+def burn(sender, nonce=0):
+    return NFTTransaction(kind=TxKind.BURN, sender=sender, nonce=nonce)
+
+
+class TestOpportunityDetection:
+    def test_mint_transfer_pair_is_opportunity(self):
+        txs = [mint("ifu", 0), transfer("ifu", "u1", 1)]
+        assert assess_opportunity(txs, ["ifu"]).has_opportunity
+
+    def test_case_study_flags_opportunity(self, case_workload):
+        result = assess_opportunity(case_workload.transactions, case_workload.ifus)
+        assert result.has_opportunity
+        assert result.involvement["IFU"] == 3
+
+    def test_single_transaction_rejected(self):
+        result = assess_opportunity([mint("ifu")], ["ifu"])
+        assert not result.has_opportunity
+        assert any("fewer than two" in reason for reason in result.reasons)
+
+    def test_uninvolved_ifu_rejected(self):
+        txs = [mint("u1", 0), transfer("u2", "u3", 1)]
+        result = assess_opportunity(txs, ["ifu"])
+        assert not result.has_opportunity
+
+    def test_single_involvement_rejected(self):
+        txs = [mint("ifu", 0), transfer("u2", "u3", 1)]
+        result = assess_opportunity(txs, ["ifu"])
+        assert not result.has_opportunity
+        assert any("multiple" in reason for reason in result.reasons)
+
+    def test_no_price_moving_tx_rejected(self):
+        txs = [transfer("ifu", "u1", 0), transfer("u2", "ifu", 1)]
+        result = assess_opportunity(txs, ["ifu"])
+        assert not result.has_opportunity
+        assert any("constant" in reason for reason in result.reasons)
+
+    def test_multi_ifu_any_involved_counts(self):
+        txs = [mint("ifu2", 0), transfer("ifu2", "u1", 1)]
+        result = assess_opportunity(txs, ["ifu1", "ifu2"])
+        assert result.has_opportunity
+        assert result.involvement == {"ifu1": 0, "ifu2": 2}
+
+
+class TestCounters:
+    def test_type_counters(self):
+        txs = [
+            mint("ifu", 0),
+            transfer("ifu", "u1", 1),
+            burn("ifu", 2),
+            mint("u9", 3),
+        ]
+        result = assess_opportunity(txs, ["ifu"])
+        assert result.ifu_mint_count == 1
+        assert result.ifu_transfer_count == 1
+        assert result.ifu_burn_count == 1
+        assert result.price_moving_count == 3
+
+    def test_total_involvement(self):
+        txs = [mint("ifu", 0), transfer("u1", "ifu", 1)]
+        result = assess_opportunity(txs, ["ifu"])
+        assert result.total_ifu_involvement == 2

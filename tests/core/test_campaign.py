@@ -1,0 +1,76 @@
+"""Tests for multi-round attack campaigns."""
+
+import pytest
+
+from repro.config import GenTranSeqConfig, WorkloadConfig
+from repro.core import AttackCampaign, cold_vs_warm
+
+
+@pytest.fixture
+def configs():
+    workload = WorkloadConfig(
+        mempool_size=10, num_users=8, num_ifus=1,
+        min_ifu_involvement=3, seed=0,
+    )
+    gts = GenTranSeqConfig(episodes=3, steps_per_episode=20, seed=0)
+    return workload, gts
+
+
+class TestCampaign:
+    def test_runs_requested_rounds(self, configs):
+        workload, gts = configs
+        report = AttackCampaign(workload, gts).run(3)
+        assert len(report.rounds) == 3
+        assert [r.round_index for r in report.rounds] == [0, 1, 2]
+
+    def test_total_profit_sums_rounds(self, configs):
+        workload, gts = configs
+        report = AttackCampaign(workload, gts).run(3)
+        assert report.total_profit_eth == pytest.approx(sum(report.profits()))
+
+    def test_rounds_see_different_workloads(self, configs):
+        workload, gts = configs
+        campaign = AttackCampaign(workload, gts)
+        first = campaign._round_workload(0)
+        second = campaign._round_workload(1)
+        assert [tx.tx_hash for tx in first.transactions] != [
+            tx.tx_hash for tx in second.transactions
+        ]
+
+    def test_agent_persists_across_rounds(self, configs):
+        workload, gts = configs
+        campaign = AttackCampaign(workload, gts)
+        campaign.run(2)
+        agent = campaign.attack.gentranseq._agent
+        assert agent is not None
+        steps_after_two = agent.steps
+        campaign.run(1)
+        assert campaign.attack.gentranseq._agent is agent
+        assert agent.steps > steps_after_two
+
+    def test_hit_rate_bounds(self, configs):
+        workload, gts = configs
+        report = AttackCampaign(workload, gts).run(3)
+        assert 0.0 <= report.hit_rate <= 1.0
+
+    def test_split_halves(self, configs):
+        workload, gts = configs
+        report = AttackCampaign(workload, gts).run(4)
+        early, late = report.split_halves()
+        assert len(early) == 2 and len(late) == 2
+
+
+class TestColdVsWarm:
+    def test_same_round_count(self, configs):
+        workload, gts = configs
+        cold, warm = cold_vs_warm(workload, gts, rounds=2)
+        assert len(cold.rounds) == len(warm.rounds) == 2
+
+    def test_cold_rounds_independent_of_each_other(self, configs):
+        """Cold round 0 equals warm round 0: both start untrained on the
+        same workload."""
+        workload, gts = configs
+        cold, warm = cold_vs_warm(workload, gts, rounds=2)
+        assert cold.rounds[0].profit_eth == pytest.approx(
+            warm.rounds[0].profit_eth
+        )

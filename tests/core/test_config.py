@@ -1,0 +1,127 @@
+"""Tests for configuration objects, including Table II values."""
+
+import pytest
+
+from repro.config import (
+    AttackConfig,
+    DefenseConfig,
+    GenTranSeqConfig,
+    NFTContractConfig,
+    RollupConfig,
+    SnapshotStudyConfig,
+    WorkloadConfig,
+    eth_to_satoshi,
+    eth_to_wei,
+    wei_to_eth,
+)
+from repro.errors import ConfigError
+
+
+class TestTableII:
+    """Defaults must equal the paper's Table II exactly."""
+
+    def test_exploration_parameter(self):
+        assert GenTranSeqConfig().epsilon == 0.95
+
+    def test_epsilon_decay(self):
+        assert GenTranSeqConfig().epsilon_decay == 0.05
+
+    def test_discount_factor(self):
+        assert GenTranSeqConfig().discount_factor == 0.618
+
+    def test_episodes(self):
+        assert GenTranSeqConfig().episodes == 100
+
+    def test_steps_per_episode(self):
+        assert GenTranSeqConfig().steps_per_episode == 200
+
+    def test_learning_rate(self):
+        assert GenTranSeqConfig().learning_rate == 0.7
+
+    def test_replay_buffer_size(self):
+        assert GenTranSeqConfig().replay_buffer_size == 5000
+
+    def test_q_network_update_every_5(self):
+        assert GenTranSeqConfig().q_network_update_every == 5
+
+    def test_target_network_update_every_30(self):
+        assert GenTranSeqConfig().target_network_update_every == 30
+
+
+class TestGenTranSeqValidation:
+    def test_epsilon_out_of_range(self):
+        with pytest.raises(ConfigError):
+            GenTranSeqConfig(epsilon=1.5)
+
+    def test_discount_out_of_range(self):
+        with pytest.raises(ConfigError):
+            GenTranSeqConfig(discount_factor=-0.1)
+
+    def test_zero_episodes(self):
+        with pytest.raises(ConfigError):
+            GenTranSeqConfig(episodes=0)
+
+    def test_buffer_smaller_than_batch(self):
+        with pytest.raises(ConfigError):
+            GenTranSeqConfig(replay_buffer_size=4, batch_size=32)
+
+    def test_penalty_weight_below_one(self):
+        with pytest.raises(ConfigError):
+            GenTranSeqConfig(penalty_weight=0.5)
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ConfigError):
+            GenTranSeqConfig().with_overrides(epsilon=2.0)
+
+    def test_with_overrides_copies(self):
+        base = GenTranSeqConfig()
+        changed = base.with_overrides(episodes=7)
+        assert base.episodes == 100
+        assert changed.episodes == 7
+
+
+class TestOtherConfigs:
+    def test_pt_defaults(self):
+        config = NFTContractConfig()
+        assert config.max_supply == 10
+        assert config.initial_price_eth == 0.2
+
+    def test_nft_config_validation(self):
+        with pytest.raises(ConfigError):
+            NFTContractConfig(max_supply=0)
+
+    def test_rollup_validation(self):
+        with pytest.raises(ConfigError):
+            RollupConfig(challenge_period_blocks=0)
+
+    def test_attack_requires_ifu(self):
+        with pytest.raises(ConfigError):
+            AttackConfig(ifu_accounts=())
+
+    def test_attack_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            AttackConfig(adversarial_fraction=0.0)
+
+    def test_workload_mix_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(tx_type_mix=(0.5, 0.5, 0.5))
+
+    def test_workload_ifus_bounded_by_users(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(num_users=3, num_ifus=4)
+
+    def test_defense_validation(self):
+        with pytest.raises(ConfigError):
+            DefenseConfig(profit_threshold_eth=-1.0)
+
+    def test_snapshot_tier_bounds(self):
+        with pytest.raises(ConfigError):
+            SnapshotStudyConfig(lft_max_owners=5000, mft_max_owners=3000)
+
+
+class TestUnitConversion:
+    def test_eth_wei_roundtrip(self):
+        assert wei_to_eth(eth_to_wei(1.5)) == pytest.approx(1.5)
+
+    def test_satoshi_conversion(self):
+        assert eth_to_satoshi(1.0) == 10**8

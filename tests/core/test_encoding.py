@@ -1,0 +1,85 @@
+"""Tests for the 8-feature transaction encoding (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.config import TX_FEATURE_WIDTH
+from repro.core import TransactionEncoder
+from repro.workloads import CASE3_ORDER
+from repro.workloads.scenarios import IFU
+
+
+@pytest.fixture
+def encoder(case_workload):
+    return TransactionEncoder(case_workload.pre_state, (IFU,))
+
+
+class TestShape:
+    def test_feature_width_is_eight(self, encoder):
+        assert encoder.feature_width == TX_FEATURE_WIDTH == 8
+
+    def test_2d_shape(self, encoder, case_workload):
+        matrix = encoder.encode_2d(case_workload.transactions)
+        assert matrix.shape == (8, 8)
+
+    def test_flattened_size(self, encoder, case_workload):
+        flat = encoder.encode(case_workload.transactions)
+        assert flat.shape == (64,)
+        assert encoder.observation_size(8) == 64
+
+
+class TestFlags:
+    def test_type_one_hot(self, encoder, case_workload):
+        matrix = encoder.encode_2d(case_workload.transactions)
+        # Exactly one of the first three columns set per row.
+        assert np.all(matrix[:, :3].sum(axis=1) == 1.0)
+
+    def test_tx2_is_mint(self, encoder, case_workload):
+        matrix = encoder.encode_2d(case_workload.transactions)
+        assert matrix[1, 0] == 1.0  # TX2 = Mint by U19
+
+    def test_tx7_is_burn(self, encoder, case_workload):
+        matrix = encoder.encode_2d(case_workload.transactions)
+        assert matrix[6, 2] == 1.0  # TX7 = Burn by U2
+
+    def test_ifu_involvement_flags(self, encoder, case_workload):
+        matrix = encoder.encode_2d(case_workload.transactions)
+        involved = [bool(matrix[i, 3]) for i in range(8)]
+        # IFU participates in TX3, TX5, TX8 (indices 2, 4, 7).
+        assert involved == [False, False, True, False, True, False, False, True]
+
+    def test_ifu_gains_flag(self, encoder, case_workload):
+        matrix = encoder.encode_2d(case_workload.transactions)
+        # TX5 mint by IFU and TX8 transfer to IFU add tokens to the IFU.
+        gains = [bool(matrix[i, 4]) for i in range(8)]
+        assert gains == [False, False, False, False, True, False, False, True]
+
+
+class TestStateFeatures:
+    def test_price_feature_normalised(self, encoder, case_workload):
+        matrix = encoder.encode_2d(case_workload.transactions)
+        assert np.all(matrix[:, 5] > 0.0)
+        assert np.all(matrix[:, 5] <= 1.0)
+
+    def test_price_feature_tracks_position(self, encoder, case_workload):
+        """The price column is position-dependent: reordering changes it."""
+        original = encoder.encode_2d(case_workload.transactions)
+        reordered = encoder.encode_2d(
+            [case_workload.transactions[i] for i in CASE3_ORDER]
+        )
+        assert not np.allclose(original[:, 5], reordered[:, 5])
+
+    def test_supply_feature_bounded(self, encoder, case_workload):
+        matrix = encoder.encode_2d(case_workload.transactions)
+        assert np.all(matrix[:, 6] >= 0.0)
+        assert np.all(matrix[:, 6] <= 1.0)
+
+    def test_fee_feature_bounded(self, encoder, case_workload):
+        matrix = encoder.encode_2d(case_workload.transactions)
+        assert np.all(matrix[:, 7] > 0.0)
+        assert np.all(matrix[:, 7] <= 1.0)
+
+    def test_encoding_deterministic(self, encoder, case_workload):
+        a = encoder.encode(case_workload.transactions)
+        b = encoder.encode(case_workload.transactions)
+        assert np.array_equal(a, b)

@@ -1,0 +1,189 @@
+"""Tests for the GENTRANSEQ MDP environment."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import GenTranSeqConfig
+from repro.core import ReorderEnv, swap_action_table
+from repro.errors import DRLError
+from repro.workloads import CASE2_ORDER, CASE3_ORDER
+from repro.workloads.scenarios import IFU
+
+
+@pytest.fixture
+def env(case_workload):
+    config = GenTranSeqConfig(steps_per_episode=20, seed=0)
+    return ReorderEnv(
+        pre_state=case_workload.pre_state,
+        transactions=case_workload.transactions,
+        ifus=(IFU,),
+        config=config,
+    )
+
+
+class TestActionSpace:
+    def test_action_count_is_n_choose_2(self, env):
+        assert env.action_count == math.comb(8, 2) == 28
+
+    def test_swap_table_enumerates_pairs(self):
+        table = swap_action_table(4)
+        assert len(table) == 6
+        assert table[0] == (0, 1)
+        assert table[-1] == (2, 3)
+
+    def test_observation_size_is_8n(self, env):
+        assert env.observation_size == 64
+
+    def test_invalid_action_raises(self, env):
+        env.reset()
+        with pytest.raises(DRLError):
+            env.step(28)
+
+    def test_too_few_transactions_rejected(self, case_workload):
+        with pytest.raises(DRLError):
+            ReorderEnv(
+                pre_state=case_workload.pre_state,
+                transactions=case_workload.transactions[:1],
+                ifus=(IFU,),
+            )
+
+
+class TestDynamics:
+    def test_reset_restores_identity_order(self, env):
+        env.reset()
+        env.step(0)
+        env.reset()
+        assert env.current_order() == tuple(range(8))
+
+    def test_step_swaps_exactly_two(self, env):
+        env.reset()
+        i, j = env.action_pair(5)
+        env.step(5)
+        order = env.current_order()
+        expected = list(range(8))
+        expected[i], expected[j] = expected[j], expected[i]
+        assert order == tuple(expected)
+
+    def test_swap_is_involution(self, env):
+        env.reset()
+        env.step(3)
+        env.step(3)
+        assert env.current_order() == tuple(range(8))
+
+    def test_done_at_step_cap(self, env):
+        env.reset()
+        done = False
+        for step in range(20):
+            _, _, done, _ = env.step(0)
+        assert done
+
+    def test_observation_changes_with_order(self, env):
+        first = env.reset()
+        second, _, _, _ = env.step(0)
+        assert not np.array_equal(first, second)
+
+
+class TestRewards:
+    def test_original_objective_matches_case1(self, env):
+        assert env.original_objective == pytest.approx(2.5)
+
+    def test_case3_order_evaluates_correctly(self, env):
+        evaluation = env.evaluate_order(CASE3_ORDER)
+        assert evaluation["objective"] == pytest.approx(2.5 + 7 / 30)
+        assert evaluation["feasible"]
+        assert evaluation["delta"] > 0
+
+    def test_case2_order_evaluates_correctly(self, env):
+        evaluation = env.evaluate_order(CASE2_ORDER)
+        assert evaluation["objective"] == pytest.approx(2.5 + 1 / 15)
+
+    def test_profitable_swap_rewarded_positively(self, case_workload):
+        env = ReorderEnv(
+            pre_state=case_workload.pre_state,
+            transactions=case_workload.transactions,
+            ifus=(IFU,),
+            config=GenTranSeqConfig(steps_per_episode=50, seed=0),
+        )
+        env.reset()
+        # Find any single swap with a positive feasible delta and check
+        # the reward equals delta * reward_scale (W = 1 branch of Eq. 8).
+        for action in range(env.action_count):
+            env.reset()
+            _, reward, _, info = env.step(action)
+            if info["feasible"] and info["delta"] > 0:
+                assert reward == pytest.approx(
+                    info["delta"] * env.config.reward_scale
+                )
+                assert info["profit"] == pytest.approx(info["delta"])
+                return
+        pytest.fail("no single profitable swap found in the case study")
+
+    def test_losing_swap_amplified_by_penalty_weight(self, env):
+        env.reset()
+        for action in range(env.action_count):
+            env.reset()
+            _, reward, _, info = env.step(action)
+            if info["feasible"] and info["delta"] < 0:
+                assert reward == pytest.approx(
+                    env.config.penalty_weight
+                    * info["delta"]
+                    * env.config.reward_scale
+                )
+                assert info["profit"] == 0.0
+                return
+        pytest.fail("no single losing swap found in the case study")
+
+    def test_best_order_tracked(self, env):
+        env.reset()
+        best_before = env.best_objective
+        for action in range(env.action_count):
+            env.reset()
+            env.step(action)
+        assert env.best_objective >= best_before
+        assert env.best_objective >= env.original_objective
+
+    def test_first_profit_swaps_recorded(self, env):
+        env.reset()
+        for action in range(env.action_count):
+            env.reset()
+            _, _, _, info = env.step(action)
+            if info["profit"] > 0:
+                assert env.first_profit_swaps == 1
+                return
+        pytest.fail("no profitable single swap found")
+
+
+class TestFeasibility:
+    def test_infeasible_order_penalised(self, pt_config):
+        """Orders that break an originally-valid tx must score -inf-like."""
+        from repro.rollup import L2State, NFTTransaction, TxKind
+
+        state = L2State(
+            pt_config,
+            balances={"ifu": 1.0, "u1": 0.35, "u2": 5.0},
+            inventory={"ifu": 5},
+        )
+        # 5 minted -> price 0.4.  After the IFU's burn the price drops to
+        # 10/6*0.2 = 0.333, which u1 (0.35 ETH) can just afford.
+        txs = (
+            NFTTransaction(kind=TxKind.BURN, sender="ifu", nonce=0),
+            NFTTransaction(kind=TxKind.MINT, sender="u1", nonce=1),
+            NFTTransaction(kind=TxKind.MINT, sender="u2", nonce=2),
+        )
+        env = ReorderEnv(
+            pre_state=state,
+            transactions=txs,
+            ifus=("ifu",),
+            config=GenTranSeqConfig(steps_per_episode=10, seed=0),
+        )
+        # Reordering u1's mint before the burn prices u1 out (0.35 < 0.4)
+        # -> an originally-valid transaction is skipped -> infeasible.
+        evaluation = env.evaluate_order((1, 0, 2))
+        assert not evaluation["feasible"]
+        env.reset()
+        action = env._actions.index((0, 1))
+        _, reward, _, info = env.step(action)
+        assert not info["feasible"]
+        assert reward < 0

@@ -1,0 +1,82 @@
+"""Tests for the GENTRANSEQ module."""
+
+import pytest
+
+from repro.config import GenTranSeqConfig
+from repro.core import GenTranSeq
+from repro.workloads.scenarios import IFU
+
+
+@pytest.fixture
+def module():
+    return GenTranSeq(
+        config=GenTranSeqConfig(episodes=10, steps_per_episode=40, seed=3)
+    )
+
+
+class TestOptimize:
+    def test_finds_profit_on_case_study(self, module, case_workload):
+        result = module.optimize(
+            case_workload.pre_state, case_workload.transactions, (IFU,)
+        )
+        assert result.improved
+        assert result.profit > 0.05
+        assert result.best_objective > result.original_objective
+
+    def test_best_sequence_is_permutation(self, module, case_workload):
+        result = module.optimize(
+            case_workload.pre_state, case_workload.transactions, (IFU,)
+        )
+        assert sorted(tx.tx_hash for tx in result.best_sequence) == sorted(
+            tx.tx_hash for tx in case_workload.transactions
+        )
+
+    def test_history_length_matches_episodes(self, module, case_workload):
+        result = module.optimize(
+            case_workload.pre_state, case_workload.transactions, (IFU,)
+        )
+        assert len(result.episode_rewards) == 10
+
+    def test_original_objective_matches_case1(self, module, case_workload):
+        result = module.optimize(
+            case_workload.pre_state, case_workload.transactions, (IFU,)
+        )
+        assert result.original_objective == pytest.approx(2.5)
+
+    def test_result_records_elapsed(self, module, case_workload):
+        result = module.optimize(
+            case_workload.pre_state, case_workload.transactions, (IFU,)
+        )
+        assert result.elapsed_seconds > 0
+
+    def test_agent_reused_across_calls(self, module, case_workload):
+        module.optimize(case_workload.pre_state, case_workload.transactions, (IFU,))
+        agent_first = module._agent
+        module.optimize(case_workload.pre_state, case_workload.transactions, (IFU,))
+        assert module._agent is agent_first
+
+    def test_agent_rebuilt_on_shape_change(self, module, case_workload):
+        module.optimize(case_workload.pre_state, case_workload.transactions, (IFU,))
+        agent_first = module._agent
+        module.optimize(
+            case_workload.pre_state, case_workload.transactions[:5], (IFU,)
+        )
+        assert module._agent is not agent_first
+
+
+class TestInference:
+    def test_infer_runs_without_learning(self, module, case_workload):
+        module.optimize(case_workload.pre_state, case_workload.transactions, (IFU,))
+        result = module.infer(
+            case_workload.pre_state, case_workload.transactions, (IFU,), max_swaps=10
+        )
+        assert result.best_objective >= result.original_objective
+        assert len(result.episode_rewards) == 0
+
+    def test_inference_memory_zero_before_training(self):
+        fresh = GenTranSeq()
+        assert fresh.inference_memory_bytes() == 0
+
+    def test_inference_memory_positive_after_training(self, module, case_workload):
+        module.optimize(case_workload.pre_state, case_workload.transactions, (IFU,))
+        assert module.inference_memory_bytes() > 0

@@ -1,0 +1,95 @@
+"""Tests for the insertion-action environment variant."""
+
+import pytest
+
+from repro.config import GenTranSeqConfig
+from repro.core import (
+    InsertionReorderEnv,
+    ReorderEnv,
+    insertion_action_table,
+)
+from repro.errors import DRLError
+from repro.workloads import CASE3_ORDER
+from repro.workloads.scenarios import IFU
+
+
+@pytest.fixture
+def env(case_workload):
+    return InsertionReorderEnv(
+        pre_state=case_workload.pre_state,
+        transactions=case_workload.transactions,
+        ifus=(IFU,),
+        config=GenTranSeqConfig(steps_per_episode=20, seed=0),
+    )
+
+
+class TestActionTable:
+    def test_count_is_n_times_n_minus_1(self):
+        assert len(insertion_action_table(8)) == 8 * 7
+
+    def test_no_identity_moves(self):
+        assert all(i != j for i, j in insertion_action_table(6))
+
+    def test_env_action_count(self, env):
+        assert env.action_count == 56
+
+
+class TestDynamics:
+    def test_move_front_to_back(self, env):
+        env.reset()
+        action = env._actions.index((0, 7))
+        env.step(action)
+        assert env.current_order() == (1, 2, 3, 4, 5, 6, 7, 0)
+
+    def test_move_back_to_front(self, env):
+        env.reset()
+        action = env._actions.index((7, 0))
+        env.step(action)
+        assert env.current_order() == (7, 0, 1, 2, 3, 4, 5, 6)
+
+    def test_order_stays_a_permutation(self, env):
+        env.reset()
+        for action in range(0, env.action_count, 7):
+            env.step(action % env.action_count)
+        assert sorted(env.current_order()) == list(range(8))
+
+    def test_invalid_action_raises(self, env):
+        env.reset()
+        with pytest.raises(DRLError):
+            env.step(56)
+
+    def test_reset_restores_identity(self, env):
+        env.reset()
+        env.step(0)
+        env.reset()
+        assert env.current_order() == tuple(range(8))
+
+
+class TestScoringSharedWithSwapEnv:
+    def test_same_objective_for_same_order(self, case_workload):
+        swap_env = ReorderEnv(
+            pre_state=case_workload.pre_state,
+            transactions=case_workload.transactions,
+            ifus=(IFU,),
+        )
+        insert_env = InsertionReorderEnv(
+            pre_state=case_workload.pre_state,
+            transactions=case_workload.transactions,
+            ifus=(IFU,),
+        )
+        for order in (tuple(range(8)), CASE3_ORDER):
+            assert (
+                swap_env.evaluate_order(order)["objective"]
+                == insert_env.evaluate_order(order)["objective"]
+            )
+
+    def test_profitable_insertion_rewarded(self, env):
+        found = False
+        for action in range(env.action_count):
+            env.reset()
+            _, reward, _, info = env.step(action)
+            if info["feasible"] and info["delta"] > 0:
+                assert reward > 0
+                found = True
+                break
+        assert found, "no single profitable insertion in the case study"

@@ -1,0 +1,62 @@
+"""Tests for profit metrics and multi-IFU objectives."""
+
+import pytest
+
+from repro.core import (
+    ifu_objective,
+    mean_wealth,
+    min_wealth_gain,
+    profit_eth,
+    profit_percent,
+    profit_satoshi,
+)
+from repro.core.metrics import average_profit, total_profit
+from repro.core.multi_ifu import wealth_of
+
+
+class TestProfitMetrics:
+    def test_profit_eth(self):
+        assert profit_eth(2.7333, 2.5) == pytest.approx(0.2333)
+
+    def test_profit_percent_case3(self):
+        # Case 3's L2 balance gain: 1.2333 vs 1.0 = +23.3% (paper: 24%).
+        assert profit_percent(1.2333, 1.0) == pytest.approx(23.33, abs=0.01)
+
+    def test_profit_percent_zero_baseline(self):
+        assert profit_percent(5.0, 0.0) == 0.0
+
+    def test_profit_satoshi(self):
+        assert profit_satoshi(2.0, 1.0) == pytest.approx(10**8)
+
+    def test_total_and_average(self):
+        profits = [0.1, 0.3, 0.2]
+        assert total_profit(profits) == pytest.approx(0.6)
+        assert average_profit(profits) == pytest.approx(0.2)
+
+    def test_average_of_empty(self):
+        assert average_profit([]) == 0.0
+
+
+class TestObjectives:
+    def test_mean_wealth(self):
+        assert mean_wealth({"a": 2.0, "b": 4.0}) == pytest.approx(3.0)
+
+    def test_min_wealth(self):
+        assert min_wealth_gain({"a": 2.0, "b": 4.0}) == pytest.approx(2.0)
+
+    def test_empty_objectives(self):
+        assert mean_wealth({}) == 0.0
+        assert min_wealth_gain({}) == 0.0
+
+    def test_resolve_by_name(self):
+        assert ifu_objective("mean") is mean_wealth
+        assert ifu_objective("min") is min_wealth_gain
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            ifu_objective("max")
+
+    def test_wealth_of(self, basic_state):
+        wealth = wealth_of(basic_state, ("alice", "bob"))
+        assert wealth["alice"] == pytest.approx(basic_state.wealth("alice"))
+        assert set(wealth) == {"alice", "bob"}

@@ -1,0 +1,45 @@
+"""Tests for simulated key pairs and addresses."""
+
+import numpy as np
+
+from repro.crypto import KeyPair, derive_address, generate_keypair
+
+
+class TestDeriveAddress:
+    def test_prefix_and_length(self):
+        address = derive_address(b"\x01" * 32)
+        assert address.startswith("0x")
+        assert len(address) == 42
+
+    def test_deterministic(self):
+        assert derive_address(b"k" * 32) == derive_address(b"k" * 32)
+
+    def test_distinct_keys_distinct_addresses(self):
+        assert derive_address(b"a" * 32) != derive_address(b"b" * 32)
+
+
+class TestKeyPair:
+    def test_generate_is_seed_deterministic(self):
+        a = generate_keypair(np.random.default_rng(7))
+        b = generate_keypair(np.random.default_rng(7))
+        assert a.address == b.address
+
+    def test_generate_differs_across_seeds(self):
+        a = generate_keypair(np.random.default_rng(1))
+        b = generate_keypair(np.random.default_rng(2))
+        assert a.address != b.address
+
+    def test_sign_verify_roundtrip(self):
+        pair = generate_keypair(np.random.default_rng(3))
+        signature = pair.sign(b"message")
+        assert pair.verify(b"message", signature)
+
+    def test_verify_rejects_tampered_message(self):
+        pair = generate_keypair(np.random.default_rng(3))
+        signature = pair.sign(b"message")
+        assert not pair.verify(b"other", signature)
+
+    def test_verify_rejects_foreign_signature(self):
+        signer = generate_keypair(np.random.default_rng(4))
+        verifier = generate_keypair(np.random.default_rng(5))
+        assert not verifier.verify(b"m", signer.sign(b"m"))

@@ -1,0 +1,86 @@
+"""Tests for the Merkle tree and inclusion proofs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import MerkleTree, verify_proof
+from repro.crypto.merkle import EMPTY_ROOT
+from repro.errors import CryptoError
+
+
+class TestMerkleRoot:
+    def test_empty_tree_has_fixed_root(self):
+        assert MerkleTree([]).root == EMPTY_ROOT
+
+    def test_single_leaf(self):
+        tree = MerkleTree(["only"])
+        assert tree.root == tree.leaf_digests[0]
+
+    def test_root_deterministic(self):
+        assert MerkleTree([1, 2, 3]).root == MerkleTree([1, 2, 3]).root
+
+    def test_root_depends_on_order(self):
+        assert MerkleTree([1, 2]).root != MerkleTree([2, 1]).root
+
+    def test_root_depends_on_content(self):
+        assert MerkleTree([1, 2]).root != MerkleTree([1, 3]).root
+
+    def test_odd_leaf_count_well_defined(self):
+        tree = MerkleTree(["a", "b", "c"])
+        assert len(tree) == 3
+        assert len(tree.root) == 64
+
+    def test_duplicate_final_leaf_differs_from_explicit_duplicate(self):
+        # [a, b, c] pads c; [a, b, c, c] is the same shape by construction.
+        padded = MerkleTree(["a", "b", "c"])
+        explicit = MerkleTree(["a", "b", "c", "c"])
+        assert padded.root == explicit.root
+
+    def test_len_reports_original_leaves(self):
+        assert len(MerkleTree(["a", "b", "c"])) == 3
+
+    def test_structured_leaves(self):
+        tree = MerkleTree([["balance", "alice", 5], {"k": 1}])
+        assert len(tree.root) == 64
+
+
+class TestMerkleProof:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8, 13])
+    def test_all_indices_verify(self, size):
+        leaves = [f"leaf-{i}" for i in range(size)]
+        tree = MerkleTree(leaves)
+        for index in range(size):
+            proof = tree.proof(index)
+            assert verify_proof(tree.root, proof)
+
+    def test_proof_fails_against_wrong_root(self):
+        tree = MerkleTree(["a", "b", "c", "d"])
+        other = MerkleTree(["a", "b", "c", "e"])
+        proof = tree.proof(1)
+        assert not verify_proof(other.root, proof)
+
+    def test_tampered_leaf_fails(self):
+        tree = MerkleTree(["a", "b", "c", "d"])
+        proof = tree.proof(0)
+        from dataclasses import replace
+        from repro.crypto import hash_value
+        forged = replace(proof, leaf=hash_value("evil"))
+        assert not verify_proof(tree.root, forged)
+
+    def test_out_of_range_index_raises(self):
+        tree = MerkleTree(["a", "b"])
+        with pytest.raises(CryptoError):
+            tree.proof(2)
+        with pytest.raises(CryptoError):
+            tree.proof(-1)
+
+    def test_proof_records_index(self):
+        tree = MerkleTree(["a", "b", "c"])
+        assert tree.proof(2).index == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.text(max_size=8), min_size=1, max_size=16), st.data())
+    def test_property_roundtrip(self, leaves, data):
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+        assert verify_proof(tree.root, tree.proof(index))

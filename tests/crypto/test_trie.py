@@ -1,0 +1,139 @@
+"""Tests for the Merkle state trie."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import MerkleTrie
+from repro.crypto.trie import EMPTY_TRIE_DIGEST
+from repro.errors import CryptoError
+
+
+@pytest.fixture
+def trie():
+    built = MerkleTrie()
+    built.put("alice", 100)
+    built.put("bob", 50)
+    built.put("carol", 7)
+    return built
+
+
+class TestRoots:
+    def test_empty_root_fixed(self):
+        assert MerkleTrie().root == EMPTY_TRIE_DIGEST
+
+    def test_root_insertion_order_free(self):
+        a = MerkleTrie()
+        a.put("x", 1)
+        a.put("y", 2)
+        b = MerkleTrie()
+        b.put("y", 2)
+        b.put("x", 1)
+        assert a.root == b.root
+
+    def test_root_changes_with_value(self, trie):
+        before = trie.root
+        trie.put("alice", 101)
+        assert trie.root != before
+
+    def test_root_changes_with_new_key(self, trie):
+        before = trie.root
+        trie.put("dave", 1)
+        assert trie.root != before
+
+    def test_update_is_idempotent(self, trie):
+        trie.put("alice", 100)
+        first = trie.root
+        trie.put("alice", 100)
+        assert trie.root == first
+
+    def test_from_items_matches_puts(self, trie):
+        rebuilt = MerkleTrie.from_items({"alice": 100, "bob": 50, "carol": 7})
+        assert rebuilt.root == trie.root
+
+
+class TestAccess:
+    def test_get(self, trie):
+        assert trie.get("alice") == 100
+        assert trie.get("nobody") is None
+        assert trie.get("nobody", -1) == -1
+
+    def test_contains_and_len(self, trie):
+        assert "bob" in trie
+        assert "nobody" not in trie
+        assert len(trie) == 3
+
+    def test_iter_items(self, trie):
+        assert dict(iter(trie)) == {"alice": 100, "bob": 50, "carol": 7}
+
+    def test_structured_keys(self):
+        trie = MerkleTrie()
+        trie.put(("account", "alice"), (1.5, 2))
+        assert trie.get(("account", "alice")) == (1.5, 2)
+
+
+class TestDelete:
+    def test_delete_restores_prior_root(self):
+        base = MerkleTrie()
+        base.put("x", 1)
+        with_extra = MerkleTrie()
+        with_extra.put("x", 1)
+        with_extra.put("y", 2)
+        with_extra.delete("y")
+        assert with_extra.root == base.root
+
+    def test_delete_missing_raises(self, trie):
+        with pytest.raises(CryptoError):
+            trie.delete("nobody")
+
+
+class TestProofs:
+    def test_proof_verifies(self, trie):
+        for key in ("alice", "bob", "carol"):
+            proof = trie.prove(key)
+            assert proof.verify(trie.root)
+
+    def test_proof_fails_on_wrong_root(self, trie):
+        proof = trie.prove("alice")
+        other = MerkleTrie.from_items({"alice": 100, "bob": 51, "carol": 7})
+        assert not proof.verify(other.root)
+
+    def test_tampered_value_fails(self, trie):
+        from dataclasses import replace
+        proof = replace(trie.prove("alice"), value=999)
+        assert not proof.verify(trie.root)
+
+    def test_proof_for_missing_key_raises(self, trie):
+        with pytest.raises(CryptoError):
+            trie.prove("nobody")
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.dictionaries(st.text(max_size=8), st.integers(), min_size=1,
+                           max_size=12), st.data())
+    def test_property_roundtrip(self, items, data):
+        trie = MerkleTrie.from_items(items)
+        key = data.draw(st.sampled_from(sorted(items)))
+        assert trie.prove(key).verify(trie.root)
+
+
+class TestAccountStateRoot:
+    def test_account_root_stable(self, basic_state):
+        from repro.rollup.fraud_proof import account_state_root
+        assert account_state_root(basic_state) == account_state_root(
+            basic_state.copy()
+        )
+
+    def test_account_proof_verifies(self, basic_state):
+        from repro.rollup.fraud_proof import account_state_root, prove_account
+        proof = prove_account(basic_state, "alice")
+        assert proof.verify(account_state_root(basic_state))
+        assert proof.value == (basic_state.balance("alice"), 1)
+
+    def test_single_account_fraud_detectable(self, basic_state):
+        """A verifier can dispute one account's balance against the root
+        without replaying anything else."""
+        from repro.rollup.fraud_proof import account_state_root, prove_account
+        honest_root = account_state_root(basic_state)
+        lied = basic_state.copy()
+        lied.balances["alice"] += 1.0
+        forged_proof = prove_account(lied, "alice")
+        assert not forged_proof.verify(honest_root)

@@ -1,0 +1,85 @@
+"""Tests for the Section VIII mempool guard."""
+
+import pytest
+
+from repro.config import DefenseConfig, GenTranSeqConfig
+from repro.defense import MempoolGuard
+from repro.rollup import NFTTransaction, TxKind
+from repro.workloads.scenarios import IFU
+
+
+@pytest.fixture
+def guard():
+    return MempoolGuard(
+        config=DefenseConfig(profit_threshold_eth=0.02, fee_scaled_threshold=False),
+        probe_config=GenTranSeqConfig(episodes=8, steps_per_episode=40, seed=0),
+    )
+
+
+class TestThreshold:
+    def test_flat_threshold(self, guard, case_workload):
+        assert guard.threshold_for(case_workload.transactions) == 0.02
+
+    def test_fee_scaled_threshold_grows_with_priority(self, case_workload):
+        guard = MempoolGuard(
+            config=DefenseConfig(profit_threshold_eth=0.02,
+                                 fee_scaled_threshold=True)
+        )
+        threshold = guard.threshold_for(case_workload.transactions)
+        assert threshold > 0.02
+
+    def test_empty_batch_gets_base_threshold(self):
+        guard = MempoolGuard(
+            config=DefenseConfig(profit_threshold_eth=0.05,
+                                 fee_scaled_threshold=True)
+        )
+        assert guard.threshold_for(()) == 0.05
+
+
+class TestInvolvedUsers:
+    def test_multi_involvement_only(self, guard, case_workload):
+        involved = guard.involved_users(case_workload.transactions)
+        assert IFU in involved   # 3 transactions
+        assert "U1" in involved  # 2 transactions
+        assert "U11" not in involved  # only 1
+
+    def test_burn_counts_sender(self, guard):
+        txs = (
+            NFTTransaction(kind=TxKind.BURN, sender="x", nonce=0),
+            NFTTransaction(kind=TxKind.MINT, sender="x", nonce=1),
+        )
+        assert guard.involved_users(txs) == ("x",)
+
+
+class TestInspection:
+    def test_case_study_flagged(self, guard, case_workload):
+        report = guard.inspect(case_workload.pre_state, case_workload.transactions)
+        assert report.flagged
+        assert report.worst_case_profit_eth > 0.02
+        assert report.worst_case_user is not None
+        assert report.margin_eth > 0
+
+    def test_unexploitable_batch_not_flagged(self, guard, case_workload):
+        txs = (
+            NFTTransaction(kind=TxKind.TRANSFER, sender="U1", recipient="U2", nonce=0),
+            NFTTransaction(kind=TxKind.TRANSFER, sender="U13", recipient="U3", nonce=1),
+        )
+        report = guard.inspect(case_workload.pre_state, txs)
+        assert not report.flagged
+        assert report.worst_case_profit_eth == 0.0
+
+    def test_per_user_profit_reported(self, guard, case_workload):
+        report = guard.inspect(case_workload.pre_state, case_workload.transactions)
+        assert report.worst_case_user in report.per_user_profit
+        assert report.per_user_profit[report.worst_case_user] == pytest.approx(
+            report.worst_case_profit_eth
+        )
+
+    def test_high_threshold_suppresses_flag(self, case_workload):
+        guard = MempoolGuard(
+            config=DefenseConfig(profit_threshold_eth=100.0,
+                                 fee_scaled_threshold=False),
+            probe_config=GenTranSeqConfig(episodes=4, steps_per_episode=20, seed=0),
+        )
+        report = guard.inspect(case_workload.pre_state, case_workload.transactions)
+        assert not report.flagged

@@ -1,0 +1,63 @@
+"""Tests for minimal transaction demotion."""
+
+import pytest
+
+from repro.config import DefenseConfig, GenTranSeqConfig
+from repro.defense import MempoolGuard, plan_demotion
+
+
+@pytest.fixture
+def guard():
+    return MempoolGuard(
+        config=DefenseConfig(profit_threshold_eth=0.02, fee_scaled_threshold=False),
+        probe_config=GenTranSeqConfig(episodes=6, steps_per_episode=30, seed=0),
+    )
+
+
+class TestDemotion:
+    def test_demotion_resolves_case_study(self, guard, case_workload):
+        plan = plan_demotion(
+            guard, case_workload.pre_state, case_workload.transactions
+        )
+        assert plan.initial_report.flagged
+        assert plan.resolved
+        assert plan.demoted_count >= 1
+
+    def test_kept_plus_demoted_is_original(self, guard, case_workload):
+        plan = plan_demotion(
+            guard, case_workload.pre_state, case_workload.transactions
+        )
+        recombined = sorted(
+            tx.tx_hash for tx in plan.kept + plan.demoted
+        )
+        assert recombined == sorted(
+            tx.tx_hash for tx in case_workload.transactions
+        )
+
+    def test_residual_below_threshold(self, guard, case_workload):
+        plan = plan_demotion(
+            guard, case_workload.pre_state, case_workload.transactions
+        )
+        if plan.resolved:
+            assert (
+                plan.final_report.worst_case_profit_eth
+                <= plan.final_report.threshold_eth
+            )
+
+    def test_unflagged_batch_untouched(self, guard, case_workload):
+        from repro.rollup import NFTTransaction, TxKind
+        txs = (
+            NFTTransaction(kind=TxKind.TRANSFER, sender="U1", recipient="U2", nonce=0),
+            NFTTransaction(kind=TxKind.TRANSFER, sender="U13", recipient="U3", nonce=1),
+        )
+        plan = plan_demotion(guard, case_workload.pre_state, txs)
+        assert plan.demoted == ()
+        assert plan.kept == txs
+        assert plan.rounds == 0
+
+    def test_max_demotions_respected(self, guard, case_workload):
+        plan = plan_demotion(
+            guard, case_workload.pre_state, case_workload.transactions,
+            max_demotions=1,
+        )
+        assert plan.demoted_count <= 1

@@ -1,0 +1,101 @@
+"""Tests for the order-commitment protocol fix."""
+
+import pytest
+
+from repro.defense import (
+    OrderCheckingVerifier,
+    commit_with_order,
+    order_commitment,
+)
+from repro.rollup.transaction import sort_by_fee
+from repro.workloads import CASE3_ORDER
+
+
+@pytest.fixture
+def verifier():
+    return OrderCheckingVerifier("order-watcher")
+
+
+class TestCommitment:
+    def test_commitment_canonical_over_collection_order(self, case_workload):
+        shuffled = tuple(reversed(case_workload.transactions))
+        assert order_commitment(case_workload.transactions) == order_commitment(
+            shuffled
+        )
+
+    def test_commitment_differs_for_different_sets(self, case_workload):
+        assert order_commitment(case_workload.transactions) != order_commitment(
+            case_workload.transactions[:5]
+        )
+
+    def test_honest_batch_respects_order(self, case_workload):
+        committed = commit_with_order(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        assert committed.order_respected()
+
+    def test_reordered_batch_violates_order(self, case_workload):
+        attacked = [case_workload.transactions[i] for i in CASE3_ORDER]
+        committed = commit_with_order(
+            "agg", case_workload.pre_state, case_workload.transactions,
+            executed_order=attacked,
+        )
+        assert not committed.order_respected()
+
+
+class TestOrderCheckingVerifier:
+    def test_honest_batch_unchallenged(self, case_workload, verifier):
+        committed = commit_with_order(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        report = verifier.inspect_committed(committed, case_workload.pre_state)
+        assert not report.should_challenge
+        assert report.order_respected
+
+    def test_parole_attack_now_caught(self, case_workload, verifier):
+        """Under order commitments, the PAROLE reordering that survives
+        plain fraud proofs becomes challengeable."""
+        attacked = [case_workload.transactions[i] for i in CASE3_ORDER]
+        committed = commit_with_order(
+            "agg", case_workload.pre_state, case_workload.transactions,
+            executed_order=attacked,
+        )
+        report = verifier.inspect_committed(committed, case_workload.pre_state)
+        # Execution itself is honest (no state fraud)...
+        assert not report.execution.should_challenge
+        # ...but the ordering violation triggers the challenge.
+        assert not report.order_respected
+        assert report.should_challenge
+
+    def test_dqn_found_order_also_caught(self, case_workload, verifier):
+        """The attack's actual output, not just the paper's hand-made
+        order, is caught."""
+        from repro.config import AttackConfig, GenTranSeqConfig
+        from repro.core import ParoleAttack
+
+        attack = ParoleAttack(
+            config=AttackConfig(
+                ifu_accounts=case_workload.ifus,
+                gentranseq=GenTranSeqConfig(
+                    episodes=8, steps_per_episode=30, seed=3
+                ),
+            )
+        )
+        outcome = attack.run(case_workload.pre_state, case_workload.transactions)
+        assert outcome.attacked  # the attack fires...
+        committed = commit_with_order(
+            "agg", case_workload.pre_state, case_workload.transactions,
+            executed_order=outcome.executed_sequence,
+        )
+        report = verifier.inspect_committed(committed, case_workload.pre_state)
+        assert report.should_challenge  # ...and is caught.
+
+    def test_fee_tied_orders_canonicalised(self, case_workload):
+        """Executing the canonical sort of the collection always passes,
+        even if the collection arrived shuffled."""
+        shuffled = tuple(reversed(case_workload.transactions))
+        committed = commit_with_order(
+            "agg", case_workload.pre_state, shuffled,
+            executed_order=sort_by_fee(shuffled),
+        )
+        assert committed.order_respected()

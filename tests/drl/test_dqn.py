@@ -1,0 +1,98 @@
+"""Tests for the DQN agent."""
+
+import numpy as np
+import pytest
+
+from repro.config import GenTranSeqConfig
+from repro.drl import DQNAgent
+from repro.errors import DRLError
+
+
+@pytest.fixture
+def agent():
+    config = GenTranSeqConfig(
+        batch_size=4,
+        replay_buffer_size=64,
+        q_network_update_every=2,
+        target_network_update_every=6,
+        hidden_layers=(8,),
+        seed=0,
+    )
+    return DQNAgent(observation_size=3, action_count=5, config=config)
+
+
+class TestPolicy:
+    def test_greedy_action_is_argmax(self, agent):
+        observation = np.array([0.1, 0.2, 0.3])
+        action = agent.act(observation, greedy=True)
+        assert action == int(np.argmax(agent.q_values(observation)))
+
+    def test_epsilon_one_explores(self, agent):
+        agent.epsilon = 1.0
+        actions = {agent.act(np.zeros(3)) for _ in range(50)}
+        assert len(actions) > 1  # random actions spread across the space
+
+    def test_epsilon_zero_exploits(self, agent):
+        agent.epsilon = 0.0
+        observation = np.ones(3)
+        actions = {agent.act(observation) for _ in range(10)}
+        assert len(actions) == 1
+
+    def test_begin_episode_sets_schedule_value(self, agent):
+        eps0 = agent.begin_episode(0)
+        eps_late = agent.begin_episode(200)
+        assert eps0 > eps_late
+        assert agent.epsilon == eps_late
+
+    def test_invalid_action_count_raises(self):
+        with pytest.raises(DRLError):
+            DQNAgent(observation_size=3, action_count=0)
+
+
+class TestLearning:
+    def _fill(self, agent, count):
+        losses = []
+        for i in range(count):
+            loss = agent.observe(
+                state=np.full(3, float(i % 3)),
+                action=i % 5,
+                reward=float(i % 2),
+                next_state=np.full(3, float((i + 1) % 3)),
+                done=False,
+            )
+            losses.append(loss)
+        return losses
+
+    def test_updates_follow_cadence(self, agent):
+        losses = self._fill(agent, 12)
+        # Updates start once the buffer holds a batch, every 2nd step.
+        update_steps = [i for i, loss in enumerate(losses) if loss is not None]
+        assert update_steps
+        assert all((step + 1) % 2 == 0 for step in update_steps)
+
+    def test_no_update_before_batch_available(self, agent):
+        losses = self._fill(agent, 3)
+        assert all(loss is None for loss in losses)
+
+    def test_profit_forces_target_sync(self, agent):
+        self._fill(agent, 4)
+        agent.q_network.weights[0] += 0.5  # diverge the networks
+        agent.observe(
+            state=np.zeros(3), action=0, reward=1.0,
+            next_state=np.ones(3), done=False, profit_found=True,
+        )
+        assert np.allclose(
+            agent.target_network.weights[0], agent.q_network.weights[0]
+        )
+
+    def test_steps_counted(self, agent):
+        self._fill(agent, 7)
+        assert agent.steps == 7
+
+    def test_losses_recorded(self, agent):
+        self._fill(agent, 20)
+        assert len(agent.losses) > 0
+        assert all(loss >= 0 for loss in agent.losses)
+
+    def test_inference_memory_positive(self, agent):
+        assert agent.inference_memory_bytes() > 0

@@ -1,0 +1,67 @@
+"""Tests for early stopping in the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.config import GenTranSeqConfig
+from repro.drl import DQNAgent, Environment, train
+from repro.errors import ConfigError
+
+
+class ConstantRewardEnv(Environment):
+    """Every action earns the same reward: the curve is flat from ep 1."""
+
+    @property
+    def observation_size(self) -> int:
+        return 2
+
+    @property
+    def action_count(self) -> int:
+        return 2
+
+    def reset(self):
+        return np.zeros(2)
+
+    def step(self, action):
+        return np.zeros(2), 1.0, False, {"profit": 0.0}
+
+
+class TestEarlyStop:
+    def test_flat_curve_stops_early(self):
+        config = GenTranSeqConfig(
+            episodes=50, steps_per_episode=5, early_stop_patience=3,
+            batch_size=4, replay_buffer_size=32, hidden_layers=(4,), seed=0,
+        )
+        env = ConstantRewardEnv()
+        agent = DQNAgent(env.observation_size, env.action_count, config=config)
+        history = train(env, agent, config)
+        assert len(history.episodes) < 50
+
+    def test_disabled_by_default(self):
+        config = GenTranSeqConfig(
+            episodes=12, steps_per_episode=5,
+            batch_size=4, replay_buffer_size=32, hidden_layers=(4,), seed=0,
+        )
+        env = ConstantRewardEnv()
+        agent = DQNAgent(env.observation_size, env.action_count, config=config)
+        history = train(env, agent, config)
+        assert len(history.episodes) == 12
+
+    def test_patience_validated(self):
+        with pytest.raises(ConfigError):
+            GenTranSeqConfig(early_stop_patience=1)
+
+    def test_gentranseq_respects_early_stop(self, case_workload):
+        from repro.core import GenTranSeq
+        config = GenTranSeqConfig(
+            episodes=40, steps_per_episode=20, early_stop_patience=5, seed=0,
+        )
+        module = GenTranSeq(config=config)
+        result = module.optimize(
+            case_workload.pre_state, case_workload.transactions,
+            case_workload.ifus,
+        )
+        # Early stop may or may not trigger; what matters is the run
+        # stays bounded and the result is still valid.
+        assert len(result.episode_rewards) <= 40
+        assert result.best_objective >= result.original_objective

@@ -1,0 +1,110 @@
+"""Tests for the numpy MLP and Adam optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.drl import MLP, AdamOptimizer
+from repro.errors import NetworkShapeError
+
+
+@pytest.fixture
+def net(rng):
+    return MLP(input_size=4, hidden_sizes=(8, 8), output_size=3, rng=rng,
+               learning_rate=1e-2)
+
+
+class TestForward:
+    def test_single_observation_shape(self, net):
+        out = net.forward(np.zeros(4))
+        assert out.shape == (3,)
+
+    def test_batch_shape(self, net):
+        out = net.forward(np.zeros((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_deterministic(self, net):
+        x = np.ones(4)
+        assert np.array_equal(net.forward(x), net.forward(x))
+
+    def test_wrong_width_raises(self, net):
+        with pytest.raises(NetworkShapeError):
+            net.forward(np.zeros(5))
+
+    def test_distinct_inputs_distinct_outputs(self, net):
+        a = net.forward(np.zeros(4))
+        b = net.forward(np.ones(4))
+        assert not np.allclose(a, b)
+
+
+class TestBackward:
+    def test_backward_without_forward_raises(self, net):
+        with pytest.raises(NetworkShapeError):
+            net.backward(np.zeros((1, 3)))
+
+    def test_training_reduces_regression_loss(self, rng):
+        net = MLP(2, (16,), 1, rng, learning_rate=5e-3)
+        inputs = rng.uniform(-1, 1, size=(64, 2))
+        targets = inputs[:, 0] * 0.5 - inputs[:, 1] * 0.3
+        actions = np.zeros(64, dtype=np.int64)
+        first_loss = net.train_on_targets(inputs, actions, targets)
+        for _ in range(300):
+            last_loss = net.train_on_targets(inputs, actions, targets)
+        assert last_loss < first_loss * 0.2
+
+    def test_train_on_targets_returns_mse(self, net):
+        inputs = np.zeros((2, 4))
+        loss = net.train_on_targets(
+            inputs, np.array([0, 1]), np.array([0.0, 0.0])
+        )
+        assert loss >= 0.0
+
+
+class TestWeightManagement:
+    def test_copy_weights(self, rng, net):
+        twin = MLP(4, (8, 8), 3, rng)
+        twin.copy_weights_from(net)
+        x = rng.uniform(size=4)
+        assert np.allclose(twin.forward(x), net.forward(x))
+
+    def test_copy_between_unlike_networks_raises(self, rng, net):
+        other = MLP(4, (8,), 3, rng)
+        with pytest.raises(NetworkShapeError):
+            other.copy_weights_from(net)
+
+    def test_clone_matches_but_is_independent(self, rng, net):
+        twin = net.clone(rng)
+        x = rng.uniform(size=4)
+        assert np.allclose(twin.forward(x), net.forward(x))
+        twin.weights[0][0, 0] += 1.0
+        assert not np.allclose(twin.forward(x), net.forward(x))
+
+    def test_parameter_count(self, net):
+        # 4*8 + 8 + 8*8 + 8 + 8*3 + 3 = 123
+        assert net.parameter_count() == 4 * 8 + 8 + 8 * 8 + 8 + 8 * 3 + 3
+
+    def test_memory_bytes_positive(self, net):
+        assert net.memory_bytes() == net.parameter_count() * 8
+
+    def test_zero_size_rejected(self, rng):
+        with pytest.raises(NetworkShapeError):
+            MLP(0, (4,), 2, rng)
+
+
+class TestAdam:
+    def test_step_moves_toward_minimum(self):
+        adam = AdamOptimizer(learning_rate=0.1)
+        param = np.array([4.0])
+        for _ in range(200):
+            grad = 2.0 * param  # d/dx x^2
+            adam.step([param], [grad])
+        assert abs(param[0]) < 0.1
+
+    def test_mismatched_lengths_raise(self):
+        adam = AdamOptimizer()
+        with pytest.raises(NetworkShapeError):
+            adam.step([np.zeros(2)], [])
+
+    def test_mismatched_shapes_raise(self):
+        adam = AdamOptimizer()
+        with pytest.raises(NetworkShapeError):
+            adam.step([np.zeros(2)], [np.zeros(3)])

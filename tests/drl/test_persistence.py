@@ -1,0 +1,90 @@
+"""Tests for Q-network save/load."""
+
+import numpy as np
+import pytest
+
+from repro.config import GenTranSeqConfig
+from repro.drl import MLP
+from repro.errors import DRLError
+
+
+class TestMLPPersistence:
+    def test_roundtrip_preserves_outputs(self, rng, tmp_path):
+        network = MLP(4, (8, 6), 3, rng)
+        path = tmp_path / "model.npz"
+        network.save(path)
+        restored = MLP.load(path, np.random.default_rng(99))
+        x = rng.uniform(size=4)
+        assert np.allclose(network.forward(x), restored.forward(x))
+
+    def test_roundtrip_preserves_shape(self, rng, tmp_path):
+        network = MLP(10, (16,), 5, rng)
+        path = tmp_path / "model.npz"
+        network.save(path)
+        restored = MLP.load(path, rng)
+        assert restored.input_size == 10
+        assert restored.hidden_sizes == (16,)
+        assert restored.output_size == 5
+
+    def test_restored_network_trainable(self, rng, tmp_path):
+        network = MLP(2, (8,), 1, rng, learning_rate=1e-2)
+        path = tmp_path / "model.npz"
+        network.save(path)
+        restored = MLP.load(path, rng, learning_rate=1e-2)
+        inputs = rng.uniform(-1, 1, size=(16, 2))
+        targets = inputs[:, 0]
+        first = restored.train_on_targets(
+            inputs, np.zeros(16, dtype=np.int64), targets
+        )
+        for _ in range(100):
+            last = restored.train_on_targets(
+                inputs, np.zeros(16, dtype=np.int64), targets
+            )
+        assert last < first
+
+
+class TestGenTranSeqPersistence:
+    def test_save_then_load_for_inference(self, case_workload, tmp_path):
+        from repro.core import GenTranSeq
+
+        config = GenTranSeqConfig(episodes=8, steps_per_episode=30, seed=3)
+        trainer = GenTranSeq(config=config)
+        trained = trainer.optimize(
+            case_workload.pre_state, case_workload.transactions,
+            case_workload.ifus,
+        )
+        path = tmp_path / "gentranseq.npz"
+        trainer.save_model(path)
+
+        consumer = GenTranSeq(config=config)
+        consumer.load_model(
+            path, case_workload.pre_state, case_workload.transactions,
+            case_workload.ifus,
+        )
+        inference = consumer.infer(
+            case_workload.pre_state, case_workload.transactions,
+            case_workload.ifus,
+        )
+        assert inference.best_objective >= inference.original_objective
+        assert consumer.inference_memory_bytes() > 0
+
+    def test_save_without_training_raises(self, tmp_path):
+        from repro.core import GenTranSeq
+
+        with pytest.raises(DRLError):
+            GenTranSeq().save_model(tmp_path / "nothing.npz")
+
+    def test_load_shape_mismatch_raises(self, case_workload, tmp_path, rng):
+        from repro.core import GenTranSeq
+
+        wrong = MLP(4, (8,), 3, rng)
+        path = tmp_path / "wrong.npz"
+        wrong.save(path)
+        consumer = GenTranSeq(
+            config=GenTranSeqConfig(episodes=2, steps_per_episode=10, seed=0)
+        )
+        with pytest.raises(DRLError):
+            consumer.load_model(
+                path, case_workload.pre_state, case_workload.transactions,
+                case_workload.ifus,
+            )

@@ -1,0 +1,59 @@
+"""Tests for the Eq. 9 exploration schedule."""
+
+import pytest
+
+from repro.drl import EpsilonSchedule
+from repro.errors import DRLError
+
+
+class TestExponentialDecay:
+    def test_starts_at_max(self):
+        schedule = EpsilonSchedule(epsilon_max=0.95, epsilon_min=0.01, decay=0.05)
+        assert schedule.value(0) == pytest.approx(0.95)
+
+    def test_monotonically_decreasing(self):
+        schedule = EpsilonSchedule(epsilon_max=0.95, epsilon_min=0.01, decay=0.05)
+        values = schedule.values(100)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_approaches_min(self):
+        schedule = EpsilonSchedule(epsilon_max=0.95, epsilon_min=0.01, decay=0.05)
+        assert schedule.value(500) == pytest.approx(0.01, abs=1e-6)
+
+    def test_bounded(self):
+        schedule = EpsilonSchedule(epsilon_max=1.0, epsilon_min=0.0, decay=0.1)
+        for episode in range(0, 200, 13):
+            assert 0.0 <= schedule.value(episode) <= 1.0
+
+    def test_zero_span_constant(self):
+        schedule = EpsilonSchedule(epsilon_max=0.5, epsilon_min=0.5, decay=0.05)
+        assert schedule.value(10) == 0.5
+
+
+class TestLiteralMode:
+    def test_literal_clamps_into_range(self):
+        """The paper's printed formula grows above one; we clamp it."""
+        schedule = EpsilonSchedule(
+            epsilon_max=0.95, epsilon_min=0.01, decay=0.05, mode="literal"
+        )
+        for episode in range(50):
+            assert 0.01 <= schedule.value(episode) <= 0.95
+
+
+class TestValidation:
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(DRLError):
+            EpsilonSchedule(epsilon_max=0.1, epsilon_min=0.9, decay=0.05)
+
+    def test_nonpositive_decay_raises(self):
+        with pytest.raises(DRLError):
+            EpsilonSchedule(epsilon_max=0.9, epsilon_min=0.1, decay=0.0)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(DRLError):
+            EpsilonSchedule(epsilon_max=0.9, epsilon_min=0.1, decay=0.1, mode="linear")
+
+    def test_negative_episode_raises(self):
+        schedule = EpsilonSchedule(epsilon_max=0.9, epsilon_min=0.1, decay=0.1)
+        with pytest.raises(DRLError):
+            schedule.value(-1)

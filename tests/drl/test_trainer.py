@@ -1,0 +1,105 @@
+"""Tests for the generic training loop, using a toy environment."""
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+import pytest
+
+from repro.config import GenTranSeqConfig
+from repro.drl import DQNAgent, Environment, train
+
+
+class LineWorld(Environment):
+    """Walk a 1-D line; reward is position; profit above a threshold."""
+
+    def __init__(self, length: int = 5):
+        self.length = length
+        self.position = 0
+
+    @property
+    def observation_size(self) -> int:
+        return 1
+
+    @property
+    def action_count(self) -> int:
+        return 2  # left, right
+
+    def reset(self) -> np.ndarray:
+        self.position = 0
+        return np.array([0.0])
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        self.position += 1 if action == 1 else -1
+        self.position = max(-self.length, min(self.length, self.position))
+        done = abs(self.position) == self.length
+        profit = max(0.0, float(self.position - 2))
+        return (
+            np.array([float(self.position)]),
+            float(self.position),
+            done,
+            {"profit": profit},
+        )
+
+
+@pytest.fixture
+def config():
+    return GenTranSeqConfig(
+        episodes=4, steps_per_episode=12, batch_size=4,
+        replay_buffer_size=64, hidden_layers=(8,), seed=1,
+    )
+
+
+@pytest.fixture
+def setup(config):
+    env = LineWorld()
+    agent = DQNAgent(env.observation_size, env.action_count, config=config)
+    return env, agent, config
+
+
+class TestTrainLoop:
+    def test_history_has_one_entry_per_episode(self, setup):
+        env, agent, config = setup
+        history = train(env, agent, config)
+        assert len(history.episodes) == 4
+
+    def test_episode_stats_fields(self, setup):
+        env, agent, config = setup
+        history = train(env, agent, config)
+        stats = history.episodes[0]
+        assert stats.episode == 0
+        assert stats.steps <= config.steps_per_episode
+        assert stats.epsilon == pytest.approx(agent.schedule.value(0))
+
+    def test_done_terminates_episode_early(self, setup):
+        env, agent, config = setup
+        history = train(env, agent, config)
+        # LineWorld terminates within 5 steps of consistent movement at
+        # most; at least one episode should end before the step cap.
+        assert any(e.steps < config.steps_per_episode for e in history.episodes)
+
+    def test_first_profit_step_recorded(self, setup):
+        env, agent, config = setup
+        history = train(env, agent, config)
+        for stats in history.episodes:
+            if stats.best_profit > 0:
+                assert stats.first_profit_step is not None
+                assert 1 <= stats.first_profit_step <= stats.steps
+
+    def test_stop_when_profitable(self, config):
+        env = LineWorld()
+        agent = DQNAgent(env.observation_size, env.action_count, config=config)
+        history = train(env, agent, config, stop_when_profitable=True)
+        for stats in history.episodes:
+            if stats.first_profit_step is not None:
+                assert stats.steps == stats.first_profit_step
+
+    def test_rewards_property(self, setup):
+        env, agent, config = setup
+        history = train(env, agent, config)
+        assert history.rewards == [e.total_reward for e in history.episodes]
+
+    def test_first_profit_steps_collects_solutions(self, setup):
+        env, agent, config = setup
+        history = train(env, agent, config)
+        sizes = history.first_profit_steps()
+        assert all(isinstance(size, int) for size in sizes)

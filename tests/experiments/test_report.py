@@ -1,0 +1,69 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import build_report, run_all, write_report
+from repro.experiments.common import EffortPreset
+
+MICRO = EffortPreset(name="micro", episodes=2, steps_per_episode=10, trials=1)
+
+
+class TestBuildReport:
+    def test_report_includes_run_experiments(self, tmp_path):
+        run_all(tmp_path, preset=MICRO, only=["table3", "fig5"])
+        report = build_report(tmp_path)
+        assert "Table III" in report
+        assert "Figure 5" in report
+        assert "90.91%" in report        # the table artifact is embedded
+        assert "reproduced" in report
+
+    def test_missing_experiments_marked_not_run(self, tmp_path):
+        run_all(tmp_path, preset=MICRO, only=["table3"])
+        report = build_report(tmp_path)
+        assert "not run" in report
+
+    def test_checklist_lists_all_sections(self, tmp_path):
+        run_all(tmp_path, preset=MICRO, only=["table3"])
+        report = build_report(tmp_path)
+        for fragment in ("Figure 6", "Figure 11", "Section VIII"):
+            assert fragment in report
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            build_report(tmp_path / "nope")
+
+    def test_write_report_creates_file(self, tmp_path):
+        run_all(tmp_path, preset=MICRO, only=["table3"])
+        path = write_report(tmp_path)
+        assert path.exists()
+        assert path.name == "REPORT.md"
+        assert "PAROLE reproduction report" in path.read_text()
+
+
+class TestBatchEconomics:
+    def test_posting_cost_permutation_invariant(self, case_workload):
+        from repro.rollup import build_batch
+        from repro.workloads import CASE3_ORDER
+        original, _ = build_batch(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        reordered, _ = build_batch(
+            "agg", case_workload.pre_state,
+            [case_workload.transactions[i] for i in CASE3_ORDER],
+        )
+        assert original.posting_cost_wei() == reordered.posting_cost_wei()
+
+    def test_posting_cost_counts_types(self, case_workload):
+        from repro.chain.gas import GasSchedule
+        from repro.rollup import build_batch
+        batch, _ = build_batch(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        schedule = GasSchedule()
+        expected = (
+            2 * schedule.usage_for("mint").fee_wei
+            + 5 * schedule.usage_for("transfer").fee_wei
+            + 1 * schedule.usage_for("burn").fee_wei
+        )
+        assert batch.posting_cost_wei(schedule) == expected

@@ -1,0 +1,52 @@
+"""Tests for the run-everything orchestrator."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import REGISTRY, run_all
+from repro.experiments.common import EffortPreset
+
+MICRO = EffortPreset(name="micro", episodes=2, steps_per_episode=10, trials=1)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        ids = {spec.experiment_id for spec in REGISTRY}
+        assert ids >= {
+            "table3", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "defense",
+        }
+
+    def test_ids_unique(self):
+        ids = [spec.experiment_id for spec in REGISTRY]
+        assert len(ids) == len(set(ids))
+
+
+class TestRunAll:
+    def test_selected_experiments_produce_artifacts(self, tmp_path):
+        records = run_all(tmp_path, preset=MICRO, only=["table3", "fig5"])
+        assert len(records) == 2
+        assert all(record.ok for record in records)
+        for record in records:
+            text = (tmp_path / f"{record.experiment_id}.txt").read_text()
+            assert text.strip()
+            payload = json.loads(
+                (tmp_path / f"{record.experiment_id}.json").read_text()
+            )
+            assert payload["experiment"] == record.experiment_id
+            assert payload["preset"] == "micro"
+
+    def test_fig5_json_contains_balances(self, tmp_path):
+        run_all(tmp_path, preset=MICRO, only=["fig5"])
+        payload = json.loads((tmp_path / "fig5.json").read_text())
+        assert payload["data"]["case1"]["final_balance"] == pytest.approx(2.5)
+
+    def test_unknown_id_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            run_all(tmp_path, only=["fig99"])
+
+    def test_records_time_every_run(self, tmp_path):
+        records = run_all(tmp_path, preset=MICRO, only=["table3"])
+        assert records[0].elapsed_seconds >= 0

@@ -1,0 +1,57 @@
+"""Tests for confidence intervals on the Fig. 6/7 sweep points."""
+
+import pytest
+
+from repro.experiments import EffortPreset, run_fig6, run_fig7
+
+MICRO = EffortPreset(name="micro", episodes=2, steps_per_episode=12, trials=3)
+
+
+class TestFig6CIs:
+    def test_points_carry_trial_totals(self):
+        points = run_fig6(
+            adversarial_fractions=(0.5,), mempool_sizes=(10,),
+            ifu_counts=(1,), num_aggregators=4, preset=MICRO, seed=0,
+        )
+        assert len(points) == 1
+        point = points[0]
+        assert len(point.trial_totals) == 3
+        assert point.total_profit_eth == pytest.approx(
+            sum(point.trial_totals) / 3
+        )
+
+    def test_ci_brackets_the_mean(self):
+        points = run_fig6(
+            adversarial_fractions=(0.5,), mempool_sizes=(10,),
+            ifu_counts=(1,), num_aggregators=4, preset=MICRO, seed=0,
+        )
+        ci = points[0].profit_ci()
+        if ci is not None:
+            assert ci.low <= points[0].total_profit_eth <= ci.high
+
+    def test_single_trial_has_no_ci(self):
+        single = EffortPreset(name="s", episodes=2, steps_per_episode=12,
+                              trials=1)
+        points = run_fig6(
+            adversarial_fractions=(0.5,), mempool_sizes=(10,),
+            ifu_counts=(1,), num_aggregators=4, preset=single, seed=0,
+        )
+        assert points[0].profit_ci() is None
+
+
+class TestFig7CIs:
+    def test_points_carry_trial_totals(self):
+        points = run_fig7(
+            ifu_counts=(1,), mempool_sizes=(10,), fractions=(0.5,),
+            num_aggregators=4, preset=MICRO, seed=0,
+        )
+        assert len(points[0].trial_totals) == 3
+
+    def test_ci_when_trials_vary(self):
+        points = run_fig7(
+            ifu_counts=(1,), mempool_sizes=(10,), fractions=(0.5,),
+            num_aggregators=4, preset=MICRO, seed=0,
+        )
+        ci = points[0].profit_ci()
+        if ci is not None:
+            assert ci.width >= 0

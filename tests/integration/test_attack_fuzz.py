@@ -1,0 +1,86 @@
+"""Fuzz the attack path: PAROLE must never execute infeasible orders.
+
+For randomly generated workloads, any sequence the PAROLE module decides
+to execute must (a) be a permutation of the collection, (b) keep every
+originally-executable transaction executable, and (c) end with
+consistent inventory — the guarantees the environment's reward shaping
+is supposed to enforce end to end.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import AttackConfig, GenTranSeqConfig, WorkloadConfig
+from repro.core import ParoleAttack
+from repro.rollup import OVM
+from repro.workloads import generate_workload
+
+FAST = GenTranSeqConfig(episodes=2, steps_per_episode=12, seed=0)
+
+
+class TestAttackNeverBreaksExecution:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        mempool_size=st.integers(min_value=4, max_value=14),
+        num_ifus=st.integers(min_value=1, max_value=2),
+    )
+    def test_property_executed_sequence_is_feasible(
+        self, seed, mempool_size, num_ifus
+    ):
+        workload = generate_workload(
+            WorkloadConfig(
+                mempool_size=mempool_size,
+                num_users=max(6, num_ifus + 4),
+                num_ifus=num_ifus,
+                min_ifu_involvement=2,
+                seed=seed,
+            )
+        )
+        attack = ParoleAttack(
+            config=AttackConfig(ifu_accounts=workload.ifus, gentranseq=FAST)
+        )
+        outcome = attack.run(workload.pre_state, workload.transactions)
+
+        # (a) permutation
+        assert sorted(tx.tx_hash for tx in outcome.executed_sequence) == sorted(
+            tx.tx_hash for tx in workload.transactions
+        )
+
+        ovm = OVM()
+        original = ovm.replay(workload.pre_state, workload.transactions)
+        executed = ovm.replay(workload.pre_state, outcome.executed_sequence)
+
+        # (b) nothing originally-executable becomes unexecutable
+        assert executed.executed_count >= original.executed_count
+        # (c) batch-end inventory consistency
+        assert executed.consistent()
+        # (d) the reported profit matches an independent replay
+        if outcome.attacked:
+            assert outcome.profit > 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_profit_claims_verified_by_replay(self, seed):
+        workload = generate_workload(
+            WorkloadConfig(
+                mempool_size=8, num_users=6, num_ifus=1,
+                min_ifu_involvement=3, seed=seed,
+            )
+        )
+        attack = ParoleAttack(
+            config=AttackConfig(ifu_accounts=workload.ifus, gentranseq=FAST)
+        )
+        outcome = attack.run(workload.pre_state, workload.transactions)
+        ifu = workload.ifus[0]
+        ovm = OVM()
+        baseline = ovm.final_wealth(
+            workload.pre_state, workload.transactions, ifu
+        )
+        achieved = ovm.final_wealth(
+            workload.pre_state, outcome.executed_sequence, ifu
+        )
+        assert achieved - baseline == pytest.approx(
+            outcome.per_ifu_profit[ifu], abs=1e-9
+        )
+        assert achieved >= baseline - 1e-9  # the attack never hurts the IFU

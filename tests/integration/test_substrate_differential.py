@@ -1,0 +1,118 @@
+"""Differential testing: the two NFT substrates must agree.
+
+The repo has two implementations of the limited-edition economics:
+
+* :class:`repro.tokens.LimitedEditionNFT` — token-id level, used by the
+  marketplace and honest pipeline;
+* :class:`repro.rollup.L2State` (STRICT mode) — inventory-count level,
+  used by the OVM and the RL environment.
+
+For any strictly-valid operation sequence they must produce identical
+prices, balances and per-user holdings counts.  Divergence would mean
+the attack optimises against different economics than the chain settles.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NFTContractConfig
+from repro.rollup import ExecutionMode, L2State, NFTTransaction, TxKind
+from repro.tokens import LimitedEditionNFT
+
+USERS = ("u0", "u1", "u2")
+
+
+def _random_ops(rng, count):
+    """Generate a random op list; feasibility is checked at apply time."""
+    ops = []
+    for _ in range(count):
+        kind = rng.choice(["mint", "transfer", "burn"])
+        actor = USERS[rng.integers(len(USERS))]
+        other = USERS[rng.integers(len(USERS))]
+        ops.append((kind, actor, other))
+    return ops
+
+
+class TestSubstrateAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_property_substrates_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        config = NFTContractConfig(max_supply=8, initial_price_eth=0.1)
+
+        contract = LimitedEditionNFT(config)
+        contract_balances = {user: 5.0 for user in USERS}
+
+        state = L2State(
+            config,
+            balances={user: 5.0 for user in USERS},
+            mode=ExecutionMode.STRICT,
+        )
+
+        for kind, actor, other in _random_ops(rng, 25):
+            if kind == "mint":
+                tx = NFTTransaction(kind=TxKind.MINT, sender=actor)
+                applied = state.apply(tx).executed
+                if applied:
+                    contract.mint(actor, contract_balances)
+                else:
+                    assert contract.check_mint(actor, contract_balances).value != "valid"
+            elif kind == "transfer":
+                if actor == other:
+                    continue
+                tx = NFTTransaction(
+                    kind=TxKind.TRANSFER, sender=actor, recipient=other
+                )
+                applied = state.apply(tx).executed
+                tokens = contract.tokens_of(actor)
+                if applied:
+                    assert tokens, "L2State transferred but contract has no token"
+                    contract.transfer(actor, other, tokens[0], contract_balances)
+                else:
+                    can = bool(tokens) and contract.check_transfer(
+                        actor, other, tokens[0], contract_balances
+                    ).value == "valid"
+                    assert not can
+            else:  # burn
+                tx = NFTTransaction(kind=TxKind.BURN, sender=actor)
+                applied = state.apply(tx).executed
+                tokens = contract.tokens_of(actor)
+                if applied:
+                    assert tokens
+                    contract.burn(actor, tokens[0])
+                else:
+                    assert not tokens
+
+            # Invariants after every step:
+            assert contract.unit_price == pytest.approx(state.unit_price)
+            assert contract.remaining_supply == state.remaining_supply
+            for user in USERS:
+                assert contract_balances[user] == pytest.approx(
+                    state.balance(user)
+                )
+                assert len(contract.tokens_of(user)) == state.holdings(user)
+
+    def test_case_study_on_token_level_contract(self, case_workload):
+        """The case-study original order replays identically on the
+        token-id substrate when token assignments are made explicit."""
+        config = case_workload.pre_state.nft_config
+        # IFU holds tokens 0-1, U1 holds 2-3, U13 holds 4.
+        contract = LimitedEditionNFT(
+            config, owners={0: "IFU", 1: "IFU", 2: "U1", 3: "U1", 4: "U13"}
+        )
+        balances = dict(case_workload.pre_state.balances)
+        assert contract.unit_price == pytest.approx(0.4)
+
+        contract.transfer("U1", "U2", 2, balances)          # TX1
+        contract.mint("U19", balances)                       # TX2
+        contract.transfer("IFU", "U11", 0, balances)         # TX3
+        contract.transfer("U19", "U6", contract.tokens_of("U19")[0], balances)  # TX4
+        contract.mint("IFU", balances)                       # TX5
+        contract.transfer("U13", "U3", 4, balances)          # TX6
+        contract.burn("U2", 2)                               # TX7
+        contract.transfer("U1", "IFU", 3, balances)          # TX8
+
+        ifu_wealth = balances["IFU"] + contract.holdings_value("IFU")
+        assert ifu_wealth == pytest.approx(2.5)
+        assert contract.unit_price == pytest.approx(0.5)

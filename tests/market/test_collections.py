@@ -1,0 +1,83 @@
+"""Tests for synthetic NFT collection generation."""
+
+import numpy as np
+import pytest
+
+from repro.config import SnapshotStudyConfig
+from repro.market import (
+    Chain,
+    FrequencyTier,
+    generate_collection,
+    generate_study_collections,
+)
+
+
+@pytest.fixture
+def config():
+    return SnapshotStudyConfig(collections_per_tier=4, seed=7)
+
+
+class TestTierBounds:
+    @pytest.mark.parametrize("tier,low,high", [
+        (FrequencyTier.LFT, 10, 100),
+        (FrequencyTier.MFT, 101, 3000),
+        (FrequencyTier.HFT, 3001, 12000),
+    ])
+    def test_ownership_counts_respect_tiers(self, tier, low, high, config, rng):
+        for _ in range(5):
+            collection = generate_collection(Chain.OPTIMISM, tier, rng, config)
+            assert low <= collection.owners <= high
+
+
+class TestPricePaths:
+    def test_prices_positive(self, config, rng):
+        collection = generate_collection(
+            Chain.ARBITRUM, FrequencyTier.MFT, rng, config
+        )
+        assert all(p.price_eth > 0 for p in collection.price_history)
+
+    def test_history_length(self, config, rng):
+        collection = generate_collection(
+            Chain.OPTIMISM, FrequencyTier.LFT, rng, config, snapshots=32
+        )
+        assert len(collection.price_history) == 32
+
+    def test_max_differential_nonnegative(self, config, rng):
+        collection = generate_collection(
+            Chain.OPTIMISM, FrequencyTier.HFT, rng, config
+        )
+        assert collection.max_differential() >= 0
+
+    def test_short_address_format(self, config, rng):
+        collection = generate_collection(
+            Chain.OPTIMISM, FrequencyTier.LFT, rng, config
+        )
+        assert collection.short_address.startswith("0x")
+        assert ".." in collection.short_address
+
+    def test_arbitrum_churns_more_transactions(self, config):
+        """Chain churn drives Figure 10's Arbitrum > Optimism ordering."""
+        rng_a = np.random.default_rng(0)
+        rng_o = np.random.default_rng(0)
+        arb = [
+            generate_collection(Chain.ARBITRUM, FrequencyTier.MFT, rng_a, config)
+            for _ in range(6)
+        ]
+        opt = [
+            generate_collection(Chain.OPTIMISM, FrequencyTier.MFT, rng_o, config)
+            for _ in range(6)
+        ]
+        assert sum(c.tx_count for c in arb) > sum(c.tx_count for c in opt)
+
+
+class TestStudyPopulation:
+    def test_covers_every_cell(self, config):
+        collections = generate_study_collections(config)
+        cells = {(c.chain, c.tier) for c in collections}
+        assert len(cells) == 6
+        assert len(collections) == 6 * config.collections_per_tier
+
+    def test_deterministic_by_seed(self, config):
+        a = generate_study_collections(config)
+        b = generate_study_collections(config)
+        assert [c.address for c in a] == [c.address for c in b]

@@ -1,0 +1,50 @@
+"""Tests for Table III regeneration."""
+
+import pytest
+
+from repro.market import record_for, table3_rows
+from repro.market.gasmodel import TABLE3_ANCHORS, _format_fee
+
+
+class TestTable3Rows:
+    def test_three_rows_in_paper_order(self):
+        rows = table3_rows()
+        assert [r.tx_type for r in rows] == ["mint", "transfer", "burn"]
+
+    def test_anchored_block_numbers(self):
+        rows = table3_rows()
+        assert rows[0].block_number == 17_934_499
+        assert rows[1].block_number == 18_183_117
+        assert rows[2].block_number == 18_184_325
+
+    def test_anchored_l1_state_indices(self):
+        rows = table3_rows()
+        assert [r.l1_state_index for r in rows] == [115_922, 117_994, 118_004]
+
+    def test_gas_usage_matches_paper(self):
+        rows = table3_rows()
+        assert rows[0].gas_usage_percent == pytest.approx(90.91, abs=0.01)
+        assert rows[1].gas_usage_percent == pytest.approx(69.84, abs=0.01)
+        assert rows[2].gas_usage_percent == pytest.approx(69.82, abs=0.01)
+
+    def test_fees_match_paper(self):
+        rows = table3_rows()
+        assert rows[0].fee_gwei == pytest.approx(253, rel=0.01)
+        assert rows[1].fee_gwei == pytest.approx(142_000, rel=0.01)
+        assert rows[2].fee_gwei == pytest.approx(141_000, rel=0.01)
+
+    def test_formatted_row_layout(self):
+        row = table3_rows()[0].as_row()
+        assert row[0] == "Mint"
+        assert row[4] == "90.91%"
+        assert row[5] == "253 Gwei"
+
+    def test_kilofee_formatting(self):
+        assert _format_fee(142_000) == "142k Gwei"
+        assert _format_fee(253) == "253 Gwei"
+
+    def test_record_hash_deterministic(self):
+        a = record_for("mint", 1, 1)
+        b = record_for("mint", 1, 1)
+        assert a.tx_hash == b.tx_hash
+        assert a.tx_hash.startswith("0x")

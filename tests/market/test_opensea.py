@@ -1,0 +1,124 @@
+"""Tests for the OpenSea-like marketplace."""
+
+import pytest
+
+from repro.errors import MarketError
+from repro.market import Marketplace
+from repro.tokens import LimitedEditionNFT
+
+
+@pytest.fixture
+def setup(pt_config):
+    contract = LimitedEditionNFT(pt_config)
+    balances = {"alice": 3.0, "bob": 3.0, "carol": 0.1}
+    market = Marketplace(contract, balances)
+    return contract, balances, market
+
+
+class TestMinting:
+    def test_mint_produces_record(self, setup):
+        contract, _, market = setup
+        token_id, record = market.mint("alice")
+        assert contract.owner_of(token_id) == "alice"
+        assert record.tx_type == "mint"
+
+    def test_block_number_advances(self, setup):
+        _, _, market = setup
+        start = market.block_number
+        market.mint("alice")
+        assert market.block_number == start + 1
+
+
+class TestListings:
+    def test_list_and_buy(self, setup):
+        contract, balances, market = setup
+        token_id, _ = market.mint("alice")
+        market.list_token("alice", token_id, ask_price_eth=0.3)
+        sale, record = market.buy("bob", token_id)
+        assert contract.owner_of(token_id) == "bob"
+        assert record.tx_type == "transfer"
+        assert sale.buyer == "bob"
+
+    def test_premium_settled_to_seller(self, setup):
+        contract, balances, market = setup
+        token_id, _ = market.mint("alice")
+        floor = contract.unit_price
+        market.list_token("alice", token_id, ask_price_eth=floor + 0.1)
+        alice_before = balances["alice"]
+        market.buy("bob", token_id)
+        assert balances["alice"] == pytest.approx(alice_before + floor + 0.1)
+
+    def test_non_owner_cannot_list(self, setup):
+        _, _, market = setup
+        token_id, _ = market.mint("alice")
+        with pytest.raises(MarketError):
+            market.list_token("bob", token_id, ask_price_eth=0.3)
+
+    def test_double_list_rejected(self, setup):
+        _, _, market = setup
+        token_id, _ = market.mint("alice")
+        market.list_token("alice", token_id, ask_price_eth=0.3)
+        with pytest.raises(MarketError):
+            market.list_token("alice", token_id, ask_price_eth=0.4)
+
+    def test_buy_unlisted_rejected(self, setup):
+        _, _, market = setup
+        token_id, _ = market.mint("alice")
+        with pytest.raises(MarketError):
+            market.buy("bob", token_id)
+
+    def test_poor_buyer_rejected(self, setup):
+        _, _, market = setup
+        token_id, _ = market.mint("alice")
+        market.list_token("alice", token_id, ask_price_eth=5.0)
+        with pytest.raises(MarketError):
+            market.buy("carol", token_id)
+
+    def test_delist(self, setup):
+        _, _, market = setup
+        token_id, _ = market.mint("alice")
+        market.list_token("alice", token_id, ask_price_eth=0.3)
+        market.delist("alice", token_id)
+        assert market.listings == ()
+
+    def test_delist_by_stranger_rejected(self, setup):
+        _, _, market = setup
+        token_id, _ = market.mint("alice")
+        market.list_token("alice", token_id, ask_price_eth=0.3)
+        with pytest.raises(MarketError):
+            market.delist("bob", token_id)
+
+
+class TestBurn:
+    def test_burn_produces_record(self, setup):
+        contract, _, market = setup
+        token_id, _ = market.mint("alice")
+        record = market.burn("alice", token_id)
+        assert record.tx_type == "burn"
+        assert not contract.exists(token_id)
+
+    def test_burn_auto_delists_own_listing(self, setup):
+        _, _, market = setup
+        token_id, _ = market.mint("alice")
+        market.list_token("alice", token_id, ask_price_eth=0.3)
+        market.burn("alice", token_id)
+        assert market.listings == ()
+
+
+class TestAccounting:
+    def test_volume_accumulates(self, setup):
+        contract, _, market = setup
+        a, _ = market.mint("alice")
+        market.list_token("alice", a, ask_price_eth=0.3)
+        sale, _ = market.buy("bob", a)
+        assert market.total_volume_eth() == pytest.approx(sale.price_eth)
+
+    def test_records_for_every_state_change(self, setup):
+        _, _, market = setup
+        a, _ = market.mint("alice")
+        market.list_token("alice", a, ask_price_eth=0.3)
+        market.buy("bob", a)
+        market.burn("bob", a)
+        assert [r.tx_type for r in market.records] == [
+            "mint", "transfer", "burn",
+        ]

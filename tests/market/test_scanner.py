@@ -1,0 +1,88 @@
+"""Tests for the Figure 10 arbitrage scanner."""
+
+import numpy as np
+import pytest
+
+from repro.config import SnapshotStudyConfig
+from repro.errors import MarketError
+from repro.market import (
+    ArbitrageScanner,
+    Chain,
+    FrequencyTier,
+    SnapshotStore,
+    generate_collection,
+    generate_study_collections,
+)
+
+
+@pytest.fixture
+def store():
+    config = SnapshotStudyConfig(collections_per_tier=6, seed=0)
+    return SnapshotStore(generate_study_collections(config))
+
+
+@pytest.fixture
+def scanner():
+    return ArbitrageScanner()
+
+
+class TestFindings:
+    def test_findings_have_positive_profit(self, store, scanner):
+        findings = scanner.scan(store)
+        assert findings
+        assert all(f.profit_opportunity_eth > 0 for f in findings)
+
+    def test_differential_respects_floor(self, store, scanner):
+        for finding in scanner.scan(store):
+            assert finding.differential >= scanner.min_differential_eth
+
+    def test_window_bounds_ordered(self, store, scanner):
+        for finding in scanner.scan(store):
+            assert finding.window_start <= finding.window_end
+
+    def test_profit_relation_monotone_in_differential(self, scanner):
+        low = scanner._profit_relation(0.1, 20)
+        high = scanner._profit_relation(0.5, 20)
+        assert high > low
+
+    def test_profit_relation_diminishing_in_batch(self, scanner):
+        small = scanner._profit_relation(0.2, 10)
+        large = scanner._profit_relation(0.2, 100)
+        assert small < large
+        # Log-diminishing: adding 10 txs helps less at 100 than at 10.
+        gain_at_10 = scanner._profit_relation(0.2, 20) - small
+        gain_at_100 = scanner._profit_relation(0.2, 110) - large
+        assert gain_at_100 < gain_at_10
+
+    def test_tiny_window_rejected(self):
+        with pytest.raises(MarketError):
+            ArbitrageScanner(window=1)
+
+
+class TestSummaries:
+    def test_all_six_cells_present(self, store, scanner):
+        summaries = scanner.summarize(store)
+        cells = {(s.chain, s.tier) for s in summaries}
+        assert len(cells) == 6
+
+    def test_collection_counts_match_store(self, store, scanner):
+        summaries = scanner.summarize(store)
+        assert sum(s.collections for s in summaries) == len(store)
+
+    def test_arbitrum_beats_optimism(self, store, scanner):
+        """The paper's headline Figure 10 observation."""
+        summaries = scanner.summarize(store)
+        arbitrum = sum(
+            s.total_profit_eth for s in summaries if s.chain is Chain.ARBITRUM
+        )
+        optimism = sum(
+            s.total_profit_eth for s in summaries if s.chain is Chain.OPTIMISM
+        )
+        assert arbitrum > optimism
+
+    def test_mean_profit_per_collection(self, store, scanner):
+        for summary in scanner.summarize(store):
+            if summary.collections:
+                assert summary.mean_profit_eth == pytest.approx(
+                    summary.total_profit_eth / summary.collections
+                )

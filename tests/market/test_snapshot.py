@@ -1,0 +1,66 @@
+"""Tests for the snapshot store."""
+
+import numpy as np
+import pytest
+
+from repro.config import SnapshotStudyConfig
+from repro.errors import MarketError
+from repro.market import (
+    Chain,
+    FrequencyTier,
+    SnapshotStore,
+    generate_collection,
+    generate_study_collections,
+)
+
+
+@pytest.fixture
+def store():
+    config = SnapshotStudyConfig(collections_per_tier=2, seed=3)
+    return SnapshotStore(generate_study_collections(config))
+
+
+class TestIngestAndLookup:
+    def test_store_size(self, store):
+        assert len(store) == 12
+
+    def test_lookup_by_contract(self, store):
+        collection = next(iter(store))
+        assert store.lookup(collection.address) is collection
+
+    def test_lookup_unknown_raises(self, store):
+        with pytest.raises(MarketError):
+            store.lookup("0xunknown")
+
+    def test_duplicate_ingest_raises(self, store, rng):
+        collection = next(iter(store))
+        with pytest.raises(MarketError):
+            store.ingest(collection)
+
+
+class TestQueries:
+    def test_by_chain_partitions(self, store):
+        optimism = store.by_chain(Chain.OPTIMISM)
+        arbitrum = store.by_chain(Chain.ARBITRUM)
+        assert len(optimism) + len(arbitrum) == len(store)
+        assert all(c.chain is Chain.OPTIMISM for c in optimism)
+
+    def test_by_tier_partitions(self, store):
+        total = sum(len(store.by_tier(tier)) for tier in FrequencyTier)
+        assert total == len(store)
+
+    def test_snapshots_window(self, store):
+        collection = next(iter(store))
+        window = store.snapshots_of(collection.address, since=10, until=20)
+        assert all(10 <= snap.timestamp <= 20 for snap in window)
+        assert all(snap.chain is collection.chain for snap in window)
+
+    def test_snapshots_full_range(self, store):
+        collection = next(iter(store))
+        snaps = store.snapshots_of(collection.address)
+        assert len(snaps) == len(collection.price_history)
+
+    def test_price_series(self, store):
+        collection = next(iter(store))
+        series = store.price_series(collection.address)
+        assert series == [p.price_eth for p in collection.price_history]

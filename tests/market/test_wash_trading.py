@@ -1,0 +1,126 @@
+"""Tests for the wash-trading detector."""
+
+import pytest
+
+from repro.errors import MarketError
+from repro.market import WashTradeDetector
+from repro.market.opensea import SaleRecord
+
+
+def sale(token, seller, buyer, price=1.0, block=0):
+    return SaleRecord(
+        token_id=token, seller=seller, buyer=buyer,
+        price_eth=price, block_number=block,
+    )
+
+
+@pytest.fixture
+def detector():
+    return WashTradeDetector(max_cycle_blocks=100)
+
+
+class TestCycles:
+    def test_round_trip_flagged(self, detector):
+        sales = [
+            sale(0, "a", "b", price=1.0, block=10),
+            sale(0, "b", "a", price=1.2, block=20),
+        ]
+        cycles = detector.find_cycles(sales)
+        assert len(cycles) == 1
+        assert set(cycles[0].wallets) == {"a", "b"}
+        assert cycles[0].volume_eth == pytest.approx(2.2)
+
+    def test_three_hop_cycle_flagged(self, detector):
+        sales = [
+            sale(0, "a", "b", block=10),
+            sale(0, "b", "c", block=20),
+            sale(0, "c", "a", block=30),
+        ]
+        cycles = detector.find_cycles(sales)
+        assert len(cycles) == 1
+        assert set(cycles[0].wallets) == {"a", "b", "c"}
+
+    def test_linear_resale_chain_clean(self, detector):
+        sales = [
+            sale(0, "a", "b", block=10),
+            sale(0, "b", "c", block=20),
+            sale(0, "c", "d", block=30),
+        ]
+        assert detector.find_cycles(sales) == []
+
+    def test_slow_cycle_outside_window_clean(self, detector):
+        sales = [
+            sale(0, "a", "b", block=10),
+            sale(0, "b", "a", block=500),  # window is 100 blocks
+        ]
+        assert detector.find_cycles(sales) == []
+
+    def test_cycles_tracked_per_token(self, detector):
+        sales = [
+            sale(0, "a", "b", block=10),
+            sale(1, "b", "a", block=20),  # different token: no cycle
+        ]
+        assert detector.find_cycles(sales) == []
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(MarketError):
+            WashTradeDetector(max_cycle_blocks=0)
+
+
+class TestClusters:
+    def test_closed_cluster_flagged(self, detector):
+        sales = [
+            sale(0, "a", "b", price=5.0, block=1),
+            sale(0, "b", "a", price=5.0, block=2),
+            sale(1, "a", "b", price=5.0, block=3),
+        ]
+        clusters = detector.suspicious_clusters(sales)
+        assert clusters == [{"a", "b"}]
+
+    def test_open_trading_clean(self, detector):
+        sales = [
+            sale(0, "a", "b", price=1.0, block=1),
+            sale(1, "c", "d", price=1.0, block=2),
+        ]
+        assert detector.suspicious_clusters(sales) == []
+
+    def test_empty_log(self, detector):
+        assert detector.suspicious_clusters([]) == []
+
+
+class TestReport:
+    def test_report_aggregates(self, detector):
+        sales = [
+            sale(0, "a", "b", price=1.0, block=10),
+            sale(0, "b", "a", price=1.0, block=20),
+            sale(1, "x", "y", price=3.0, block=30),
+        ]
+        report = detector.inspect(sales)
+        assert report.total_volume_eth == pytest.approx(5.0)
+        assert report.artificial_volume_eth == pytest.approx(2.0)
+        assert report.artificial_fraction == pytest.approx(0.4)
+        assert "a" in report.suspicious_wallets
+        assert "x" not in report.suspicious_wallets
+
+    def test_clean_log_report(self, detector):
+        report = detector.inspect([sale(0, "a", "b", price=1.0, block=1)])
+        assert report.cycles == ()
+        assert report.artificial_fraction == 0.0
+
+    def test_marketplace_integration(self, detector, pt_config):
+        """Wash trade through the actual marketplace and catch it."""
+        from repro.market import Marketplace
+        from repro.tokens import LimitedEditionNFT
+
+        contract = LimitedEditionNFT(pt_config)
+        balances = {"washer-1": 10.0, "washer-2": 10.0}
+        market = Marketplace(contract, balances)
+        token, _ = market.mint("washer-1")
+        for _ in range(2):
+            market.list_token("washer-1", token, ask_price_eth=1.0)
+            market.buy("washer-2", token)
+            market.list_token("washer-2", token, ask_price_eth=1.0)
+            market.buy("washer-1", token)
+        report = detector.inspect(list(market.sales))
+        assert report.cycles
+        assert set(report.suspicious_wallets) >= {"washer-1", "washer-2"}

@@ -1,0 +1,92 @@
+"""Tests for batch construction and fraud proofs."""
+
+import pytest
+
+from repro.errors import BatchError
+from repro.rollup import OVM, build_batch, state_root
+from repro.rollup.fraud_proof import FraudProof, recompute_post_root
+
+
+class TestStateRoot:
+    def test_deterministic(self, basic_state):
+        assert state_root(basic_state) == state_root(basic_state.copy())
+
+    def test_insertion_order_irrelevant(self, pt_config):
+        from repro.rollup import L2State
+        a = L2State(pt_config, balances={"x": 1.0, "y": 2.0})
+        b = L2State(pt_config, balances={"y": 2.0, "x": 1.0})
+        assert state_root(a) == state_root(b)
+
+    def test_balance_change_changes_root(self, basic_state):
+        clone = basic_state.copy()
+        clone.balances["alice"] += 0.5
+        assert state_root(basic_state) != state_root(clone)
+
+    def test_inventory_change_changes_root(self, basic_state):
+        clone = basic_state.copy()
+        clone.inventory["bob"] += 1
+        assert state_root(basic_state) != state_root(clone)
+
+
+class TestBuildBatch:
+    def test_empty_batch_rejected(self, case_workload):
+        with pytest.raises(BatchError):
+            build_batch("agg", case_workload.pre_state, [])
+
+    def test_batch_records_roots(self, case_workload):
+        batch, trace = build_batch(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        assert batch.pre_state_root == state_root(case_workload.pre_state)
+        assert batch.post_state_root == state_root(trace.final_state)
+        assert batch.executed_count == 8
+
+    def test_tx_root_verifies(self, case_workload):
+        batch, _ = build_batch(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        assert batch.verify_tx_root()
+
+    def test_reordered_batch_changes_post_root(self, case_workload):
+        from repro.workloads import CASE3_ORDER
+        original, _ = build_batch(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        reordered_txs = [case_workload.transactions[i] for i in CASE3_ORDER]
+        reordered, _ = build_batch(
+            "agg", case_workload.pre_state, reordered_txs
+        )
+        # Balances differ between orders, so the state roots differ too.
+        assert original.post_state_root != reordered.post_state_root
+        assert original.tx_root != reordered.tx_root
+
+    def test_batch_len(self, case_workload):
+        batch, _ = build_batch(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        assert len(batch) == 8
+
+
+class TestRecompute:
+    def test_recompute_matches_honest_commitment(self, case_workload):
+        batch, _ = build_batch(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        recomputed = recompute_post_root(
+            case_workload.pre_state, batch.transactions
+        )
+        assert recomputed == batch.post_state_root
+
+    def test_recompute_detects_forged_root(self, case_workload):
+        batch, _ = build_batch(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        recomputed = recompute_post_root(
+            case_workload.pre_state, batch.transactions
+        )
+        assert recomputed != "0xforged"
+
+    def test_proof_digest_stable(self):
+        proof = FraudProof("t", "pre", "post")
+        assert proof.digest == FraudProof("t", "pre", "post").digest
+        assert proof.digest != FraudProof("t", "pre", "other").digest

@@ -1,0 +1,116 @@
+"""Tests for the interactive fraud-proof bisection game."""
+
+import math
+
+import pytest
+
+from repro.errors import ChallengeError
+from repro.rollup import (
+    BisectionGame,
+    CorruptExecutor,
+    ExecutionCommitment,
+    honest_commitment,
+)
+from repro.workloads import CASE3_ORDER
+
+
+@pytest.fixture
+def game(case_workload):
+    return BisectionGame(case_workload.pre_state)
+
+
+class TestHonestCommitment:
+    def test_root_count(self, case_workload):
+        commitment = honest_commitment(
+            case_workload.pre_state, case_workload.transactions
+        )
+        assert len(commitment.roots) == 9
+
+    def test_pre_root_matches_state(self, case_workload):
+        from repro.rollup import state_root
+        commitment = honest_commitment(
+            case_workload.pre_state, case_workload.transactions
+        )
+        assert commitment.pre_root == state_root(case_workload.pre_state)
+
+    def test_wrong_root_count_rejected(self, case_workload):
+        with pytest.raises(ChallengeError):
+            ExecutionCommitment(
+                transactions=case_workload.transactions, roots=("a", "b")
+            )
+
+
+class TestGame:
+    def test_honest_commitment_finds_no_fraud(self, case_workload, game):
+        commitment = honest_commitment(
+            case_workload.pre_state, case_workload.transactions
+        )
+        result = game.play(commitment)
+        assert not result.fraud_found
+        assert result.divergent_step is None
+
+    def test_reordered_batch_finds_no_fraud(self, case_workload, game):
+        """The paper's point, sharpened: even interactive bisection sees
+        nothing wrong with a PAROLE-reordered batch."""
+        reordered = [case_workload.transactions[i] for i in CASE3_ORDER]
+        commitment = honest_commitment(case_workload.pre_state, reordered)
+        result = game.play(commitment)
+        assert not result.fraud_found
+
+    @pytest.mark.parametrize("fault_step", [0, 3, 7])
+    def test_corrupt_execution_localised_exactly(
+        self, case_workload, game, fault_step
+    ):
+        corrupt = CorruptExecutor(fault_step=fault_step)
+        commitment = corrupt.commitment(
+            case_workload.pre_state, case_workload.transactions
+        )
+        result = game.play(commitment)
+        assert result.fraud_found
+        assert result.divergent_step == fault_step
+        assert result.claimed_root_at_step != result.recomputed_root_at_step
+
+    def test_rounds_logarithmic(self, case_workload, game):
+        corrupt = CorruptExecutor(fault_step=5)
+        commitment = corrupt.commitment(
+            case_workload.pre_state, case_workload.transactions
+        )
+        result = game.play(commitment)
+        assert result.rounds_played <= math.ceil(math.log2(8)) + 1
+
+    def test_adjudicate_single_step(self, case_workload, game):
+        honest = honest_commitment(
+            case_workload.pre_state, case_workload.transactions
+        )
+        corrupt = CorruptExecutor(fault_step=4).commitment(
+            case_workload.pre_state, case_workload.transactions
+        )
+        assert game.adjudicate_step(honest, 4)
+        assert not game.adjudicate_step(corrupt, 4)
+
+    def test_adjudicate_out_of_range(self, case_workload, game):
+        honest = honest_commitment(
+            case_workload.pre_state, case_workload.transactions
+        )
+        with pytest.raises(ChallengeError):
+            game.adjudicate_step(honest, 99)
+
+    def test_fault_step_out_of_range(self, case_workload):
+        corrupt = CorruptExecutor(fault_step=50)
+        with pytest.raises(ChallengeError):
+            corrupt.commitment(
+                case_workload.pre_state, case_workload.transactions
+            )
+
+    def test_wrong_pre_root_caught_immediately(self, case_workload, game):
+        honest = honest_commitment(
+            case_workload.pre_state, case_workload.transactions
+        )
+        forged = ExecutionCommitment(
+            transactions=honest.transactions,
+            roots=("0xlie",) + honest.roots[1:],
+        )
+        result = game.play(forged)
+        assert result.fraud_found
+        assert result.divergent_step == 0
+        assert result.rounds_played == 0

@@ -1,0 +1,63 @@
+"""Tests for opt-in L2 fee charging."""
+
+import pytest
+
+from repro.rollup import ExecutionMode, L2State, NFTTransaction, OVM, TxKind
+
+
+@pytest.fixture
+def fee_state(pt_config):
+    return L2State(
+        pt_config,
+        balances={"a": 5.0, "b": 5.0},
+        inventory={"a": 1},
+        mode=ExecutionMode.BATCH,
+        charge_fees=True,
+    )
+
+
+class TestFeeCharging:
+    def test_fees_move_to_pool(self, fee_state):
+        tx = NFTTransaction(
+            kind=TxKind.MINT, sender="a", base_fee=1.0, priority_fee=0.5
+        )
+        price = fee_state.unit_price
+        fee_state.apply(tx)
+        assert fee_state.fee_pool() == pytest.approx(1.5)
+        assert fee_state.balance("a") == pytest.approx(5.0 - price - 1.5)
+
+    def test_skipped_tx_pays_no_fee(self, pt_config):
+        state = L2State(
+            pt_config, balances={"poor": 0.01},
+            charge_fees=True,
+        )
+        state.apply(NFTTransaction(kind=TxKind.MINT, sender="poor",
+                                   base_fee=1.0))
+        assert state.fee_pool() == 0.0
+
+    def test_default_state_charges_nothing(self, basic_state):
+        basic_state.apply(NFTTransaction(kind=TxKind.MINT, sender="alice",
+                                         base_fee=1.0))
+        assert basic_state.fee_pool() == 0.0
+
+    def test_copy_preserves_flag(self, fee_state):
+        assert fee_state.copy().charge_fees
+
+    def test_total_value_conserved_with_fees(self, fee_state):
+        """Cash only moves between users, the NFT contract sink, and the
+        fee pool — transfers conserve the grand total."""
+        tx = NFTTransaction(
+            kind=TxKind.TRANSFER, sender="a", recipient="b",
+            base_fee=0.3, priority_fee=0.0,
+        )
+        total_before = sum(fee_state.balances.values())
+        fee_state.apply(tx)
+        assert sum(fee_state.balances.values()) == pytest.approx(total_before)
+
+    def test_ovm_replay_accumulates_fees(self, fee_state):
+        txs = [
+            NFTTransaction(kind=TxKind.MINT, sender="a", base_fee=0.5, nonce=0),
+            NFTTransaction(kind=TxKind.MINT, sender="b", base_fee=0.5, nonce=1),
+        ]
+        trace = OVM().replay(fee_state, txs)
+        assert trace.final_state.fee_pool() == pytest.approx(1.0)

@@ -1,0 +1,98 @@
+"""Tests for Bedrock's private mempool."""
+
+import pytest
+
+from repro.errors import MempoolError
+from repro.rollup import BedrockMempool, NFTTransaction, TxKind
+
+
+def make_tx(sender, priority=0.0, nonce=0):
+    return NFTTransaction(
+        kind=TxKind.MINT, sender=sender, priority_fee=priority, nonce=nonce
+    )
+
+
+@pytest.fixture
+def pool():
+    return BedrockMempool()
+
+
+class TestSubmission:
+    def test_submit_returns_hash(self, pool):
+        tx_hash = pool.submit(make_tx("a"))
+        assert tx_hash in pool
+        assert len(pool) == 1
+
+    def test_duplicate_rejected(self, pool):
+        tx = make_tx("a", priority=0.3)
+        stamped_hash = pool.submit(tx)
+        # The same pre-stamped transaction cannot enter twice.
+        stamped = pool.drop(stamped_hash)
+        pool.submit(stamped)
+        with pytest.raises(MempoolError):
+            pool.submit(stamped)
+
+    def test_arrival_stamped(self, pool):
+        pool.submit(make_tx("a"))
+        pool.submit(make_tx("b"))
+        pending = pool.pending()
+        assert {tx.submitted_at for tx in pending} == {1, 2}
+
+    def test_submit_all_preserves_count(self, pool):
+        pool.submit_all([make_tx("a"), make_tx("b", nonce=1)])
+        assert len(pool) == 2
+
+
+class TestCollection:
+    def test_collect_highest_fee_first(self, pool):
+        pool.submit(make_tx("low", priority=0.1))
+        pool.submit(make_tx("high", priority=0.9))
+        collected = pool.collect(1)
+        assert collected[0].sender == "high"
+
+    def test_collect_removes_from_pool(self, pool):
+        pool.submit(make_tx("a", priority=0.5))
+        pool.collect(1)
+        assert len(pool) == 0
+
+    def test_collect_fee_ties_fcfs(self, pool):
+        pool.submit(make_tx("first"))
+        pool.submit(make_tx("second", nonce=1))
+        assert pool.collect(2)[0].sender == "first"
+
+    def test_collect_more_than_pending(self, pool):
+        pool.submit(make_tx("a"))
+        assert len(pool.collect(10)) == 1
+
+    def test_collect_nonpositive_raises(self, pool):
+        with pytest.raises(MempoolError):
+            pool.collect(0)
+
+    def test_peek_does_not_remove(self, pool):
+        pool.submit(make_tx("a"))
+        pool.peek(1)
+        assert len(pool) == 1
+
+
+class TestRequeue:
+    def test_requeue_restores(self, pool):
+        pool.submit(make_tx("a", priority=0.5))
+        collected = pool.collect(1)
+        pool.requeue(collected)
+        assert len(pool) == 1
+
+    def test_requeue_duplicate_rejected(self, pool):
+        pool.submit(make_tx("a", priority=0.5))
+        pending = pool.pending()
+        with pytest.raises(MempoolError):
+            pool.requeue(pending)
+
+    def test_drop_unknown_raises(self, pool):
+        with pytest.raises(MempoolError):
+            pool.drop("0xdeadbeef")
+
+    def test_pending_in_priority_order(self, pool):
+        pool.submit(make_tx("low", priority=0.1))
+        pool.submit(make_tx("high", priority=0.8))
+        pool.submit(make_tx("mid", priority=0.4))
+        assert [tx.sender for tx in pool.pending()] == ["high", "mid", "low"]

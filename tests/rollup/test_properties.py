@@ -1,0 +1,135 @@
+"""Metamorphic / property tests on the OVM and batch economics."""
+
+import math
+from itertools import permutations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NFTContractConfig
+from repro.rollup import ExecutionMode, L2State, NFTTransaction, OVM, TxKind
+from repro.rollup.batch import build_batch
+from repro.workloads import CASE3_ORDER
+
+
+def transfer(sender, recipient, nonce):
+    return NFTTransaction(
+        kind=TxKind.TRANSFER, sender=sender, recipient=recipient, nonce=nonce
+    )
+
+
+@pytest.fixture
+def rich_state(pt_config):
+    return L2State(
+        pt_config,
+        balances={"a": 10.0, "b": 10.0, "c": 10.0},
+        inventory={"a": 2, "b": 2, "c": 1},
+        mode=ExecutionMode.BATCH,
+    )
+
+
+class TestTransferOnlyInvariance:
+    """Transfers never move the price, so for transfer-only batches the
+    *price* is order-invariant and total cash is conserved."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.permutations(list(range(4))))
+    def test_price_invariant_under_permutation(self, order, ):
+        state = L2State(
+            NFTContractConfig(max_supply=10, initial_price_eth=0.2),
+            balances={"a": 10.0, "b": 10.0, "c": 10.0},
+            inventory={"a": 2, "b": 2, "c": 1},
+            mode=ExecutionMode.BATCH,
+        )
+        txs = [
+            transfer("a", "b", 0),
+            transfer("b", "c", 1),
+            transfer("c", "a", 2),
+            transfer("a", "c", 3),
+        ]
+        ovm = OVM()
+        trace = ovm.replay(state, [txs[i] for i in order])
+        assert trace.final_price == pytest.approx(state.unit_price)
+        assert sum(trace.final_state.balances.values()) == pytest.approx(30.0)
+
+    def test_total_inventory_conserved(self, rich_state):
+        txs = [transfer("a", "b", 0), transfer("b", "c", 1)]
+        trace = OVM().replay(rich_state, txs)
+        assert sum(trace.final_state.inventory.values()) == 5
+
+
+class TestMintBurnCounting:
+    """The final price depends only on the *count* of executed mints and
+    burns (Eq. 10), never on where transfers sit between them."""
+
+    def test_final_price_depends_on_net_supply_change(self, rich_state):
+        txs = [
+            NFTTransaction(kind=TxKind.MINT, sender="a", nonce=0),
+            transfer("b", "c", 1),
+            NFTTransaction(kind=TxKind.BURN, sender="b", nonce=2),
+            transfer("c", "a", 3),
+        ]
+        ovm = OVM()
+        finals = set()
+        for order in permutations(range(4)):
+            trace = ovm.replay(rich_state, [txs[i] for i in order])
+            if trace.all_executed:
+                finals.add(round(trace.final_price, 12))
+        assert len(finals) == 1  # net supply change 0 -> same final price
+
+    def test_case_study_final_price_order_invariant(self, case_workload):
+        """All-executed orders of the case study end at price 0.5: two
+        mints and one burn net to one unit scarcer."""
+        ovm = OVM()
+        for order in (tuple(range(8)), CASE3_ORDER):
+            trace = ovm.replay(
+                case_workload.pre_state,
+                [case_workload.transactions[i] for i in order],
+            )
+            assert trace.all_executed
+            assert trace.final_price == pytest.approx(0.5)
+
+
+class TestFeeInvariance:
+    """Reordering changes balances, never the aggregator's fee revenue."""
+
+    def test_fee_revenue_permutation_invariant(self, case_workload):
+        original, _ = build_batch(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        reordered, _ = build_batch(
+            "agg",
+            case_workload.pre_state,
+            [case_workload.transactions[i] for i in CASE3_ORDER],
+        )
+        assert original.fee_revenue == pytest.approx(reordered.fee_revenue)
+
+    def test_fee_revenue_positive(self, case_workload):
+        batch, _ = build_batch(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        assert batch.fee_revenue > 0
+
+
+class TestWealthAccounting:
+    """Total system wealth = cash + inventory * price; only mints (cash
+    sink into the contract) and price moves change it."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=6))
+    def test_cash_only_leaves_via_mints(self, mint_count):
+        state = L2State(
+            NFTContractConfig(max_supply=20, initial_price_eth=0.1),
+            balances={"a": 50.0, "b": 50.0},
+            mode=ExecutionMode.BATCH,
+        )
+        txs = [
+            NFTTransaction(kind=TxKind.MINT, sender="a", nonce=i)
+            for i in range(mint_count)
+        ]
+        trace = OVM().replay(state, txs)
+        total_cash = sum(trace.final_state.balances.values())
+        minted_cost = sum(
+            step.result.price_before for step in trace.steps if step.executed
+        )
+        assert total_cash == pytest.approx(100.0 - minted_cost)

@@ -1,0 +1,86 @@
+"""Tests for NFT transactions and fee ordering."""
+
+import pytest
+
+from repro.errors import RollupError
+from repro.rollup import NFTTransaction, TxKind
+from repro.rollup.transaction import involvement_counts, sort_by_fee
+
+
+class TestValidation:
+    def test_transfer_requires_recipient(self):
+        with pytest.raises(RollupError):
+            NFTTransaction(kind=TxKind.TRANSFER, sender="a")
+
+    def test_mint_rejects_recipient(self):
+        with pytest.raises(RollupError):
+            NFTTransaction(kind=TxKind.MINT, sender="a", recipient="b")
+
+    def test_burn_rejects_recipient(self):
+        with pytest.raises(RollupError):
+            NFTTransaction(kind=TxKind.BURN, sender="a", recipient="b")
+
+    def test_negative_fee_rejected(self):
+        with pytest.raises(RollupError):
+            NFTTransaction(kind=TxKind.MINT, sender="a", base_fee=-1.0)
+
+
+class TestProperties:
+    def test_total_fee(self):
+        tx = NFTTransaction(
+            kind=TxKind.MINT, sender="a", base_fee=1.0, priority_fee=0.5
+        )
+        assert tx.total_fee == pytest.approx(1.5)
+
+    def test_tx_hash_stable(self):
+        a = NFTTransaction(kind=TxKind.MINT, sender="a", nonce=1)
+        b = NFTTransaction(kind=TxKind.MINT, sender="a", nonce=1)
+        assert a.tx_hash == b.tx_hash
+
+    def test_tx_hash_distinguishes_nonce(self):
+        a = NFTTransaction(kind=TxKind.MINT, sender="a", nonce=1)
+        b = NFTTransaction(kind=TxKind.MINT, sender="a", nonce=2)
+        assert a.tx_hash != b.tx_hash
+
+    def test_involves_sender_and_recipient(self):
+        tx = NFTTransaction(kind=TxKind.TRANSFER, sender="a", recipient="b")
+        assert tx.involves("a") and tx.involves("b")
+        assert not tx.involves("c")
+
+    def test_parties(self):
+        transfer = NFTTransaction(kind=TxKind.TRANSFER, sender="a", recipient="b")
+        burn = NFTTransaction(kind=TxKind.BURN, sender="a")
+        assert transfer.parties() == ("a", "b")
+        assert burn.parties() == ("a",)
+
+    def test_describe_matches_case_study_format(self):
+        tx = NFTTransaction(kind=TxKind.TRANSFER, sender="U1", recipient="U2")
+        assert tx.describe() == "Transfer PT: U1 -> U2"
+        assert NFTTransaction(kind=TxKind.MINT, sender="U19").describe() == "Mint PT: U19"
+
+
+class TestFeeOrdering:
+    def test_sorts_descending_by_total_fee(self):
+        txs = [
+            NFTTransaction(kind=TxKind.MINT, sender="a", priority_fee=0.1, nonce=0),
+            NFTTransaction(kind=TxKind.MINT, sender="b", priority_fee=0.9, nonce=1),
+            NFTTransaction(kind=TxKind.MINT, sender="c", priority_fee=0.5, nonce=2),
+        ]
+        ordered = sort_by_fee(txs)
+        assert [tx.sender for tx in ordered] == ["b", "c", "a"]
+
+    def test_fee_ties_broken_by_arrival(self):
+        txs = [
+            NFTTransaction(kind=TxKind.MINT, sender="late", submitted_at=5, nonce=0),
+            NFTTransaction(kind=TxKind.MINT, sender="early", submitted_at=1, nonce=1),
+        ]
+        assert sort_by_fee(txs)[0].sender == "early"
+
+    def test_involvement_counts(self):
+        txs = [
+            NFTTransaction(kind=TxKind.TRANSFER, sender="a", recipient="b", nonce=0),
+            NFTTransaction(kind=TxKind.MINT, sender="a", nonce=1),
+            NFTTransaction(kind=TxKind.BURN, sender="c", nonce=2),
+        ]
+        counts = involvement_counts(txs, ["a", "b", "c", "d"])
+        assert counts == {"a": 2, "b": 1, "c": 1, "d": 0}

@@ -1,0 +1,53 @@
+"""Tests for verifiers — the attack's invisibility to fraud proofs."""
+
+import dataclasses
+
+import pytest
+
+from repro.rollup import Verifier, build_batch
+from repro.workloads import CASE3_ORDER
+
+
+@pytest.fixture
+def verifier():
+    return Verifier("verifier-0")
+
+
+class TestInspection:
+    def test_honest_batch_not_challenged(self, case_workload, verifier):
+        batch, _ = build_batch(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        report = verifier.inspect(batch, case_workload.pre_state)
+        assert not report.should_challenge
+
+    def test_parole_reordered_batch_not_challenged(self, case_workload, verifier):
+        """The paper's central point: reordering survives verification."""
+        reordered = [case_workload.transactions[i] for i in CASE3_ORDER]
+        batch, _ = build_batch("agg", case_workload.pre_state, reordered)
+        report = verifier.inspect(batch, case_workload.pre_state)
+        assert not report.should_challenge
+
+    def test_forged_post_root_challenged(self, case_workload, verifier):
+        batch, _ = build_batch(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        forged = dataclasses.replace(batch, post_state_root="0xlies")
+        report = verifier.inspect(forged, case_workload.pre_state)
+        assert report.should_challenge
+
+    def test_tampered_tx_root_challenged(self, case_workload, verifier):
+        batch, _ = build_batch(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        forged = dataclasses.replace(batch, tx_root="0xwrong")
+        report = verifier.inspect(forged, case_workload.pre_state)
+        assert report.should_challenge
+        assert not report.tx_root_ok
+
+    def test_report_carries_recomputed_root(self, case_workload, verifier):
+        batch, _ = build_batch(
+            "agg", case_workload.pre_state, case_workload.transactions
+        )
+        report = verifier.inspect(batch, case_workload.pre_state)
+        assert report.recomputed_post_root == batch.post_state_root

@@ -1,0 +1,110 @@
+"""Tests for the simulated network."""
+
+import numpy as np
+import pytest
+
+from repro.sim import EventQueue, LatencyModel, SimNetwork
+from repro.sim.events import SimError
+
+
+@pytest.fixture
+def setup():
+    queue = EventQueue()
+    network = SimNetwork(
+        queue, latency=LatencyModel(base=0.1, jitter=0.0),
+        rng=np.random.default_rng(0),
+    )
+    inbox = {"a": [], "b": []}
+    network.register("a", lambda m: inbox["a"].append(m))
+    network.register("b", lambda m: inbox["b"].append(m))
+    return queue, network, inbox
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self, setup):
+        queue, network, inbox = setup
+        network.send("a", "b", "ping", {"x": 1})
+        queue.run()
+        assert len(inbox["b"]) == 1
+        message = inbox["b"][0]
+        assert message.kind == "ping"
+        assert message.payload == {"x": 1}
+        assert message.delivered_at == pytest.approx(0.1)
+
+    def test_unknown_recipient_rejected(self, setup):
+        _, network, _ = setup
+        with pytest.raises(SimError):
+            network.send("a", "ghost", "ping")
+
+    def test_duplicate_registration_rejected(self, setup):
+        _, network, _ = setup
+        with pytest.raises(SimError):
+            network.register("a", lambda m: None)
+
+    def test_jitter_varies_latency(self):
+        queue = EventQueue()
+        network = SimNetwork(
+            queue, latency=LatencyModel(base=0.1, jitter=0.5),
+            rng=np.random.default_rng(1),
+        )
+        arrivals = []
+        network.register("x", lambda m: arrivals.append(m.delivered_at))
+        network.register("y", lambda m: None)
+        for _ in range(10):
+            network.send("y", "x", "ping")
+        queue.run()
+        assert len(set(arrivals)) > 1
+        assert all(t >= 0.1 for t in arrivals)
+
+    def test_per_link_latency_override(self, setup):
+        queue, network, inbox = setup
+        network.set_link_latency("a", "b", LatencyModel(base=5.0, jitter=0.0))
+        network.send("a", "b", "slow")
+        queue.run()
+        assert inbox["b"][0].delivered_at == pytest.approx(5.0)
+
+    def test_broadcast_reaches_everyone_else(self, setup):
+        queue, network, inbox = setup
+        count = network.broadcast("a", "hello")
+        queue.run()
+        assert count == 1
+        assert len(inbox["b"]) == 1
+        assert len(inbox["a"]) == 0
+
+
+class TestFailures:
+    def test_partition_blocks_delivery(self, setup):
+        queue, network, inbox = setup
+        network.partition("a", "b")
+        delivered = network.send("a", "b", "ping")
+        queue.run()
+        assert not delivered
+        assert inbox["b"] == []
+        assert network.dropped == [("a", "b", "ping")]
+
+    def test_heal_restores_link(self, setup):
+        queue, network, inbox = setup
+        network.partition("a", "b")
+        network.heal("a", "b")
+        assert network.send("a", "b", "ping")
+        queue.run()
+        assert len(inbox["b"]) == 1
+
+    def test_drop_rate(self):
+        queue = EventQueue()
+        network = SimNetwork(
+            queue, latency=LatencyModel(base=0.0, jitter=0.0),
+            rng=np.random.default_rng(0), drop_rate=0.5,
+        )
+        received = []
+        network.register("x", lambda m: received.append(m))
+        network.register("y", lambda m: None)
+        for _ in range(100):
+            network.send("y", "x", "ping")
+        queue.run()
+        assert 20 < len(received) < 80
+        assert len(received) + len(network.dropped) == 100
+
+    def test_invalid_drop_rate_rejected(self):
+        with pytest.raises(SimError):
+            SimNetwork(EventQueue(), drop_rate=1.0)

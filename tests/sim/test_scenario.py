@@ -1,0 +1,129 @@
+"""Tests for the timed rollup scenario (and actors)."""
+
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.sim import TimedRollupScenario
+from repro.workloads import generate_workload
+
+
+@pytest.fixture
+def workload():
+    return generate_workload(
+        WorkloadConfig(mempool_size=16, num_users=10, num_ifus=1,
+                       min_ifu_involvement=4, seed=5)
+    )
+
+
+class TestHonestScenario:
+    def test_all_transactions_included(self, workload):
+        metrics = TimedRollupScenario(workload, collect_size=8).run()
+        assert metrics.transactions_included == 16
+        assert metrics.batches_committed == 2
+
+    def test_positive_inclusion_latency(self, workload):
+        metrics = TimedRollupScenario(workload, collect_size=8).run()
+        assert metrics.mean_inclusion_latency > 0
+
+    def test_honest_run_unchallenged(self, workload):
+        metrics = TimedRollupScenario(workload, collect_size=8).run()
+        assert metrics.challenges == 0
+        assert metrics.attacks_fired == 0
+
+    def test_final_state_consistent_with_batches(self, workload):
+        from repro.rollup import OVM
+        from repro.rollup.fraud_proof import state_root
+        scenario = TimedRollupScenario(workload, collect_size=8)
+        scenario.run()
+        replayed = workload.pre_state.copy()
+        ovm = OVM()
+        for _, batch in scenario.aggregator.batches:
+            replayed = ovm.replay(replayed, batch.transactions).final_state
+        assert state_root(replayed) == state_root(scenario.state)
+
+    def test_deterministic_per_seed(self, workload):
+        a = TimedRollupScenario(workload, collect_size=8, seed=3).run()
+        b = TimedRollupScenario(workload, collect_size=8, seed=3).run()
+        assert a.mean_inclusion_latency == b.mean_inclusion_latency
+
+    def test_block_interval_paces_batches(self, workload):
+        scenario = TimedRollupScenario(
+            workload, collect_size=8, block_interval=5.0
+        )
+        scenario.run()
+        commit_times = [t for t, _ in scenario.aggregator.batches]
+        assert commit_times[0] >= 5.0
+
+
+class TestAdversarialScenario:
+    def test_fast_reorderer_attacks_unchallenged(self, workload):
+        def reorder(pre_state, collected):
+            return tuple(reversed(collected)), 0.1
+
+        metrics = TimedRollupScenario(
+            workload, collect_size=8, reorderer=reorder, reorder_deadline=1.0
+        ).run()
+        assert metrics.attacks_fired == 2
+        assert metrics.missed_deadlines == 0
+        assert metrics.challenges == 0  # reordering is invisible
+
+    def test_slow_reorderer_misses_deadline(self, workload):
+        def reorder(pre_state, collected):
+            return tuple(reversed(collected)), 50.0
+
+        metrics = TimedRollupScenario(
+            workload, collect_size=8, reorderer=reorder, reorder_deadline=1.0
+        ).run()
+        assert metrics.attacks_fired == 0
+        assert metrics.missed_deadlines == 2
+        # Falling back to honest order still includes everything.
+        assert metrics.transactions_included == 16
+
+    def test_compute_cost_delays_inclusion(self, workload):
+        def slow_but_allowed(pre_state, collected):
+            return tuple(reversed(collected)), 1.5
+
+        honest = TimedRollupScenario(workload, collect_size=8).run()
+        attacked = TimedRollupScenario(
+            workload, collect_size=8,
+            reorderer=slow_but_allowed, reorder_deadline=2.0,
+        ).run()
+        assert (
+            attacked.mean_inclusion_latency
+            > honest.mean_inclusion_latency
+        )
+
+    def test_identity_reorderer_counts_no_attack(self, workload):
+        def identity(pre_state, collected):
+            return tuple(collected), 0.1
+
+        metrics = TimedRollupScenario(
+            workload, collect_size=8, reorderer=identity, reorder_deadline=1.0
+        ).run()
+        assert metrics.attacks_fired == 0
+        assert metrics.missed_deadlines == 0
+
+
+class TestFailureInjection:
+    def test_partitioned_users_cannot_submit(self, workload):
+        scenario = TimedRollupScenario(workload, collect_size=8)
+        scenario.network.partition("users", "mempool")
+        metrics = scenario.run()
+        assert metrics.transactions_included == 0
+        assert metrics.batches_committed == 0
+        assert len(scenario.network.dropped) == 16
+
+    def test_partitioned_verifier_sees_nothing(self, workload):
+        scenario = TimedRollupScenario(workload, collect_size=8)
+        scenario.network.partition("aggregator", "verifier-0")
+        scenario.run()
+        isolated, connected = scenario.verifiers
+        assert isolated.reports == []
+        assert len(connected.reports) > 0
+
+    def test_healed_partition_recovers(self, workload):
+        scenario = TimedRollupScenario(workload, collect_size=8)
+        scenario.network.partition("users", "mempool")
+        scenario.network.heal("users", "mempool")
+        metrics = scenario.run()
+        assert metrics.transactions_included == 16

@@ -1,0 +1,62 @@
+"""Tests for the solver problem/result scaffolding."""
+
+import pytest
+
+from repro.solvers import ReorderProblem
+from repro.solvers.base import SolverResult
+from repro.workloads import CASE3_ORDER
+from repro.workloads.scenarios import IFU
+
+
+@pytest.fixture
+def problem(case_workload):
+    return ReorderProblem(
+        pre_state=case_workload.pre_state,
+        transactions=case_workload.transactions,
+        ifus=(IFU,),
+    )
+
+
+class TestProblem:
+    def test_size(self, problem):
+        assert problem.size == 8
+
+    def test_original_objective(self, problem):
+        assert problem.original_objective == pytest.approx(2.5)
+
+    def test_score_identity(self, problem):
+        assert problem.score(problem.identity_order()) == pytest.approx(2.5)
+
+    def test_score_case3(self, problem):
+        assert problem.score(CASE3_ORDER) == pytest.approx(2.5 + 7 / 30)
+
+    def test_evaluation_counter(self, problem):
+        before = problem.evaluations
+        problem.score(problem.identity_order())
+        problem.score(CASE3_ORDER)
+        assert problem.evaluations == before + 2
+
+
+class TestResult:
+    def test_profit_and_improved(self):
+        result = SolverResult(
+            solver_name="x",
+            best_order=(1, 0),
+            best_objective=2.6,
+            original_objective=2.5,
+            elapsed_seconds=0.1,
+            evaluations=10,
+        )
+        assert result.profit == pytest.approx(0.1)
+        assert result.improved
+
+    def test_not_improved_at_equality(self):
+        result = SolverResult(
+            solver_name="x",
+            best_order=(0, 1),
+            best_objective=2.5,
+            original_objective=2.5,
+            elapsed_seconds=0.1,
+            evaluations=1,
+        )
+        assert not result.improved

@@ -1,0 +1,81 @@
+"""Tests for exhaustive and branch-and-bound solvers."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solvers import BranchAndBoundSolver, ExhaustiveSolver, ReorderProblem
+from repro.workloads.scenarios import IFU
+
+
+@pytest.fixture
+def small_problem(case_workload):
+    """A 5-transaction slice of the case study (5! = 120 orders)."""
+    return ReorderProblem(
+        pre_state=case_workload.pre_state,
+        transactions=case_workload.transactions[:5],
+        ifus=(IFU,),
+    )
+
+
+@pytest.fixture
+def full_problem(case_workload):
+    return ReorderProblem(
+        pre_state=case_workload.pre_state,
+        transactions=case_workload.transactions,
+        ifus=(IFU,),
+    )
+
+
+class TestExhaustive:
+    def test_certifies_case_study_optimum(self, full_problem):
+        """Ground truth: under the batch-netting semantics the best order
+        over all 8! permutations reaches 2.8667 ETH — above the paper's
+        hand-derived case 3 (2.7333), which itself relies on the same
+        netting (see EXPERIMENTS.md)."""
+        result = ExhaustiveSolver(max_size=8).solve(full_problem)
+        assert result.best_objective == pytest.approx(2.8667, abs=1e-3)
+        assert result.improved
+
+    def test_refuses_oversized(self, full_problem):
+        with pytest.raises(SolverError):
+            ExhaustiveSolver(max_size=5).solve(full_problem)
+
+    def test_small_slice_never_worse_than_identity(self, small_problem):
+        result = ExhaustiveSolver().solve(small_problem)
+        assert result.best_objective >= small_problem.original_objective
+
+    def test_best_order_is_permutation(self, small_problem):
+        result = ExhaustiveSolver().solve(small_problem)
+        assert sorted(result.best_order) == list(range(5))
+
+
+class TestBranchAndBound:
+    def test_matches_exhaustive_on_small_slice(self, case_workload):
+        exhaustive = ExhaustiveSolver().solve(
+            ReorderProblem(
+                pre_state=case_workload.pre_state,
+                transactions=case_workload.transactions[:5],
+                ifus=(IFU,),
+            )
+        )
+        bnb = BranchAndBoundSolver().solve(
+            ReorderProblem(
+                pre_state=case_workload.pre_state,
+                transactions=case_workload.transactions[:5],
+                ifus=(IFU,),
+            )
+        )
+        assert bnb.best_objective == pytest.approx(exhaustive.best_objective)
+
+    def test_reports_node_count(self, small_problem):
+        result = BranchAndBoundSolver().solve(small_problem)
+        assert result.metadata["nodes"] > 0
+
+    def test_refuses_oversized(self, case_workload):
+        problem = ReorderProblem(
+            pre_state=case_workload.pre_state,
+            transactions=case_workload.transactions,
+            ifus=(IFU,),
+        )
+        with pytest.raises(SolverError):
+            BranchAndBoundSolver(max_size=4).solve(problem)

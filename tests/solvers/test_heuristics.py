@@ -1,0 +1,87 @@
+"""Tests for annealing, hill climbing and greedy solvers."""
+
+import pytest
+
+from repro.solvers import (
+    GreedyInsertionSolver,
+    HillClimbSolver,
+    RandomRestartHillClimbSolver,
+    ReorderProblem,
+    SimulatedAnnealingSolver,
+)
+from repro.workloads.scenarios import IFU
+
+
+@pytest.fixture
+def problem_factory(case_workload):
+    def make():
+        return ReorderProblem(
+            pre_state=case_workload.pre_state,
+            transactions=case_workload.transactions,
+            ifus=(IFU,),
+        )
+    return make
+
+
+class TestSimulatedAnnealing:
+    def test_finds_profit(self, problem_factory):
+        result = SimulatedAnnealingSolver(iterations=800, seed=1).solve(
+            problem_factory()
+        )
+        assert result.improved
+        assert result.best_objective > 2.5
+
+    def test_never_below_identity(self, problem_factory):
+        result = SimulatedAnnealingSolver(iterations=100, seed=2).solve(
+            problem_factory()
+        )
+        assert result.best_objective >= 2.5
+
+    def test_deterministic_per_seed(self, problem_factory):
+        a = SimulatedAnnealingSolver(iterations=200, seed=5).solve(problem_factory())
+        b = SimulatedAnnealingSolver(iterations=200, seed=5).solve(problem_factory())
+        assert a.best_order == b.best_order
+
+    def test_reports_acceptance(self, problem_factory):
+        result = SimulatedAnnealingSolver(iterations=100, seed=0).solve(
+            problem_factory()
+        )
+        assert "accepted" in result.metadata
+
+
+class TestHillClimb:
+    def test_reaches_local_optimum_with_profit(self, problem_factory):
+        result = HillClimbSolver().solve(problem_factory())
+        assert result.improved
+
+    def test_local_optimum_is_swap_stable(self, problem_factory):
+        problem = problem_factory()
+        result = HillClimbSolver().solve(problem)
+        from itertools import combinations
+        best = result.best_objective
+        order = list(result.best_order)
+        for i, j in combinations(range(len(order)), 2):
+            order[i], order[j] = order[j], order[i]
+            assert problem.score(order) <= best + 1e-9
+            order[i], order[j] = order[j], order[i]
+
+    def test_restarts_never_worse_than_plain(self, problem_factory):
+        plain = HillClimbSolver().solve(problem_factory())
+        restarts = RandomRestartHillClimbSolver(restarts=3, seed=0).solve(
+            problem_factory()
+        )
+        assert restarts.best_objective >= plain.best_objective - 1e-9
+
+
+class TestGreedy:
+    def test_produces_valid_permutation(self, problem_factory):
+        result = GreedyInsertionSolver().solve(problem_factory())
+        assert sorted(result.best_order) == list(range(8))
+
+    def test_never_reports_infeasible(self, problem_factory):
+        result = GreedyInsertionSolver().solve(problem_factory())
+        assert result.best_objective != float("-inf")
+
+    def test_at_least_identity_value(self, problem_factory):
+        result = GreedyInsertionSolver().solve(problem_factory())
+        assert result.best_objective >= 2.5 - 1e-9

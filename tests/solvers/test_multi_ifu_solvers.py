@@ -1,0 +1,75 @@
+"""Solvers under multi-IFU objectives."""
+
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.core.multi_ifu import mean_wealth, min_wealth_gain
+from repro.solvers import (
+    HillClimbSolver,
+    ReorderProblem,
+    SimulatedAnnealingSolver,
+)
+from repro.workloads import generate_workload
+
+
+@pytest.fixture
+def two_ifu_workload():
+    return generate_workload(
+        WorkloadConfig(mempool_size=10, num_users=8, num_ifus=2,
+                       min_ifu_involvement=3, seed=17)
+    )
+
+
+class TestMultiIFUObjectives:
+    def test_mean_objective_problem(self, two_ifu_workload):
+        problem = ReorderProblem(
+            pre_state=two_ifu_workload.pre_state,
+            transactions=two_ifu_workload.transactions,
+            ifus=two_ifu_workload.ifus,
+            objective=mean_wealth,
+        )
+        result = HillClimbSolver().solve(problem)
+        assert result.best_objective >= problem.original_objective
+
+    def test_min_objective_problem(self, two_ifu_workload):
+        problem = ReorderProblem(
+            pre_state=two_ifu_workload.pre_state,
+            transactions=two_ifu_workload.transactions,
+            ifus=two_ifu_workload.ifus,
+            objective=min_wealth_gain,
+        )
+        result = SimulatedAnnealingSolver(iterations=300, seed=1).solve(problem)
+        assert result.best_objective >= problem.original_objective
+
+    def test_min_objective_never_exceeds_mean(self, two_ifu_workload):
+        """For any ordering, min wealth <= mean wealth."""
+        mean_problem = ReorderProblem(
+            pre_state=two_ifu_workload.pre_state,
+            transactions=two_ifu_workload.transactions,
+            ifus=two_ifu_workload.ifus,
+            objective=mean_wealth,
+        )
+        min_problem = ReorderProblem(
+            pre_state=two_ifu_workload.pre_state,
+            transactions=two_ifu_workload.transactions,
+            ifus=two_ifu_workload.ifus,
+            objective=min_wealth_gain,
+        )
+        identity = mean_problem.identity_order()
+        assert min_problem.score(identity) <= mean_problem.score(identity)
+
+    def test_solvers_report_per_objective_improvements(self, two_ifu_workload):
+        """The mean objective has at least as much headroom as max-min."""
+        def best(objective):
+            problem = ReorderProblem(
+                pre_state=two_ifu_workload.pre_state,
+                transactions=two_ifu_workload.transactions,
+                ifus=two_ifu_workload.ifus,
+                objective=objective,
+            )
+            return SimulatedAnnealingSolver(
+                iterations=400, seed=2
+            ).solve(problem).profit
+
+        assert best(mean_wealth) >= 0
+        assert best(min_wealth_gain) >= 0

@@ -1,0 +1,72 @@
+"""Tests for the NLP relaxation solvers (APOPT/MINOS/SNOPT stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import (
+    ApoptLikeSolver,
+    MinosLikeSolver,
+    ReorderProblem,
+    RelaxationSolver,
+    SnoptLikeSolver,
+)
+from repro.workloads.scenarios import IFU
+
+
+@pytest.fixture
+def problem(case_workload):
+    return ReorderProblem(
+        pre_state=case_workload.pre_state,
+        transactions=case_workload.transactions,
+        ifus=(IFU,),
+    )
+
+
+class TestDecoding:
+    def test_decode_is_argsort(self):
+        keys = np.array([0.3, 0.1, 0.9, 0.5])
+        assert RelaxationSolver.decode(keys) == (1, 0, 3, 2)
+
+    def test_decode_stable_on_ties(self):
+        keys = np.array([0.5, 0.5, 0.1])
+        assert RelaxationSolver.decode(keys) == (2, 0, 1)
+
+    def test_identity_keys_decode_identity(self):
+        keys = np.linspace(0, 1, 6)
+        assert RelaxationSolver.decode(keys) == tuple(range(6))
+
+
+@pytest.mark.parametrize(
+    "solver_cls", [ApoptLikeSolver, MinosLikeSolver, SnoptLikeSolver]
+)
+class TestStandIns:
+    def test_runs_and_returns_permutation(self, solver_cls, problem):
+        result = solver_cls(restarts=1, max_iterations=15).solve(problem)
+        assert sorted(result.best_order) == list(range(8))
+
+    def test_never_below_identity(self, solver_cls, problem):
+        result = solver_cls(restarts=1, max_iterations=15).solve(problem)
+        assert result.best_objective >= problem.original_objective - 1e-9
+
+    def test_name_identifies_stand_in(self, solver_cls, problem):
+        result = solver_cls(restarts=1, max_iterations=5).solve(problem)
+        assert "like" in result.solver_name
+
+
+class TestCostScaling:
+    def test_evaluations_grow_with_size(self, case_workload):
+        """The NLP pathology Figure 11 shows: bigger N, more evaluations."""
+        small = ReorderProblem(
+            pre_state=case_workload.pre_state,
+            transactions=case_workload.transactions[:4],
+            ifus=(IFU,),
+        )
+        large = ReorderProblem(
+            pre_state=case_workload.pre_state,
+            transactions=case_workload.transactions,
+            ifus=(IFU,),
+        )
+        solver = MinosLikeSolver(restarts=1, max_iterations=15)
+        small_result = solver.solve(small)
+        large_result = solver.solve(large)
+        assert large_result.evaluations > small_result.evaluations

@@ -1,0 +1,62 @@
+"""Tests for solver profiling and the DQN inference solver."""
+
+import pytest
+
+from repro.config import GenTranSeqConfig
+from repro.solvers import (
+    DQNInferenceSolver,
+    HillClimbSolver,
+    ReorderProblem,
+    profile_solver,
+)
+from repro.workloads.scenarios import IFU
+
+
+@pytest.fixture
+def problem(case_workload):
+    return ReorderProblem(
+        pre_state=case_workload.pre_state,
+        transactions=case_workload.transactions,
+        ifus=(IFU,),
+    )
+
+
+class TestProfiling:
+    def test_profiled_run_has_time_and_memory(self, problem):
+        run = profile_solver(HillClimbSolver(), problem)
+        assert run.elapsed_seconds > 0
+        assert run.peak_memory_bytes > 0
+        assert run.peak_memory_kib == pytest.approx(
+            run.peak_memory_bytes / 1024.0
+        )
+
+    def test_extra_memory_added(self, problem):
+        base = profile_solver(HillClimbSolver(), problem)
+        padded = profile_solver(
+            HillClimbSolver(), problem, extra_memory_bytes=10**6
+        )
+        assert padded.peak_memory_bytes >= base.peak_memory_bytes
+
+    def test_solver_name_passthrough(self, problem):
+        run = profile_solver(HillClimbSolver(), problem)
+        assert run.solver_name == "hill-climb"
+
+
+class TestDQNInferenceSolver:
+    def test_trains_once_then_infers(self, problem, case_workload):
+        solver = DQNInferenceSolver(
+            config=GenTranSeqConfig(episodes=5, steps_per_episode=30, seed=3),
+            train_episodes=5,
+            max_swaps=20,
+        )
+        result = solver.solve(problem)
+        assert sorted(result.best_order) == list(range(8))
+        assert result.best_objective >= result.original_objective
+        assert result.peak_memory_bytes > 0
+
+    def test_model_memory_grows_with_training(self):
+        solver = DQNInferenceSolver(
+            config=GenTranSeqConfig(episodes=2, steps_per_episode=10, seed=0),
+            train_episodes=0,
+        )
+        assert solver.model_memory_bytes() == 0

@@ -1,0 +1,139 @@
+"""Tests for JSON serialization round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import AttackConfig, GenTranSeqConfig, WorkloadConfig
+from repro.rollup import NFTTransaction, TxKind
+from repro.rollup.fraud_proof import state_root
+from repro.serialization import (
+    SerializationError,
+    load_workload,
+    outcome_to_dict,
+    save_workload,
+    state_from_dict,
+    state_to_dict,
+    transaction_from_dict,
+    transaction_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.workloads import case_study_fixture, generate_workload
+
+
+class TestTransactionRoundTrip:
+    def test_all_kinds(self):
+        txs = [
+            NFTTransaction(kind=TxKind.MINT, sender="a", nonce=1),
+            NFTTransaction(kind=TxKind.TRANSFER, sender="a", recipient="b",
+                           priority_fee=0.5, nonce=2),
+            NFTTransaction(kind=TxKind.BURN, sender="a", token_id=3, nonce=3),
+        ]
+        for tx in txs:
+            restored = transaction_from_dict(transaction_to_dict(tx))
+            assert restored == tx
+            assert restored.tx_hash == tx.tx_hash
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            transaction_from_dict({"kind": "swap", "sender": "a"})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(SerializationError):
+            transaction_from_dict({"kind": "mint"})
+
+    names = st.text(
+        alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+        min_size=1, max_size=6,
+    )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        kind=st.sampled_from([TxKind.MINT, TxKind.BURN]),
+        sender=names,
+        base_fee=st.floats(min_value=0, max_value=10, allow_nan=False),
+        nonce=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_roundtrip(self, kind, sender, base_fee, nonce):
+        tx = NFTTransaction(
+            kind=kind, sender=sender, base_fee=base_fee, nonce=nonce
+        )
+        assert transaction_from_dict(transaction_to_dict(tx)) == tx
+
+
+class TestStateRoundTrip:
+    def test_state_root_preserved(self, basic_state):
+        restored = state_from_dict(state_to_dict(basic_state))
+        assert state_root(restored) == state_root(basic_state)
+        assert restored.mode == basic_state.mode
+        assert restored.unit_price == basic_state.unit_price
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(SerializationError):
+            state_from_dict({"balances": {}})
+
+
+class TestWorkloadRoundTrip:
+    def test_case_study_roundtrip(self, case_workload):
+        restored = workload_from_dict(workload_to_dict(case_workload))
+        assert [t.tx_hash for t in restored.transactions] == [
+            t.tx_hash for t in case_workload.transactions
+        ]
+        assert restored.ifus == case_workload.ifus
+        assert state_root(restored.pre_state) == state_root(
+            case_workload.pre_state
+        )
+
+    def test_generated_roundtrip(self):
+        workload = generate_workload(
+            WorkloadConfig(mempool_size=12, num_users=8, num_ifus=2, seed=7)
+        )
+        restored = workload_from_dict(workload_to_dict(workload))
+        assert restored.mempool_size == 12
+        assert restored.ifu_involvement() == workload.ifu_involvement()
+
+    def test_file_roundtrip(self, case_workload, tmp_path):
+        path = tmp_path / "workload.json"
+        save_workload(case_workload, path)
+        restored = load_workload(path)
+        assert [t.tx_hash for t in restored.transactions] == [
+            t.tx_hash for t in case_workload.transactions
+        ]
+
+    def test_wrong_schema_rejected(self, case_workload):
+        payload = workload_to_dict(case_workload)
+        payload["schema"] = 99
+        with pytest.raises(SerializationError):
+            workload_from_dict(payload)
+
+    def test_replayability_after_restore(self, case_workload):
+        """Restored workloads replay to identical traces."""
+        from repro.rollup import OVM
+        restored = workload_from_dict(workload_to_dict(case_workload))
+        ovm = OVM()
+        original = ovm.replay(
+            case_workload.pre_state, case_workload.transactions
+        )
+        replayed = ovm.replay(restored.pre_state, restored.transactions)
+        assert original.price_trajectory() == replayed.price_trajectory()
+
+
+class TestOutcomeEncoding:
+    def test_outcome_summary(self, case_workload):
+        from repro.core import ParoleAttack
+        attack = ParoleAttack(
+            config=AttackConfig(
+                ifu_accounts=case_workload.ifus,
+                gentranseq=GenTranSeqConfig(
+                    episodes=3, steps_per_episode=15, seed=0
+                ),
+            )
+        )
+        outcome = attack.run(case_workload.pre_state, case_workload.transactions)
+        payload = outcome_to_dict(outcome)
+        assert payload["attacked"] == outcome.attacked
+        assert payload["profit_eth"] == pytest.approx(outcome.profit)
+        assert len(payload["executed_order"]) == 8
+        assert payload["assessment"]["has_opportunity"]
+        import json
+        json.dumps(payload)  # fully JSON-serialisable

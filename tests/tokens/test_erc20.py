@@ -1,0 +1,74 @@
+"""Tests for the ERC-20 fungible token."""
+
+import pytest
+
+from repro.errors import InsufficientBalanceError, TokenError
+from repro.tokens import ERC20Token
+
+
+@pytest.fixture
+def token():
+    erc20 = ERC20Token(symbol="L2T", name="L2 Token")
+    erc20.mint("alice", 1000)
+    erc20.mint("bob", 500)
+    return erc20
+
+
+class TestSupply:
+    def test_mint_increases_supply(self, token):
+        assert token.total_supply() == 1500
+
+    def test_burn_decreases_supply(self, token):
+        token.burn("alice", 400)
+        assert token.total_supply() == 1100
+        assert token.balance_of("alice") == 600
+
+    def test_burn_more_than_held_raises(self, token):
+        with pytest.raises(InsufficientBalanceError):
+            token.burn("bob", 501)
+
+    def test_mint_nonpositive_raises(self, token):
+        with pytest.raises(TokenError):
+            token.mint("alice", 0)
+
+    def test_unknown_holder_has_zero(self, token):
+        assert token.balance_of("stranger") == 0
+
+
+class TestTransfer:
+    def test_transfer_moves_units(self, token):
+        token.transfer("alice", "bob", 300)
+        assert token.balance_of("alice") == 700
+        assert token.balance_of("bob") == 800
+
+    def test_transfer_conserves_supply(self, token):
+        token.transfer("alice", "bob", 1)
+        assert token.total_supply() == 1500
+
+    def test_overdraw_raises(self, token):
+        with pytest.raises(InsufficientBalanceError):
+            token.transfer("bob", "alice", 501)
+
+
+class TestAllowances:
+    def test_approve_and_query(self, token):
+        token.approve("alice", "bob", 100)
+        assert token.allowance("alice", "bob") == 100
+
+    def test_transfer_from_spends_allowance(self, token):
+        token.approve("alice", "bob", 100)
+        token.transfer_from("bob", "alice", "carol", 60)
+        assert token.allowance("alice", "bob") == 40
+        assert token.balance_of("carol") == 60
+
+    def test_transfer_from_over_allowance_raises(self, token):
+        token.approve("alice", "bob", 10)
+        with pytest.raises(TokenError):
+            token.transfer_from("bob", "alice", "carol", 11)
+
+    def test_negative_allowance_raises(self, token):
+        with pytest.raises(TokenError):
+            token.approve("alice", "bob", -1)
+
+    def test_default_allowance_zero(self, token):
+        assert token.allowance("alice", "nobody") == 0

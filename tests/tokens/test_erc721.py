@@ -1,0 +1,207 @@
+"""Tests for the limited-edition ERC-721 state machine (Eq. 1-6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NFTContractConfig
+from repro.errors import (
+    NotOwnerError,
+    SupplyExhaustedError,
+    TokenError,
+    UnknownTokenError,
+)
+from repro.tokens import LimitedEditionNFT, TxValidity
+
+
+@pytest.fixture
+def contract(pt_config):
+    return LimitedEditionNFT(pt_config)
+
+
+@pytest.fixture
+def balances():
+    return {"alice": 5.0, "bob": 5.0, "carol": 0.05}
+
+
+class TestMint:
+    def test_mint_assigns_ownership(self, contract, balances):
+        token_id = contract.mint("alice", balances)
+        assert contract.owner_of(token_id) == "alice"
+
+    def test_mint_debits_pre_mint_price(self, contract, balances):
+        # Eq. 2: the minter pays P^{t-1}, the price *before* the supply change.
+        contract.mint("alice", balances)
+        assert balances["alice"] == pytest.approx(5.0 - 0.2)
+
+    def test_mint_decrements_supply(self, contract, balances):
+        contract.mint("alice", balances)
+        assert contract.remaining_supply == 9
+
+    def test_mint_raises_price(self, contract, balances):
+        before = contract.unit_price
+        contract.mint("alice", balances)
+        assert contract.unit_price > before
+
+    def test_sequential_ids(self, contract, balances):
+        ids = [contract.mint("alice", balances) for _ in range(3)]
+        assert ids == [0, 1, 2]
+
+    def test_mint_insufficient_balance_raises(self, contract, balances):
+        for _ in range(4):
+            contract.mint("alice", balances)
+        # price is now 10/6*0.2 = 0.333; carol holds 0.05
+        with pytest.raises(TokenError):
+            contract.mint("carol", balances)
+
+    def test_mint_exhausted_supply_raises(self, balances):
+        tiny = LimitedEditionNFT(
+            NFTContractConfig(max_supply=1, initial_price_eth=0.1)
+        )
+        tiny.mint("alice", balances)
+        with pytest.raises(SupplyExhaustedError):
+            tiny.mint("bob", balances)
+
+    def test_check_mint_classifies(self, contract, balances):
+        assert contract.check_mint("alice", balances) is TxValidity.VALID
+        assert contract.check_mint("carol", balances) is TxValidity.INSUFFICIENT_BALANCE
+
+    def test_explicit_duplicate_id_raises(self, contract, balances):
+        contract.mint("alice", balances, token_id=3)
+        with pytest.raises(TokenError):
+            contract.mint("bob", balances, token_id=3)
+
+
+class TestTransfer:
+    def test_transfer_moves_ownership_and_payment(self, contract, balances):
+        token_id = contract.mint("alice", balances)
+        price = contract.unit_price
+        alice_before, bob_before = balances["alice"], balances["bob"]
+        contract.transfer("alice", "bob", token_id, balances)
+        assert contract.owner_of(token_id) == "bob"
+        assert balances["bob"] == pytest.approx(bob_before - price)
+        assert balances["alice"] == pytest.approx(alice_before + price)
+
+    def test_transfer_keeps_price(self, contract, balances):
+        token_id = contract.mint("alice", balances)
+        before = contract.unit_price
+        contract.transfer("alice", "bob", token_id, balances)
+        assert contract.unit_price == before
+
+    def test_transfer_wrong_owner_raises(self, contract, balances):
+        token_id = contract.mint("alice", balances)
+        with pytest.raises(NotOwnerError):
+            contract.transfer("bob", "carol", token_id, balances)
+
+    def test_transfer_unknown_token_raises(self, contract, balances):
+        with pytest.raises(UnknownTokenError):
+            contract.transfer("alice", "bob", 99, balances)
+
+    def test_transfer_poor_buyer_raises(self, contract, balances):
+        token_id = contract.mint("alice", balances)
+        with pytest.raises(TokenError):
+            contract.transfer("alice", "carol", token_id, balances)
+
+    def test_check_transfer_classifies(self, contract, balances):
+        token_id = contract.mint("alice", balances)
+        assert (
+            contract.check_transfer("alice", "bob", token_id, balances)
+            is TxValidity.VALID
+        )
+        assert (
+            contract.check_transfer("bob", "alice", token_id, balances)
+            is TxValidity.NOT_OWNER
+        )
+
+
+class TestBurn:
+    def test_burn_destroys_and_replenishes(self, contract, balances):
+        token_id = contract.mint("alice", balances)
+        contract.burn("alice", token_id)
+        assert not contract.exists(token_id)
+        assert contract.remaining_supply == 10
+
+    def test_burn_lowers_price(self, contract, balances):
+        a = contract.mint("alice", balances)
+        contract.mint("alice", balances)
+        before = contract.unit_price
+        contract.burn("alice", a)
+        assert contract.unit_price < before
+
+    def test_burn_wrong_owner_raises(self, contract, balances):
+        token_id = contract.mint("alice", balances)
+        with pytest.raises(NotOwnerError):
+            contract.burn("bob", token_id)
+
+    def test_burn_unknown_raises(self, contract):
+        with pytest.raises(UnknownTokenError):
+            contract.burn("alice", 0)
+
+    def test_burned_id_reusable_after_exhaustion(self, balances):
+        tiny = LimitedEditionNFT(
+            NFTContractConfig(max_supply=2, initial_price_eth=0.1)
+        )
+        first = tiny.mint("alice", balances)
+        tiny.mint("alice", balances)
+        tiny.burn("alice", first)
+        again = tiny.mint("bob", balances)
+        assert again == first
+
+
+class TestViewsAndEvents:
+    def test_tokens_of_sorted(self, contract, balances):
+        contract.mint("alice", balances)
+        contract.mint("bob", balances)
+        contract.mint("alice", balances)
+        assert contract.tokens_of("alice") == (0, 2)
+
+    def test_holdings_value(self, contract, balances):
+        contract.mint("alice", balances)
+        contract.mint("alice", balances)
+        assert contract.holdings_value("alice") == pytest.approx(
+            2 * contract.unit_price
+        )
+
+    def test_events_recorded_in_order(self, contract, balances):
+        token_id = contract.mint("alice", balances)
+        contract.transfer("alice", "bob", token_id, balances)
+        contract.burn("bob", token_id)
+        assert [event.kind for event in contract.events] == [
+            "mint", "transfer", "burn",
+        ]
+
+    def test_snapshot_is_isolated(self, contract, balances):
+        contract.mint("alice", balances)
+        clone = contract.snapshot()
+        clone.mint("bob", balances)
+        assert contract.minted_count == 1
+        assert clone.minted_count == 2
+
+    def test_preminted_owners(self, pt_config):
+        contract = LimitedEditionNFT(pt_config, owners={0: "x", 1: "y"})
+        assert contract.remaining_supply == 8
+        assert contract.owner_of(0) == "x"
+
+    def test_premint_beyond_supply_raises(self, pt_config):
+        with pytest.raises(TokenError):
+            LimitedEditionNFT(pt_config, owners={i: "x" for i in range(11)})
+
+    def test_premint_bad_id_raises(self, pt_config):
+        with pytest.raises(TokenError):
+            LimitedEditionNFT(pt_config, owners={10: "x"})
+
+
+class TestSupplyInvariant:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(["mint", "burn"]), max_size=30))
+    def test_property_minted_plus_remaining_is_constant(self, ops):
+        contract = LimitedEditionNFT(
+            NFTContractConfig(max_supply=10, initial_price_eth=0.01)
+        )
+        balances = {"u": 1000.0}
+        for op in ops:
+            if op == "mint" and contract.remaining_supply > 0:
+                contract.mint("u", balances)
+            elif op == "burn" and contract.tokens_of("u"):
+                contract.burn("u", contract.tokens_of("u")[0])
+            assert contract.minted_count + contract.remaining_supply == 10
+            assert contract.unit_price > 0

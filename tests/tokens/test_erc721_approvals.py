@@ -1,0 +1,120 @@
+"""Tests for ERC-721 approvals, operators and metadata."""
+
+import pytest
+
+from repro.errors import NotOwnerError, TokenError, UnknownTokenError
+from repro.tokens import LimitedEditionNFT
+
+
+@pytest.fixture
+def setup(pt_config):
+    contract = LimitedEditionNFT(pt_config)
+    balances = {"alice": 5.0, "bob": 5.0, "carol": 5.0}
+    token_id = contract.mint("alice", balances)
+    return contract, balances, token_id
+
+
+class TestSingleTokenApproval:
+    def test_approve_and_query(self, setup):
+        contract, _, token_id = setup
+        contract.approve("alice", "bob", token_id)
+        assert contract.get_approved(token_id) == "bob"
+
+    def test_non_owner_cannot_approve(self, setup):
+        contract, _, token_id = setup
+        with pytest.raises(NotOwnerError):
+            contract.approve("bob", "carol", token_id)
+
+    def test_approved_party_can_transfer_from(self, setup):
+        contract, balances, token_id = setup
+        contract.approve("alice", "bob", token_id)
+        contract.transfer_from("bob", "alice", "carol", token_id, balances)
+        assert contract.owner_of(token_id) == "carol"
+
+    def test_unauthorised_transfer_from_rejected(self, setup):
+        contract, balances, token_id = setup
+        with pytest.raises(TokenError):
+            contract.transfer_from("bob", "alice", "carol", token_id, balances)
+
+    def test_owner_can_always_transfer_from(self, setup):
+        contract, balances, token_id = setup
+        contract.transfer_from("alice", "alice", "bob", token_id, balances)
+        assert contract.owner_of(token_id) == "bob"
+
+    def test_approval_cleared_on_transfer(self, setup):
+        contract, balances, token_id = setup
+        contract.approve("alice", "bob", token_id)
+        contract.transfer("alice", "carol", token_id, balances)
+        assert contract.get_approved(token_id) is None
+
+    def test_get_approved_unknown_token_raises(self, setup):
+        contract, _, _ = setup
+        with pytest.raises(UnknownTokenError):
+            contract.get_approved(99)
+
+
+class TestOperatorApproval:
+    def test_operator_covers_all_tokens(self, setup):
+        contract, balances, first = setup
+        second = contract.mint("alice", balances)
+        contract.set_approval_for_all("alice", "bob", True)
+        contract.transfer_from("bob", "alice", "carol", first, balances)
+        contract.transfer_from("bob", "alice", "carol", second, balances)
+        assert contract.tokens_of("carol") == (first, second)
+
+    def test_operator_revocation(self, setup):
+        contract, balances, token_id = setup
+        contract.set_approval_for_all("alice", "bob", True)
+        contract.set_approval_for_all("alice", "bob", False)
+        assert not contract.is_approved_for_all("alice", "bob")
+        with pytest.raises(TokenError):
+            contract.transfer_from("bob", "alice", "carol", token_id, balances)
+
+    def test_is_authorized_matrix(self, setup):
+        contract, _, token_id = setup
+        assert contract.is_authorized("alice", token_id)       # owner
+        assert not contract.is_authorized("bob", token_id)
+        contract.approve("alice", "bob", token_id)
+        assert contract.is_authorized("bob", token_id)          # approvee
+        contract.set_approval_for_all("alice", "carol", True)
+        assert contract.is_authorized("carol", token_id)        # operator
+
+
+class TestMetadata:
+    def test_set_and_read(self, setup):
+        contract, _, token_id = setup
+        contract.set_metadata(token_id, name="PT #0", rarity="legendary")
+        assert contract.metadata(token_id) == {
+            "name": "PT #0", "rarity": "legendary",
+        }
+
+    def test_metadata_updates_merge(self, setup):
+        contract, _, token_id = setup
+        contract.set_metadata(token_id, name="PT #0")
+        contract.set_metadata(token_id, rarity="rare")
+        assert contract.metadata(token_id)["name"] == "PT #0"
+
+    def test_token_uri_deterministic(self, setup):
+        contract, _, token_id = setup
+        assert contract.token_uri(token_id) == f"nft://pt/{token_id}"
+
+    def test_metadata_cleared_on_burn(self, setup):
+        contract, balances, token_id = setup
+        contract.set_metadata(token_id, name="doomed")
+        contract.burn("alice", token_id)
+        fresh = contract.mint("bob", balances, token_id=token_id)
+        assert contract.metadata(fresh) == {}
+
+    def test_metadata_unknown_token_raises(self, setup):
+        contract, _, _ = setup
+        with pytest.raises(UnknownTokenError):
+            contract.metadata(99)
+
+    def test_snapshot_copies_approvals_and_metadata(self, setup):
+        contract, balances, token_id = setup
+        contract.approve("alice", "bob", token_id)
+        contract.set_metadata(token_id, name="PT #0")
+        clone = contract.snapshot()
+        clone.set_metadata(token_id, name="changed")
+        assert contract.metadata(token_id)["name"] == "PT #0"
+        assert clone.get_approved(token_id) == "bob"

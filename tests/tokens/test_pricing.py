@@ -1,0 +1,83 @@
+"""Tests for the Eq. 10 scarcity pricing model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TokenError
+from repro.tokens import ScarcityPricing
+
+
+@pytest.fixture
+def pt_pricing():
+    """The PAROLE Token pricing of Section VI-A (S0=10, P0=0.2)."""
+    return ScarcityPricing(max_supply=10, initial_price_eth=0.2)
+
+
+class TestEq10:
+    """The exact values of the case studies."""
+
+    def test_full_supply_is_initial_price(self, pt_pricing):
+        assert pt_pricing.price(10) == pytest.approx(0.2)
+
+    def test_five_remaining_is_04(self, pt_pricing):
+        assert pt_pricing.price(5) == pytest.approx(0.4)
+
+    def test_four_remaining_is_05(self, pt_pricing):
+        assert pt_pricing.price(4) == pytest.approx(0.5)
+
+    def test_three_remaining_is_066(self, pt_pricing):
+        assert pt_pricing.price(3) == pytest.approx(2.0 / 3.0)
+
+    def test_six_remaining_is_033(self, pt_pricing):
+        assert pt_pricing.price(6) == pytest.approx(1.0 / 3.0)
+
+    def test_price_after_mint(self, pt_pricing):
+        assert pt_pricing.price_after_mint(5) == pytest.approx(0.5)
+
+    def test_price_after_burn(self, pt_pricing):
+        assert pt_pricing.price_after_burn(5) == pytest.approx(1.0 / 3.0)
+
+    def test_zero_remaining_clamped_to_one(self, pt_pricing):
+        assert pt_pricing.price(0) == pt_pricing.price(1)
+
+
+class TestValidation:
+    def test_negative_remaining_raises(self, pt_pricing):
+        with pytest.raises(TokenError):
+            pt_pricing.price(-1)
+
+    def test_remaining_above_supply_raises(self, pt_pricing):
+        with pytest.raises(TokenError):
+            pt_pricing.price(11)
+
+    def test_mint_from_zero_raises(self, pt_pricing):
+        with pytest.raises(TokenError):
+            pt_pricing.price_after_mint(0)
+
+    def test_nonpositive_supply_raises(self):
+        with pytest.raises(TokenError):
+            ScarcityPricing(max_supply=0, initial_price_eth=0.2)
+
+    def test_nonpositive_price_raises(self):
+        with pytest.raises(TokenError):
+            ScarcityPricing(max_supply=10, initial_price_eth=0.0)
+
+
+class TestMonotonicity:
+    @given(st.integers(min_value=1, max_value=99))
+    def test_property_price_decreases_with_supply(self, remaining):
+        pricing = ScarcityPricing(max_supply=100, initial_price_eth=0.1)
+        assert pricing.price(remaining) > pricing.price(remaining + 1)
+
+    @given(st.integers(min_value=1, max_value=100))
+    def test_property_mint_raises_price(self, remaining):
+        pricing = ScarcityPricing(max_supply=100, initial_price_eth=0.1)
+        assert pricing.price_after_mint(remaining) >= pricing.price(remaining)
+
+    @given(st.integers(min_value=0, max_value=99))
+    def test_property_burn_lowers_price(self, remaining):
+        pricing = ScarcityPricing(max_supply=100, initial_price_eth=0.1)
+        assert pricing.price_after_burn(remaining) <= pricing.price(remaining)
+
+    def test_appreciation_positive(self, pt_pricing):
+        assert pt_pricing.appreciation_from(5) > 0

@@ -1,0 +1,43 @@
+"""Tests for the token registry."""
+
+import pytest
+
+from repro.errors import TokenError
+from repro.tokens import ERC20Token, LimitedEditionNFT, TokenRegistry
+
+
+@pytest.fixture
+def registry():
+    return TokenRegistry()
+
+
+class TestRegistry:
+    def test_deploy_returns_address(self, registry, pt_config):
+        address = registry.deploy(LimitedEditionNFT(pt_config))
+        assert address.startswith("0x")
+        assert address in registry
+
+    def test_resolve_roundtrip(self, registry, pt_config):
+        contract = LimitedEditionNFT(pt_config)
+        address = registry.deploy(contract)
+        assert registry.resolve(address) is contract
+
+    def test_resolve_unknown_raises(self, registry):
+        with pytest.raises(TokenError):
+            registry.resolve("0xmissing")
+
+    def test_distinct_deploys_distinct_addresses(self, registry, pt_config):
+        a = registry.deploy(LimitedEditionNFT(pt_config))
+        b = registry.deploy(LimitedEditionNFT(pt_config))
+        assert a != b
+
+    def test_nft_contracts_filter(self, registry, pt_config):
+        nft_address = registry.deploy(LimitedEditionNFT(pt_config))
+        registry.deploy(ERC20Token(symbol="L2T", name="L2 Token"))
+        nfts = registry.nft_contracts()
+        assert set(nfts) == {nft_address}
+
+    def test_len_and_iter(self, registry, pt_config):
+        registry.deploy(LimitedEditionNFT(pt_config))
+        assert len(registry) == 1
+        assert len(list(registry)) == 1

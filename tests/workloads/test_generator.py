@@ -1,0 +1,91 @@
+"""Tests for the random workload generator."""
+
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.rollup import ExecutionMode, OVM
+from repro.workloads import generate_workload
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_original_order_strictly_valid(self, seed):
+        workload = generate_workload(
+            WorkloadConfig(mempool_size=20, num_users=10, num_ifus=1, seed=seed)
+        )
+        strict = OVM(mode=ExecutionMode.STRICT)
+        trace = strict.replay(workload.pre_state, workload.transactions)
+        assert trace.all_executed
+
+    def test_requested_size_honoured(self):
+        workload = generate_workload(WorkloadConfig(mempool_size=15, seed=0))
+        assert workload.mempool_size == 15
+
+    def test_supply_never_oversubscribed(self):
+        workload = generate_workload(WorkloadConfig(mempool_size=30, seed=2))
+        trace = OVM().replay(workload.pre_state, workload.transactions)
+        for step in trace.steps:
+            assert step.result.remaining_supply >= 0
+
+
+class TestIFUGuarantees:
+    @pytest.mark.parametrize("num_ifus", [1, 2, 3])
+    def test_min_involvement_met(self, num_ifus):
+        config = WorkloadConfig(
+            mempool_size=30, num_users=12, num_ifus=num_ifus,
+            min_ifu_involvement=3, seed=5,
+        )
+        workload = generate_workload(config)
+        involvement = workload.ifu_involvement()
+        assert all(count >= 3 for count in involvement.values())
+
+    def test_ifus_start_with_inventory(self):
+        workload = generate_workload(
+            WorkloadConfig(mempool_size=10, num_users=8, num_ifus=2, seed=1)
+        )
+        for ifu in workload.ifus:
+            assert workload.pre_state.holdings(ifu) >= 1
+
+    def test_ifu_names_distinct_from_users(self):
+        workload = generate_workload(
+            WorkloadConfig(mempool_size=10, num_users=8, num_ifus=2, seed=1)
+        )
+        assert set(workload.ifus) <= set(workload.users)
+        assert len(set(workload.users)) == 8
+
+
+class TestFees:
+    def test_fee_order_equals_generated_order(self):
+        workload = generate_workload(WorkloadConfig(mempool_size=20, seed=3))
+        fees = [tx.total_fee for tx in workload.transactions]
+        assert fees == sorted(fees, reverse=True)
+
+    def test_fees_strictly_decreasing(self):
+        workload = generate_workload(WorkloadConfig(mempool_size=20, seed=3))
+        fees = [tx.total_fee for tx in workload.transactions]
+        assert all(a > b for a, b in zip(fees, fees[1:]))
+
+    def test_labels_and_nonces_unique(self):
+        workload = generate_workload(WorkloadConfig(mempool_size=20, seed=3))
+        assert len({tx.label for tx in workload.transactions}) == 20
+        assert len({tx.nonce for tx in workload.transactions}) == 20
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        a = generate_workload(WorkloadConfig(mempool_size=15, seed=9))
+        b = generate_workload(WorkloadConfig(mempool_size=15, seed=9))
+        assert [tx.tx_hash for tx in a.transactions] == [
+            tx.tx_hash for tx in b.transactions
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(WorkloadConfig(mempool_size=15, seed=9))
+        b = generate_workload(WorkloadConfig(mempool_size=15, seed=10))
+        assert [tx.tx_hash for tx in a.transactions] != [
+            tx.tx_hash for tx in b.transactions
+        ]
+
+    def test_auto_supply_scales_with_mempool(self):
+        workload = generate_workload(WorkloadConfig(mempool_size=60, seed=0))
+        assert workload.pre_state.nft_config.max_supply >= 60

@@ -1,0 +1,83 @@
+"""Tests for market-calibrated replay workloads."""
+
+import numpy as np
+import pytest
+
+from repro.config import SnapshotStudyConfig
+from repro.errors import MarketError
+from repro.market import Chain, FrequencyTier, generate_collection
+from repro.rollup import ExecutionMode, OVM
+from repro.workloads import implied_remaining_supply, workload_from_collection
+
+
+@pytest.fixture
+def collection(rng):
+    return generate_collection(
+        Chain.ARBITRUM, FrequencyTier.LFT, rng, SnapshotStudyConfig()
+    )
+
+
+class TestImpliedSupply:
+    def test_initial_price_implies_full_supply(self, collection):
+        implied = implied_remaining_supply(
+            collection, collection.initial_price_eth
+        )
+        assert implied == collection.max_supply - 1  # clipped below max
+
+    def test_higher_price_implies_lower_supply(self, collection):
+        low = implied_remaining_supply(collection, collection.initial_price_eth * 4)
+        high = implied_remaining_supply(collection, collection.initial_price_eth)
+        assert low < high
+
+    def test_bounds_clipped(self, collection):
+        assert implied_remaining_supply(collection, 10_000.0) >= 1
+        assert (
+            implied_remaining_supply(collection, 1e-9)
+            <= collection.max_supply - 1
+        )
+
+    def test_nonpositive_price_rejected(self, collection):
+        with pytest.raises(MarketError):
+            implied_remaining_supply(collection, 0.0)
+
+
+class TestReplayWorkload:
+    def test_strictly_valid(self, collection):
+        workload = workload_from_collection(collection, window=(0, 12), seed=1)
+        trace = OVM(mode=ExecutionMode.STRICT).replay(
+            workload.pre_state, workload.transactions
+        )
+        assert trace.all_executed
+
+    def test_ifu_involved(self, collection):
+        workload = workload_from_collection(collection, window=(0, 12), seed=1)
+        assert workload.ifu_involvement()["ifu-0"] >= 2
+
+    def test_event_cap_bounds_size(self, collection):
+        workload = workload_from_collection(
+            collection, window=(0, 12), max_events_per_step=2, seed=1
+        )
+        # 11 steps x (2 supply events + 1 transfer) upper bound.
+        assert workload.mempool_size <= 11 * 3
+
+    def test_fee_order_matches_sequence(self, collection):
+        workload = workload_from_collection(collection, window=(0, 12), seed=1)
+        fees = [tx.total_fee for tx in workload.transactions]
+        assert fees == sorted(fees, reverse=True)
+
+    def test_deterministic_by_seed(self, collection):
+        a = workload_from_collection(collection, window=(0, 10), seed=5)
+        b = workload_from_collection(collection, window=(0, 10), seed=5)
+        assert [t.tx_hash for t in a.transactions] == [
+            t.tx_hash for t in b.transactions
+        ]
+
+    def test_too_small_window_rejected(self, collection):
+        with pytest.raises(MarketError):
+            workload_from_collection(collection, window=(0, 1))
+
+    def test_attackable(self, collection):
+        from repro.core import assess_opportunity
+        workload = workload_from_collection(collection, window=(0, 12), seed=1)
+        assessment = assess_opportunity(workload.transactions, workload.ifus)
+        assert assessment.has_opportunity

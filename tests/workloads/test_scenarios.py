@@ -1,0 +1,72 @@
+"""Tests for the named scenario fixtures."""
+
+import pytest
+
+from repro.rollup import ExecutionMode, OVM, TxKind
+from repro.workloads import (
+    CASE2_ORDER,
+    CASE3_ORDER,
+    burn_heavy_scenario,
+    case_study_fixture,
+    mint_frenzy_scenario,
+)
+from repro.workloads.scenarios import IFU
+
+
+class TestCaseStudyFixture:
+    def test_pt_parameters(self, case_workload):
+        config = case_workload.pre_state.nft_config
+        assert config.max_supply == 10
+        assert config.initial_price_eth == 0.2
+        assert config.symbol == "PT"
+
+    def test_initial_price_is_04(self, case_workload):
+        assert case_workload.pre_state.unit_price == pytest.approx(0.4)
+
+    def test_ifu_initial_balance(self, case_workload):
+        assert case_workload.pre_state.balance(IFU) == 1.5
+        assert case_workload.pre_state.holdings(IFU) == 2
+        assert case_workload.pre_state.wealth(IFU) == pytest.approx(2.3)
+
+    def test_five_tokens_preminted(self, case_workload):
+        assert case_workload.pre_state.minted_count == 5
+        assert case_workload.pre_state.remaining_supply == 5
+
+    def test_eight_transactions_matching_figure5(self, case_workload):
+        kinds = [tx.kind for tx in case_workload.transactions]
+        assert kinds == [
+            TxKind.TRANSFER, TxKind.MINT, TxKind.TRANSFER, TxKind.TRANSFER,
+            TxKind.MINT, TxKind.TRANSFER, TxKind.BURN, TxKind.TRANSFER,
+        ]
+
+    def test_tx_labels(self, case_workload):
+        assert [tx.label for tx in case_workload.transactions] == [
+            f"TX{i}" for i in range(1, 9)
+        ]
+
+    def test_alt_orders_are_permutations(self):
+        assert sorted(CASE2_ORDER) == list(range(8))
+        assert sorted(CASE3_ORDER) == list(range(8))
+
+    def test_fee_order_matches_original(self, case_workload):
+        fees = [tx.total_fee for tx in case_workload.transactions]
+        assert fees == sorted(fees, reverse=True)
+
+
+class TestOtherScenarios:
+    def test_mint_frenzy_is_mint_heavy(self):
+        workload = mint_frenzy_scenario()
+        mints = sum(1 for tx in workload.transactions if tx.kind is TxKind.MINT)
+        burns = sum(1 for tx in workload.transactions if tx.kind is TxKind.BURN)
+        assert mints > burns
+
+    def test_burn_heavy_has_burns(self):
+        workload = burn_heavy_scenario()
+        burns = sum(1 for tx in workload.transactions if tx.kind is TxKind.BURN)
+        assert burns >= 2
+
+    def test_scenarios_strictly_valid(self):
+        strict = OVM(mode=ExecutionMode.STRICT)
+        for workload in (mint_frenzy_scenario(), burn_heavy_scenario()):
+            trace = strict.replay(workload.pre_state, workload.transactions)
+            assert trace.all_executed
