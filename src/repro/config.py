@@ -76,6 +76,9 @@ class GenTranSeqConfig:
     #: Stop training early once the smoothed episode-reward curve has been
     #: flat for this many episodes (None = paper behaviour, no early stop).
     early_stop_patience: Optional[int] = None
+    #: LRU capacity of the per-environment permutation evaluation cache
+    #: (ε-greedy rollouts and local search revisit orders constantly).
+    evaluation_cache_size: int = 4096
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -102,6 +105,8 @@ class GenTranSeqConfig:
             self.early_stop_patience is None or self.early_stop_patience >= 2,
             "early_stop_patience must be None or >= 2",
         )
+        _require(self.evaluation_cache_size > 0,
+                 "evaluation_cache_size must be positive")
 
     def with_overrides(self, **changes: object) -> "GenTranSeqConfig":
         """Return a copy with ``changes`` applied (validated on build)."""

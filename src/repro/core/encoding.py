@@ -35,6 +35,10 @@ class TransactionEncoder:
         self._price_ceiling = pre_state.pricing.price(1)
         self._supply_ceiling = float(max_supply)
         self._fee_ceiling = 1.0
+        # Per-transaction features that do not depend on the ordering
+        # (type one-hots, IFU flags): encoded once per distinct tx, reused
+        # across every permutation of the same collection.
+        self._static_rows: dict = {}
 
     @property
     def feature_width(self) -> int:
@@ -59,33 +63,83 @@ class TransactionEncoder:
         """
         return self._rows(transactions, trace).reshape(-1)
 
+    def encode_columns(
+        self,
+        transactions: Sequence[NFTTransaction],
+        prices_before: Sequence[float],
+        remaining_after: Sequence[int],
+    ) -> np.ndarray:
+        """Flattened observation from replay-engine price/supply columns.
+
+        The incremental engine's ``EvalSummary`` carries the two
+        state-dependent features as plain columns; encoding them directly
+        skips both the second replay and the trace-object walk.
+        """
+        return self._rows_from_columns(
+            transactions, prices_before, remaining_after
+        ).reshape(-1)
+
     def encode_2d(self, transactions: Sequence[NFTTransaction]) -> np.ndarray:
         """The per-transaction feature matrix of shape ``(N, 8)``."""
         trace = self._ovm.replay(self.pre_state, transactions)
         return self._rows(transactions, trace)
 
-    def _rows(
-        self, transactions: Sequence[NFTTransaction], trace
-    ) -> np.ndarray:
-        fee_ceiling = max(
-            [self._fee_ceiling] + [tx.total_fee for tx in transactions]
-        )
-        rows = np.zeros((len(transactions), TX_FEATURE_WIDTH))
-        for index, (tx, step) in enumerate(zip(transactions, trace.steps)):
+    def _static_features(self, tx: NFTTransaction) -> np.ndarray:
+        """Order-independent feature prefix (type one-hots + IFU flags)."""
+        row = self._static_rows.get(tx)
+        if row is None:
             ifu_involved = any(tx.involves(ifu) for ifu in self.ifus)
             ifu_gains = tx.recipient in self.ifus or (
                 tx.kind is TxKind.MINT and tx.sender in self.ifus
             )
-            rows[index] = (
-                1.0 if tx.kind is TxKind.MINT else 0.0,
-                1.0 if tx.kind is TxKind.TRANSFER else 0.0,
-                1.0 if tx.kind is TxKind.BURN else 0.0,
-                1.0 if ifu_involved else 0.0,
-                1.0 if ifu_gains else 0.0,
-                step.result.price_before / self._price_ceiling,
-                step.result.remaining_supply / self._supply_ceiling,
-                tx.total_fee / fee_ceiling,
+            row = np.array(
+                (
+                    1.0 if tx.kind is TxKind.MINT else 0.0,
+                    1.0 if tx.kind is TxKind.TRANSFER else 0.0,
+                    1.0 if tx.kind is TxKind.BURN else 0.0,
+                    1.0 if ifu_involved else 0.0,
+                    1.0 if ifu_gains else 0.0,
+                )
             )
+            self._static_rows[tx] = row
+        return row
+
+    def _rows(
+        self, transactions: Sequence[NFTTransaction], trace
+    ) -> np.ndarray:
+        return self._rows_from_columns(
+            transactions,
+            [step.result.price_before for step in trace.steps],
+            [step.result.remaining_supply for step in trace.steps],
+        )
+
+    def _rows_from_columns(
+        self,
+        transactions: Sequence[NFTTransaction],
+        prices_before: Sequence[float],
+        remaining_after: Sequence[int],
+    ) -> np.ndarray:
+        count = len(transactions)
+        fees = np.fromiter(
+            (tx.total_fee for tx in transactions), dtype=float, count=count
+        )
+        fee_ceiling = (
+            max(self._fee_ceiling, float(fees.max()))
+            if count
+            else self._fee_ceiling
+        )
+        rows = np.empty((count, TX_FEATURE_WIDTH))
+        for index, tx in enumerate(transactions):
+            rows[index, :5] = self._static_features(tx)
+        rows[:, 5] = (
+            np.fromiter(prices_before, dtype=float, count=count)
+            / self._price_ceiling
+        )
+        rows[:, 6] = (
+            np.fromiter(remaining_after, dtype=float, count=count)
+            / self._supply_ceiling
+        )
+        rows[:, 7] = fees / fee_ceiling
         return rows
 
 

@@ -16,7 +16,8 @@ the best order seen so far.
 
 from __future__ import annotations
 
-from itertools import combinations
+from functools import lru_cache
+from itertools import combinations, compress
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -24,15 +25,25 @@ import numpy as np
 from ..config import GenTranSeqConfig
 from ..drl.env_base import Environment
 from ..errors import DRLError
-from ..rollup.ovm import OVM
+from ..rollup.replay_engine import (
+    EvalSummary,
+    IncrementalOVM,
+    PermutationCache,
+    ReplayEngineStats,
+)
 from ..rollup.state import L2State
 from ..rollup.transaction import NFTTransaction
 from .encoding import TransactionEncoder
-from .multi_ifu import Objective, mean_wealth, wealth_of
+from .multi_ifu import Objective, mean_wealth
 
 
+@lru_cache(maxsize=None)
 def swap_action_table(sequence_length: int) -> Tuple[Tuple[int, int], ...]:
-    """Enumerate the ``N choose 2`` swap actions as (i, j) index pairs."""
+    """Enumerate the ``N choose 2`` swap actions as (i, j) index pairs.
+
+    Cached: every env/solver instantiation for the same N shares one
+    table instead of rebuilding the O(N²) tuple.
+    """
     return tuple(combinations(range(sequence_length), 2))
 
 
@@ -54,21 +65,35 @@ class ReorderEnv(Environment):
         self.transactions = tuple(transactions)
         self.ifus = tuple(ifus)
         self.objective = objective
-        self._ovm = OVM()
+        #: Shared counters for the replay engine and permutation cache,
+        #: surfaced through :meth:`replay_stats` / ``solvers/profiling``.
+        self._stats = ReplayEngineStats()
+        self._engine = IncrementalOVM(
+            pre_state,
+            self.transactions,
+            stats=self._stats,
+            wealth_users=self.ifus,
+        )
+        self._eval_cache = PermutationCache(
+            maxsize=self.config.evaluation_cache_size, stats=self._stats
+        )
         self._encoder = TransactionEncoder(pre_state, ifus)
         self._actions = swap_action_table(len(transactions))
         self._order: List[int] = list(range(len(transactions)))
         self._steps = 0
 
-        baseline = self._ovm.replay(pre_state, self.transactions)
+        identity = tuple(self._order)
+        baseline = self._engine.evaluate(identity)
         #: Final objective value of the original ordering — ``B^{N,0}``.
-        self.original_objective = self.objective(
-            wealth_of(baseline.final_state, self.ifus)
-        )
+        self.original_objective = self.objective(baseline.wealth)
         #: Which positions executed under the original ordering; a candidate
         #: order must keep all of these executable to be feasible.
         self._original_executed = frozenset(
-            step.index for step in baseline.steps if step.executed
+            compress(identity, baseline.executed)
+        )
+        # Seed the cache so reset() never replays the identity order again.
+        self._eval_cache.put(
+            identity, self._evaluation_from_summary(identity, baseline)
         )
         self.best_order: Tuple[int, ...] = tuple(self._order)
         self.best_objective = self.original_objective
@@ -114,7 +139,10 @@ class ReorderEnv(Environment):
         self._order = list(range(len(self.transactions)))
         self._steps = 0
         self.first_profit_swaps = None
-        return self._observe()
+        # The identity evaluation is seeded at construction, so this is a
+        # cache hit: no replay happens on reset.
+        evaluation = self.evaluate_order(self._order)
+        return self._observe(evaluation["summary"])
 
     def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
         """Swap two transactions and score the resulting full replay."""
@@ -127,7 +155,7 @@ class ReorderEnv(Environment):
         self._steps += 1
         reward, info = self._score()
         done = self._steps >= self.config.steps_per_episode
-        observation = self._observe(info.pop("trace", None))
+        observation = self._observe(info.pop("summary", None))
         return observation, reward, done, info
 
     # ------------------------------------------------------------------ #
@@ -135,27 +163,43 @@ class ReorderEnv(Environment):
     # ------------------------------------------------------------------ #
 
     def evaluate_order(self, order: Sequence[int]) -> Dict[str, Any]:
-        """Replay a permutation and report objective/feasibility.
+        """Score a permutation, reusing cached prefixes and evaluations.
 
-        The replay trace is kept in ``info["trace"]`` so the observation
-        encoding can reuse it instead of replaying a second time.
+        Repeated orders are answered from an LRU cache; fresh orders are
+        replayed incrementally from the longest prefix shared with the
+        previous evaluation (see :mod:`repro.rollup.replay_engine`).  The
+        engine's :class:`~repro.rollup.replay_engine.EvalSummary` is kept
+        in ``info["summary"]`` so the observation encoding can reuse its
+        price/supply columns instead of replaying a second time.
         """
-        sequence = self.sequence_for(order)
-        trace = self._ovm.replay(self.pre_state, sequence)
-        executed = frozenset(
-            order[step.index] for step in trace.steps if step.executed
-        )
+        key = tuple(order)
+        cached = self._eval_cache.get(key)
+        if cached is None:
+            summary = self._engine.evaluate(key)
+            cached = self._evaluation_from_summary(key, summary)
+            self._eval_cache.put(key, cached)
+        # Shallow copy: callers mutate the info dict (e.g. pop the summary).
+        return dict(cached)
+
+    def replay_stats(self) -> Dict[str, float]:
+        """Replay-engine and evaluation-cache counters for profiling."""
+        return self._stats.as_dict()
+
+    def _evaluation_from_summary(
+        self, order: Tuple[int, ...], summary: EvalSummary
+    ) -> Dict[str, Any]:
+        executed = frozenset(compress(order, summary.executed))
         feasible = (
-            self._original_executed <= executed and trace.consistent()
+            self._original_executed <= executed and summary.consistent
         )
-        value = self.objective(wealth_of(trace.final_state, self.ifus))
+        value = self.objective(summary.wealth)
         return {
             "objective": value,
             "delta": value - self.original_objective,
             "feasible": feasible,
-            "executed_count": trace.executed_count,
-            "final_price": trace.final_price,
-            "trace": trace,
+            "executed_count": summary.executed_count,
+            "final_price": summary.final_price,
+            "summary": summary,
         }
 
     def _score(self) -> Tuple[float, Dict[str, Any]]:
@@ -188,8 +232,10 @@ class ReorderEnv(Environment):
         info["swaps"] = self._steps
         return reward, info
 
-    def _observe(self, trace=None) -> np.ndarray:
+    def _observe(self, summary: Optional[EvalSummary] = None) -> np.ndarray:
         sequence = self.current_sequence()
-        if trace is not None:
-            return self._encoder.encode_from_trace(sequence, trace)
+        if summary is not None:
+            return self._encoder.encode_columns(
+                sequence, summary.prices_before, summary.remaining_after
+            )
         return self._encoder.encode(sequence)

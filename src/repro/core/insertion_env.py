@@ -15,18 +15,21 @@ action set.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Tuple
 
 from ..errors import DRLError
 from .environment import ReorderEnv
 
 
+@lru_cache(maxsize=None)
 def insertion_action_table(sequence_length: int) -> Tuple[Tuple[int, int], ...]:
     """Enumerate (source position, target position) insertion moves.
 
     ``(i, j)`` removes the transaction at position ``i`` and re-inserts
     it at position ``j`` (positions after removal re-index naturally).
-    Identity moves ``(i, i)`` are excluded.
+    Identity moves ``(i, i)`` are excluded.  Cached per N, like
+    :func:`~repro.core.environment.swap_action_table`.
     """
     return tuple(
         (i, j)
@@ -55,5 +58,5 @@ class InsertionReorderEnv(ReorderEnv):
         self._steps += 1
         reward, info = self._score()
         done = self._steps >= self.config.steps_per_episode
-        observation = self._observe(info.pop("trace", None))
+        observation = self._observe(info.pop("summary", None))
         return observation, reward, done, info

@@ -10,6 +10,12 @@ verifier challenge game (paper Sections II-A, IV, V-A).
 from .transaction import NFTTransaction, TxKind
 from .state import L2State, StepResult, ExecutionMode
 from .ovm import OVM, ReplayTrace
+from .replay_engine import (
+    EvalSummary,
+    IncrementalOVM,
+    PermutationCache,
+    ReplayEngineStats,
+)
 from .mempool import BedrockMempool
 from .aggregator import Aggregator, AdversarialAggregator
 from .batch import Batch, build_batch
@@ -34,6 +40,10 @@ __all__ = [
     "ExecutionMode",
     "OVM",
     "ReplayTrace",
+    "EvalSummary",
+    "IncrementalOVM",
+    "PermutationCache",
+    "ReplayEngineStats",
     "BedrockMempool",
     "Aggregator",
     "AdversarialAggregator",

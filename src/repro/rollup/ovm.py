@@ -17,7 +17,7 @@ from .state import ExecutionMode, L2State, StepResult
 from .transaction import NFTTransaction
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceStep:
     """One row of a replay trace (mirrors a case-study table row)."""
 
@@ -65,13 +65,16 @@ class ReplayTrace:
         return self.final_state.wealth(user)
 
     def wealth_trajectory(self, user: str) -> List[float]:
-        """Per-step total balance of a watched user."""
-        trajectory = []
-        for step in self.steps:
-            for watched, value in step.watched_wealth:
-                if watched == user:
-                    trajectory.append(value)
-        return trajectory
+        """Per-step total balance of a watched user.
+
+        Watched-wealth tuples are built in ``watched_users`` order, so one
+        index lookup replaces a per-step scan over every watched user.
+        """
+        try:
+            position = self.watched_users.index(user)
+        except ValueError:
+            return []
+        return [step.watched_wealth[position][1] for step in self.steps]
 
     def price_trajectory(self) -> List[float]:
         """Unit price after each step (the case-study "PT Price" column)."""

@@ -1,0 +1,628 @@
+"""Incremental replay acceleration for candidate-order scoring.
+
+Every GENTRANSEQ step (Eq. 8) scores a candidate ordering by replaying it
+through the OVM.  A from-scratch replay costs O(N) state transitions even
+though a pairwise swap ``(i, j)`` only perturbs the suffix starting at
+``min(i, j)`` — the prefix executes identically.  This module exploits
+that:
+
+* :class:`IncrementalOVM` keeps one working state (plain balance and
+  inventory dicts plus O(1) supply/consistency counters) and a per-step
+  **copy-on-write undo log**: before a step mutates a balance or
+  inventory entry, the prior value (or its absence) is recorded.  A new
+  order that shares a k-step prefix with the last one is evaluated by
+  undoing the suffix back to position k and executing only the new
+  suffix.  Undo restores the exact stored floats, so incremental replays
+  are bit-identical to :meth:`~.ovm.OVM.replay` — a property test
+  (``tests/rollup/test_replay_engine.py``) enforces this for both
+  execution modes, with and without fee charging.
+* The per-step record is **columnar** (parallel lists of executed flags,
+  validities, prices and remaining supplies) rather than per-step trace
+  objects: the solver hot path (:meth:`IncrementalOVM.evaluate`) never
+  allocates a ``TraceStep``/``StepResult``/``L2State``.  The
+  object-shaped :meth:`IncrementalOVM.replay_order` materialises a full
+  :class:`~.ovm.ReplayTrace` from the same columns for callers that want
+  one.
+* :class:`PermutationCache` memoises full evaluations by order tuple —
+  DQN ε-greedy rollouts, hill climbing and annealing revisit permutations
+  constantly.
+* :class:`ReplayEngineStats` counts scratch/incremental replays, reused
+  vs executed steps and cache hits so callers (``solvers/profiling.py``)
+  can report how much replay work was avoided.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..tokens import TxValidity
+from .ovm import ReplayTrace, TraceStep
+from .state import CountingInventory, ExecutionMode, L2State, StepResult
+from .transaction import NFTTransaction, TxKind
+
+#: Sentinel marking "key was absent before this step" in the undo log, so
+#: undo deletes the entry instead of leaving a spurious zero behind
+#: (state roots hash every entry, absent and zero-valued differ).
+_MISSING = object()
+
+#: One undo entry: (is_inventory, key, prior value or ``_MISSING``).
+_UndoEntry = Tuple[bool, str, Any]
+
+
+@dataclass
+class ReplayEngineStats:
+    """Counters describing how much replay work the engine avoided."""
+
+    scratch_replays: int = 0
+    incremental_replays: int = 0
+    steps_executed: int = 0
+    steps_reused: int = 0
+    steps_undone: int = 0
+    resume_depth_total: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+
+    @property
+    def replays(self) -> int:
+        """Total replays served by the engine (cache hits excluded)."""
+        return self.scratch_replays + self.incremental_replays
+
+    @property
+    def mean_resume_depth(self) -> float:
+        """Average reused-prefix length of incremental replays."""
+        if not self.incremental_replays:
+            return 0.0
+        return self.resume_depth_total / self.incremental_replays
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of evaluations answered from the permutation cache."""
+        lookups = self.cache_hits + self.cache_misses
+        if not lookups:
+            return 0.0
+        return self.cache_hits / lookups
+
+    @property
+    def step_reuse_fraction(self) -> float:
+        """Fraction of replay steps served from cached prefixes."""
+        total = self.steps_executed + self.steps_reused
+        if not total:
+            return 0.0
+        return self.steps_reused / total
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat numeric view for solver metadata / JSON artifacts."""
+        return {
+            "scratch_replays": float(self.scratch_replays),
+            "incremental_replays": float(self.incremental_replays),
+            "steps_executed": float(self.steps_executed),
+            "steps_reused": float(self.steps_reused),
+            "steps_undone": float(self.steps_undone),
+            "mean_resume_depth": self.mean_resume_depth,
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "cache_evictions": float(self.cache_evictions),
+            "cache_hit_rate": self.cache_hit_rate,
+            "step_reuse_fraction": self.step_reuse_fraction,
+        }
+
+
+class EvalSummary:
+    """Allocation-light result of scoring one candidate order.
+
+    Everything the environment's Eq. 8 scoring and the Figure 4 encoding
+    need, without materialising per-step trace objects: parallel
+    ``executed`` / ``prices_before`` / ``remaining_after`` columns (one
+    slot per position), the final price, the batch-end consistency flag
+    and the final wealth of the engine's ``wealth_users``.  Columns are
+    copies — they stay valid after the engine evaluates further orders.
+    """
+
+    __slots__ = (
+        "order",
+        "executed",
+        "prices_before",
+        "remaining_after",
+        "final_price",
+        "consistent",
+        "executed_count",
+        "wealth",
+    )
+
+    def __init__(
+        self,
+        order: Tuple[int, ...],
+        executed: List[bool],
+        prices_before: List[float],
+        remaining_after: List[int],
+        final_price: float,
+        consistent: bool,
+        executed_count: int,
+        wealth: Dict[str, float],
+    ) -> None:
+        self.order = order
+        self.executed = executed
+        self.prices_before = prices_before
+        self.remaining_after = remaining_after
+        self.final_price = final_price
+        self.consistent = consistent
+        self.executed_count = executed_count
+        self.wealth = wealth
+
+
+class IncrementalOVM:
+    """OVM replays over permutations of one fixed transaction collection.
+
+    Bound to a pre-state and the N collected transactions;
+    :meth:`evaluate` scores any index sequence into that collection,
+    reusing the longest prefix shared with the previously evaluated
+    order.  Behaviour (per-step results, watched wealth, final state) is
+    identical to ``OVM().replay`` on the materialised sequence — see
+    :meth:`replay_order` for the trace-shaped view.
+    """
+
+    def __init__(
+        self,
+        pre_state: L2State,
+        transactions: Sequence[NFTTransaction],
+        watch: Sequence[str] = (),
+        mode: Optional[ExecutionMode] = None,
+        stats: Optional[ReplayEngineStats] = None,
+        wealth_users: Sequence[str] = (),
+    ) -> None:
+        self.pre_state = pre_state
+        self.transactions = tuple(transactions)
+        self.watch = tuple(watch)
+        self.mode = mode
+        self.stats = stats if stats is not None else ReplayEngineStats()
+        #: Users whose *final* wealth :meth:`evaluate` reports (the
+        #: environment passes its IFUs; per-step sampling uses ``watch``).
+        self.wealth_users = tuple(wealth_users)
+        self._mode = mode if mode is not None else pre_state.mode
+        self._strict = self._mode is ExecutionMode.STRICT
+        self._charge = pre_state.charge_fees
+        self._max_supply = pre_state.nft_config.max_supply
+        self._pricing = pre_state.pricing
+        self._price_table = self._pricing.table()
+        #: Per-transaction constants, pre-resolved so the hot loop does a
+        #: single tuple unpack instead of four attribute reads.
+        self._meta = tuple(
+            (
+                0 if tx.kind is TxKind.MINT else (1 if tx.kind is TxKind.TRANSFER else 2),
+                tx.sender,
+                tx.recipient,
+                tx.total_fee,
+            )
+            for tx in self.transactions
+        )
+        self._balances: Optional[Dict[str, float]] = None
+        self._inventory: Dict[str, int] = {}
+        self._total = 0
+        self._neg = 0
+        #: Indices actually applied, kept exactly in sync with the
+        #: columns below (even when a step raises mid-replay).
+        self._order: List[int] = []
+        self._c_exec: List[bool] = []
+        self._c_validity: List[TxValidity] = []
+        self._c_price: List[float] = []
+        self._c_remaining: List[int] = []
+        self._c_wealth: List[Tuple[Tuple[str, float], ...]] = []
+        self._undos: List[Tuple[_UndoEntry, ...]] = []
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, order: Sequence[int]) -> EvalSummary:
+        """Score the permutation ``order`` on the allocation-light path.
+
+        Resumes from the longest prefix shared with the previous
+        evaluation and returns an :class:`EvalSummary` — no trace
+        objects, no state snapshot.  This is the solver/DQN hot path.
+        """
+        order = tuple(order)
+        self._advance(order)
+        total = self._total
+        table = self._price_table
+        remaining = self._max_supply - total
+        final_price = (
+            table[remaining] if table is not None else self._pricing.price(remaining)
+        )
+        bget = self._balances.get
+        iget = self._inventory.get
+        executed = self._c_exec
+        return EvalSummary(
+            order=order,
+            executed=executed[:],
+            prices_before=self._c_price[:],
+            remaining_after=self._c_remaining[:],
+            final_price=final_price,
+            consistent=self._neg == 0,
+            executed_count=sum(executed),
+            wealth={
+                user: bget(user, 0.0) + iget(user, 0) * final_price
+                for user in self.wealth_users
+            },
+        )
+
+    def replay_order(self, order: Sequence[int]) -> ReplayTrace:
+        """Replay ``order`` and materialise a full :class:`ReplayTrace`.
+
+        Orders may be any length up to N (prefix evaluation works); each
+        index must be within the collection.  The returned trace owns an
+        independent snapshot of the final state, so it stays valid after
+        further evaluations.  Per-step results are bit-identical to
+        ``OVM().replay`` on the materialised sequence.
+        """
+        order = tuple(order)
+        self._advance(order)
+        table = self._price_table
+        price = self._pricing.price
+        transactions = self.transactions
+        watch = self.watch
+        wealth_col = self._c_wealth
+        steps: List[TraceStep] = []
+        rows = zip(
+            self._order, self._c_exec, self._c_validity, self._c_price, self._c_remaining
+        )
+        for position, (tx_index, executed, validity, before, remaining) in enumerate(rows):
+            # Skipped steps leave the supply unchanged, so the price at
+            # ``remaining`` equals ``before`` and this holds for both.
+            after = table[remaining] if table is not None else price(remaining)
+            steps.append(
+                TraceStep(
+                    index=position,
+                    tx=transactions[tx_index],
+                    result=StepResult(
+                        executed=executed,
+                        validity=validity,
+                        price_before=before,
+                        price_after=after,
+                        remaining_supply=remaining,
+                    ),
+                    watched_wealth=wealth_col[position] if watch else (),
+                )
+            )
+        return ReplayTrace(
+            steps=steps, final_state=self._snapshot(), watched_users=watch
+        )
+
+    def replay(
+        self,
+        transactions: Sequence[NFTTransaction],
+        watch: Sequence[str] = (),
+    ) -> ReplayTrace:
+        """`OVM.replay`-shaped convenience over the bound collection.
+
+        ``transactions`` must be drawn from the engine's collection; they
+        are resolved to indices by identity first, equality second.
+        """
+        if tuple(watch) != self.watch:
+            raise ValueError(
+                "watch set is fixed at engine construction; "
+                f"expected {self.watch!r}"
+            )
+        return self.replay_order(self._resolve(transactions))
+
+    def reset(self) -> None:
+        """Drop the cached working state; next replay starts from scratch."""
+        self._balances = None
+        self._inventory = {}
+        self._total = 0
+        self._neg = 0
+        self._order = []
+        self._c_exec = []
+        self._c_validity = []
+        self._c_price = []
+        self._c_remaining = []
+        self._c_wealth = []
+        self._undos = []
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _resolve(
+        self, transactions: Sequence[NFTTransaction]
+    ) -> Tuple[int, ...]:
+        by_id = {id(tx): i for i, tx in enumerate(self.transactions)}
+        order = []
+        for tx in transactions:
+            index = by_id.get(id(tx))
+            if index is None:
+                try:
+                    index = self.transactions.index(tx)
+                except ValueError:
+                    raise ValueError(
+                        f"transaction {tx!r} is not in the bound collection"
+                    ) from None
+            order.append(index)
+        return tuple(order)
+
+    def _advance(self, order: Tuple[int, ...]) -> None:
+        """Bring the working state to ``order`` (rewind + run suffix)."""
+        if self._balances is None:
+            pre = self.pre_state
+            self._balances = dict(pre.balances)
+            self._inventory = dict(pre.inventory)
+            self._total = sum(self._inventory.values())
+            self._neg = sum(1 for held in self._inventory.values() if held < 0)
+            self.stats.scratch_replays += 1
+            prefix = 0
+        else:
+            prefix = self._common_prefix(order)
+            self.stats.incremental_replays += 1
+            self.stats.resume_depth_total += prefix
+        self._rewind_to(prefix)
+        self.stats.steps_reused += prefix
+        if prefix < len(order):
+            self._run_suffix(order, prefix)
+
+    def _common_prefix(self, order: Tuple[int, ...]) -> int:
+        current = self._order
+        limit = min(len(current), len(order))
+        prefix = 0
+        while prefix < limit and current[prefix] == order[prefix]:
+            prefix += 1
+        return prefix
+
+    def _rewind_to(self, prefix: int) -> None:
+        applied = self._order
+        if len(applied) <= prefix:
+            return
+        balances = self._balances
+        inventory = self._inventory
+        total = self._total
+        neg = self._neg
+        undos = self._undos
+        c_exec, c_validity = self._c_exec, self._c_validity
+        c_price, c_remaining = self._c_price, self._c_remaining
+        c_wealth = self._c_wealth
+        watch = self.watch
+        undone = 0
+        while len(applied) > prefix:
+            applied.pop()
+            c_exec.pop()
+            c_validity.pop()
+            c_price.pop()
+            c_remaining.pop()
+            if watch:
+                c_wealth.pop()
+            for is_inventory, key, prior in reversed(undos.pop()):
+                if is_inventory:
+                    current = inventory[key]
+                    total -= current
+                    if current < 0:
+                        neg -= 1
+                    if prior is _MISSING:
+                        del inventory[key]
+                    else:
+                        inventory[key] = prior
+                        total += prior
+                        if prior < 0:
+                            neg += 1
+                elif prior is _MISSING:
+                    del balances[key]
+                else:
+                    balances[key] = prior
+            undone += 1
+        self._total = total
+        self._neg = neg
+        self.stats.steps_undone += undone
+
+    def _run_suffix(self, order: Tuple[int, ...], start: int) -> None:
+        """Execute ``order[start:]`` against the working state.
+
+        The OVM transition (``L2State.check`` + ``L2State.apply``) is
+        inlined over plain dicts: the per-step cost is what makes or
+        breaks solver throughput, and attribute lookups, ``StepResult``
+        allocation and the double validity check are all measurable at
+        this call rate.  The differential property test keeps this loop
+        honest against the readable reference implementation.
+
+        If a step raises (a burn pushing global supply above max poisons
+        Eq. 10, exactly as in a scratch replay), the failing step leaves
+        no mutation behind and every column stays consistent, so the
+        engine remains usable.
+        """
+        meta = self._meta
+        balances = self._balances
+        inventory = self._inventory
+        total = self._total
+        neg = self._neg
+        max_supply = self._max_supply
+        table = self._price_table
+        price_of = self._pricing.price
+        strict = self._strict
+        charge = self._charge
+        watch = self.watch
+        fee_pool = L2State.FEE_POOL
+        missing = _MISSING
+        bget = balances.get
+        iget = inventory.get
+        order_append = self._order.append
+        exec_append = self._c_exec.append
+        validity_append = self._c_validity.append
+        price_append = self._c_price.append
+        remaining_append = self._c_remaining.append
+        wealth_append = self._c_wealth.append
+        undo_append = self._undos.append
+        valid = TxValidity.VALID
+        supply_exhausted = TxValidity.SUPPLY_EXHAUSTED
+        insufficient = TxValidity.INSUFFICIENT_BALANCE
+        not_owner = TxValidity.NOT_OWNER
+        try:
+            for position in range(start, len(order)):
+                tx_index = order[position]
+                kind, sender, recipient, fee = meta[tx_index]
+                remaining = max_supply - total
+                price = table[remaining] if table is not None else price_of(remaining)
+                if kind == 0:  # MINT — Eq. 2
+                    prior_bal = bget(sender, missing)
+                    balance = 0.0 if prior_bal is missing else prior_bal
+                    if remaining < 1:
+                        validity = supply_exhausted
+                    elif balance < price:
+                        validity = insufficient
+                    else:
+                        validity = valid
+                        balances[sender] = balance - price
+                        prior_held = iget(sender, missing)
+                        held = (0 if prior_held is missing else prior_held) + 1
+                        inventory[sender] = held
+                        total += 1
+                        if prior_held is not missing and prior_held < 0:
+                            neg -= 1
+                        if held < 0:
+                            neg += 1
+                        undo = ((False, sender, prior_bal), (True, sender, prior_held))
+                elif kind == 1:  # TRANSFER — Eq. 4
+                    if strict and iget(sender, 0) < 1:
+                        validity = not_owner
+                    else:
+                        prior_buyer = bget(recipient, missing)
+                        buyer = 0.0 if prior_buyer is missing else prior_buyer
+                        if buyer < price:
+                            validity = insufficient
+                        else:
+                            validity = valid
+                            balances[recipient] = buyer - price
+                            prior_seller = bget(sender, missing)
+                            balances[sender] = (
+                                0.0 if prior_seller is missing else prior_seller
+                            ) + price
+                            prior_sold = iget(sender, missing)
+                            sold = (0 if prior_sold is missing else prior_sold) - 1
+                            inventory[sender] = sold
+                            if prior_sold is not missing and prior_sold < 0:
+                                neg -= 1
+                            if sold < 0:
+                                neg += 1
+                            prior_bought = iget(recipient, missing)
+                            bought = (0 if prior_bought is missing else prior_bought) + 1
+                            inventory[recipient] = bought
+                            if prior_bought is not missing and prior_bought < 0:
+                                neg -= 1
+                            if bought < 0:
+                                neg += 1
+                            undo = (
+                                (False, recipient, prior_buyer),
+                                (False, sender, prior_seller),
+                                (True, sender, prior_sold),
+                                (True, recipient, prior_bought),
+                            )
+                else:  # BURN — Eq. 6
+                    if strict and iget(sender, 0) < 1:
+                        validity = not_owner
+                    else:
+                        if total < 1:
+                            # Burning past the global supply poisons the
+                            # Eq. 10 price; raise the same TokenError a
+                            # scratch replay's price read would, without
+                            # committing the step.
+                            price_of(max_supply - total + 1)
+                        validity = valid
+                        prior_burned = iget(sender, missing)
+                        burned = (0 if prior_burned is missing else prior_burned) - 1
+                        inventory[sender] = burned
+                        total -= 1
+                        if prior_burned is not missing and prior_burned < 0:
+                            neg -= 1
+                        if burned < 0:
+                            neg += 1
+                        undo = ((True, sender, prior_burned),)
+                if validity is valid:
+                    if charge:
+                        prior_payer = bget(sender, missing)
+                        balances[sender] = (
+                            0.0 if prior_payer is missing else prior_payer
+                        ) - fee
+                        prior_pool = bget(fee_pool, missing)
+                        balances[fee_pool] = (
+                            0.0 if prior_pool is missing else prior_pool
+                        ) + fee
+                        undo += ((False, sender, prior_payer), (False, fee_pool, prior_pool))
+                    remaining = max_supply - total
+                    exec_append(True)
+                    undo_append(undo)
+                else:
+                    exec_append(False)
+                    undo_append(())
+                validity_append(validity)
+                price_append(price)
+                remaining_append(remaining)
+                order_append(tx_index)
+                if watch:
+                    current_price = (
+                        table[remaining] if table is not None else price_of(remaining)
+                    )
+                    wealth_append(
+                        tuple(
+                            (user, bget(user, 0.0) + iget(user, 0) * current_price)
+                            for user in watch
+                        )
+                    )
+        finally:
+            self._total = total
+            self._neg = neg
+            self.stats.steps_executed += len(self._order) - start
+
+    def _snapshot(self) -> L2State:
+        """Independent :class:`L2State` view of the working state."""
+        state = L2State.__new__(L2State)
+        state.nft_config = self.pre_state.nft_config
+        state.pricing = self._pricing
+        state.balances = dict(self._balances)
+        state.inventory = CountingInventory(self._inventory)
+        state._price_memo = (None, 0.0)
+        state.mode = self._mode
+        state.charge_fees = self._charge
+        return state
+
+
+class PermutationCache:
+    """LRU cache of order-tuple evaluations (hit/miss/eviction counted)."""
+
+    def __init__(
+        self,
+        maxsize: int = 4096,
+        stats: Optional[ReplayEngineStats] = None,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self.stats = stats if stats is not None else ReplayEngineStats()
+        self._entries: "OrderedDict[Tuple[int, ...], Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Sequence[int]) -> bool:
+        return tuple(key) in self._entries
+
+    def get(self, key: Sequence[int]) -> Optional[Any]:
+        """Cached value for ``key`` (marks it most-recently used)."""
+        key = tuple(key)
+        value = self._entries.get(key)
+        if value is None:
+            self.stats.cache_misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.cache_hits += 1
+        return value
+
+    def put(self, key: Sequence[int], value: Any) -> None:
+        """Insert without counting a hit or miss (seeding included)."""
+        key = tuple(key)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.cache_evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

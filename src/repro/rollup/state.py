@@ -37,7 +37,7 @@ class ExecutionMode(enum.Enum):
     BATCH = "batch"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StepResult:
     """Outcome of attempting one transaction against the state."""
 
@@ -46,6 +46,75 @@ class StepResult:
     price_before: float
     price_after: float
     remaining_supply: int
+
+
+class CountingInventory(Dict[str, int]):
+    """Per-user NFT inventory with O(1) aggregate counters.
+
+    Replay scoring reads :attr:`total` (for Eq. 10 pricing) and
+    :attr:`negative_count` (for the batch-end consistency check) on every
+    step; a plain dict would force an O(users) scan for each.  All
+    mutation paths of the dict interface keep both counters exact, so
+    external code that pokes ``state.inventory`` directly stays correct.
+    """
+
+    __slots__ = ("total", "negative_count")
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__()
+        self.total = 0
+        self.negative_count = 0
+        if args or kwargs:
+            self.update(*args, **kwargs)
+
+    def _retire(self, value: int) -> None:
+        self.total -= value
+        if value < 0:
+            self.negative_count -= 1
+
+    def __setitem__(self, key: str, value: int) -> None:
+        if key in self:
+            self._retire(super().__getitem__(key))
+        self.total += value
+        if value < 0:
+            self.negative_count += 1
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key: str) -> None:
+        value = super().__getitem__(key)
+        super().__delitem__(key)
+        self._retire(value)
+
+    def update(self, *args, **kwargs) -> None:
+        for key, value in dict(*args, **kwargs).items():
+            self[key] = value
+
+    def pop(self, key, *default):
+        if key in self:
+            value = super().__getitem__(key)
+            del self[key]
+            return value
+        if default:
+            return default[0]
+        raise KeyError(key)
+
+    def popitem(self):
+        key, value = super().popitem()
+        self._retire(value)
+        return key, value
+
+    def clear(self) -> None:
+        super().clear()
+        self.total = 0
+        self.negative_count = 0
+
+    def setdefault(self, key, default=0):
+        if key not in self:
+            self[key] = default
+        return super().__getitem__(key)
+
+    def copy(self) -> "CountingInventory":
+        return CountingInventory(dict.copy(self))
 
 
 class L2State:
@@ -68,15 +137,17 @@ class L2State:
             initial_price_eth=self.nft_config.initial_price_eth,
         )
         self.balances: Dict[str, float] = dict(balances or {})
-        self.inventory: Dict[str, int] = dict(inventory or {})
-        minted = sum(self.inventory.values())
-        if minted > self.nft_config.max_supply:
+        self.inventory: CountingInventory = CountingInventory(inventory or {})
+        if self.inventory.total > self.nft_config.max_supply:
             raise InvalidTransactionError(
-                f"initial inventory {minted} exceeds max supply "
+                f"initial inventory {self.inventory.total} exceeds max supply "
                 f"{self.nft_config.max_supply}"
             )
-        if any(count < 0 for count in self.inventory.values()):
+        if self.inventory.negative_count:
             raise InvalidTransactionError("initial inventory cannot be negative")
+        #: ``(minted_total, price)`` memo for :attr:`unit_price`; valid only
+        #: while the inventory total is unchanged.
+        self._price_memo: Tuple[Optional[int], float] = (None, 0.0)
         self.mode = mode
         #: When enabled, ``apply`` debits each executed transaction's
         #: total fee from its sender into :attr:`FEE_POOL`.  The paper's
@@ -91,17 +162,29 @@ class L2State:
     @property
     def minted_count(self) -> int:
         """Live tokens across all users (may count net positions in BATCH)."""
-        return sum(self.inventory.values())
+        return self.inventory.total
 
     @property
     def remaining_supply(self) -> int:
         """``S^t`` — tokens still mintable."""
-        return self.nft_config.max_supply - self.minted_count
+        return self.nft_config.max_supply - self.inventory.total
 
     @property
     def unit_price(self) -> float:
-        """``P^t`` — Eq. 10 price at the current supply."""
-        return self.pricing.price(self.remaining_supply)
+        """``P^t`` — Eq. 10 price at the current supply.
+
+        Memoised on the inventory total, so repeated reads between supply
+        changes (every constraint check and wealth sample does one) are
+        O(1) with no division.
+        """
+        total = self.inventory.total
+        memo_total, memo_price = self._price_memo
+        if memo_total != total:
+            memo_price = self.pricing.price(
+                self.nft_config.max_supply - total
+            )
+            self._price_memo = (total, memo_price)
+        return memo_price
 
     def balance(self, user: str) -> float:
         """L2 token balance ``B_k`` in ETH."""
@@ -120,14 +203,24 @@ class L2State:
         return self.balance(user) + self.holdings(user) * self.unit_price
 
     def copy(self) -> "L2State":
-        """Independent deep copy for speculative execution."""
-        return L2State(
-            nft_config=self.nft_config,
-            balances=dict(self.balances),
-            inventory=dict(self.inventory),
-            mode=self.mode,
-            charge_fees=self.charge_fees,
-        )
+        """Independent deep copy for speculative execution.
+
+        Copies fields directly instead of re-running the constructor:
+        construction validates inventory, but a mid-batch state may hold
+        the transient negative entries BATCH mode permits, and those must
+        survive a snapshot.  The frozen config/pricing objects (and the
+        pricing table) are shared, not duplicated.
+        """
+        cls = type(self)
+        clone = cls.__new__(cls)
+        clone.nft_config = self.nft_config
+        clone.pricing = self.pricing
+        clone.balances = dict(self.balances)
+        clone.inventory = self.inventory.copy()
+        clone._price_memo = self._price_memo
+        clone.mode = self.mode
+        clone.charge_fees = self.charge_fees
+        return clone
 
     def fee_pool(self) -> float:
         """Fees accumulated so far (zero unless ``charge_fees``)."""
@@ -143,7 +236,7 @@ class L2State:
 
     def inventory_is_consistent(self) -> bool:
         """Whether no user holds a negative net inventory (batch-end check)."""
-        return all(count >= 0 for count in self.inventory.values())
+        return self.inventory.negative_count == 0
 
     # ------------------------------------------------------------------ #
     # Constraint checks

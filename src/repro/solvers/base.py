@@ -66,6 +66,16 @@ class ReorderProblem:
         """The original permutation ``(0, 1, ..., N-1)``."""
         return tuple(range(self.size))
 
+    def replay_stats(self) -> Dict[str, float]:
+        """Replay-engine counters accumulated by this problem's scoring.
+
+        Every :meth:`score` call routes through the environment's
+        incremental replay engine and permutation cache; these counters
+        (scratch vs incremental replays, reused steps, cache hit rate)
+        quantify the replay work avoided.
+        """
+        return self._env.replay_stats()
+
 
 @dataclass
 class SolverResult:

@@ -2,15 +2,18 @@
 
 Wraps a solver invocation in ``tracemalloc`` so the Figure 11(b) memory
 comparison reflects actual allocation peaks, and wall-clocks the run for
-Figure 11(a).
+Figure 11(a).  Since every solver scores candidates through the problem's
+incremental replay engine, each profiled run also reports the engine's
+counters (scratch vs incremental replays, prefix-step reuse, permutation
+cache hit rate) — the replay work the engine avoided.
 """
 
 from __future__ import annotations
 
 import time
 import tracemalloc
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
 
 from .base import ReorderProblem, ReorderSolver, SolverResult
 
@@ -22,6 +25,9 @@ class ProfiledRun:
     result: SolverResult
     elapsed_seconds: float
     peak_memory_bytes: int
+    #: Replay-engine counters accumulated during the run (see
+    #: :class:`repro.rollup.replay_engine.ReplayEngineStats.as_dict`).
+    replay_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def solver_name(self) -> str:
@@ -32,6 +38,16 @@ class ProfiledRun:
     def peak_memory_kib(self) -> float:
         """Peak traced allocation in KiB."""
         return self.peak_memory_bytes / 1024.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Permutation-cache hit rate over the profiled run."""
+        return self.replay_stats.get("cache_hit_rate", 0.0)
+
+    @property
+    def mean_resume_depth(self) -> float:
+        """Average reused-prefix length of incremental replays."""
+        return self.replay_stats.get("mean_resume_depth", 0.0)
 
 
 def profile_solver(
@@ -45,6 +61,7 @@ def profile_solver(
     see — e.g. the DQN's pre-trained weights, which exist before the
     profiled inference call (Figure 11(b) counts them against the DQN).
     """
+    stats_before = problem.replay_stats()
     tracemalloc.start()
     started = time.perf_counter()
     try:
@@ -53,6 +70,17 @@ def profile_solver(
         _, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
     elapsed = time.perf_counter() - started
+    stats_after = problem.replay_stats()
+    # Counters are cumulative per problem; report this run's increments
+    # for the additive ones and the final value for the derived rates.
+    replay_stats = {
+        key: (
+            value - stats_before.get(key, 0.0)
+            if not key.endswith(("_rate", "_depth", "_fraction"))
+            else value
+        )
+        for key, value in stats_after.items()
+    }
     annotated = SolverResult(
         solver_name=result.solver_name,
         best_order=result.best_order,
@@ -67,4 +95,5 @@ def profile_solver(
         result=annotated,
         elapsed_seconds=elapsed,
         peak_memory_bytes=peak + extra_memory_bytes,
+        replay_stats=replay_stats,
     )

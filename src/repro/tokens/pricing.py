@@ -18,8 +18,15 @@ affects the paper's experiments, which always leave supply headroom.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from ..errors import TokenError
+
+#: Supplies up to this size get a precomputed price table; Eq. 10 prices
+#: then cost one bounds check and an index instead of a division.  Larger
+#: collections fall back to the closed form (the table would be bigger
+#: than the arithmetic is worth).
+PRICE_TABLE_LIMIT = 65536
 
 
 @dataclass(frozen=True)
@@ -34,6 +41,23 @@ class ScarcityPricing:
             raise TokenError("max_supply must be positive")
         if self.initial_price_eth <= 0:
             raise TokenError("initial price must be positive")
+        object.__setattr__(self, "_price_table", None)
+
+    def table(self) -> Optional[Tuple[float, ...]]:
+        """Precomputed ``remaining -> price`` table (``None`` above the limit).
+
+        The replay engine indexes this directly on its hot path; entries
+        use the same expression as the closed form below, so table
+        lookups are bit-identical to computed prices.
+        """
+        table = self._price_table
+        if table is None and self.max_supply <= PRICE_TABLE_LIMIT:
+            table = tuple(
+                self.max_supply / max(remaining, 1) * self.initial_price_eth
+                for remaining in range(self.max_supply + 1)
+            )
+            object.__setattr__(self, "_price_table", table)
+        return table
 
     def price(self, remaining_supply: int) -> float:
         """Unit price in ETH given ``remaining_supply`` mintable tokens."""
@@ -45,6 +69,9 @@ class ScarcityPricing:
             raise TokenError(
                 f"remaining supply {remaining_supply} exceeds max {self.max_supply}"
             )
+        table = self.table()
+        if table is not None:
+            return table[remaining_supply]
         denominator = max(remaining_supply, 1)
         return self.max_supply / denominator * self.initial_price_eth
 
