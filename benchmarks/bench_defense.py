@@ -5,7 +5,6 @@ must flag at least as often as higher ones, and resolved rounds must end
 below threshold.
 """
 
-import pytest
 
 from repro.experiments import EffortPreset, render_defense_eval, run_defense_eval
 

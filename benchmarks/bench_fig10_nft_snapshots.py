@@ -5,7 +5,6 @@ and checks the paper's observations: every chain x tier cell reports
 opportunity and Arbitrum exceeds Optimism in total.
 """
 
-import pytest
 
 from repro.config import SnapshotStudyConfig
 from repro.experiments import render_fig10, run_fig10

@@ -6,7 +6,6 @@ fastest at the largest size, and the NLP solvers' cost grows faster
 with N than the DQN's.
 """
 
-import pytest
 
 from repro.experiments import render_fig11, run_fig11
 

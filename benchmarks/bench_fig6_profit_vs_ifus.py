@@ -6,7 +6,6 @@ earns the highest average profit per IFU, and a higher adversarial
 fraction earns more in total.
 """
 
-import pytest
 
 from repro.experiments import EffortPreset, render_fig6, run_fig6
 

@@ -6,7 +6,6 @@ every (IFU count, mempool) panel, and serving 2 IFUs yields a
 sub-linear total compared to 1 IFU.
 """
 
-import pytest
 
 from repro.experiments import EffortPreset, render_fig7, run_fig7
 

@@ -8,7 +8,6 @@ faster epsilon decay (0.3) compresses the paper's 100-episode schedule
 into the benchmark's budget.
 """
 
-import pytest
 
 from repro.analysis import moving_average
 from repro.experiments import EffortPreset, render_fig8, run_fig8

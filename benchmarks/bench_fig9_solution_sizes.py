@@ -5,7 +5,6 @@ curves.  Shape checks: solutions exist for the single-IFU case and the
 distributions spread (weakly) as more IFUs are served.
 """
 
-import pytest
 
 from repro.experiments import EffortPreset, render_fig9, run_fig9
 

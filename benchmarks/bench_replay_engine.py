@@ -21,6 +21,11 @@ Acceptance: incremental single-swap re-evaluation at N = 50 must be at
 least 5x faster than from-scratch replay (measured against the stronger,
 already-optimised scratch baseline; the seed-cost speedup is reported
 alongside).
+
+A second bench (``BENCH_telemetry.json``) measures what the telemetry
+instrumentation costs on the same hot path: the disabled no-op backends
+must stay within 5% of a fully uninstrumented scoring loop, and the
+enabled-path overhead is archived for the record.
 """
 
 from __future__ import annotations
@@ -33,6 +38,13 @@ import numpy as np
 from repro.config import GenTranSeqConfig, WorkloadConfig
 from repro.core import ReorderEnv
 from repro.rollup import IncrementalOVM, L2State, OVM
+from repro.telemetry import (
+    RingBufferSink,
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+)
 from repro.workloads import generate_workload
 
 from conftest import RESULTS_DIR
@@ -41,6 +53,10 @@ SIZES = (10, 20, 50, 100)
 SWAPS_PER_SIZE = 300
 
 BENCH_SCHEMA = "BENCH_replay/v1"
+TELEMETRY_BENCH_SCHEMA = "BENCH_telemetry/v1"
+TELEMETRY_SIZES = (20, 50)
+TELEMETRY_REPEATS = 5
+MAX_DISABLED_OVERHEAD = 0.05
 
 
 class SeedCostState(L2State):
@@ -233,6 +249,118 @@ def test_incremental_results_match_scratch():
         assert summary.wealth == {
             user: theirs.final_state.wealth(user) for user in workload.ifus
         }
+
+
+class UninstrumentedEnv(ReorderEnv):
+    """The pre-telemetry scoring loop: no counter call at all.
+
+    Serves as the bench's true baseline — the disabled no-op backends
+    are compared against code with zero instrumentation, not against
+    themselves.
+    """
+
+    def evaluate_order(self, order):
+        key = tuple(order)
+        cached = self._eval_cache.get(key)
+        if cached is None:
+            summary = self._engine.evaluate(key)
+            cached = self._evaluation_from_summary(key, summary)
+            self._eval_cache.put(key, cached)
+        return dict(cached)
+
+
+def _time_env_walk(env_cls, workload, orders, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of scoring the swap walk once.
+
+    A fresh environment per repeat (identical cache state across
+    configurations); best-of-N suppresses scheduler noise.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        env = env_cls(
+            pre_state=workload.pre_state,
+            transactions=workload.transactions,
+            ifus=workload.ifus,
+            config=GenTranSeqConfig(steps_per_episode=len(orders), seed=0),
+        )
+        started = time.perf_counter()
+        for order in orders:
+            env.evaluate_order(order)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _bench_telemetry_size(size: int) -> dict:
+    workload = _workload(size)
+    rng = np.random.default_rng(11)
+    orders = _swap_orders(rng, size, SWAPS_PER_SIZE)
+
+    disable_metrics()
+    disable_tracing()
+    uninstrumented = _time_env_walk(
+        UninstrumentedEnv, workload, orders, TELEMETRY_REPEATS
+    )
+    disabled = _time_env_walk(ReorderEnv, workload, orders, TELEMETRY_REPEATS)
+
+    enable_metrics()
+    enable_tracing(RingBufferSink(capacity=4096))
+    try:
+        enabled = _time_env_walk(
+            ReorderEnv, workload, orders, TELEMETRY_REPEATS
+        )
+    finally:
+        disable_metrics()
+        disable_tracing()
+
+    return {
+        "size": size,
+        "swaps": SWAPS_PER_SIZE,
+        "repeats": TELEMETRY_REPEATS,
+        "uninstrumented_seconds": uninstrumented,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "disabled_overhead": disabled / uninstrumented - 1.0,
+        "enabled_overhead": enabled / uninstrumented - 1.0,
+    }
+
+
+def test_telemetry_overhead(save_artifact):
+    """Disabled telemetry must cost <= 5% on single-swap re-evaluation."""
+    records = [_bench_telemetry_size(size) for size in TELEMETRY_SIZES]
+
+    lines = [
+        "Telemetry overhead on ReorderEnv.evaluate_order (single-swap walk)",
+        "",
+        f"{'N':>4}  {'uninstr ms':>11}  {'disabled ms':>12}  "
+        f"{'enabled ms':>11}  {'off ovh%':>9}  {'on ovh%':>8}",
+    ]
+    for rec in records:
+        lines.append(
+            f"{rec['size']:>4}  {rec['uninstrumented_seconds'] * 1e3:>11.2f}  "
+            f"{rec['disabled_seconds'] * 1e3:>12.2f}  "
+            f"{rec['enabled_seconds'] * 1e3:>11.2f}  "
+            f"{rec['disabled_overhead'] * 100:>8.2f}%  "
+            f"{rec['enabled_overhead'] * 100:>7.2f}%"
+        )
+    save_artifact("bench_telemetry_overhead", "\n".join(lines))
+
+    payload = {
+        "schema": TELEMETRY_BENCH_SCHEMA,
+        "swaps_per_size": SWAPS_PER_SIZE,
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "records": records,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_telemetry.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    for rec in records:
+        assert rec["disabled_overhead"] <= MAX_DISABLED_OVERHEAD, (
+            f"disabled telemetry costs {rec['disabled_overhead']:.1%} at "
+            f"N={rec['size']} (acceptance requires <= "
+            f"{MAX_DISABLED_OVERHEAD:.0%})"
+        )
 
 
 def test_seed_cost_state_is_bit_identical():

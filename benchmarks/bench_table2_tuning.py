@@ -10,7 +10,6 @@ the best observed profit), not that they strictly dominate at this
 reduced budget.
 """
 
-import pytest
 
 from repro.analysis import format_table
 from repro.config import GenTranSeqConfig

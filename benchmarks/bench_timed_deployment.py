@@ -10,7 +10,6 @@ without disturbing liveness.
 
 import time
 
-import pytest
 
 from repro.analysis import format_table
 from repro.config import AttackConfig, GenTranSeqConfig, WorkloadConfig

@@ -7,7 +7,7 @@ running nonce per account, mirroring Ethereum's account model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Tuple
 
 from ..errors import InsufficientBalanceError, UnknownAccountError

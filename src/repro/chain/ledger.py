@@ -8,7 +8,7 @@ their inclusion height (Section II-A's challenge window).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, List, Optional
 
 from ..crypto import hash_value
 from ..errors import ChainError

@@ -19,8 +19,8 @@ interact with:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..config import RollupConfig
 from ..errors import BatchError, BondError, ChallengeError, ChainError

@@ -8,6 +8,7 @@ table and figure can be regenerated from the shell::
     parole table3                 # Table III
     parole fig6 / fig7 / fig8 / fig9 / fig10 / fig11
     parole defense                # Section VIII evaluation
+    parole telemetry trace.jsonl  # summarize a recorded span trace
 """
 
 from __future__ import annotations
@@ -94,7 +95,7 @@ def _cmd_defense(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from .config import GenTranSeqConfig, WorkloadConfig
+    from .config import WorkloadConfig
     from .core import AttackCampaign
 
     preset = _preset(args)
@@ -138,10 +139,13 @@ def _cmd_bisect(args: argparse.Namespace) -> int:
 def _cmd_run_all(args: argparse.Namespace) -> int:
     import pathlib
 
+    from .config import TelemetryConfig
     from .experiments import run_all
 
+    telemetry = TelemetryConfig(enabled=True) if args.telemetry else None
     records = run_all(
-        pathlib.Path(args.out), preset=_preset(args), only=args.only
+        pathlib.Path(args.out), preset=_preset(args), only=args.only,
+        telemetry=telemetry,
     )
     failures = 0
     for record in records:
@@ -153,6 +157,16 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     report_path = write_report(args.out)
     print(f"artifacts in {args.out}/, report at {report_path}")
     return 1 if failures else 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from .telemetry import summarize_trace, tail_trace
+
+    if args.tail is not None:
+        print(tail_trace(args.path, count=args.tail))
+    else:
+        print(summarize_trace(args.path))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -218,7 +232,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_all.add_argument("--only", nargs="*", default=None,
                          help="experiment ids to run (default: all)")
     run_all.add_argument("--full", action="store_true")
+    run_all.add_argument(
+        "--telemetry", action="store_true",
+        help="record metrics, per-experiment manifests and a JSONL trace",
+    )
     run_all.set_defaults(handler=_cmd_run_all)
+
+    telemetry = subparsers.add_parser(
+        "telemetry", help="summarize or tail a recorded JSONL trace"
+    )
+    telemetry.add_argument("path", help="path to a trace.jsonl file")
+    telemetry.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="show the last N events instead of the summary",
+    )
+    telemetry.set_defaults(handler=_cmd_telemetry)
     return parser
 
 

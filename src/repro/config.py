@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 from .errors import ConfigError
 
@@ -230,6 +230,30 @@ class DefenseConfig:
         _require(self.profit_threshold_eth >= 0.0,
                  "profit_threshold_eth must be non-negative")
         _require(self.probe_episodes > 0, "probe_episodes must be positive")
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability toggles (see :mod:`repro.telemetry`).
+
+    Disabled by default: the active metrics backend stays the no-op
+    ``NullMetrics`` and the tracer emits nothing, so instrumented hot
+    paths cost almost nothing.  Apply a config with
+    :func:`repro.telemetry.configure`.
+    """
+
+    #: Master switch: install a live metrics registry and tracer.
+    enabled: bool = False
+    #: JSONL span-trace destination; ``None`` keeps spans in memory.
+    trace_path: Optional[str] = None
+    #: Capacity of the in-memory ring buffer used when no file is given.
+    ring_buffer_size: int = 4096
+    #: Mirror trace events to stderr (live debugging).
+    trace_to_stderr: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.ring_buffer_size > 0,
+                 "ring_buffer_size must be positive")
 
 
 @dataclass(frozen=True)

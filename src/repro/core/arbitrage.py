@@ -12,7 +12,7 @@ collected transaction set can possibly be reordered in the IFU's favor:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..rollup.transaction import NFTTransaction, TxKind

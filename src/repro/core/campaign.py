@@ -13,13 +13,12 @@ telemetry, letting the warm-start benefit be measured (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
-import numpy as np
 
 from ..config import AttackConfig, GenTranSeqConfig, WorkloadConfig
 from ..workloads import Workload, generate_workload
-from .parole import AttackOutcome, ParoleAttack
+from .parole import ParoleAttack
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ flattens into its ``8 x N`` input layer.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

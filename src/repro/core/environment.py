@@ -33,6 +33,7 @@ from ..rollup.replay_engine import (
 )
 from ..rollup.state import L2State
 from ..rollup.transaction import NFTTransaction
+from ..telemetry import get_metrics
 from .encoding import TransactionEncoder
 from .multi_ifu import Objective, mean_wealth
 
@@ -81,6 +82,10 @@ class ReorderEnv(Environment):
         self._actions = swap_action_table(len(transactions))
         self._order: List[int] = list(range(len(transactions)))
         self._steps = 0
+        # Bound once at construction: a shared no-op unless a metrics
+        # registry was enabled beforehand, so the hot scoring path pays
+        # a single inert method call when telemetry is off.
+        self._m_evaluations = get_metrics().counter("env.evaluations")
 
         identity = tuple(self._order)
         baseline = self._engine.evaluate(identity)
@@ -173,6 +178,7 @@ class ReorderEnv(Environment):
         price/supply columns instead of replaying a second time.
         """
         key = tuple(order)
+        self._m_evaluations.inc()
         cached = self._eval_cache.get(key)
         if cached is None:
             summary = self._engine.evaluate(key)
@@ -182,8 +188,13 @@ class ReorderEnv(Environment):
         return dict(cached)
 
     def replay_stats(self) -> Dict[str, float]:
-        """Replay-engine and evaluation-cache counters for profiling."""
-        return self._stats.as_dict()
+        """Replay-engine and evaluation-cache counters for profiling.
+
+        Also mirrors the counters into the active metrics registry (a
+        no-op when telemetry is disabled), so trace snapshots and run
+        manifests see the replay work avoided.
+        """
+        return self._stats.publish()
 
     def _evaluation_from_summary(
         self, order: Tuple[int, ...], summary: EvalSummary

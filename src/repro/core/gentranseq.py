@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -116,6 +116,9 @@ class GenTranSeq:
             env, agent, self.config, stop_when_profitable=stop_when_profitable
         )
         elapsed = time.perf_counter() - started
+        # Mirror the run's replay-engine counters into the metrics
+        # registry (no-op when telemetry is disabled).
+        env.replay_stats()
         best_sequence = env.sequence_for(env.best_order)
         return GenTranSeqResult(
             original_sequence=tuple(transactions),

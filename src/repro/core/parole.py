@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 logger = logging.getLogger(__name__)
 
-from ..config import AttackConfig, GenTranSeqConfig
+from ..config import AttackConfig
 from ..rollup.aggregator import Reorderer
 from ..rollup.ovm import OVM
 from ..rollup.state import L2State

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import CryptoError
-from .hashing import hash_hex, hash_value
+from .hashing import hash_value
 
 #: Depth of the key space: keys are mapped to this many digest bits.
 KEY_BITS = 32

@@ -13,8 +13,8 @@ a — optionally fee-scaled — threshold.
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 logger = logging.getLogger(__name__)
 

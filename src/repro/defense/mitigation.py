@@ -13,7 +13,7 @@ exponential and unnecessary in practice.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..rollup.state import L2State

@@ -19,7 +19,7 @@ gap takes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from ..crypto import MerkleTree
 from ..rollup.batch import Batch

@@ -8,7 +8,7 @@ error on the selected actions with the Adam optimiser.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

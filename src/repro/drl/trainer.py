@@ -3,6 +3,12 @@
 Implements the outer loop of Algorithm 1 (episodes x steps), recording the
 per-episode cumulative reward ``R^ep = sum r_sp`` of Eq. 7 plus profit and
 solution-size telemetry consumed by the Figure 8 and Figure 9 benches.
+
+Per-episode series (reward, TD loss, epsilon, replay-buffer fill) land in
+both the returned :class:`TrainingHistory` *and* the active telemetry
+registry/tracer (``drl.*`` metrics, one ``drl.episode`` span per episode),
+so a Fig. 8 run manifest carries the full learning curve without any
+ad-hoc side lists.
 """
 
 from __future__ import annotations
@@ -10,9 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-import numpy as np
-
 from ..config import GenTranSeqConfig
+from ..telemetry import get_metrics, get_tracer
 from .dqn import DQNAgent
 from .env_base import Environment
 
@@ -28,6 +33,11 @@ class EpisodeStats:
     best_profit: float
     first_profit_step: Optional[int]
     final_info: Dict[str, Any] = field(default_factory=dict)
+    #: Mean TD loss over the episode's executed Q-network updates
+    #: (0.0 when no update ran, e.g. before the buffer holds a batch).
+    mean_loss: float = 0.0
+    #: Replay-buffer fill at episode end.
+    buffer_size: int = 0
 
 
 @dataclass
@@ -40,6 +50,16 @@ class TrainingHistory:
     def rewards(self) -> List[float]:
         """Per-episode cumulative rewards, in order."""
         return [e.total_reward for e in self.episodes]
+
+    @property
+    def losses(self) -> List[float]:
+        """Per-episode mean TD losses, in order (Fig. 8 companions)."""
+        return [e.mean_loss for e in self.episodes]
+
+    @property
+    def epsilons(self) -> List[float]:
+        """Per-episode exploration rates, in order."""
+        return [e.epsilon for e in self.episodes]
 
     @property
     def best_profit(self) -> float:
@@ -81,6 +101,19 @@ def train(
     cfg = config or agent.config
     history = TrainingHistory()
     patience = cfg.early_stop_patience
+    metrics = get_metrics()
+    tracer = get_tracer()
+    m_episodes = metrics.counter("drl.episodes")
+    m_steps = metrics.counter("drl.steps")
+    m_updates = metrics.counter("drl.q_updates")
+    m_epsilon = metrics.gauge("drl.epsilon")
+    m_buffer = metrics.gauge("drl.buffer_size")
+    m_reward = metrics.histogram(
+        "drl.episode_reward",
+        bounds=(-10000.0, -1000.0, -100.0, -10.0, 0.0,
+                10.0, 100.0, 1000.0, 10000.0),
+    )
+    m_loss = metrics.histogram("drl.td_loss")
     for episode in range(cfg.episodes):
         if patience is not None and len(history.episodes) > patience:
             from ..analysis.convergence import is_plateaued
@@ -88,33 +121,56 @@ def train(
             if is_plateaued(history.rewards, lookback=patience):
                 break
         epsilon = agent.begin_episode(episode)
-        observation = env.reset()
-        total_reward = 0.0
-        best_profit = 0.0
-        first_profit_step: Optional[int] = None
-        info: Dict[str, Any] = {}
-        steps_taken = 0
-        for step in range(cfg.steps_per_episode):
-            action = agent.act(observation)
-            next_observation, reward, done, info = env.step(action)
-            profit = float(info.get("profit", 0.0))
-            profitable = profit > 0.0
-            if profitable and first_profit_step is None:
-                first_profit_step = step + 1
-            best_profit = max(best_profit, profit)
-            agent.observe(
-                observation,
-                action,
-                reward,
-                next_observation,
-                done,
-                profit_found=profitable,
+        with tracer.span("drl.episode", episode=episode) as ep_span:
+            observation = env.reset()
+            total_reward = 0.0
+            best_profit = 0.0
+            first_profit_step: Optional[int] = None
+            info: Dict[str, Any] = {}
+            steps_taken = 0
+            episode_losses: List[float] = []
+            for step in range(cfg.steps_per_episode):
+                action = agent.act(observation)
+                next_observation, reward, done, info = env.step(action)
+                profit = float(info.get("profit", 0.0))
+                profitable = profit > 0.0
+                if profitable and first_profit_step is None:
+                    first_profit_step = step + 1
+                best_profit = max(best_profit, profit)
+                loss = agent.observe(
+                    observation,
+                    action,
+                    reward,
+                    next_observation,
+                    done,
+                    profit_found=profitable,
+                )
+                if loss is not None:
+                    episode_losses.append(loss)
+                    m_updates.inc()
+                    m_loss.observe(loss)
+                observation = next_observation
+                total_reward += reward
+                steps_taken = step + 1
+                if done or (stop_when_profitable and profitable):
+                    break
+            mean_loss = (
+                sum(episode_losses) / len(episode_losses)
+                if episode_losses
+                else 0.0
             )
-            observation = next_observation
-            total_reward += reward
-            steps_taken = step + 1
-            if done or (stop_when_profitable and profitable):
-                break
+            ep_span.add(
+                reward=total_reward,
+                epsilon=epsilon,
+                steps=steps_taken,
+                mean_loss=mean_loss,
+                best_profit=best_profit,
+            )
+        m_episodes.inc()
+        m_steps.inc(steps_taken)
+        m_epsilon.set(epsilon)
+        m_buffer.set(len(agent.replay))
+        m_reward.observe(total_reward)
         history.episodes.append(
             EpisodeStats(
                 episode=episode,
@@ -124,6 +180,8 @@ def train(
                 best_profit=best_profit,
                 first_profit_step=first_profit_step,
                 final_info=dict(info),
+                mean_loss=mean_loss,
+                buffer_size=len(agent.replay),
             )
         )
     return history

@@ -14,7 +14,7 @@ provided as extensions and exercised by the ablation benches:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

@@ -3,13 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from ..config import AttackConfig, GenTranSeqConfig, WorkloadConfig
 from ..core import ParoleAttack
 from ..core.parole import AttackOutcome
+from ..rollup.mempool import BedrockMempool
+from ..rollup.transaction import NFTTransaction
 from ..workloads import Workload, generate_workload
 
 
@@ -44,6 +46,25 @@ FULL = EffortPreset(name="full", episodes=100, steps_per_episode=200, trials=5)
 def quick_config(seed: int = 0, **overrides: object) -> GenTranSeqConfig:
     """Shorthand for ``QUICK.config(...)``."""
     return QUICK.config(seed=seed, **overrides)
+
+
+def mempool_admit(workload: Workload) -> Tuple[NFTTransaction, ...]:
+    """Run a workload through Bedrock mempool admission.
+
+    Generated workloads stamp strictly decreasing fees (fee-priority
+    order == generated order), so collecting the whole pool returns
+    exactly the generated sequence — the pass is behavior-neutral, but
+    it records the ``mempool.*`` telemetry (submitted/collected counts,
+    pending gauge, fee histogram) an experiment's trace and run manifest
+    should carry.  If a workload ever violates the fee-order invariant,
+    the generated order is kept so results never change.
+    """
+    pool = BedrockMempool()
+    pool.submit_all(workload.transactions)
+    collected = pool.collect(len(workload.transactions))
+    if collected != tuple(workload.transactions):
+        return tuple(workload.transactions)
+    return collected
 
 
 def attack_round(

@@ -9,7 +9,7 @@ paper figure — the paper leaves the defense's validation to future work
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..analysis import format_table
 from ..config import DefenseConfig, GenTranSeqConfig, WorkloadConfig

@@ -14,7 +14,7 @@ problem.  Paper observations to reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..analysis import format_table
 from ..config import GenTranSeqConfig, WorkloadConfig
@@ -22,12 +22,12 @@ from ..solvers import (
     ApoptLikeSolver,
     DQNInferenceSolver,
     MinosLikeSolver,
-    ProfiledRun,
     ReorderProblem,
     SnoptLikeSolver,
     profile_solver,
 )
 from ..workloads import generate_workload
+from .common import mempool_admit
 
 DEFAULT_SIZES: Tuple[int, ...] = (5, 10, 25, 50, 100)
 
@@ -55,7 +55,8 @@ def _problem_for(size: int, seed: int) -> ReorderProblem:
     )
     return ReorderProblem(
         pre_state=workload.pre_state,
-        transactions=workload.transactions,
+        # Fee-priority admission: behavior-neutral, records mempool stats.
+        transactions=mempool_admit(workload),
         ifus=workload.ifus,
     )
 

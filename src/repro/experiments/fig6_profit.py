@@ -13,7 +13,7 @@ paper's observations to reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..analysis import bootstrap_ci, format_table
 from ..config import eth_to_satoshi

@@ -16,13 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..analysis import format_series, moving_average
-from ..config import AttackConfig, GenTranSeqConfig, WorkloadConfig
+from ..config import GenTranSeqConfig, WorkloadConfig
 from ..core import GenTranSeq
 from ..workloads import generate_workload
-from .common import QUICK, EffortPreset
+from .common import QUICK, EffortPreset, mempool_admit
 
 DEFAULT_EPSILONS: Tuple[float, ...] = (0.0, 0.5, 1.0)
 
@@ -64,6 +63,9 @@ def run_fig8(
                 seed=seed,
             )
         )
+        # Fee-priority admission: behavior-neutral (fees are stamped in
+        # generated order) but records the run's mempool telemetry.
+        transactions = mempool_admit(workload)
         for epsilon in epsilons:
             config = GenTranSeqConfig(
                 epsilon=epsilon,
@@ -75,7 +77,7 @@ def run_fig8(
             )
             module = GenTranSeq(config=config)
             result = module.optimize(
-                workload.pre_state, workload.transactions, workload.ifus
+                workload.pre_state, transactions, workload.ifus
             )
             rewards = tuple(result.episode_rewards)
             series.append(

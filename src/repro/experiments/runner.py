@@ -1,10 +1,14 @@
 """Run-everything orchestration with archived artifacts.
 
 ``run_all`` executes every registered experiment at a chosen effort
-preset and writes, per experiment, both the rendered text (what the
-paper's table/figure shows) and a JSON payload with the structured
-results — so a full reproduction run leaves a self-describing artifact
-directory behind.  The CLI exposes it as ``parole run-all``.
+preset and writes, per experiment, the rendered text (what the paper's
+table/figure shows), a JSON payload with the structured results, and a
+run manifest (``<id>.manifest.json`` — config hash, seed, git revision,
+duration, peak memory, and a dump of every telemetry metric the run
+recorded) — so a full reproduction run leaves a self-describing
+artifact directory behind.  Passing a :class:`~repro.config.TelemetryConfig`
+additionally records a JSONL span trace next to the results.  The CLI
+exposes it as ``parole run-all``.
 """
 
 from __future__ import annotations
@@ -13,10 +17,12 @@ import dataclasses
 import json
 import pathlib
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
 
+from ..config import SnapshotStudyConfig, TelemetryConfig
 from ..errors import ReproError
+from ..telemetry import ManifestRecorder, configure, get_metrics, get_tracer
 from .common import EffortPreset, QUICK
 from . import (
     defense_eval,
@@ -33,13 +39,20 @@ from . import (
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One runnable experiment: id, runner, renderer, JSON extractor."""
+    """One runnable experiment: id, runner, renderer, JSON extractor.
+
+    ``run`` receives the effort preset *and* the RNG seed, so every
+    stochastic experiment is seeded explicitly from the spec and the
+    seed lands in the run manifest.  ``seed`` is the default used by
+    ``run_all``; deterministic experiments simply ignore it.
+    """
 
     experiment_id: str
     description: str
-    run: Callable[[EffortPreset], Any]
+    run: Callable[[EffortPreset, int], Any]
     render: Callable[[Any], str]
     to_json: Callable[[Any], Any]
+    seed: int = 0
 
 
 def _dataclass_list(items: Any) -> Any:
@@ -60,26 +73,27 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
         "table3",
         "PT gas/fee behaviour in OpenSea transactions",
-        lambda preset: table3_gas.run_table3(),
+        lambda preset, seed: table3_gas.run_table3(),
         table3_gas.render_table3,
         _dataclass_list,
     ),
     ExperimentSpec(
         "fig5",
         "Section VI case studies",
-        lambda preset: fig5_cases.run_case_studies(),
+        lambda preset, seed: fig5_cases.run_case_studies(),
         fig5_cases.render_case_studies,
         _dataclass_list,
     ),
     ExperimentSpec(
         "fig6",
         "average profit per IFU vs #IFUs",
-        lambda preset: fig6_profit.run_fig6(
+        lambda preset, seed: fig6_profit.run_fig6(
             # The paper's grid at FULL; a reduced grid for QUICK runs.
             mempool_sizes=(25, 50, 100) if preset.name == "full" else (10, 25),
             ifu_counts=(1, 2, 3, 4) if preset.name == "full" else (1, 2, 4),
             num_aggregators=10 if preset.name == "full" else 6,
             preset=preset,
+            seed=seed,
         ),
         fig6_profit.render_fig6,
         _dataclass_list,
@@ -87,7 +101,7 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
         "fig7",
         "total profit vs adversarial fraction",
-        lambda preset: fig7_adversarial.run_fig7(
+        lambda preset, seed: fig7_adversarial.run_fig7(
             mempool_sizes=(50, 100) if preset.name == "full" else (25, 50),
             fractions=(
                 (0.1, 0.2, 0.3, 0.4, 0.5) if preset.name == "full"
@@ -95,6 +109,7 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
             ),
             num_aggregators=10 if preset.name == "full" else 4,
             preset=preset,
+            seed=seed,
         ),
         fig7_adversarial.render_fig7,
         _dataclass_list,
@@ -102,9 +117,10 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
         "fig8",
         "DQN learning curves vs exploration",
-        lambda preset: fig8_learning.run_fig8(
+        lambda preset, seed: fig8_learning.run_fig8(
             ifu_counts=(1,), mempool_size=12, preset=preset,
             epsilon_decay=0.3 if preset.episodes < 50 else 0.05,
+            seed=seed,
         ),
         fig8_learning.render_fig8,
         _dataclass_list,
@@ -112,8 +128,9 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
         "fig9",
         "KDE of solution sizes",
-        lambda preset: fig9_solutions.run_fig9(
+        lambda preset, seed: fig9_solutions.run_fig9(
             mempool_sizes=(12,), ifu_counts=(1, 2), preset=preset,
+            seed=seed,
         ),
         fig9_solutions.render_fig9,
         lambda curves: [
@@ -129,18 +146,21 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
         "fig10",
         "NFT snapshot study",
-        lambda preset: fig10_snapshots.run_fig10(),
+        lambda preset, seed: fig10_snapshots.run_fig10(
+            SnapshotStudyConfig(seed=seed)
+        ),
         fig10_snapshots.render_fig10,
         _dataclass_list,
     ),
     ExperimentSpec(
         "fig11",
         "DQN inference vs NLP solvers",
-        lambda preset: fig11_solvers.run_fig11(
+        lambda preset, seed: fig11_solvers.run_fig11(
             sizes=(
                 (5, 10, 25, 50, 100) if preset.name == "full"
                 else (5, 10, 25)
             ),
+            seed=seed,
         ),
         fig11_solvers.render_fig11,
         _dataclass_list,
@@ -148,8 +168,8 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
         "defense",
         "Section VIII detection + demotion",
-        lambda preset: defense_eval.run_defense_eval(
-            thresholds=(0.01, 0.3), rounds=2, preset=preset,
+        lambda preset, seed: defense_eval.run_defense_eval(
+            thresholds=(0.01, 0.3), rounds=2, preset=preset, seed=seed,
         ),
         defense_eval.render_defense_eval,
         _dataclass_list,
@@ -167,29 +187,70 @@ class RunRecord:
     json_path: str
     ok: bool
     error: Optional[str] = None
+    manifest_path: Optional[str] = None
 
 
 def run_all(
     output_dir: pathlib.Path,
     preset: EffortPreset = QUICK,
     only: Optional[List[str]] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> List[RunRecord]:
-    """Run every (or the selected) experiment, archiving artifacts."""
+    """Run every (or the selected) experiment, archiving artifacts.
+
+    Each experiment gets a ``<id>.manifest.json`` next to its results.
+    When ``telemetry`` is enabled, metrics and a JSONL span trace
+    (``trace.jsonl`` in ``output_dir`` unless the config names a path)
+    are recorded for the whole run, and each manifest snapshots the
+    registry as of that experiment's completion.
+    """
     output_dir = pathlib.Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
     wanted = set(only) if only else None
     unknown = (wanted or set()) - {spec.experiment_id for spec in REGISTRY}
     if unknown:
         raise ReproError(f"unknown experiment ids: {sorted(unknown)}")
+    session = None
+    if telemetry is not None and telemetry.enabled:
+        if telemetry.trace_path is None:
+            telemetry = dataclasses.replace(
+                telemetry, trace_path=str(output_dir / "trace.jsonl")
+            )
+        session = configure(telemetry)
     records: List[RunRecord] = []
-    for spec in REGISTRY:
-        if wanted is not None and spec.experiment_id not in wanted:
-            continue
-        text_path = output_dir / f"{spec.experiment_id}.txt"
-        json_path = output_dir / f"{spec.experiment_id}.json"
-        started = time.perf_counter()
-        try:
-            result = spec.run(preset)
+    try:
+        for spec in REGISTRY:
+            if wanted is not None and spec.experiment_id not in wanted:
+                continue
+            records.append(_run_one(spec, preset, output_dir))
+        if session is not None:
+            get_tracer().emit_metrics("run_all.final")
+    finally:
+        if session is not None:
+            session.shutdown()
+    return records
+
+
+def _run_one(
+    spec: ExperimentSpec, preset: EffortPreset, output_dir: pathlib.Path
+) -> RunRecord:
+    text_path = output_dir / f"{spec.experiment_id}.txt"
+    json_path = output_dir / f"{spec.experiment_id}.json"
+    started = time.perf_counter()
+    recorder = ManifestRecorder(
+        experiment_id=spec.experiment_id,
+        description=spec.description,
+        preset=preset.name,
+        seed=spec.seed,
+        config={"preset": preset, "seed": spec.seed},
+        out_dir=output_dir,
+    )
+    try:
+        with recorder:
+            with get_tracer().span(
+                "experiment", experiment=spec.experiment_id
+            ):
+                result = spec.run(preset, spec.seed)
             text_path.write_text(spec.render(result) + "\n")
             json_path.write_text(
                 json.dumps(
@@ -197,30 +258,32 @@ def run_all(
                         "experiment": spec.experiment_id,
                         "description": spec.description,
                         "preset": preset.name,
+                        "seed": spec.seed,
                         "data": spec.to_json(result),
                     },
                     indent=2,
                     default=str,
                 )
             )
-            records.append(
-                RunRecord(
-                    experiment_id=spec.experiment_id,
-                    elapsed_seconds=time.perf_counter() - started,
-                    text_path=str(text_path),
-                    json_path=str(json_path),
-                    ok=True,
-                )
-            )
-        except Exception as exc:  # archive partial failures, keep going
-            records.append(
-                RunRecord(
-                    experiment_id=spec.experiment_id,
-                    elapsed_seconds=time.perf_counter() - started,
-                    text_path=str(text_path),
-                    json_path=str(json_path),
-                    ok=False,
-                    error=f"{type(exc).__name__}: {exc}",
-                )
-            )
-    return records
+            recorder.add_artifact("text", text_path)
+            recorder.add_artifact("json", json_path)
+            get_metrics().counter("experiments.completed").inc()
+        return RunRecord(
+            experiment_id=spec.experiment_id,
+            elapsed_seconds=time.perf_counter() - started,
+            text_path=str(text_path),
+            json_path=str(json_path),
+            ok=True,
+            manifest_path=str(recorder.path) if recorder.path else None,
+        )
+    except Exception as exc:  # archive partial failures, keep going
+        get_metrics().counter("experiments.failed").inc()
+        return RunRecord(
+            experiment_id=spec.experiment_id,
+            elapsed_seconds=time.perf_counter() - started,
+            text_path=str(text_path),
+            json_path=str(json_path),
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            manifest_path=str(recorder.path) if recorder.path else None,
+        )

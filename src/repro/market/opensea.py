@@ -10,7 +10,7 @@ activity and gas accounting stay linked.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, MutableMapping, Optional, Tuple
 
 from ..chain.gas import GasSchedule

@@ -18,8 +18,8 @@ size.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from ..errors import MarketError
 from .nft_collections import Chain, FrequencyTier, SyntheticCollection

@@ -10,7 +10,7 @@ by chain, by tier, and time-windowed price series.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..errors import MarketError
 from .nft_collections import Chain, FrequencyTier, SyntheticCollection

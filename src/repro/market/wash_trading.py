@@ -14,7 +14,7 @@ Built on ``networkx`` (an allowed dependency); used by tests and the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Set, Tuple
 
 import networkx as nx

@@ -11,9 +11,10 @@ of :mod:`repro.core`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
 
+from ..telemetry import get_metrics, span
 from .batch import Batch, build_batch
 from .ovm import OVM, ReplayTrace
 from .state import L2State
@@ -49,14 +50,23 @@ class Aggregator:
         self, pre_state: L2State, collected: Sequence[NFTTransaction]
     ) -> AggregationResult:
         """Execute the collected transactions and seal a batch."""
-        order = self.order_transactions(pre_state, collected)
-        batch, trace = build_batch(self.address, pre_state, order, self.ovm)
-        return AggregationResult(
-            batch=batch,
-            trace=trace,
-            original_order=tuple(collected),
-            executed_order=tuple(order),
-        )
+        with span(
+            "aggregator.process", aggregator=self.address, n_txs=len(collected)
+        ) as current:
+            order = self.order_transactions(pre_state, collected)
+            batch, trace = build_batch(self.address, pre_state, order, self.ovm)
+            result = AggregationResult(
+                batch=batch,
+                trace=trace,
+                original_order=tuple(collected),
+                executed_order=tuple(order),
+            )
+            current.add(reordered=result.reordered)
+        metrics = get_metrics()
+        metrics.counter("aggregator.batches").inc()
+        if result.reordered:
+            metrics.counter("aggregator.reordered_batches").inc()
+        return result
 
     def order_transactions(
         self, pre_state: L2State, collected: Sequence[NFTTransaction]
@@ -91,13 +101,26 @@ class AdversarialAggregator(Aggregator):
         self, pre_state: L2State, collected: Sequence[NFTTransaction]
     ) -> Sequence[NFTTransaction]:
         """Route the collection through the PAROLE module."""
-        reordered = tuple(self.reorderer(pre_state, collected))
-        if sorted(tx.tx_hash for tx in reordered) != sorted(
-            tx.tx_hash for tx in collected
-        ):
-            # The PAROLE module may only permute — never drop or inject.
-            # Fall back to the honest order if the reorderer misbehaved.
-            return tuple(collected)
-        if reordered != tuple(collected):
-            self.rounds_attacked += 1
-        return reordered
+        with span(
+            "aggregator.reorder", aggregator=self.address, n_txs=len(collected)
+        ) as current:
+            reordered = tuple(self.reorderer(pre_state, collected))
+            if sorted(tx.tx_hash for tx in reordered) != sorted(
+                tx.tx_hash for tx in collected
+            ):
+                # The PAROLE module may only permute — never drop or inject.
+                # Fall back to the honest order if the reorderer misbehaved.
+                get_metrics().counter("aggregator.reorderer_rejected").inc()
+                current.add(rejected=True)
+                return tuple(collected)
+            moved = sum(
+                1 for before, after in zip(collected, reordered)
+                if before is not after and before != after
+            )
+            current.add(positions_moved=moved)
+            get_metrics().histogram(
+                "aggregator.positions_moved", bounds=(0, 1, 2, 5, 10, 25, 50, 100)
+            ).observe(moved)
+            if reordered != tuple(collected):
+                self.rounds_attacked += 1
+            return reordered

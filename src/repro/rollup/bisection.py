@@ -23,8 +23,8 @@ what any fraud proof can see.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ChallengeError
 from .fraud_proof import state_root

@@ -16,7 +16,7 @@ transactions per slot).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..errors import RollupError
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..crypto import MerkleTree, MerkleTrie, TrieProof, hash_value
+from ..telemetry import get_metrics
 from .ovm import OVM
 from .state import L2State
 from .transaction import NFTTransaction
@@ -57,6 +58,9 @@ def recompute_post_root(
     """Re-execute a batch from its pre-state and return the post root."""
     machine = ovm or OVM()
     trace = machine.replay(pre_state, transactions)
+    metrics = get_metrics()
+    metrics.counter("fraud_proof.recomputes").inc()
+    metrics.counter("fraud_proof.recomputed_steps").inc(len(transactions))
     return state_root(trace.final_state)
 
 

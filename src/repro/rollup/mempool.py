@@ -10,9 +10,10 @@ attack surface.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..errors import MempoolError
+from ..telemetry import get_metrics
 from .transaction import NFTTransaction, sort_by_fee
 
 
@@ -22,6 +23,15 @@ class BedrockMempool:
     def __init__(self) -> None:
         self._pending: Dict[str, NFTTransaction] = {}
         self._arrival: int = 0
+        # Telemetry is bound at construction: instruments resolve to
+        # shared no-ops unless a registry was enabled beforehand.
+        metrics = get_metrics()
+        self._m_submitted = metrics.counter("mempool.submitted")
+        self._m_collected = metrics.counter("mempool.collected")
+        self._m_requeued = metrics.counter("mempool.requeued")
+        self._m_dropped = metrics.counter("mempool.dropped")
+        self._m_pending = metrics.gauge("mempool.pending")
+        self._m_collect_fee = metrics.histogram("mempool.collect_priority_fee")
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -41,6 +51,8 @@ class BedrockMempool:
         if tx_hash in self._pending:
             raise MempoolError(f"duplicate transaction {tx_hash[:12]}...")
         self._pending[tx_hash] = stamped
+        self._m_submitted.inc()
+        self._m_pending.set(len(self._pending))
         return tx_hash
 
     def _stamp(self, tx: NFTTransaction) -> NFTTransaction:
@@ -77,6 +89,9 @@ class BedrockMempool:
         selected = self.peek(count)
         for tx in selected:
             del self._pending[tx.tx_hash]
+            self._m_collect_fee.observe(tx.priority_fee)
+        self._m_collected.inc(len(selected))
+        self._m_pending.set(len(self._pending))
         return selected
 
     def requeue(self, txs: Sequence[NFTTransaction]) -> None:
@@ -87,13 +102,18 @@ class BedrockMempool:
                     f"transaction {tx.tx_hash[:12]}... is already pending"
                 )
             self._pending[tx.tx_hash] = tx
+            self._m_requeued.inc()
+        self._m_pending.set(len(self._pending))
 
     def drop(self, tx_hash: str) -> NFTTransaction:
         """Remove one transaction by hash."""
         try:
-            return self._pending.pop(tx_hash)
+            dropped = self._pending.pop(tx_hash)
         except KeyError:
             raise MempoolError(f"unknown transaction {tx_hash[:12]}...") from None
+        self._m_dropped.inc()
+        self._m_pending.set(len(self._pending))
+        return dropped
 
     def pending(self) -> Tuple[NFTTransaction, ...]:
         """All pending transactions in priority order."""

@@ -9,10 +9,10 @@ the balance trajectory of any watched users.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
-from ..tokens import TxValidity
+from ..telemetry import get_metrics
 from .state import ExecutionMode, L2State, StepResult
 from .transaction import NFTTransaction
 
@@ -113,6 +113,10 @@ class OVM:
             steps.append(
                 TraceStep(index=index, tx=tx, result=result, watched_wealth=wealth)
             )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("ovm.replays").inc()
+            metrics.counter("ovm.steps_executed").inc(len(steps))
         return ReplayTrace(steps=steps, final_state=working, watched_users=watched)
 
     def final_wealth(

@@ -37,6 +37,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..telemetry import get_metrics
 from ..tokens import TxValidity
 from .ovm import ReplayTrace, TraceStep
 from .state import CountingInventory, ExecutionMode, L2State, StepResult
@@ -92,6 +93,23 @@ class ReplayEngineStats:
         if not total:
             return 0.0
         return self.steps_reused / total
+
+    def publish(self, prefix: str = "replay_engine") -> Dict[str, float]:
+        """Mirror the counters into the active metrics registry.
+
+        The engine's hot loop keeps these counters as plain ints (a
+        registry instrument per step would be measurable); this method
+        is the registry view of them — callers publish at natural
+        boundaries (``ReorderEnv.replay_stats``, solver profiling, run
+        manifests).  Values are cumulative, so they land as gauges.
+        Returns the published dict for convenience.
+        """
+        values = self.as_dict()
+        metrics = get_metrics()
+        if metrics.enabled:
+            for key, value in values.items():
+                metrics.gauge(f"{prefix}.{key}").set(value)
+        return values
 
     def as_dict(self) -> Dict[str, float]:
         """Flat numeric view for solver metadata / JSON artifacts."""

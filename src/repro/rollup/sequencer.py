@@ -14,12 +14,13 @@ the sequencer owns the ordering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..config import RollupConfig
 from ..crypto import hash_value
 from ..errors import RollupError
+from ..telemetry import get_metrics, span
 from .aggregator import AggregationResult, Aggregator
 from .fee_market import FeeMarket
 from .fraud_proof import state_root
@@ -137,23 +138,34 @@ class Sequencer:
         aggregator = self.aggregators[self._next_aggregator]
         self._next_aggregator = (self._next_aggregator + 1) % len(self.aggregators)
         count = min(self.config.aggregator_mempool_size, len(self.mempool))
-        collected = self.mempool.collect(count)
-        result = aggregator.process(self.state.copy(), collected)
-        self.state = result.trace.final_state
-        parent = self.head.block_hash if self.head else GENESIS_L2_PARENT
-        block = L2Block(
-            number=len(self.blocks),
-            parent_hash=parent,
-            tx_root=result.batch.tx_root,
-            state_root=result.batch.post_state_root,
-            timestamp=self._clock,
-            aggregator=aggregator.address,
-            tx_count=len(collected),
-        )
-        self.blocks.append(block)
-        if self.fee_market is not None:
-            fullness = len(collected) / self.config.aggregator_mempool_size
-            self.fee_market.on_block(min(1.0, fullness))
+        with span(
+            "sequencer.block", number=len(self.blocks), aggregator=aggregator.address
+        ) as current:
+            collected = self.mempool.collect(count)
+            result = aggregator.process(self.state.copy(), collected)
+            self.state = result.trace.final_state
+            parent = self.head.block_hash if self.head else GENESIS_L2_PARENT
+            block = L2Block(
+                number=len(self.blocks),
+                parent_hash=parent,
+                tx_root=result.batch.tx_root,
+                state_root=result.batch.post_state_root,
+                timestamp=self._clock,
+                aggregator=aggregator.address,
+                tx_count=len(collected),
+            )
+            self.blocks.append(block)
+            if self.fee_market is not None:
+                fullness = len(collected) / self.config.aggregator_mempool_size
+                self.fee_market.on_block(min(1.0, fullness))
+            current.add(tx_count=len(collected), reordered=result.reordered)
+        metrics = get_metrics()
+        metrics.counter("sequencer.blocks").inc()
+        metrics.gauge("sequencer.height").set(len(self.blocks))
+        metrics.histogram(
+            "sequencer.batch_fill",
+            bounds=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+        ).observe(len(collected) / self.config.aggregator_mempool_size)
         return block, result
 
     def verify_chain(self) -> bool:

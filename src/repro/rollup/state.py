@@ -21,8 +21,8 @@ Two execution modes reflect the paper's semantics:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..config import NFTContractConfig
 from ..errors import InvalidTransactionError

@@ -13,7 +13,7 @@ because Bedrock's mempool orders by their sum (Section IV-B).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from ..crypto import hash_value

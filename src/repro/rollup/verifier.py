@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..telemetry import get_metrics, span
 from .batch import Batch
 from .fraud_proof import recompute_post_root
 from .ovm import OVM
@@ -44,10 +45,23 @@ class Verifier:
 
     def inspect(self, batch: Batch, pre_state: L2State) -> VerificationReport:
         """Re-execute ``batch`` from ``pre_state`` and compare roots."""
-        recomputed = recompute_post_root(pre_state, batch.transactions, self.ovm)
-        return VerificationReport(
-            batch_tx_root=batch.tx_root,
-            recomputed_post_root=recomputed,
-            claimed_post_root=batch.post_state_root,
-            tx_root_ok=batch.verify_tx_root(),
-        )
+        with span(
+            "verifier.inspect",
+            verifier=self.address,
+            n_txs=len(batch.transactions),
+        ) as current:
+            recomputed = recompute_post_root(
+                pre_state, batch.transactions, self.ovm
+            )
+            report = VerificationReport(
+                batch_tx_root=batch.tx_root,
+                recomputed_post_root=recomputed,
+                claimed_post_root=batch.post_state_root,
+                tx_root_ok=batch.verify_tx_root(),
+            )
+            current.add(challenged=report.should_challenge)
+        metrics = get_metrics()
+        metrics.counter("verifier.inspections").inc()
+        outcome = "challenged" if report.should_challenge else "accepted"
+        metrics.counter("verifier.outcomes", outcome=outcome).inc()
+        return report

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Union
 
 from .config import NFTContractConfig, WorkloadConfig
 from .core.parole import AttackOutcome

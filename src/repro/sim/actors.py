@@ -11,7 +11,6 @@ a missed batch).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..rollup.batch import Batch, build_batch

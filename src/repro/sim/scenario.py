@@ -12,7 +12,7 @@ that motivate the Figure 11 solver comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 

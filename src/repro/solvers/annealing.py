@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

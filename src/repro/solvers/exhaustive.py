@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from itertools import permutations
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from ..errors import SolverError
 from .base import ReorderProblem, ReorderSolver, SolverResult

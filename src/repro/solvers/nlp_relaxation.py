@@ -24,7 +24,7 @@ SNOPT      trust-constr (interior trust region)    good small-N, poor scaling
 from __future__ import annotations
 
 import time
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 from scipy import optimize

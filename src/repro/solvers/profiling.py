@@ -13,8 +13,10 @@ from __future__ import annotations
 import time
 import tracemalloc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from types import MappingProxyType
+from typing import Mapping
 
+from ..telemetry import get_metrics, span
 from .base import ReorderProblem, ReorderSolver, SolverResult
 
 
@@ -27,7 +29,14 @@ class ProfiledRun:
     peak_memory_bytes: int
     #: Replay-engine counters accumulated during the run (see
     #: :class:`repro.rollup.replay_engine.ReplayEngineStats.as_dict`).
-    replay_stats: Dict[str, float] = field(default_factory=dict)
+    #: Frozen at construction: exposed as a read-only mapping over a
+    #: private copy, so a frozen run cannot be mutated through it.
+    replay_stats: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "replay_stats", MappingProxyType(dict(self.replay_stats))
+        )
 
     @property
     def solver_name(self) -> str:
@@ -62,14 +71,27 @@ def profile_solver(
     profiled inference call (Figure 11(b) counts them against the DQN).
     """
     stats_before = problem.replay_stats()
-    tracemalloc.start()
+    # An enclosing ManifestRecorder may already be tracing allocations;
+    # nest instead of stomping its trace.
+    was_tracing = tracemalloc.is_tracing()
+    if was_tracing:
+        tracemalloc.reset_peak()
+    else:
+        tracemalloc.start()
     started = time.perf_counter()
-    try:
-        result = solver.solve(problem)
-    finally:
-        _, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
-    elapsed = time.perf_counter() - started
+    with span("solver.profile", solver=solver.name) as current:
+        try:
+            result = solver.solve(problem)
+        finally:
+            _, peak = tracemalloc.get_traced_memory()
+            if not was_tracing:
+                tracemalloc.stop()
+        elapsed = time.perf_counter() - started
+        current.add(
+            elapsed_s=elapsed,
+            peak_bytes=peak + extra_memory_bytes,
+            evaluations=result.evaluations,
+        )
     stats_after = problem.replay_stats()
     # Counters are cumulative per problem; report this run's increments
     # for the additive ones and the final value for the derived rates.
@@ -81,6 +103,9 @@ def profile_solver(
         )
         for key, value in stats_after.items()
     }
+    metrics = get_metrics()
+    metrics.counter("solver.profiled_runs", solver=solver.name).inc()
+    metrics.histogram("solver.elapsed_seconds").observe(elapsed)
     annotated = SolverResult(
         solver_name=result.solver_name,
         best_order=result.best_order,

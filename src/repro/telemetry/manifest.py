@@ -1,0 +1,198 @@
+"""Run manifests: the self-describing record written next to results.
+
+A manifest answers "what exactly produced this artifact?" — experiment
+id, effort preset, RNG seed, a stable hash of the config parameters, the
+git revision, wall time, peak traced memory, and a dump of every metric
+the run recorded.  ``experiments/runner.run_all`` writes one per
+experiment (``<id>.manifest.json``); benches and ad-hoc scripts can use
+:class:`ManifestRecorder` directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Union
+
+from .metrics import get_metrics
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "RunManifest",
+    "ManifestRecorder",
+    "config_hash",
+    "git_revision",
+]
+
+MANIFEST_SCHEMA = "repro.telemetry/manifest/v1"
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to deterministic JSON-able primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _canonical(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = list(value)
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=str)
+        return [_canonical(item) for item in items]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def config_hash(params: Any) -> str:
+    """Stable SHA-256 over a config mapping/dataclass (order-insensitive)."""
+    payload = json.dumps(_canonical(params), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def git_revision(root: Union[str, pathlib.Path, None] = None) -> Optional[str]:
+    """Current git commit hash, read straight from ``.git`` (no subprocess).
+
+    Walks up from ``root`` (default: this package's repository) to the
+    first ``.git`` directory; returns ``None`` when not in a checkout.
+    """
+    start = pathlib.Path(root) if root is not None else pathlib.Path(__file__)
+    for candidate in [start] + list(start.parents):
+        git_dir = candidate / ".git"
+        if not git_dir.is_dir():
+            continue
+        try:
+            head = (git_dir / "HEAD").read_text().strip()
+            if head.startswith("ref:"):
+                ref = head.split(None, 1)[1]
+                ref_path = git_dir / ref
+                if ref_path.exists():
+                    return ref_path.read_text().strip()
+                packed = git_dir / "packed-refs"
+                if packed.exists():
+                    for line in packed.read_text().splitlines():
+                        if line.endswith(ref) and not line.startswith("#"):
+                            return line.split()[0]
+                return None
+            return head
+        except OSError:
+            return None
+    return None
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Everything needed to reproduce (and audit) one run."""
+
+    experiment_id: str
+    description: str = ""
+    preset: str = ""
+    seed: Optional[int] = None
+    config: Dict[str, Any] = field(default_factory=dict)
+    config_digest: str = ""
+    git_rev: Optional[str] = None
+    started_at: str = ""
+    duration_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    artifacts: Dict[str, str] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+    schema: str = MANIFEST_SCHEMA
+
+    def to_json(self) -> Dict[str, Any]:
+        return _canonical(dataclasses.asdict(self))
+
+    def write(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def read(cls, path: Union[str, pathlib.Path]) -> "RunManifest":
+        payload = json.loads(pathlib.Path(path).read_text())
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+class ManifestRecorder:
+    """Context manager that measures a run and writes its manifest.
+
+    Wall-clocks the block, tracks peak traced memory (starting
+    ``tracemalloc`` only if nothing else is already tracing), snapshots
+    the active metrics registry on exit, and — when ``out_dir`` is given
+    — writes ``<experiment_id>.manifest.json`` there.  The finished
+    manifest is available as ``recorder.manifest`` afterwards.
+    """
+
+    def __init__(
+        self,
+        experiment_id: str,
+        description: str = "",
+        preset: str = "",
+        seed: Optional[int] = None,
+        config: Optional[Mapping[str, Any]] = None,
+        out_dir: Union[str, pathlib.Path, None] = None,
+        extra: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.experiment_id = experiment_id
+        self.description = description
+        self.preset = preset
+        self.seed = seed
+        self.config = dict(config or {})
+        self.out_dir = pathlib.Path(out_dir) if out_dir is not None else None
+        self.extra = dict(extra or {})
+        self.manifest: Optional[RunManifest] = None
+        self.path: Optional[pathlib.Path] = None
+        self._started = 0.0
+        self._started_wall = ""
+        self._owns_tracemalloc = False
+
+    def add_artifact(self, name: str, path: Union[str, pathlib.Path]) -> None:
+        """Register an output file the manifest should point at."""
+        self.extra.setdefault("artifacts", {})[name] = str(path)
+
+    def __enter__(self) -> "ManifestRecorder":
+        self._started_wall = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracemalloc = True
+        else:
+            tracemalloc.reset_peak()
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._started
+        peak = 0
+        if tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            if self._owns_tracemalloc:
+                tracemalloc.stop()
+        extra = dict(self.extra)
+        artifacts = {str(k): str(v) for k, v in extra.pop("artifacts", {}).items()}
+        if exc_type is not None:
+            extra["error"] = f"{exc_type.__name__}: {exc}"
+        self.manifest = RunManifest(
+            experiment_id=self.experiment_id,
+            description=self.description,
+            preset=self.preset,
+            seed=self.seed,
+            config=_canonical(self.config),
+            config_digest=config_hash(self.config),
+            git_rev=git_revision(),
+            started_at=self._started_wall,
+            duration_seconds=duration,
+            peak_memory_bytes=peak,
+            metrics=get_metrics().snapshot(),
+            artifacts=artifacts,
+            extra=extra,
+        )
+        if self.out_dir is not None:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            self.path = self.manifest.write(
+                self.out_dir / f"{self.experiment_id}.manifest.json"
+            )

@@ -1,0 +1,392 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+Design constraints, in order of priority:
+
+1. **Hot paths pay ~nothing when telemetry is off.**  The default active
+   backend is :class:`NullMetrics`, whose instruments are shared inert
+   singletons — ``counter(...).inc()`` is a single no-op method call
+   with no lock, no dict lookup, no allocation.  Callers on true hot
+   loops (the incremental replay engine) keep their own plain-int
+   counters and *publish* snapshots at span boundaries instead.
+2. **Thread-safe when on.**  :class:`MetricsRegistry` guards instrument
+   creation and every update with locks; experiments that shard work
+   across threads can share one registry.
+3. **Self-describing snapshots.**  ``snapshot()`` renders every
+   instrument into plain JSON-able dicts (histograms include fixed-
+   bucket percentile estimates), which is what run manifests and the
+   span tracer attach.
+
+Metric names are dotted paths ``<layer>.<thing>`` (``mempool.submitted``,
+``drl.episode_reward``); optional labels qualify a series
+(``counter("verifier.outcomes", outcome="challenged")``).  See
+``docs/telemetry.md`` for the naming conventions.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "get_metrics",
+    "set_metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds: exponential decade/half-decade
+#: ladder from 1 microsecond to 100 seconds — wide enough for both
+#: latencies (seconds) and small magnitudes (ETH deltas, swap counts).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3,
+    1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+)
+
+LabelValue = Union[str, int, float, bool]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Point-in-time value (set freely, up or down)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile estimates.
+
+    Buckets are defined by sorted upper bounds; observations above the
+    last bound land in a +Inf overflow bucket.  Percentiles interpolate
+    linearly inside the winning bucket (clamped by the observed min/max,
+    so single-observation histograms report exact values).
+    """
+
+    __slots__ = ("bounds", "_lock", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = ordered
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(ordered) + 1)  # +1: overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def bucket_counts(self) -> Tuple[int, ...]:
+        """Per-bucket observation counts (last entry is the overflow)."""
+        return tuple(self._counts)
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (``q`` in [0, 100]).
+
+        Walks the cumulative bucket counts to the target rank, then
+        interpolates linearly between the bucket's lower and upper
+        bounds.  The overflow bucket reports the observed maximum; every
+        estimate is clamped into ``[min, max]``.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._count:
+            return 0.0
+        rank = q / 100.0 * self._count
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index >= len(self.bounds):  # overflow bucket
+                    return self._max
+                upper = self.bounds[index]
+                lower = self.bounds[index - 1] if index else min(self._min, upper)
+                within = (rank - (cumulative - bucket_count)) / bucket_count
+                estimate = lower + (upper - lower) * max(0.0, min(1.0, within))
+                return max(self._min, min(self._max, estimate))
+        return self._max
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-able digest used by snapshots and manifests."""
+        return {
+            "count": float(self._count),
+            "sum": self._sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    bounds: Tuple[float, ...] = ()
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    min = 0.0
+    max = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def bucket_counts(self) -> Tuple[int, ...]:
+        return ()
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+def _series_key(name: str, labels: Dict[str, LabelValue]) -> str:
+    """Canonical series key: ``name`` or ``name{k=v,...}`` (sorted)."""
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """Thread-safe home of every live instrument.
+
+    Instruments are created on first use and shared thereafter — calling
+    ``registry.counter("x")`` twice returns the same object, so call
+    sites can either cache the instrument (hot paths) or re-resolve it
+    each time (cold paths).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels: LabelValue) -> Counter:
+        key = _series_key(name, labels)
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: LabelValue) -> Gauge:
+        key = _series_key(name, labels)
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        **labels: LabelValue,
+    ) -> Histogram:
+        key = _series_key(name, labels)
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram(
+                    bounds if bounds is not None else DEFAULT_BUCKETS
+                )
+        return instrument
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Flat JSON-able view of every instrument's current state."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {key: c.value for key, c in sorted(counters.items())},
+            "gauges": {key: g.value for key, g in sorted(gauges.items())},
+            "histograms": {
+                key: h.summary() for key, h in sorted(histograms.items())
+            },
+        }
+
+    def series_names(self) -> List[str]:
+        """Every live series key, sorted."""
+        with self._lock:
+            return sorted(
+                list(self._counters)
+                + list(self._gauges)
+                + list(self._histograms)
+            )
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh experiment runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+class NullMetrics:
+    """No-op backend: every instrument is a shared inert singleton."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: LabelValue) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: LabelValue) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        **labels: LabelValue,
+    ) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def series_names(self) -> List[str]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+Metrics = Union[MetricsRegistry, NullMetrics]
+
+#: Process-wide active backend.  Swapped atomically (name rebinding) by
+#: :func:`set_metrics`; readers grab it once per object lifetime.
+_ACTIVE: Metrics = NullMetrics()
+_ACTIVE_LOCK = threading.Lock()
+
+
+def get_metrics() -> Metrics:
+    """The active metrics backend (``NullMetrics`` unless enabled)."""
+    return _ACTIVE
+
+
+def set_metrics(backend: Metrics) -> Metrics:
+    """Install ``backend`` as the active one; returns the previous."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        previous = _ACTIVE
+        _ACTIVE = backend
+    return previous
+
+
+def enable_metrics(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Activate (and return) a live registry."""
+    live = registry if registry is not None else MetricsRegistry()
+    set_metrics(live)
+    return live
+
+
+def disable_metrics() -> None:
+    """Return to the no-op backend."""
+    set_metrics(NullMetrics())

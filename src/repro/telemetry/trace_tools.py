@@ -1,0 +1,120 @@
+"""Reading side of the JSONL traces: summarize and tail.
+
+Backs the ``parole telemetry`` CLI subcommand.  Both helpers are
+tolerant of in-progress files: lines that fail to parse (e.g. a
+partially flushed final line) are counted and skipped, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import defaultdict
+from typing import Any, Dict, List, Tuple, Union
+
+from ..errors import ReproError
+
+__all__ = ["read_trace", "summarize_trace", "tail_trace"]
+
+
+def read_trace(
+    path: Union[str, pathlib.Path],
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse a JSONL trace; returns (events, unparseable-line count)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ReproError(f"trace file not found: {path}")
+    events: List[Dict[str, Any]] = []
+    bad = 0
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            bad += 1
+            continue
+        if isinstance(record, dict):
+            events.append(record)
+        else:
+            bad += 1
+    return events, bad
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile over already-sorted values."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(round(q / 100.0 * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def summarize_trace(path: Union[str, pathlib.Path]) -> str:
+    """Human-readable digest: per-span-name latency stats and event counts."""
+    events, bad = read_trace(path)
+    spans = [e for e in events if e.get("type") == "span"]
+    points = [e for e in events if e.get("type") == "event"]
+    metrics_events = [e for e in events if e.get("type") == "metrics"]
+
+    durations: Dict[str, List[float]] = defaultdict(list)
+    for record in spans:
+        durations[str(record.get("name", "?"))].append(
+            float(record.get("duration_s", 0.0))
+        )
+
+    lines = [
+        f"trace: {path}",
+        f"events: {len(events)} total — {len(spans)} spans, "
+        f"{len(points)} point events, {len(metrics_events)} metrics snapshots"
+        + (f", {bad} unparseable lines" if bad else ""),
+    ]
+    if spans:
+        clocks = [float(e.get("end", 0.0)) for e in spans]
+        lines.append(f"span clock range: 0.000s .. {max(clocks):.3f}s")
+        lines.append("")
+        lines.append(
+            f"{'span':<32} {'count':>6} {'total s':>9} {'mean ms':>9} "
+            f"{'p95 ms':>9} {'max ms':>9}"
+        )
+        for name in sorted(durations, key=lambda n: -sum(durations[n])):
+            values = sorted(durations[name])
+            total = sum(values)
+            lines.append(
+                f"{name:<32} {len(values):>6} {total:>9.3f} "
+                f"{1000.0 * total / len(values):>9.3f} "
+                f"{1000.0 * _percentile(values, 95.0):>9.3f} "
+                f"{1000.0 * values[-1]:>9.3f}"
+            )
+    if metrics_events:
+        last = metrics_events[-1].get("metrics", {})
+        counters = last.get("counters", {})
+        if counters:
+            lines.append("")
+            lines.append("final counter values:")
+            for key in sorted(counters):
+                lines.append(f"  {key} = {counters[key]:g}")
+    return "\n".join(lines)
+
+
+def _format_event(record: Dict[str, Any]) -> str:
+    kind = record.get("type", "?")
+    name = record.get("name", "?")
+    if kind == "span":
+        extra = (
+            f"id={record.get('span_id')} parent={record.get('parent_id')} "
+            f"dur={1000.0 * float(record.get('duration_s', 0.0)):.3f}ms"
+        )
+    else:
+        extra = f"t={float(record.get('t', 0.0)):.6f}s"
+    attrs = record.get("attrs")
+    suffix = f" {json.dumps(attrs, default=str)}" if attrs else ""
+    return f"[{kind}] {name} {extra}{suffix}"
+
+
+def tail_trace(path: Union[str, pathlib.Path], count: int = 20) -> str:
+    """The last ``count`` events, one formatted line each."""
+    if count < 1:
+        raise ReproError("tail count must be positive")
+    events, _ = read_trace(path)
+    return "\n".join(_format_event(record) for record in events[-count:])

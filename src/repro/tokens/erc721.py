@@ -18,7 +18,7 @@ OVM replay, the RL environment and the end-to-end rollup pipeline.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, MutableMapping, Optional, Set, Tuple
 
 from ..config import NFTContractConfig

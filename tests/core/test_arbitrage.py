@@ -1,6 +1,5 @@
 """Tests for the arbitrage-opportunity pre-check."""
 
-import pytest
 
 from repro.core import assess_opportunity
 from repro.rollup import NFTTransaction, TxKind

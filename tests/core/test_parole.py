@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import AttackConfig, GenTranSeqConfig
+from repro.config import AttackConfig
 from repro.core import ParoleAttack
 from repro.rollup import NFTTransaction, TxKind
 from repro.workloads.scenarios import IFU

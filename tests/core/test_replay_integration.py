@@ -9,7 +9,6 @@ hit — verified through the engine counters ``replay_stats`` exposes.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.config import GenTranSeqConfig
 from repro.core import InsertionReorderEnv, ReorderEnv

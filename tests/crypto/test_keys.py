@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.crypto import KeyPair, derive_address, generate_keypair
+from repro.crypto import derive_address, generate_keypair
 
 
 class TestDeriveAddress:

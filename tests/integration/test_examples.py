@@ -7,7 +7,6 @@ an example fails CI rather than the user's first five minutes.
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 

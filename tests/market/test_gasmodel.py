@@ -3,7 +3,7 @@
 import pytest
 
 from repro.market import record_for, table3_rows
-from repro.market.gasmodel import TABLE3_ANCHORS, _format_fee
+from repro.market.gasmodel import _format_fee
 
 
 class TestTable3Rows:

@@ -1,6 +1,5 @@
 """Tests for the Figure 10 arbitrage scanner."""
 
-import numpy as np
 import pytest
 
 from repro.config import SnapshotStudyConfig
@@ -8,9 +7,7 @@ from repro.errors import MarketError
 from repro.market import (
     ArbitrageScanner,
     Chain,
-    FrequencyTier,
     SnapshotStore,
-    generate_collection,
     generate_study_collections,
 )
 

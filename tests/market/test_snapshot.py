@@ -1,6 +1,5 @@
 """Tests for the snapshot store."""
 
-import numpy as np
 import pytest
 
 from repro.config import SnapshotStudyConfig
@@ -9,7 +8,6 @@ from repro.market import (
     Chain,
     FrequencyTier,
     SnapshotStore,
-    generate_collection,
     generate_study_collections,
 )
 

@@ -1,6 +1,5 @@
 """Tests for honest and adversarial aggregators."""
 
-import pytest
 
 from repro.rollup import AdversarialAggregator, Aggregator
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import BatchError
-from repro.rollup import OVM, build_batch, state_root
+from repro.rollup import build_batch, state_root
 from repro.rollup.fraud_proof import FraudProof, recompute_post_root
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.rollup import ExecutionMode, NFTTransaction, OVM, TxKind
-from repro.workloads import CASE2_ORDER, CASE3_ORDER, case_study_fixture
+from repro.workloads import CASE2_ORDER, CASE3_ORDER
 from repro.workloads.scenarios import IFU
 
 

@@ -1,6 +1,5 @@
 """Metamorphic / property tests on the OVM and batch economics."""
 
-import math
 from itertools import permutations
 
 import pytest

@@ -1,5 +1,8 @@
 """Tests for solver profiling and the DQN inference solver."""
 
+import dataclasses
+import tracemalloc
+
 import pytest
 
 from repro.config import GenTranSeqConfig
@@ -9,6 +12,7 @@ from repro.solvers import (
     ReorderProblem,
     profile_solver,
 )
+from repro.solvers.profiling import ProfiledRun
 from repro.workloads.scenarios import IFU
 
 
@@ -40,6 +44,48 @@ class TestProfiling:
     def test_solver_name_passthrough(self, problem):
         run = profile_solver(HillClimbSolver(), problem)
         assert run.solver_name == "hill-climb"
+
+    def test_replay_stats_reported(self, problem):
+        run = profile_solver(HillClimbSolver(), problem)
+        assert run.replay_stats["steps_executed"] > 0
+        assert 0.0 <= run.cache_hit_rate <= 1.0
+        assert run.mean_resume_depth >= 0.0
+
+    def test_nested_profiling_preserves_outer_tracemalloc(self, problem):
+        tracemalloc.start()
+        try:
+            run = profile_solver(HillClimbSolver(), problem)
+            assert tracemalloc.is_tracing()  # outer trace survived
+            assert run.peak_memory_bytes > 0
+        finally:
+            tracemalloc.stop()
+
+
+class TestProfiledRunImmutability:
+    """Regression: replay_stats used to be a plain mutable dict on a
+    frozen dataclass — freezing the fields but not the mapping."""
+
+    def test_replay_stats_mapping_is_read_only(self, problem):
+        run = profile_solver(HillClimbSolver(), problem)
+        with pytest.raises(TypeError):
+            run.replay_stats["steps_executed"] = 0.0
+        assert not hasattr(run.replay_stats, "clear")
+
+    def test_construction_copies_the_source_dict(self, problem):
+        source = {"cache_hit_rate": 0.5}
+        run = ProfiledRun(
+            result=profile_solver(HillClimbSolver(), problem).result,
+            elapsed_seconds=1.0,
+            peak_memory_bytes=1,
+            replay_stats=source,
+        )
+        source["cache_hit_rate"] = 0.0  # caller mutates their dict later
+        assert run.replay_stats["cache_hit_rate"] == 0.5
+
+    def test_fields_still_frozen(self, problem):
+        run = profile_solver(HillClimbSolver(), problem)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            run.elapsed_seconds = 0.0
 
 
 class TestDQNInferenceSolver:

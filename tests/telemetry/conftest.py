@@ -1,0 +1,17 @@
+"""Telemetry test fixtures: keep the process-wide backends clean."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import disable_metrics, disable_tracing
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    """Every test starts and ends with the no-op backends installed."""
+    disable_metrics()
+    disable_tracing()
+    yield
+    disable_metrics()
+    disable_tracing()

@@ -1,0 +1,213 @@
+"""Unit tests for the metrics registry: instruments, buckets, snapshots."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("mempool.submitted")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_thread_safety_under_contention(self):
+        counter = MetricsRegistry().counter("contended")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000.0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("mempool.pending")
+        gauge.set(10)
+        assert gauge.value == 10.0
+        gauge.add(-3)
+        assert gauge.value == 7.0
+
+
+class TestHistogramBuckets:
+    def test_rejects_empty_and_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+
+    def test_bucket_placement_on_boundaries(self):
+        # bisect_left: a value exactly on a bound lands in that bound's
+        # bucket (bounds are inclusive upper edges).
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 99.0):
+            h.observe(value)
+        # buckets: <=1.0, <=2.0, <=4.0, overflow
+        assert h.bucket_counts() == (2, 2, 2, 1)
+        assert h.count == 7
+
+    def test_sum_mean_min_max(self):
+        h = Histogram(bounds=(10.0,))
+        for value in (1.0, 2.0, 3.0):
+            h.observe(value)
+        assert h.sum == 6.0
+        assert h.mean == 2.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+
+    def test_empty_histogram_is_all_zero(self):
+        h = Histogram(bounds=(1.0,))
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.min == 0.0
+        assert h.max == 0.0
+        assert h.percentile(50.0) == 0.0
+
+
+class TestHistogramPercentiles:
+    def test_single_observation_is_exact(self):
+        h = Histogram(bounds=DEFAULT_BUCKETS)
+        h.observe(0.37)
+        # Clamping by observed min/max makes one-sample estimates exact.
+        assert h.percentile(50.0) == pytest.approx(0.37)
+        assert h.percentile(99.0) == pytest.approx(0.37)
+
+    def test_percentiles_are_monotone_and_bounded(self):
+        h = Histogram(bounds=(1.0, 2.0, 5.0, 10.0))
+        for value in (0.5, 1.5, 1.7, 3.0, 4.0, 6.0, 7.0, 9.5):
+            h.observe(value)
+        estimates = [h.percentile(q) for q in (0, 10, 25, 50, 75, 90, 100)]
+        assert estimates == sorted(estimates)
+        assert all(0.5 <= e <= 9.5 for e in estimates)
+
+    def test_overflow_bucket_reports_observed_max(self):
+        h = Histogram(bounds=(1.0,))
+        h.observe(500.0)
+        h.observe(700.0)
+        assert h.percentile(99.0) == 700.0
+        assert h.max == 700.0
+
+    def test_interpolation_within_bucket(self):
+        # 100 uniform observations in (0, 10]: p50 should land near 5.
+        h = Histogram(bounds=(10.0, 20.0))
+        for i in range(1, 101):
+            h.observe(i / 10.0)
+        assert h.percentile(50.0) == pytest.approx(5.0, abs=1.0)
+
+    def test_rejects_out_of_range_quantile(self):
+        h = Histogram(bounds=(1.0,))
+        with pytest.raises(ValueError):
+            h.percentile(101.0)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+
+    def test_summary_keys(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        h.observe(1.5)
+        summary = h.summary()
+        assert set(summary) == {
+            "count", "sum", "mean", "min", "max", "p50", "p95", "p99",
+        }
+        assert summary["count"] == 1.0
+
+
+class TestLabels:
+    def test_labels_qualify_series(self):
+        registry = MetricsRegistry()
+        challenged = registry.counter("verifier.outcomes", outcome="challenged")
+        accepted = registry.counter("verifier.outcomes", outcome="accepted")
+        assert challenged is not accepted
+        challenged.inc(2)
+        accepted.inc()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["verifier.outcomes{outcome=challenged}"] == 2.0
+        assert snapshot["counters"]["verifier.outcomes{outcome=accepted}"] == 1.0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m", x=1, y=2)
+        b = registry.counter("m", y=2, x=1)
+        assert a is b
+
+
+class TestSnapshot:
+    def test_snapshot_covers_every_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 3.0}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 1.0
+
+    def test_series_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        registry.histogram("c")
+        assert registry.series_names() == ["a", "b", "c"]
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestNullMetrics:
+    def test_null_instruments_are_shared_and_inert(self):
+        null = NullMetrics()
+        assert null.counter("a") is null.counter("b")
+        assert null.gauge("a") is null.gauge("b")
+        assert null.histogram("a") is null.histogram("b")
+        null.counter("a").inc(100)
+        null.gauge("a").set(5)
+        null.histogram("a").observe(1.0)
+        assert null.counter("a").value == 0.0
+        assert null.histogram("a").count == 0
+        assert null.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert not null.enabled
+
+    def test_enable_disable_swaps_active_backend(self):
+        assert not get_metrics().enabled
+        live = enable_metrics()
+        assert get_metrics() is live
+        assert get_metrics().enabled
+        disable_metrics()
+        assert not get_metrics().enabled

@@ -1,0 +1,144 @@
+"""Telemetry must be purely observational.
+
+Property: running the replay/solver stack with metrics + tracing fully
+enabled produces bit-for-bit the same results as running it against the
+no-op backends.  Instrumentation that perturbs rewards, orders or
+objectives would silently invalidate every figure recorded with
+telemetry on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import WorkloadConfig
+from repro.core.environment import ReorderEnv
+from repro.solvers.base import ReorderProblem
+from repro.solvers.hill_climb import HillClimbSolver
+from repro.telemetry import (
+    RingBufferSink,
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+)
+from repro.workloads import generate_workload
+
+N_TXS = 6
+
+
+def _workload():
+    return generate_workload(
+        WorkloadConfig(
+            mempool_size=N_TXS, num_users=5, num_ifus=1,
+            min_ifu_involvement=2, seed=7,
+        )
+    )
+
+
+def _fresh_env(workload) -> ReorderEnv:
+    return ReorderEnv(
+        pre_state=workload.pre_state,
+        transactions=workload.transactions,
+        ifus=workload.ifus,
+    )
+
+
+def _evaluate_all(env: ReorderEnv, orders):
+    results = []
+    for order in orders:
+        evaluation = env.evaluate_order(order)
+        evaluation.pop("summary")  # engine-internal object, not a result
+        results.append(evaluation)
+    return results
+
+
+@st.composite
+def permutations(draw):
+    return tuple(draw(st.permutations(range(N_TXS))))
+
+
+@settings(max_examples=25, deadline=None)
+@given(orders=st.lists(permutations(), min_size=1, max_size=6))
+def test_evaluations_identical_with_and_without_telemetry(orders):
+    workload = _workload()
+
+    disable_metrics()
+    disable_tracing()
+    baseline = _evaluate_all(_fresh_env(workload), orders)
+
+    enable_metrics()
+    enable_tracing(RingBufferSink())
+    try:
+        instrumented = _evaluate_all(_fresh_env(workload), orders)
+    finally:
+        disable_metrics()
+        disable_tracing()
+
+    assert baseline == instrumented  # exact — including float equality
+
+
+@settings(max_examples=10, deadline=None)
+@given(actions=st.lists(st.integers(min_value=0), min_size=1, max_size=10))
+def test_episode_identical_with_and_without_telemetry(actions):
+    workload = _workload()
+
+    def run_episode():
+        env = _fresh_env(workload)
+        observation = env.reset()
+        trajectory = [observation.tobytes()]
+        for raw in actions:
+            action = raw % env.action_count
+            observation, reward, done, info = env.step(action)
+            info.pop("summary", None)
+            trajectory.append(
+                (observation.tobytes(), reward, done, sorted(info.items()))
+            )
+        return trajectory
+
+    disable_metrics()
+    disable_tracing()
+    baseline = run_episode()
+
+    enable_metrics()
+    enable_tracing(RingBufferSink())
+    try:
+        instrumented = run_episode()
+    finally:
+        disable_metrics()
+        disable_tracing()
+
+    assert baseline == instrumented
+
+
+def test_solver_result_identical_with_and_without_telemetry():
+    workload = _workload()
+
+    def solve():
+        problem = ReorderProblem(
+            pre_state=workload.pre_state,
+            transactions=workload.transactions,
+            ifus=workload.ifus,
+        )
+        result = HillClimbSolver().solve(problem)
+        return (
+            result.best_order,
+            result.best_objective,
+            result.original_objective,
+            result.evaluations,
+        )
+
+    disable_metrics()
+    disable_tracing()
+    baseline = solve()
+
+    enable_metrics()
+    enable_tracing(RingBufferSink())
+    try:
+        instrumented = solve()
+    finally:
+        disable_metrics()
+        disable_tracing()
+
+    assert baseline == instrumented

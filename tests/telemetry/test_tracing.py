@@ -1,0 +1,163 @@
+"""Span tracing tests: nesting, JSONL ordering, sinks, no-op mode."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import (
+    FileSink,
+    RingBufferSink,
+    Tracer,
+    enable_metrics,
+    enable_tracing,
+    event,
+    get_tracer,
+    span,
+)
+
+
+def _span_events(sink: RingBufferSink):
+    return [e for e in sink.events() if e["type"] == "span"]
+
+
+class TestSpanNesting:
+    def test_child_records_parent_id(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        events = _span_events(sink)
+        by_name = {e["name"]: e for e in events}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["parent_id"] is None
+
+    def test_child_precedes_parent_in_stream(self):
+        # Spans emit at close, so a consumer tailing the JSONL sees
+        # finished children before their parent.
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        names = [e["name"] for e in _span_events(sink)]
+        assert names == ["c", "b", "a"]
+
+    def test_sibling_spans_share_parent(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        with tracer.span("parent") as parent:
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        events = {e["name"]: e for e in _span_events(sink)}
+        assert events["first"]["parent_id"] == parent.span_id
+        assert events["second"]["parent_id"] == parent.span_id
+
+    def test_span_ids_are_deterministic_sequence(self):
+        tracer = Tracer(RingBufferSink())
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert (a.span_id, b.span_id) == (1, 2)
+
+    def test_monotonic_timing(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        with tracer.span("timed"):
+            pass
+        [record] = _span_events(sink)
+        assert 0.0 <= record["start"] <= record["end"]
+        assert record["duration_s"] >= 0.0
+
+    def test_exception_is_recorded_and_propagates(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        try:
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        [record] = _span_events(sink)
+        assert record["error"] == "RuntimeError"
+
+    def test_attrs_and_mid_span_add(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        with tracer.span("work", n=3) as current:
+            current.add(result="ok")
+        [record] = _span_events(sink)
+        assert record["attrs"] == {"n": 3, "result": "ok"}
+
+
+class TestEvents:
+    def test_point_event_carries_parent(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            tracer.event("tick", k=1)
+        [evt] = [e for e in sink.events() if e["type"] == "event"]
+        assert evt["parent_id"] == outer.span_id
+        assert evt["attrs"] == {"k": 1}
+
+    def test_emit_metrics_attaches_snapshot(self):
+        enable_metrics().counter("c").inc(4)
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        tracer.emit_metrics("final")
+        [evt] = [e for e in sink.events() if e["type"] == "metrics"]
+        assert evt["metrics"]["counters"]["c"] == 4.0
+
+
+class TestSinks:
+    def test_ring_buffer_capacity(self):
+        sink = RingBufferSink(capacity=3)
+        tracer = Tracer(sink)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        names = [e["name"] for e in sink.events()]
+        assert names == ["s7", "s8", "s9"]
+
+    def test_file_sink_writes_valid_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = FileSink(path)
+        tracer = Tracer(sink)
+        with tracer.span("outer", n=1):
+            with tracer.span("inner"):
+                pass
+        tracer.event("done")
+        tracer.close()
+        lines = path.read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert [e["name"] for e in events] == ["inner", "outer", "done"]
+        assert all("type" in e for e in events)
+
+    def test_file_sink_close_is_idempotent(self, tmp_path):
+        sink = FileSink(tmp_path / "t.jsonl")
+        sink.close()  # never opened
+        sink.emit({"type": "event", "name": "x"})
+        sink.close()
+        sink.close()
+
+
+class TestModuleLevelHelpers:
+    def test_disabled_tracer_emits_nothing_and_shares_null_span(self):
+        assert not get_tracer().enabled
+        first = span("anything", n=1)
+        second = span("else")
+        assert first is second  # shared inert singleton
+        with first as current:
+            current.add(more=True)
+        event("ignored")
+
+    def test_enable_tracing_routes_module_helpers(self):
+        sink = RingBufferSink()
+        enable_tracing(sink)
+        with span("via.module", k=2):
+            event("inside")
+        names = [e["name"] for e in sink.events()]
+        assert names == ["inside", "via.module"]

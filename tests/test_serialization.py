@@ -18,7 +18,7 @@ from repro.serialization import (
     workload_from_dict,
     workload_to_dict,
 )
-from repro.workloads import case_study_fixture, generate_workload
+from repro.workloads import generate_workload
 
 
 class TestTransactionRoundTrip:

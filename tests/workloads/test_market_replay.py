@@ -1,6 +1,5 @@
 """Tests for market-calibrated replay workloads."""
 
-import numpy as np
 import pytest
 
 from repro.config import SnapshotStudyConfig

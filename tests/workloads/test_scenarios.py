@@ -7,7 +7,6 @@ from repro.workloads import (
     CASE2_ORDER,
     CASE3_ORDER,
     burn_heavy_scenario,
-    case_study_fixture,
     mint_frenzy_scenario,
 )
 from repro.workloads.scenarios import IFU
