@@ -159,6 +159,42 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .faults import DEFAULT_MATRIX, ChaosHarness, ChaosScenario
+
+    if args.matrix:
+        scenarios = [
+            dataclasses.replace(scenario, seed=scenario.seed + args.seed)
+            for scenario in DEFAULT_MATRIX
+        ]
+    else:
+        scenarios = [
+            ChaosScenario(
+                name="cli",
+                seed=args.seed,
+                rounds=args.rounds,
+                crashes=args.crashes,
+                partitions=args.partitions,
+                commit_failures=args.commit_failures,
+                drop_bursts=args.drop_bursts,
+                stalls=args.stalls,
+                corrupt_every=args.corrupt_every,
+                flaky_every=args.flaky_every,
+            )
+        ]
+    failures = 0
+    for scenario in scenarios:
+        report = ChaosHarness(scenario).run()
+        print(report.render())
+        print()
+        if not report.ok:
+            failures += 1
+    print(f"{len(scenarios)} scenario(s), {failures} with invariant violations")
+    return 1 if failures else 0
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     from .telemetry import summarize_trace, tail_trace
 
@@ -237,6 +273,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="record metrics, per-experiment manifests and a JSONL trace",
     )
     run_all.set_defaults(handler=_cmd_run_all)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="seeded fault-injection run with per-round invariant checks",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--rounds", type=int, default=10)
+    chaos.add_argument(
+        "--matrix", action="store_true",
+        help="run the full seeded scenario matrix instead of one scenario",
+    )
+    chaos.add_argument("--crashes", type=int, default=2,
+                       help="aggregator/verifier crash-restart pairs")
+    chaos.add_argument("--partitions", type=int, default=1)
+    chaos.add_argument("--commit-failures", type=int, default=1)
+    chaos.add_argument("--drop-bursts", type=int, default=1)
+    chaos.add_argument("--stalls", type=int, default=0)
+    chaos.add_argument("--corrupt-every", type=int, default=0, metavar="K",
+                       help="aggregator 0 forges every K-th post-state root")
+    chaos.add_argument("--flaky-every", type=int, default=0, metavar="K",
+                       help="aggregator 1 dies on every K-th execution")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     telemetry = subparsers.add_parser(
         "telemetry", help="summarize or tail a recorded JSONL trace"

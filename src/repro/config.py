@@ -149,6 +149,10 @@ class RollupConfig:
     #: Maximum number of transactions one aggregator collects per round
     #: (the paper's per-aggregator "Mempool" size).
     aggregator_mempool_size: int = 50
+    #: Bounded retry for batch commitment: total attempts per batch.
+    commit_max_retries: int = 3
+    #: First retry backoff, in simulation time units; doubles per attempt.
+    commit_backoff_base: float = 0.25
 
     def __post_init__(self) -> None:
         _require(self.block_interval > 0, "block_interval must be positive")
@@ -160,6 +164,10 @@ class RollupConfig:
                  "slash_fraction must be in (0, 1]")
         _require(self.aggregator_mempool_size > 0,
                  "aggregator_mempool_size must be positive")
+        _require(self.commit_max_retries >= 1,
+                 "commit_max_retries must be at least 1")
+        _require(self.commit_backoff_base >= 0,
+                 "commit_backoff_base must be non-negative")
 
 
 @dataclass(frozen=True)

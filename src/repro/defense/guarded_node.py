@@ -64,12 +64,16 @@ class GuardedRollupNode(RollupNode):
         count = collect_per_aggregator or self.config.aggregator_mempool_size
         report = GuardedRoundReport()
         for aggregator in self.aggregators:
-            if len(self.mempool) == 0:
+            if not aggregator.alive:
+                report.skipped_aggregators.append(aggregator.address)
+                continue
+            if len(self.mempool) == 0 or self.mempool.stalled:
                 break
             collected = self.mempool.collect(min(count, len(self.mempool)))
-            pre_state = self.l2_state.copy()
+            if not collected:
+                break
 
-            plan = plan_demotion(self.guard, pre_state, collected)
+            plan = plan_demotion(self.guard, self.l2_state.copy(), collected)
             report.plans.append(plan)
             if plan.demoted:
                 self.mempool.requeue(plan.demoted)
@@ -77,15 +81,8 @@ class GuardedRollupNode(RollupNode):
             if not batch_txs:
                 continue
 
-            result = aggregator.process(pre_state, batch_txs)
-            commitment = self.contract.commit_batch(
-                aggregator.address,
-                result.batch.tx_root,
-                result.batch.post_state_root,
-            )
-            self._batch_prestates[commitment.batch_id] = pre_state
-            self.l2_state = result.trace.final_state
-            report.results.append(result)
-            self._inspect(commitment.batch_id, result.batch, pre_state, report)
+            # Execution, bounded-retry commitment, inspection and failure
+            # recovery (requeue on error) are shared with the plain node.
+            self._process_and_commit(aggregator, batch_txs, report)
         self.chain.seal_block()
         return report

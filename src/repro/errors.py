@@ -99,3 +99,11 @@ class MarketError(ReproError):
 
 class DefenseError(ReproError):
     """Defense-module failure."""
+
+
+class FaultError(ReproError):
+    """A fault plan was malformed or targeted an unknown component."""
+
+
+class InvariantViolationError(ReproError):
+    """A chaos-harness safety invariant failed after a round."""

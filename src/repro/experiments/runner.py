@@ -14,6 +14,7 @@ exposes it as ``parole run-all``.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import json
 import pathlib
 import time
@@ -64,8 +65,8 @@ def _dataclass_list(items: Any) -> Any:
         return _dataclass_list(dataclasses.asdict(items))
     if isinstance(items, (tuple, set)):
         return [_dataclass_list(item) for item in items]
-    if hasattr(items, "value") and items.__class__.__module__.startswith("repro"):
-        return items.value  # enums
+    if isinstance(items, enum.Enum):
+        return items.value
     return items
 
 

@@ -1,0 +1,51 @@
+"""Deterministic fault injection and crash recovery for the rollup pipeline.
+
+Real L2 deployments lose batches, drop messages and crash mid-commit —
+exactly where revert-based MEV and private-mempool attacks become
+profitable.  This package probes the reproduction's robustness under a
+seeded, fully deterministic fault schedule:
+
+* :mod:`~repro.faults.plan` — :class:`FaultPlan`: a seeded schedule of
+  fault events (crash/restart, partitions/heals, drop-rate bursts,
+  commit failures, mempool stalls) on the simulation timeline;
+* :mod:`~repro.faults.injector` — :class:`FaultInjector`: applies a plan
+  to live components through :class:`ChaosTargets`, recording injected
+  fault counts and recovery latencies;
+* :mod:`~repro.faults.invariants` — :class:`InvariantChecker`: the
+  conservation / no-loss / monotonicity / pending-window checks that
+  must hold after every round, faults or not;
+* :mod:`~repro.faults.harness` — :class:`ChaosHarness`: runs seeded
+  end-to-end scenarios over a :class:`~repro.rollup.RollupNode`, checks
+  invariants each round, and reports through ``repro.telemetry``.
+
+See ``docs/faults.md`` for the fault model and how to read the output.
+"""
+
+from .plan import FaultEvent, FaultKind, FaultPlan
+from .injector import ChaosTargets, FaultInjector, RecoveryRecord
+from .invariants import InvariantChecker, InvariantReport
+from .harness import (
+    DEFAULT_MATRIX,
+    ChaosHarness,
+    ChaosReport,
+    ChaosScenario,
+    RoundRecord,
+    run_matrix,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "ChaosTargets",
+    "FaultInjector",
+    "RecoveryRecord",
+    "InvariantChecker",
+    "InvariantReport",
+    "ChaosHarness",
+    "ChaosReport",
+    "ChaosScenario",
+    "RoundRecord",
+    "DEFAULT_MATRIX",
+    "run_matrix",
+]

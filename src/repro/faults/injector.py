@@ -1,0 +1,210 @@
+"""Applies a :class:`~repro.faults.plan.FaultPlan` to live components.
+
+The injector is deliberately dumb: it schedules one callback per fault
+event on the :class:`~repro.sim.events.EventQueue` and, when the event
+fires, pokes the targeted component through :class:`ChaosTargets`.  All
+bookkeeping — what was injected when, and how long each degraded period
+lasted — is recorded for the chaos report and published through the
+telemetry registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import FaultError
+from ..sim.events import EventQueue
+from ..telemetry import get_metrics
+from .plan import FaultEvent, FaultKind, FaultPlan
+
+#: Histogram bounds (sim-time units) for recovery-latency observations.
+_RECOVERY_BOUNDS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One closed degraded period: what recovered and how long it took."""
+
+    kind: str
+    target: str
+    started_at: float
+    recovered_at: float
+
+    @property
+    def latency(self) -> float:
+        """Length of the degraded period in sim-time units."""
+        return self.recovered_at - self.started_at
+
+
+@dataclass
+class ChaosTargets:
+    """Handles to everything the injector may poke.
+
+    Any handle may be ``None``/empty; applying a fault against a missing
+    handle raises :class:`~repro.errors.FaultError` (a plan that names a
+    component the deployment does not have is a bug).
+    """
+
+    network: Optional[Any] = None  # SimNetwork
+    mempool: Optional[Any] = None  # BedrockMempool
+    #: Address -> object with ``crash()`` / ``restart()``.
+    aggregators: Dict[str, Any] = field(default_factory=dict)
+    verifiers: Dict[str, Any] = field(default_factory=dict)
+    #: ``(count, aggregator_or_None) -> None`` — RollupNode's hook.
+    inject_commit_failures: Optional[Callable[[int, Optional[str]], None]] = None
+
+
+class FaultInjector:
+    """Schedules a fault plan onto an event queue and applies it."""
+
+    def __init__(self, queue: EventQueue, targets: ChaosTargets) -> None:
+        self.queue = queue
+        self.targets = targets
+        #: Every applied event, as ``(time, description)``.
+        self.applied: List[Tuple[float, str]] = []
+        self.recoveries: List[RecoveryRecord] = []
+        self._down_since: Dict[Tuple[str, str], float] = {}
+        self._pre_burst_drop_rate: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+
+    def install(self, plan: FaultPlan) -> None:
+        """Schedule every event of ``plan`` relative to the current time."""
+        now = self.queue.now
+        for event in plan.events:
+            if event.time < now:
+                raise FaultError(
+                    f"fault at t={event.time} is in the past (now={now})"
+                )
+            self.queue.schedule(
+                event.time - now,
+                lambda event=event: self.apply(event),
+                label=f"fault:{event.kind.value}",
+            )
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Applied fault counts, keyed by kind value."""
+        counts: Dict[str, int] = {}
+        for _, description in self.applied:
+            kind = description.split(" ")[0]
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+
+    def apply(self, event: FaultEvent) -> None:
+        """Apply one fault right now (normally called by the queue)."""
+        handler = self._HANDLERS[event.kind]
+        handler(self, event)
+        self.applied.append(
+            (self.queue.now, f"{event.kind.value} {event.target or ''}".strip())
+        )
+        get_metrics().counter("faults.injected", kind=event.kind.value).inc()
+
+    def _mark_down(self, kind: FaultKind, target: str) -> None:
+        self._down_since[(kind.value, target)] = self.queue.now
+
+    def _mark_recovered(self, down_kind: FaultKind, target: str) -> None:
+        started = self._down_since.pop((down_kind.value, target), None)
+        if started is None:
+            return
+        record = RecoveryRecord(
+            kind=down_kind.value,
+            target=target,
+            started_at=started,
+            recovered_at=self.queue.now,
+        )
+        self.recoveries.append(record)
+        get_metrics().histogram(
+            "faults.recovery_latency", bounds=_RECOVERY_BOUNDS
+        ).observe(record.latency)
+
+    # ------------------------------------------------------------------ #
+    # Per-kind handlers
+    # ------------------------------------------------------------------ #
+
+    def _crashable(self, registry: Dict[str, Any], target: Optional[str], role: str):
+        if target is None or target not in registry:
+            raise FaultError(f"unknown {role} {target!r} in fault plan")
+        return registry[target]
+
+    def _aggregator_crash(self, event: FaultEvent) -> None:
+        self._crashable(self.targets.aggregators, event.target, "aggregator").crash()
+        self._mark_down(FaultKind.AGGREGATOR_CRASH, event.target)
+
+    def _aggregator_restart(self, event: FaultEvent) -> None:
+        self._crashable(
+            self.targets.aggregators, event.target, "aggregator"
+        ).restart()
+        self._mark_recovered(FaultKind.AGGREGATOR_CRASH, event.target)
+
+    def _verifier_crash(self, event: FaultEvent) -> None:
+        self._crashable(self.targets.verifiers, event.target, "verifier").crash()
+        self._mark_down(FaultKind.VERIFIER_CRASH, event.target)
+
+    def _verifier_restart(self, event: FaultEvent) -> None:
+        self._crashable(self.targets.verifiers, event.target, "verifier").restart()
+        self._mark_recovered(FaultKind.VERIFIER_CRASH, event.target)
+
+    def _commit_failure(self, event: FaultEvent) -> None:
+        if self.targets.inject_commit_failures is None:
+            raise FaultError("no commit-failure hook wired")
+        self.targets.inject_commit_failures(int(event.value), event.target)
+
+    def _require_network(self):
+        if self.targets.network is None:
+            raise FaultError("no network wired for partition/drop faults")
+        return self.targets.network
+
+    def _partition(self, event: FaultEvent) -> None:
+        self._require_network().partition(event.target, event.peer)
+        self._mark_down(FaultKind.PARTITION, f"{event.target}|{event.peer}")
+
+    def _heal(self, event: FaultEvent) -> None:
+        self._require_network().heal(event.target, event.peer)
+        self._mark_recovered(FaultKind.PARTITION, f"{event.target}|{event.peer}")
+
+    def _drop_burst(self, event: FaultEvent) -> None:
+        network = self._require_network()
+        if self._pre_burst_drop_rate is None:
+            self._pre_burst_drop_rate = network.drop_rate
+        network.set_drop_rate(event.value)
+        self._mark_down(FaultKind.DROP_BURST, "network")
+
+    def _drop_restore(self, event: FaultEvent) -> None:
+        network = self._require_network()
+        network.set_drop_rate(
+            self._pre_burst_drop_rate
+            if self._pre_burst_drop_rate is not None
+            else 0.0
+        )
+        self._pre_burst_drop_rate = None
+        self._mark_recovered(FaultKind.DROP_BURST, "network")
+
+    def _require_mempool(self):
+        if self.targets.mempool is None:
+            raise FaultError("no mempool wired for stall faults")
+        return self.targets.mempool
+
+    def _mempool_stall(self, event: FaultEvent) -> None:
+        self._require_mempool().stall()
+        self._mark_down(FaultKind.MEMPOOL_STALL, "mempool")
+
+    def _mempool_resume(self, event: FaultEvent) -> None:
+        self._require_mempool().resume()
+        self._mark_recovered(FaultKind.MEMPOOL_STALL, "mempool")
+
+    _HANDLERS: Dict[FaultKind, Callable[["FaultInjector", FaultEvent], None]] = {
+        FaultKind.AGGREGATOR_CRASH: _aggregator_crash,
+        FaultKind.AGGREGATOR_RESTART: _aggregator_restart,
+        FaultKind.VERIFIER_CRASH: _verifier_crash,
+        FaultKind.VERIFIER_RESTART: _verifier_restart,
+        FaultKind.COMMIT_FAILURE: _commit_failure,
+        FaultKind.PARTITION: _partition,
+        FaultKind.HEAL: _heal,
+        FaultKind.DROP_BURST: _drop_burst,
+        FaultKind.DROP_RESTORE: _drop_restore,
+        FaultKind.MEMPOOL_STALL: _mempool_stall,
+        FaultKind.MEMPOOL_RESUME: _mempool_resume,
+    }

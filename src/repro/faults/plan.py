@@ -1,0 +1,234 @@
+"""Seeded fault schedules on the simulation timeline.
+
+A :class:`FaultPlan` is an ordered, immutable list of
+:class:`FaultEvent` entries.  Plans are either hand-written (tests pin
+exact timings) or drawn from :meth:`FaultPlan.random`, which generates a
+paired, always-recoverable schedule — every crash gets a restart, every
+partition a heal, every stall a resume — so a scenario probes degraded
+operation rather than permanent death.  The same seed always yields the
+same plan.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import FaultError
+
+
+class FaultKind(enum.Enum):
+    """Every fault the injector knows how to apply."""
+
+    AGGREGATOR_CRASH = "aggregator-crash"
+    AGGREGATOR_RESTART = "aggregator-restart"
+    VERIFIER_CRASH = "verifier-crash"
+    VERIFIER_RESTART = "verifier-restart"
+    COMMIT_FAILURE = "commit-failure"
+    PARTITION = "partition"
+    HEAL = "heal"
+    DROP_BURST = "drop-burst"
+    DROP_RESTORE = "drop-restore"
+    MEMPOOL_STALL = "mempool-stall"
+    MEMPOOL_RESUME = "mempool-resume"
+
+
+#: Fault kinds that open a degraded period, mapped to the kind closing it.
+RECOVERY_OF: Dict[FaultKind, FaultKind] = {
+    FaultKind.AGGREGATOR_CRASH: FaultKind.AGGREGATOR_RESTART,
+    FaultKind.VERIFIER_CRASH: FaultKind.VERIFIER_RESTART,
+    FaultKind.PARTITION: FaultKind.HEAL,
+    FaultKind.DROP_BURST: FaultKind.DROP_RESTORE,
+    FaultKind.MEMPOOL_STALL: FaultKind.MEMPOOL_RESUME,
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` names the affected component (an aggregator/verifier
+    address, or one endpoint of a partitioned link); ``peer`` is the
+    other endpoint for partition/heal; ``value`` carries the burst drop
+    rate or the injected commit-failure count.
+    """
+
+    time: float
+    kind: FaultKind
+    target: Optional[str] = None
+    peer: Optional[str] = None
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FaultError(f"fault time must be >= 0, got {self.time}")
+        if self.kind in (FaultKind.PARTITION, FaultKind.HEAL):
+            if self.target is None or self.peer is None:
+                raise FaultError(f"{self.kind.value} needs target and peer")
+        if self.kind is FaultKind.DROP_BURST and not 0.0 <= self.value < 1.0:
+            raise FaultError("drop-burst rate must be in [0, 1)")
+        if self.kind is FaultKind.COMMIT_FAILURE and self.value < 1:
+            raise FaultError("commit-failure count must be >= 1")
+
+    def describe(self) -> str:
+        """Compact human-readable form used in reports."""
+        parts = [f"t={self.time:g}", self.kind.value]
+        if self.target is not None:
+            parts.append(self.target)
+        if self.peer is not None:
+            parts.append(f"<->{self.peer}")
+        if self.value:
+            parts.append(f"value={self.value:g}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-sorted schedule of faults."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda e: e.time)
+        )  # stable: same-time events keep authoring order
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """How many events of each kind the plan schedules."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+        return counts
+
+    def validate(self) -> None:
+        """Check every degradation is paired with a later recovery.
+
+        Raises :class:`~repro.errors.FaultError` on an unrecoverable
+        plan; scenarios that *want* permanent faults can skip this.
+        """
+        for index, event in enumerate(self.events):
+            recovery = RECOVERY_OF.get(event.kind)
+            if recovery is None:
+                continue
+            healed = any(
+                later.kind is recovery
+                and later.target == event.target
+                and later.peer == event.peer
+                for later in self.events[index + 1:]
+            )
+            if not healed:
+                raise FaultError(
+                    f"fault {event.describe()!r} has no matching "
+                    f"{recovery.value} event"
+                )
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        horizon: float,
+        aggregators: Sequence[str] = (),
+        verifiers: Sequence[str] = (),
+        links: Sequence[Tuple[str, str]] = (),
+        crashes: int = 2,
+        partitions: int = 1,
+        commit_failures: int = 1,
+        drop_bursts: int = 1,
+        stalls: int = 0,
+        mean_outage: float = 2.0,
+        burst_drop_rate: float = 0.4,
+    ) -> "FaultPlan":
+        """Draw a paired (always-recoverable) plan from a seed.
+
+        Outage lengths are exponential with mean ``mean_outage`` and
+        every degraded period closes strictly inside ``horizon``.
+        """
+        if horizon <= 0:
+            raise FaultError("horizon must be positive")
+        rng = np.random.default_rng(seed)
+        events = []
+
+        def outage_window() -> Tuple[float, float]:
+            start = float(rng.uniform(0.0, horizon * 0.7))
+            length = float(
+                min(rng.exponential(mean_outage) + 0.1, horizon - start - 1e-6)
+            )
+            return start, start + length
+
+        for _ in range(crashes):
+            pool = list(aggregators) + list(verifiers)
+            if not pool:
+                break
+            target = pool[int(rng.integers(len(pool)))]
+            is_aggregator = target in aggregators
+            start, end = outage_window()
+            events.append(
+                FaultEvent(
+                    time=start,
+                    kind=(
+                        FaultKind.AGGREGATOR_CRASH
+                        if is_aggregator
+                        else FaultKind.VERIFIER_CRASH
+                    ),
+                    target=target,
+                )
+            )
+            events.append(
+                FaultEvent(
+                    time=end,
+                    kind=(
+                        FaultKind.AGGREGATOR_RESTART
+                        if is_aggregator
+                        else FaultKind.VERIFIER_RESTART
+                    ),
+                    target=target,
+                )
+            )
+        for _ in range(partitions):
+            if not links:
+                break
+            a, b = links[int(rng.integers(len(links)))]
+            start, end = outage_window()
+            events.append(
+                FaultEvent(time=start, kind=FaultKind.PARTITION, target=a, peer=b)
+            )
+            events.append(
+                FaultEvent(time=end, kind=FaultKind.HEAL, target=a, peer=b)
+            )
+        for _ in range(drop_bursts):
+            start, end = outage_window()
+            events.append(
+                FaultEvent(
+                    time=start, kind=FaultKind.DROP_BURST, value=burst_drop_rate
+                )
+            )
+            events.append(FaultEvent(time=end, kind=FaultKind.DROP_RESTORE))
+        for _ in range(stalls):
+            start, end = outage_window()
+            events.append(FaultEvent(time=start, kind=FaultKind.MEMPOOL_STALL))
+            events.append(FaultEvent(time=end, kind=FaultKind.MEMPOOL_RESUME))
+        for _ in range(commit_failures):
+            at = float(rng.uniform(0.0, horizon * 0.8))
+            target = (
+                aggregators[int(rng.integers(len(aggregators)))]
+                if aggregators and rng.random() < 0.5
+                else None
+            )
+            count = int(rng.integers(1, 5))
+            events.append(
+                FaultEvent(
+                    time=at,
+                    kind=FaultKind.COMMIT_FAILURE,
+                    target=target,
+                    value=float(count),
+                )
+            )
+        return cls(events=tuple(events), seed=seed)

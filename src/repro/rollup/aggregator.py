@@ -45,6 +45,23 @@ class Aggregator:
     def __init__(self, address: str, ovm: Optional[OVM] = None) -> None:
         self.address = address
         self.ovm = ovm or OVM()
+        #: Liveness flag the fault-injection layer toggles; a crashed
+        #: aggregator is skipped by the node/sequencer until restarted.
+        self.alive = True
+        self.crash_count = 0
+
+    def crash(self) -> None:
+        """Mark the aggregator as down (crash fault)."""
+        if self.alive:
+            self.alive = False
+            self.crash_count += 1
+            get_metrics().counter(
+                "aggregator.crashes", aggregator=self.address
+            ).inc()
+
+    def restart(self) -> None:
+        """Bring a crashed aggregator back into rotation."""
+        self.alive = True
 
     def process(
         self, pre_state: L2State, collected: Sequence[NFTTransaction]

@@ -23,6 +23,7 @@ class BedrockMempool:
     def __init__(self) -> None:
         self._pending: Dict[str, NFTTransaction] = {}
         self._arrival: int = 0
+        self._stalled = False
         # Telemetry is bound at construction: instruments resolve to
         # shared no-ops unless a registry was enabled beforehand.
         metrics = get_metrics()
@@ -35,6 +36,19 @@ class BedrockMempool:
 
     def __len__(self) -> int:
         return len(self._pending)
+
+    @property
+    def stalled(self) -> bool:
+        """Whether collection is currently stalled (fault injection)."""
+        return self._stalled
+
+    def stall(self) -> None:
+        """Stop serving collections; submissions are still accepted."""
+        self._stalled = True
+
+    def resume(self) -> None:
+        """Resume serving collections after a stall."""
+        self._stalled = False
 
     def __contains__(self, tx_hash: str) -> bool:
         return tx_hash in self._pending
@@ -86,6 +100,8 @@ class BedrockMempool:
         """
         if count <= 0:
             raise MempoolError("collect count must be positive")
+        if self._stalled:
+            return ()
         selected = self.peek(count)
         for tx in selected:
             del self._pending[tx.tx_hash]

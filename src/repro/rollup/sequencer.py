@@ -77,6 +77,8 @@ class Sequencer:
         self.fee_market = fee_market
         self._clock = 0
         self._next_aggregator = 0
+        #: Production attempts that failed and requeued their collection.
+        self.failed_blocks = 0
 
     # ------------------------------------------------------------------ #
 
@@ -134,15 +136,41 @@ class Sequencer:
             raise RollupError("sequencer failed to drain the mempool")
         return produced
 
-    def _produce_block(self) -> Tuple[L2Block, AggregationResult]:
-        aggregator = self.aggregators[self._next_aggregator]
-        self._next_aggregator = (self._next_aggregator + 1) % len(self.aggregators)
+    def _next_live_aggregator(self) -> Optional[Aggregator]:
+        """Round-robin selection skipping crashed aggregators."""
+        for _ in range(len(self.aggregators)):
+            aggregator = self.aggregators[self._next_aggregator]
+            self._next_aggregator = (
+                self._next_aggregator + 1
+            ) % len(self.aggregators)
+            if aggregator.alive:
+                return aggregator
+        return None
+
+    def _produce_block(self) -> Optional[Tuple[L2Block, AggregationResult]]:
+        aggregator = self._next_live_aggregator()
+        if aggregator is None:
+            # Every aggregator is down: skip the slot rather than crash;
+            # pending transactions simply wait for a restart.
+            get_metrics().counter("sequencer.skipped_slots").inc()
+            return None
         count = min(self.config.aggregator_mempool_size, len(self.mempool))
         with span(
             "sequencer.block", number=len(self.blocks), aggregator=aggregator.address
         ) as current:
             collected = self.mempool.collect(count)
-            result = aggregator.process(self.state.copy(), collected)
+            if not collected:  # stalled mempool
+                current.add(stalled=True)
+                return None
+            try:
+                result = aggregator.process(self.state.copy(), collected)
+            except Exception:
+                # Recovery: the collection goes back to the pool intact.
+                self.mempool.requeue(collected)
+                self.failed_blocks += 1
+                get_metrics().counter("sequencer.failed_blocks").inc()
+                current.add(failed=True)
+                return None
             self.state = result.trace.final_state
             parent = self.head.block_hash if self.head else GENESIS_L2_PARENT
             block = L2Block(

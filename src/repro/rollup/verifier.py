@@ -42,6 +42,23 @@ class Verifier:
     def __init__(self, address: str, ovm: Optional[OVM] = None) -> None:
         self.address = address
         self.ovm = ovm or OVM()
+        #: Liveness flag toggled by fault injection; a crashed verifier is
+        #: skipped during inspection until restarted.
+        self.alive = True
+        self.crash_count = 0
+
+    def crash(self) -> None:
+        """Mark the verifier as down (crash fault)."""
+        if self.alive:
+            self.alive = False
+            self.crash_count += 1
+            get_metrics().counter(
+                "verifier.crashes", verifier=self.address
+            ).inc()
+
+    def restart(self) -> None:
+        """Bring a crashed verifier back online."""
+        self.alive = True
 
     def inspect(self, batch: Batch, pre_state: L2State) -> VerificationReport:
         """Re-execute ``batch`` from ``pre_state`` and compare roots."""

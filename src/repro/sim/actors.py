@@ -34,7 +34,22 @@ class Actor:
         self.name = name
         self.network = network
         self.queue = queue
-        network.register(name, self.on_message)
+        #: Liveness flag for fault injection: messages delivered to a
+        #: crashed actor are silently discarded (the node is down).
+        self.alive = True
+        network.register(name, self._receive)
+
+    def crash(self) -> None:
+        """Take the actor down; deliveries are ignored until restart."""
+        self.alive = False
+
+    def restart(self) -> None:
+        """Bring the actor back online."""
+        self.alive = True
+
+    def _receive(self, message: Message) -> None:
+        if self.alive:
+            self.on_message(message)
 
     def on_message(self, message: Message) -> None:
         """Handle a delivered message (default: ignore)."""
@@ -133,6 +148,8 @@ class AggregatorActor(Actor):
             )
 
     def _collect(self) -> None:
+        if not self.alive:
+            return
         self.send(self.mempool_node, "collect", self.collect_size)
 
     def on_message(self, message: Message) -> None:

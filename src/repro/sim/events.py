@@ -92,7 +92,13 @@ class EventQueue:
                 break
             self.step()
             executed += 1
-        else:
-            if executed >= max_events:
-                raise SimError(f"exceeded {max_events} events; runaway loop?")
+        if (
+            executed >= max_events
+            and self._heap
+            and (until is None or self._heap[0].time <= until)
+        ):
+            # Only a genuine runaway: the budget is spent *and* runnable
+            # events remain.  Draining in exactly ``max_events`` events is
+            # normal exhaustion, not an error.
+            raise SimError(f"exceeded {max_events} events; runaway loop?")
         return executed

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -33,6 +34,16 @@ class LatencyModel:
 
     base: float = 0.05
     jitter: float = 0.02
+
+    def __post_init__(self) -> None:
+        # A negative base would make SimNetwork.send crash far from the
+        # cause with "cannot schedule into the past" — fail fast here.
+        if not math.isfinite(self.base) or self.base < 0:
+            raise SimError(
+                f"latency base must be finite and >= 0, got {self.base}"
+            )
+        if not math.isfinite(self.jitter):
+            raise SimError(f"latency jitter must be finite, got {self.jitter}")
 
     def sample(self, rng: np.random.Generator) -> float:
         """Draw one delivery latency."""
@@ -72,6 +83,12 @@ class SimNetwork:
         if name in self._handlers:
             raise SimError(f"node {name!r} already registered")
         self._handlers[name] = handler
+
+    def set_drop_rate(self, rate: float) -> None:
+        """Change the global drop rate (fault injection's burst-drop path)."""
+        if not 0.0 <= rate < 1.0:
+            raise SimError("drop_rate must be in [0, 1)")
+        self.drop_rate = rate
 
     def set_link_latency(self, a: str, b: str, latency: LatencyModel) -> None:
         """Override the latency of one (undirected) link."""

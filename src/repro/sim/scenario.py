@@ -60,6 +60,7 @@ class TimedRollupScenario:
         aggregator_count: int = 1,
         adversarial_index: Optional[int] = None,
         seed: int = 0,
+        fault_plan: Optional[object] = None,
     ) -> None:
         self.workload = workload
         self.queue = EventQueue()
@@ -132,6 +133,25 @@ class TimedRollupScenario:
         self.user = UserActor(
             "users", self.network, self.queue, "mempool", schedule
         )
+
+        #: Optional fault injection over the timed deployment: network
+        #: partitions/heals/drop bursts, actor crash-restarts (by actor
+        #: name) and mempool stalls from a seeded FaultPlan.
+        self.injector = None
+        if fault_plan is not None:
+            from ..faults.injector import ChaosTargets, FaultInjector
+
+            actors = {actor.name: actor for actor in self.aggregators}
+            self.injector = FaultInjector(
+                self.queue,
+                ChaosTargets(
+                    network=self.network,
+                    mempool=self.mempool_actor.mempool,
+                    aggregators=actors,
+                    verifiers={v.name: v for v in self.verifiers},
+                ),
+            )
+            self.injector.install(fault_plan)
 
     # ------------------------------------------------------------------ #
 

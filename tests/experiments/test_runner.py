@@ -24,6 +24,34 @@ class TestRegistry:
         assert len(ids) == len(set(ids))
 
 
+class TestDataclassList:
+    def test_object_with_value_attribute_passes_through(self):
+        """Regression: any repro-module object exposing ``.value`` used to
+        be collapsed to that attribute as if it were an enum."""
+        from repro.experiments.runner import _dataclass_list
+        from repro.rollup.mempool import BedrockMempool
+
+        class Holder:
+            value = "not-an-enum"
+
+        Holder.__module__ = "repro.fake"
+        holder = Holder()
+        assert _dataclass_list(holder) is holder
+        pool = BedrockMempool()
+        assert _dataclass_list(pool) is pool
+
+    def test_enums_still_map_to_value(self):
+        import enum
+
+        from repro.experiments.runner import _dataclass_list
+
+        class Color(enum.Enum):
+            RED = "red"
+
+        assert _dataclass_list(Color.RED) == "red"
+        assert _dataclass_list({"c": [Color.RED]}) == {"c": ["red"]}
+
+
 class TestRunAll:
     def test_selected_experiments_produce_artifacts(self, tmp_path):
         records = run_all(tmp_path, preset=MICRO, only=["table3", "fig5"])

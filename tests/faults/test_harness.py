@@ -1,0 +1,114 @@
+"""End-to-end chaos harness tests: invariants and determinism."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import InvariantViolationError
+from repro.faults import (
+    DEFAULT_MATRIX,
+    ChaosHarness,
+    ChaosScenario,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+)
+
+#: A small scenario that still exercises crash, revert and retry paths.
+SMALL = ChaosScenario(
+    name="small",
+    seed=5,
+    tx_count=18,
+    rounds=8,
+    crashes=2,
+    partitions=1,
+    commit_failures=2,
+    drop_bursts=1,
+    corrupt_every=2,
+)
+
+
+class TestInvariants:
+    def test_small_scenario_invariants_hold(self):
+        report = ChaosHarness(SMALL).run(strict=True)
+        assert report.ok
+        assert report.violations == ()
+        assert len(report.rounds) == SMALL.rounds
+
+    @pytest.mark.parametrize(
+        "scenario", DEFAULT_MATRIX, ids=[s.name for s in DEFAULT_MATRIX]
+    )
+    def test_default_matrix_invariants_hold(self, scenario):
+        assert ChaosHarness(scenario).run(strict=True).ok
+
+    def test_no_transaction_silently_lost(self):
+        report = ChaosHarness(SMALL).run()
+        assert report.accepted_txs == report.included_txs + report.pending_txs
+
+    def test_recovery_paths_actually_exercised(self):
+        report = ChaosHarness(SMALL).run()
+        assert report.fault_counts  # the plan fired
+        assert sum(report.fault_counts.values()) == len(
+            SMALL.resolve_plan(
+                ["agg-0", "agg-1", "agg-2"], ["ver-0", "ver-1"]
+            ).events
+        )
+        # The corrupt aggregator guarantees challenge -> revert traffic.
+        assert report.challenge_total >= 1
+        assert report.reverted_total >= 1
+
+    def test_strict_raises_on_violation(self, monkeypatch):
+        harness = ChaosHarness(SMALL)
+
+        def broken_check(round_index):
+            sweep = harness.checker.__class__.check(harness.checker, round_index)
+            return dataclasses.replace(
+                sweep, ok=False, violations=("synthetic violation",)
+            )
+
+        monkeypatch.setattr(harness.checker, "check", broken_check)
+        with pytest.raises(InvariantViolationError):
+            harness.run(strict=True)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_reports(self):
+        first = ChaosHarness(SMALL).run().to_json()
+        second = ChaosHarness(SMALL).run().to_json()
+        assert first == second
+
+    def test_different_seed_changes_report(self):
+        other = dataclasses.replace(SMALL, seed=SMALL.seed + 1)
+        assert ChaosHarness(SMALL).run().to_json() != (
+            ChaosHarness(other).run().to_json()
+        )
+
+    def test_matrix_reports_deterministic(self):
+        scenario = DEFAULT_MATRIX[0]
+        assert (
+            ChaosHarness(scenario).run().to_json()
+            == ChaosHarness(scenario).run().to_json()
+        )
+
+
+class TestExplicitPlan:
+    def test_hand_written_plan_overrides_knobs(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=3.0, kind=FaultKind.AGGREGATOR_CRASH, target="agg-0"),
+            FaultEvent(time=9.0, kind=FaultKind.AGGREGATOR_RESTART, target="agg-0"),
+        ))
+        scenario = ChaosScenario(name="explicit", seed=1, rounds=8, plan=plan)
+        report = ChaosHarness(scenario).run(strict=True)
+        assert report.fault_counts == {
+            "aggregator-crash": 1, "aggregator-restart": 1,
+        }
+        assert report.recovery_latencies == (6.0,)
+        # Rounds inside the outage skipped the dead aggregator.
+        assert any(
+            "agg-0" in record.skipped_aggregators for record in report.rounds
+        )
+
+    def test_report_render_mentions_outcome(self):
+        report = ChaosHarness(SMALL).run()
+        text = report.render()
+        assert "small" in text and "OK" in text

@@ -1,0 +1,120 @@
+"""Tests for seeded fault plans."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+
+
+class TestFaultEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(time=-1.0, kind=FaultKind.MEMPOOL_STALL)
+
+    def test_partition_needs_both_endpoints(self):
+        with pytest.raises(FaultError):
+            FaultEvent(time=1.0, kind=FaultKind.PARTITION, target="a")
+
+    def test_drop_burst_rate_bounded(self):
+        with pytest.raises(FaultError):
+            FaultEvent(time=1.0, kind=FaultKind.DROP_BURST, value=1.0)
+        FaultEvent(time=1.0, kind=FaultKind.DROP_BURST, value=0.9)
+
+    def test_commit_failure_needs_count(self):
+        with pytest.raises(FaultError):
+            FaultEvent(time=1.0, kind=FaultKind.COMMIT_FAILURE, value=0.0)
+
+    def test_describe_mentions_kind_and_target(self):
+        event = FaultEvent(
+            time=2.5, kind=FaultKind.AGGREGATOR_CRASH, target="agg-0"
+        )
+        text = event.describe()
+        assert "aggregator-crash" in text and "agg-0" in text
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=5.0, kind=FaultKind.MEMPOOL_RESUME),
+            FaultEvent(time=1.0, kind=FaultKind.MEMPOOL_STALL),
+        ))
+        assert [e.time for e in plan.events] == [1.0, 5.0]
+
+    def test_validate_accepts_paired_plan(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=1.0, kind=FaultKind.AGGREGATOR_CRASH, target="a"),
+            FaultEvent(time=3.0, kind=FaultKind.AGGREGATOR_RESTART, target="a"),
+        ))
+        plan.validate()
+
+    def test_validate_rejects_unrecovered_crash(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=1.0, kind=FaultKind.AGGREGATOR_CRASH, target="a"),
+        ))
+        with pytest.raises(FaultError):
+            plan.validate()
+
+    def test_validate_matches_recovery_target(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=1.0, kind=FaultKind.AGGREGATOR_CRASH, target="a"),
+            FaultEvent(time=3.0, kind=FaultKind.AGGREGATOR_RESTART, target="b"),
+        ))
+        with pytest.raises(FaultError):
+            plan.validate()
+
+    def test_counts_by_kind(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=1.0, kind=FaultKind.MEMPOOL_STALL),
+            FaultEvent(time=2.0, kind=FaultKind.MEMPOOL_RESUME),
+            FaultEvent(time=3.0, kind=FaultKind.MEMPOOL_STALL),
+            FaultEvent(time=4.0, kind=FaultKind.MEMPOOL_RESUME),
+        ))
+        assert plan.counts_by_kind() == {
+            "mempool-stall": 2, "mempool-resume": 2,
+        }
+
+
+class TestRandomPlan:
+    ARGS = dict(
+        horizon=20.0,
+        aggregators=("agg-0", "agg-1"),
+        verifiers=("ver-0",),
+        links=(("users", "mempool"),),
+        crashes=3,
+        partitions=2,
+        commit_failures=2,
+        drop_bursts=1,
+        stalls=1,
+    )
+
+    def test_same_seed_same_plan(self):
+        assert FaultPlan.random(seed=9, **self.ARGS) == FaultPlan.random(
+            seed=9, **self.ARGS
+        )
+
+    def test_different_seed_different_plan(self):
+        assert FaultPlan.random(seed=9, **self.ARGS) != FaultPlan.random(
+            seed=10, **self.ARGS
+        )
+
+    def test_random_plan_is_always_recoverable(self):
+        for seed in range(8):
+            FaultPlan.random(seed=seed, **self.ARGS).validate()
+
+    def test_all_events_inside_horizon(self):
+        plan = FaultPlan.random(seed=4, **self.ARGS)
+        assert all(0.0 <= e.time < self.ARGS["horizon"] for e in plan.events)
+
+    def test_positive_horizon_required(self):
+        with pytest.raises(FaultError):
+            FaultPlan.random(seed=0, horizon=0.0)
+
+    def test_empty_pools_yield_only_network_faults(self):
+        plan = FaultPlan.random(
+            seed=0, horizon=10.0, crashes=2, partitions=1,
+            commit_failures=0, drop_bursts=1,
+        )
+        kinds = {e.kind for e in plan.events}
+        assert FaultKind.AGGREGATOR_CRASH not in kinds
+        assert FaultKind.PARTITION not in kinds  # no links given
+        assert FaultKind.DROP_BURST in kinds

@@ -80,3 +80,26 @@ class TestRun:
         queue.schedule(0.0, rescheduler)
         with pytest.raises(SimError):
             queue.run(max_events=100)
+
+    def test_exact_drain_at_max_events_is_not_runaway(self, queue):
+        """Regression: draining in exactly ``max_events`` events used to
+        raise a spurious runaway-loop SimError via the while/else."""
+        for i in range(10):
+            queue.schedule(float(i), lambda: None)
+        assert queue.run(max_events=10) == 10
+        assert queue.pending == 0
+
+    def test_budget_exhaustion_with_pending_events_still_raises(self, queue):
+        for i in range(11):
+            queue.schedule(float(i), lambda: None)
+        with pytest.raises(SimError):
+            queue.run(max_events=10)
+
+    def test_budget_exhaustion_beyond_until_is_not_runaway(self, queue):
+        """Events past the ``until`` horizon are not runnable, so hitting
+        the budget exactly at the horizon is normal exhaustion."""
+        for i in range(5):
+            queue.schedule(float(i), lambda: None)
+        queue.schedule(100.0, lambda: None)
+        assert queue.run(until=50.0, max_events=5) == 5
+        assert queue.pending == 1

@@ -127,3 +127,27 @@ class TestFailureInjection:
         scenario.network.heal("users", "mempool")
         metrics = scenario.run()
         assert metrics.transactions_included == 16
+
+
+class TestFaultPlanWiring:
+    def test_scenario_accepts_fault_plan(self, workload):
+        from repro.faults import FaultEvent, FaultKind, FaultPlan
+
+        plan = FaultPlan(events=(
+            FaultEvent(time=0.5, kind=FaultKind.PARTITION,
+                       target="users", peer="mempool"),
+            FaultEvent(time=1.2, kind=FaultKind.HEAL,
+                       target="users", peer="mempool"),
+        ))
+        scenario = TimedRollupScenario(workload, collect_size=8, fault_plan=plan)
+        metrics = scenario.run()
+        assert scenario.injector is not None
+        assert scenario.injector.counts_by_kind() == {
+            "partition": 1, "heal": 1,
+        }
+        # Submissions during the outage dropped; the rest still landed.
+        assert len(scenario.network.dropped) > 0
+        assert metrics.transactions_included < 16
+
+    def test_no_plan_means_no_injector(self, workload):
+        assert TimedRollupScenario(workload).injector is None
