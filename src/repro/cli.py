@@ -20,10 +20,28 @@ from typing import List, Optional
 from . import experiments
 from .config import eth_to_satoshi
 from .experiments import FULL, QUICK, EffortPreset
+from .parallel import TaskRunner, get_runner
 
 
 def _preset(args: argparse.Namespace) -> EffortPreset:
+    effort = getattr(args, "effort", None)
+    if effort is not None:
+        return FULL if effort == "full" else QUICK
     return FULL if getattr(args, "full", False) else QUICK
+
+
+def _runner(args: argparse.Namespace) -> TaskRunner:
+    """The execution-fabric backend selected by ``--jobs``."""
+    return get_runner(getattr(args, "jobs", 1))
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (1 = serial, the default; "
+             "negative = auto-size to the machine); results are "
+             "identical for every value",
+    )
 
 
 def _cmd_case_studies(args: argparse.Namespace) -> int:
@@ -56,22 +74,30 @@ def _cmd_table3(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> int:
-    print(experiments.render_fig6(experiments.run_fig6(preset=_preset(args))))
+    with _runner(args) as runner:
+        points = experiments.run_fig6(preset=_preset(args), runner=runner)
+    print(experiments.render_fig6(points))
     return 0
 
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
-    print(experiments.render_fig7(experiments.run_fig7(preset=_preset(args))))
+    with _runner(args) as runner:
+        points = experiments.run_fig7(preset=_preset(args), runner=runner)
+    print(experiments.render_fig7(points))
     return 0
 
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
-    print(experiments.render_fig8(experiments.run_fig8(preset=_preset(args))))
+    with _runner(args) as runner:
+        series = experiments.run_fig8(preset=_preset(args), runner=runner)
+    print(experiments.render_fig8(series))
     return 0
 
 
 def _cmd_fig9(args: argparse.Namespace) -> int:
-    print(experiments.render_fig9(experiments.run_fig9(preset=_preset(args))))
+    with _runner(args) as runner:
+        curves = experiments.run_fig9(preset=_preset(args), runner=runner)
+    print(experiments.render_fig9(curves))
     return 0
 
 
@@ -81,16 +107,18 @@ def _cmd_fig10(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig11(args: argparse.Namespace) -> int:
-    print(experiments.render_fig11(experiments.run_fig11()))
+    with _runner(args) as runner:
+        rows = experiments.run_fig11(runner=runner)
+    print(experiments.render_fig11(rows))
     return 0
 
 
 def _cmd_defense(args: argparse.Namespace) -> int:
-    print(
-        experiments.render_defense_eval(
-            experiments.run_defense_eval(preset=_preset(args))
+    with _runner(args) as runner:
+        points = experiments.run_defense_eval(
+            preset=_preset(args), runner=runner
         )
-    )
+    print(experiments.render_defense_eval(points))
     return 0
 
 
@@ -145,7 +173,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     telemetry = TelemetryConfig(enabled=True) if args.telemetry else None
     records = run_all(
         pathlib.Path(args.out), preset=_preset(args), only=args.only,
-        telemetry=telemetry,
+        telemetry=telemetry, jobs=args.jobs,
     )
     failures = 0
     for record in records:
@@ -162,7 +190,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import dataclasses
 
-    from .faults import DEFAULT_MATRIX, ChaosHarness, ChaosScenario
+    from .faults import DEFAULT_MATRIX, ChaosScenario, run_matrix
 
     if args.matrix:
         scenarios = [
@@ -184,9 +212,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 flaky_every=args.flaky_every,
             )
         ]
+    with _runner(args) as runner:
+        reports = run_matrix(scenarios, runner=runner)
     failures = 0
-    for scenario in scenarios:
-        report = ChaosHarness(scenario).run()
+    for report in reports:
         print(report.render())
         print()
         if not report.ok:
@@ -243,6 +272,8 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument("--full", action="store_true",
                          help="use the paper's full budgets")
+        if name not in ("table3", "fig10"):
+            _add_jobs_flag(sub)
         sub.set_defaults(handler=handler)
 
     campaign = subparsers.add_parser(
@@ -269,9 +300,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="experiment ids to run (default: all)")
     run_all.add_argument("--full", action="store_true")
     run_all.add_argument(
+        "--effort", choices=("quick", "full"), default=None,
+        help="effort preset (equivalent to --full when 'full')",
+    )
+    run_all.add_argument(
         "--telemetry", action="store_true",
         help="record metrics, per-experiment manifests and a JSONL trace",
     )
+    _add_jobs_flag(run_all)
     run_all.set_defaults(handler=_cmd_run_all)
 
     chaos = subparsers.add_parser(
@@ -294,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="aggregator 0 forges every K-th post-state root")
     chaos.add_argument("--flaky-every", type=int, default=0, metavar="K",
                        help="aggregator 1 dies on every K-th execution")
+    _add_jobs_flag(chaos)
     chaos.set_defaults(handler=_cmd_chaos)
 
     telemetry = subparsers.add_parser(

@@ -13,12 +13,15 @@ telemetry, letting the warm-start benefit be measured (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 
 from ..config import AttackConfig, GenTranSeqConfig, WorkloadConfig
 from ..workloads import Workload, generate_workload
 from .parole import ParoleAttack
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..parallel import TaskRunner
 
 
 @dataclass(frozen=True)
@@ -115,33 +118,55 @@ class AttackCampaign:
         return report
 
 
+def _cold_round(
+    workload_config: WorkloadConfig,
+    gentranseq_config: GenTranSeqConfig,
+    round_index: int,
+) -> RoundRecord:
+    """One fresh-agent round (module-level so the fabric can ship it)."""
+    fresh = AttackCampaign(workload_config, gentranseq_config)
+    workload = fresh._round_workload(round_index)
+    outcome = fresh.attack.run(workload.pre_state, workload.transactions)
+    result = outcome.result
+    return RoundRecord(
+        round_index=round_index,
+        profit_eth=outcome.profit,
+        attacked=outcome.attacked,
+        first_solution_swaps=tuple(
+            result.first_solution_swaps if result else ()
+        ),
+        elapsed_seconds=result.elapsed_seconds if result else 0.0,
+    )
+
+
 def cold_vs_warm(
     workload_config: WorkloadConfig,
     gentranseq_config: GenTranSeqConfig,
     rounds: int,
+    runner: Optional["TaskRunner"] = None,
 ) -> Tuple[CampaignReport, CampaignReport]:
     """Compare per-round fresh agents against one persistent agent.
 
     The *cold* report rebuilds the campaign (hence the agent) every
     round; the *warm* report reuses one campaign across all rounds.
-    Identical workload seeds make the two directly comparable.
+    Identical workload seeds make the two directly comparable.  The
+    cold rounds are mutually independent, so they fan out over
+    ``runner`` (serial by default); the warm campaign is inherently
+    sequential (experience carries across rounds) and always runs in
+    process.
     """
+    from ..parallel import SerialRunner, Task
+
     warm = AttackCampaign(workload_config, gentranseq_config).run(rounds)
-    cold_report = CampaignReport()
-    for round_index in range(rounds):
-        fresh = AttackCampaign(workload_config, gentranseq_config)
-        workload = fresh._round_workload(round_index)
-        outcome = fresh.attack.run(workload.pre_state, workload.transactions)
-        result = outcome.result
-        cold_report.rounds.append(
-            RoundRecord(
-                round_index=round_index,
-                profit_eth=outcome.profit,
-                attacked=outcome.attacked,
-                first_solution_swaps=tuple(
-                    result.first_solution_swaps if result else ()
-                ),
-                elapsed_seconds=result.elapsed_seconds if result else 0.0,
-            )
+    runner = runner if runner is not None else SerialRunner()
+    tasks = [
+        Task(
+            fn=_cold_round,
+            args=(workload_config, gentranseq_config, round_index),
+            label=f"cold-round#{round_index}",
         )
+        for round_index in range(rounds)
+    ]
+    cold_report = CampaignReport()
+    cold_report.rounds.extend(runner.map(tasks))
     return cold_report, warm

@@ -63,12 +63,27 @@ class DQNAgent:
         """Pick an action: epsilon-greedy unless ``greedy`` forces argmax."""
         if not greedy and self.rng.random() < self.epsilon:
             return int(self.rng.integers(self.action_count))
-        q_values = self.q_network.forward(observation)
-        return int(np.argmax(q_values))
+        return int(np.argmax(self.q_values(observation)))
 
     def q_values(self, observation: np.ndarray) -> np.ndarray:
         """Raw Q-value vector for an observation (inference path)."""
         return self.q_network.forward(observation)
+
+    def q_values_batch(self, observations: np.ndarray) -> np.ndarray:
+        """Q-values for a stack of observations in one forward pass.
+
+        One matmul chain instead of ``len(observations)`` — the batched
+        path every per-action evaluation should go through.  Matches
+        stacking :meth:`q_values` per row up to BLAS summation order
+        (different kernels for single-row vs batched GEMM).
+        """
+        stacked = np.atleast_2d(np.asarray(observations, dtype=np.float64))
+        return self.q_network.forward(stacked)
+
+    def target_q_values_batch(self, observations: np.ndarray) -> np.ndarray:
+        """Target-network Q-values for a stack of observations."""
+        stacked = np.atleast_2d(np.asarray(observations, dtype=np.float64))
+        return self.target_network.forward(stacked)
 
     def begin_episode(self, episode: int) -> float:
         """Set epsilon for ``episode`` from the Eq. 9 schedule."""
@@ -116,18 +131,19 @@ class DQNAgent:
         states, actions, rewards, next_states, dones = self.replay.sample(
             self.config.batch_size, self.rng
         )
-        next_q = self.target_network.forward(next_states)
+        next_q = self.target_q_values_batch(next_states)
         best_next = next_q.max(axis=1)
         targets = rewards + self.config.discount_factor * best_next * (~dones)
         # The paper's Q-learning step size alpha blends the bootstrapped
         # target with the current estimate before the gradient step.
-        current = self.q_network.forward(states)
+        # One remembered forward serves both the blend and the gradient.
+        current = self.q_network.forward(states, remember=True)
         rows = np.arange(states.shape[0])
         blended = (
             (1.0 - self.config.learning_rate) * current[rows, actions]
             + self.config.learning_rate * targets
         )
-        loss = self.q_network.train_on_targets(states, actions, blended)
+        loss = self.q_network.train_on_cached_targets(actions, blended)
         self._losses.append(loss)
         return loss
 

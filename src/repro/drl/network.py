@@ -137,7 +137,28 @@ class MLP:
         targets: np.ndarray,
     ) -> float:
         """One TD step: MSE between Q(s, a) and ``targets``; returns loss."""
-        outputs = self.forward(inputs, remember=True)
+        self.forward(inputs, remember=True)
+        return self.train_on_cached_targets(action_indices, targets)
+
+    def train_on_cached_targets(
+        self,
+        action_indices: np.ndarray,
+        targets: np.ndarray,
+    ) -> float:
+        """TD step reusing the activations of a ``forward(remember=True)``.
+
+        Callers that already need the batch's Q-values (e.g. to blend
+        the bootstrap target with the current estimate) can forward once
+        with ``remember=True`` and train from the cache, halving the
+        forward work per update.  Numerically identical to
+        :meth:`train_on_targets` — the weights have not moved between
+        the two passes it fuses.
+        """
+        if self._cache is None:
+            raise NetworkShapeError(
+                "train_on_cached_targets() requires forward(remember=True)"
+            )
+        outputs = self._cache[-1]
         rows = np.arange(outputs.shape[0])
         predictions = outputs[rows, action_indices]
         errors = predictions - targets

@@ -31,19 +31,19 @@ class DoubleDQNAgent(DQNAgent):
             self.config.batch_size, self.rng
         )
         # Select the best next action with the *online* network...
-        online_next = self.q_network.forward(next_states)
+        online_next = self.q_values_batch(next_states)
         best_actions = online_next.argmax(axis=1)
         # ...but evaluate it with the *target* network.
-        target_next = self.target_network.forward(next_states)
+        target_next = self.target_q_values_batch(next_states)
         rows = np.arange(states.shape[0])
         best_next = target_next[rows, best_actions]
         targets = rewards + self.config.discount_factor * best_next * (~dones)
-        current = self.q_network.forward(states)
+        current = self.q_network.forward(states, remember=True)
         blended = (
             (1.0 - self.config.learning_rate) * current[rows, actions]
             + self.config.learning_rate * targets
         )
-        loss = self.q_network.train_on_targets(states, actions, blended)
+        loss = self.q_network.train_on_cached_targets(actions, blended)
         self._losses.append(loss)
         return loss
 
@@ -150,10 +150,10 @@ class PrioritizedDQNAgent(DQNAgent):
         states, actions, rewards, next_states, dones = self.replay.sample(
             self.config.batch_size, self.rng
         )
-        next_q = self.target_network.forward(next_states)
+        next_q = self.target_q_values_batch(next_states)
         best_next = next_q.max(axis=1)
         targets = rewards + self.config.discount_factor * best_next * (~dones)
-        current = self.q_network.forward(states)
+        current = self.q_network.forward(states, remember=True)
         rows = np.arange(states.shape[0])
         predictions = current[rows, actions]
         td_errors = targets - predictions
@@ -164,7 +164,7 @@ class PrioritizedDQNAgent(DQNAgent):
                 predictions + weights * td_errors
             )
         )
-        loss = self.q_network.train_on_targets(states, actions, blended)
+        loss = self.q_network.train_on_cached_targets(actions, blended)
         self.replay.update_priorities(td_errors)
         self._losses.append(loss)
         return loss

@@ -107,3 +107,7 @@ class FaultError(ReproError):
 
 class InvariantViolationError(ReproError):
     """A chaos-harness safety invariant failed after a round."""
+
+
+class ParallelError(ReproError):
+    """A task shipped to the execution fabric failed in a worker."""

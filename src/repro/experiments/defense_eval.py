@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 from ..analysis import format_table
 from ..config import DefenseConfig, GenTranSeqConfig, WorkloadConfig
 from ..defense import MempoolGuard, plan_demotion
+from ..parallel import SerialRunner, Task, TaskRunner
 from ..workloads import generate_workload
 from .common import QUICK, EffortPreset
 
@@ -35,68 +36,90 @@ class DefensePoint:
         return self.flagged_rounds / self.rounds if self.rounds else 0.0
 
 
+def _defense_threshold(
+    threshold: float,
+    rounds: int,
+    mempool_size: int,
+    preset: EffortPreset,
+    *,
+    seed: int,
+) -> DefensePoint:
+    """Probe + demote across all rounds for one threshold setting."""
+    probe_config = GenTranSeqConfig(
+        episodes=preset.episodes,
+        steps_per_episode=preset.steps_per_episode,
+        seed=seed,
+    )
+    guard = MempoolGuard(
+        config=DefenseConfig(
+            profit_threshold_eth=threshold, fee_scaled_threshold=False
+        ),
+        probe_config=probe_config,
+    )
+    flagged = resolved = 0
+    demotions: List[int] = []
+    residuals: List[float] = []
+    for round_index in range(rounds):
+        workload = generate_workload(
+            WorkloadConfig(
+                mempool_size=mempool_size,
+                num_users=10,
+                num_ifus=1,
+                min_ifu_involvement=3,
+                seed=seed + 101 * round_index,
+            )
+        )
+        report = guard.inspect(workload.pre_state, workload.transactions)
+        if not report.flagged:
+            residuals.append(report.worst_case_profit_eth)
+            continue
+        flagged += 1
+        plan = plan_demotion(
+            guard, workload.pre_state, workload.transactions,
+            max_demotions=mempool_size // 2,
+        )
+        demotions.append(plan.demoted_count)
+        residuals.append(plan.final_report.worst_case_profit_eth)
+        if plan.resolved:
+            resolved += 1
+    return DefensePoint(
+        threshold_eth=threshold,
+        rounds=rounds,
+        flagged_rounds=flagged,
+        resolved_rounds=resolved,
+        mean_demotions=(
+            sum(demotions) / len(demotions) if demotions else 0.0
+        ),
+        mean_residual_profit_eth=(
+            sum(residuals) / len(residuals) if residuals else 0.0
+        ),
+    )
+
+
 def run_defense_eval(
     thresholds: Sequence[float] = (0.01, 0.05, 0.2),
     rounds: int = 3,
     mempool_size: int = 12,
     preset: EffortPreset = QUICK,
     seed: int = 0,
+    runner: Optional[TaskRunner] = None,
 ) -> List[DefensePoint]:
-    """Probe + demote across rounds for each threshold."""
-    points: List[DefensePoint] = []
-    probe_config = GenTranSeqConfig(
-        episodes=preset.episodes,
-        steps_per_episode=preset.steps_per_episode,
-        seed=seed,
-    )
-    for threshold in thresholds:
-        guard = MempoolGuard(
-            config=DefenseConfig(
-                profit_threshold_eth=threshold, fee_scaled_threshold=False
-            ),
-            probe_config=probe_config,
+    """Probe + demote across rounds for each threshold.
+
+    Each threshold is one independent fabric task; the guard's probe is
+    fully seeded so results match across backends and worker counts.
+    """
+    runner = runner if runner is not None else SerialRunner()
+    tasks = [
+        Task(
+            fn=_defense_threshold,
+            args=(threshold, rounds, mempool_size, preset),
+            seed=seed,
+            label=f"defense[threshold={threshold}]",
         )
-        flagged = resolved = 0
-        demotions: List[int] = []
-        residuals: List[float] = []
-        for round_index in range(rounds):
-            workload = generate_workload(
-                WorkloadConfig(
-                    mempool_size=mempool_size,
-                    num_users=10,
-                    num_ifus=1,
-                    min_ifu_involvement=3,
-                    seed=seed + 101 * round_index,
-                )
-            )
-            report = guard.inspect(workload.pre_state, workload.transactions)
-            if not report.flagged:
-                residuals.append(report.worst_case_profit_eth)
-                continue
-            flagged += 1
-            plan = plan_demotion(
-                guard, workload.pre_state, workload.transactions,
-                max_demotions=mempool_size // 2,
-            )
-            demotions.append(plan.demoted_count)
-            residuals.append(plan.final_report.worst_case_profit_eth)
-            if plan.resolved:
-                resolved += 1
-        points.append(
-            DefensePoint(
-                threshold_eth=threshold,
-                rounds=rounds,
-                flagged_rounds=flagged,
-                resolved_rounds=resolved,
-                mean_demotions=(
-                    sum(demotions) / len(demotions) if demotions else 0.0
-                ),
-                mean_residual_profit_eth=(
-                    sum(residuals) / len(residuals) if residuals else 0.0
-                ),
-            )
-        )
-    return points
+        for threshold in thresholds
+    ]
+    return runner.map(tasks)
 
 
 def render_defense_eval(points: Optional[List[DefensePoint]] = None) -> str:

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..analysis import format_table
 from ..config import GenTranSeqConfig, WorkloadConfig
+from ..parallel import SerialRunner, Task, TaskRunner
 from ..solvers import (
     ApoptLikeSolver,
     DQNInferenceSolver,
@@ -61,49 +62,78 @@ def _problem_for(size: int, seed: int) -> ReorderProblem:
     )
 
 
+def _fig11_size(
+    size: int,
+    dqn_train_episodes: int,
+    nlp_restarts: int,
+    nlp_max_iterations: int,
+    *,
+    seed: int,
+) -> List[Fig11Row]:
+    """Profile every solver at one mempool size (one fabric task)."""
+    problem = _problem_for(size, seed)
+    dqn = DQNInferenceSolver(
+        config=GenTranSeqConfig(
+            episodes=max(dqn_train_episodes, 1),
+            steps_per_episode=40,
+            seed=seed,
+        ),
+        train_episodes=dqn_train_episodes,
+        max_swaps=min(size, 50),
+    )
+    dqn.ensure_trained(problem)
+    solvers = [
+        (dqn, dqn.model_memory_bytes()),
+        (ApoptLikeSolver(restarts=nlp_restarts, max_iterations=nlp_max_iterations), 0),
+        (MinosLikeSolver(restarts=nlp_restarts, max_iterations=nlp_max_iterations), 0),
+        (SnoptLikeSolver(restarts=nlp_restarts, max_iterations=nlp_max_iterations), 0),
+    ]
+    rows: List[Fig11Row] = []
+    for solver, extra_memory in solvers:
+        fresh = _problem_for(size, seed)
+        profiled = profile_solver(solver, fresh, extra_memory_bytes=extra_memory)
+        rows.append(
+            Fig11Row(
+                solver_name=solver.name,
+                mempool_size=size,
+                elapsed_seconds=profiled.elapsed_seconds,
+                peak_memory_kib=profiled.peak_memory_kib,
+                profit_eth=profiled.result.profit,
+            )
+        )
+    return rows
+
+
 def run_fig11(
     sizes: Sequence[int] = DEFAULT_SIZES,
     dqn_train_episodes: int = 4,
     nlp_restarts: int = 1,
     nlp_max_iterations: int = 40,
     seed: int = 0,
+    runner: Optional[TaskRunner] = None,
 ) -> List[Fig11Row]:
     """Profile every solver at every mempool size.
 
     The DQN trains offline first (not billed); the profiled call is the
-    greedy inference rollout, mirroring Section VII-F's setup.
+    greedy inference rollout, mirroring Section VII-F's setup.  Each
+    mempool size is one fabric task; note the wall-clock timings this
+    figure reports are inherently non-deterministic, so byte-identity
+    across backends is not a goal here (solutions and profits still
+    are identical).
     """
-    rows: List[Fig11Row] = []
-    for size in sizes:
-        problem = _problem_for(size, seed)
-        dqn = DQNInferenceSolver(
-            config=GenTranSeqConfig(
-                episodes=max(dqn_train_episodes, 1),
-                steps_per_episode=40,
-                seed=seed,
-            ),
-            train_episodes=dqn_train_episodes,
-            max_swaps=min(size, 50),
+    runner = runner if runner is not None else SerialRunner()
+    tasks = [
+        Task(
+            fn=_fig11_size,
+            args=(size, dqn_train_episodes, nlp_restarts, nlp_max_iterations),
+            seed=seed,
+            label=f"fig11[mempool={size}]",
         )
-        dqn.ensure_trained(problem)
-        solvers = [
-            (dqn, dqn.model_memory_bytes()),
-            (ApoptLikeSolver(restarts=nlp_restarts, max_iterations=nlp_max_iterations), 0),
-            (MinosLikeSolver(restarts=nlp_restarts, max_iterations=nlp_max_iterations), 0),
-            (SnoptLikeSolver(restarts=nlp_restarts, max_iterations=nlp_max_iterations), 0),
-        ]
-        for solver, extra_memory in solvers:
-            fresh = _problem_for(size, seed)
-            profiled = profile_solver(solver, fresh, extra_memory_bytes=extra_memory)
-            rows.append(
-                Fig11Row(
-                    solver_name=solver.name,
-                    mempool_size=size,
-                    elapsed_seconds=profiled.elapsed_seconds,
-                    peak_memory_kib=profiled.peak_memory_kib,
-                    profit_eth=profiled.result.profit,
-                )
-            )
+        for size in sizes
+    ]
+    rows: List[Fig11Row] = []
+    for size_rows in runner.map(tasks):
+        rows.extend(size_rows)
     return rows
 
 

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..analysis import bootstrap_ci, format_table
 from ..config import eth_to_satoshi
+from ..parallel import SerialRunner, Task, TaskRunner
 from .common import QUICK, EffortPreset, shared_pool_round
 
 DEFAULT_MEMPOOL_SIZES: Tuple[int, ...] = (25, 50, 100)
@@ -49,6 +50,33 @@ class Fig6Point:
         return bootstrap_ci(self.trial_totals, confidence=confidence)
 
 
+def _fig6_trial(
+    fraction: float,
+    mempool_size: int,
+    num_ifus: int,
+    num_aggregators: int,
+    preset: EffortPreset,
+    *,
+    seed: int,
+) -> Tuple[float, int]:
+    """One (sweep point, trial): returns (total profit, attacks fired).
+
+    Module-level so the execution fabric can ship it to worker
+    processes; all randomness derives from the explicit ``seed``.
+    """
+    outcomes, _ = shared_pool_round(
+        mempool_size=mempool_size,
+        num_ifus=num_ifus,
+        num_aggregators=num_aggregators,
+        adversarial_fraction=fraction,
+        preset=preset,
+        seed=seed,
+    )
+    total = sum(outcome.total_profit for outcome in outcomes)
+    fired = sum(1 for outcome in outcomes if outcome.attacked)
+    return total, fired
+
+
 def run_fig6(
     adversarial_fractions: Sequence[float] = (0.1, 0.5),
     mempool_sizes: Sequence[int] = DEFAULT_MEMPOOL_SIZES,
@@ -56,39 +84,54 @@ def run_fig6(
     num_aggregators: int = DEFAULT_AGGREGATORS,
     preset: EffortPreset = QUICK,
     seed: int = 0,
+    runner: Optional[TaskRunner] = None,
 ) -> List[Fig6Point]:
-    """Sweep the full Figure 6 grid."""
+    """Sweep the full Figure 6 grid.
+
+    Every (sweep point, trial) pair is an independent, explicitly seeded
+    task fanned out over ``runner`` (serial by default) — results are
+    identical for every backend and worker count.
+    """
+    runner = runner if runner is not None else SerialRunner()
+    cells = [
+        (fraction, mempool_size, num_ifus)
+        for fraction in adversarial_fractions
+        for mempool_size in mempool_sizes
+        for num_ifus in ifu_counts
+    ]
+    tasks = [
+        Task(
+            fn=_fig6_trial,
+            args=(fraction, mempool_size, num_ifus, num_aggregators, preset),
+            seed=seed + 1000 * trial,
+            label=(
+                f"fig6[frac={fraction},mempool={mempool_size},"
+                f"ifus={num_ifus}]#{trial}"
+            ),
+        )
+        for fraction, mempool_size, num_ifus in cells
+        for trial in range(preset.trials)
+    ]
+    values = runner.map(tasks)
     points: List[Fig6Point] = []
-    for fraction in adversarial_fractions:
-        for mempool_size in mempool_sizes:
-            for num_ifus in ifu_counts:
-                trial_totals = []
-                fired = 0
-                for trial in range(preset.trials):
-                    outcomes, _ = shared_pool_round(
-                        mempool_size=mempool_size,
-                        num_ifus=num_ifus,
-                        num_aggregators=num_aggregators,
-                        adversarial_fraction=fraction,
-                        preset=preset,
-                        seed=seed + 1000 * trial,
-                    )
-                    trial_totals.append(
-                        sum(outcome.total_profit for outcome in outcomes)
-                    )
-                    fired += sum(1 for outcome in outcomes if outcome.attacked)
-                total = sum(trial_totals) / max(len(trial_totals), 1)
-                points.append(
-                    Fig6Point(
-                        adversarial_fraction=fraction,
-                        mempool_size=mempool_size,
-                        num_ifus=num_ifus,
-                        avg_profit_per_ifu_eth=total / num_ifus,
-                        total_profit_eth=total,
-                        attacks_fired=fired,
-                        trial_totals=tuple(trial_totals),
-                    )
-                )
+    for cell_index, (fraction, mempool_size, num_ifus) in enumerate(cells):
+        cell_values = values[
+            cell_index * preset.trials : (cell_index + 1) * preset.trials
+        ]
+        trial_totals = [total for total, _ in cell_values]
+        fired = sum(count for _, count in cell_values)
+        total = sum(trial_totals) / max(len(trial_totals), 1)
+        points.append(
+            Fig6Point(
+                adversarial_fraction=fraction,
+                mempool_size=mempool_size,
+                num_ifus=num_ifus,
+                avg_profit_per_ifu_eth=total / num_ifus,
+                total_profit_eth=total,
+                attacks_fired=fired,
+                trial_totals=tuple(trial_totals),
+            )
+        )
     return points
 
 

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..analysis import bootstrap_ci, format_table
 from ..config import eth_to_satoshi
+from ..parallel import SerialRunner, Task, TaskRunner
 from .common import QUICK, EffortPreset, shared_pool_round
 
 DEFAULT_FRACTIONS: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
@@ -45,6 +46,27 @@ class Fig7Point:
         return bootstrap_ci(self.trial_totals, confidence=confidence)
 
 
+def _fig7_trial(
+    num_ifus: int,
+    mempool_size: int,
+    fraction: float,
+    num_aggregators: int,
+    preset: EffortPreset,
+    *,
+    seed: int,
+) -> float:
+    """One (sweep point, trial): returns the total attack profit."""
+    outcomes, _ = shared_pool_round(
+        mempool_size=mempool_size,
+        num_ifus=num_ifus,
+        num_aggregators=num_aggregators,
+        adversarial_fraction=fraction,
+        preset=preset,
+        seed=seed,
+    )
+    return sum(outcome.total_profit for outcome in outcomes)
+
+
 def run_fig7(
     ifu_counts: Sequence[int] = (1, 2),
     mempool_sizes: Sequence[int] = DEFAULT_MEMPOOL_SIZES,
@@ -52,36 +74,50 @@ def run_fig7(
     num_aggregators: int = 10,
     preset: EffortPreset = QUICK,
     seed: int = 0,
+    runner: Optional[TaskRunner] = None,
 ) -> List[Fig7Point]:
-    """Sweep the full Figure 7 grid."""
+    """Sweep the full Figure 7 grid.
+
+    Trials fan out as independent seeded tasks over ``runner`` (serial
+    by default); results are backend- and worker-count-independent.
+    """
+    runner = runner if runner is not None else SerialRunner()
+    cells = [
+        (num_ifus, mempool_size, fraction)
+        for num_ifus in ifu_counts
+        for mempool_size in mempool_sizes
+        for fraction in fractions
+    ]
+    tasks = [
+        Task(
+            fn=_fig7_trial,
+            args=(num_ifus, mempool_size, fraction, num_aggregators, preset),
+            seed=seed + 1000 * trial,
+            label=(
+                f"fig7[ifus={num_ifus},mempool={mempool_size},"
+                f"frac={fraction}]#{trial}"
+            ),
+        )
+        for num_ifus, mempool_size, fraction in cells
+        for trial in range(preset.trials)
+    ]
+    values = runner.map(tasks)
     points: List[Fig7Point] = []
-    for num_ifus in ifu_counts:
-        for mempool_size in mempool_sizes:
-            for fraction in fractions:
-                trial_totals = []
-                for trial in range(preset.trials):
-                    outcomes, _ = shared_pool_round(
-                        mempool_size=mempool_size,
-                        num_ifus=num_ifus,
-                        num_aggregators=num_aggregators,
-                        adversarial_fraction=fraction,
-                        preset=preset,
-                        seed=seed + 1000 * trial,
-                    )
-                    trial_totals.append(
-                        sum(outcome.total_profit for outcome in outcomes)
-                    )
-                points.append(
-                    Fig7Point(
-                        num_ifus=num_ifus,
-                        mempool_size=mempool_size,
-                        adversarial_fraction=fraction,
-                        total_profit_eth=(
-                            sum(trial_totals) / max(len(trial_totals), 1)
-                        ),
-                        trial_totals=tuple(trial_totals),
-                    )
-                )
+    for cell_index, (num_ifus, mempool_size, fraction) in enumerate(cells):
+        trial_totals = values[
+            cell_index * preset.trials : (cell_index + 1) * preset.trials
+        ]
+        points.append(
+            Fig7Point(
+                num_ifus=num_ifus,
+                mempool_size=mempool_size,
+                adversarial_fraction=fraction,
+                total_profit_eth=(
+                    sum(trial_totals) / max(len(trial_totals), 1)
+                ),
+                trial_totals=tuple(trial_totals),
+            )
+        )
     return points
 
 

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..analysis import format_series, moving_average
 from ..config import GenTranSeqConfig, WorkloadConfig
 from ..core import GenTranSeq
+from ..parallel import SerialRunner, Task, TaskRunner
 from ..workloads import generate_workload
 from .common import QUICK, EffortPreset, mempool_admit
 
@@ -42,6 +43,54 @@ class Fig8Series:
         return self.moving_avg[-1] if self.moving_avg else 0.0
 
 
+def _fig8_cell(
+    epsilon: float,
+    num_ifus: int,
+    mempool_size: int,
+    preset: EffortPreset,
+    window: int,
+    epsilon_decay: float,
+    *,
+    seed: int,
+) -> Fig8Series:
+    """Train one (epsilon, #IFUs) cell and return its learning curve.
+
+    Regenerating the workload per task costs a few milliseconds but
+    makes every cell fully independent — the fabric can train each
+    epsilon's agent in its own worker process.
+    """
+    workload = generate_workload(
+        WorkloadConfig(
+            mempool_size=mempool_size,
+            num_users=max(12, num_ifus + 6),
+            num_ifus=num_ifus,
+            min_ifu_involvement=max(2, mempool_size // 8),
+            seed=seed,
+        )
+    )
+    # Fee-priority admission: behavior-neutral (fees are stamped in
+    # generated order) but records the run's mempool telemetry.
+    transactions = mempool_admit(workload)
+    config = GenTranSeqConfig(
+        epsilon=epsilon,
+        epsilon_min=0.0 if epsilon == 0.0 else 0.01,
+        epsilon_decay=epsilon_decay,
+        episodes=preset.episodes,
+        steps_per_episode=preset.steps_per_episode,
+        seed=seed,
+    )
+    module = GenTranSeq(config=config)
+    result = module.optimize(workload.pre_state, transactions, workload.ifus)
+    rewards = tuple(result.episode_rewards)
+    return Fig8Series(
+        epsilon=epsilon,
+        num_ifus=num_ifus,
+        episode_rewards=rewards,
+        moving_avg=tuple(moving_average(rewards, window)),
+        best_profit=result.history.best_profit,
+    )
+
+
 def run_fig8(
     epsilons: Sequence[float] = DEFAULT_EPSILONS,
     ifu_counts: Sequence[int] = (1, 2),
@@ -50,46 +99,28 @@ def run_fig8(
     window: int = 9,
     seed: int = 0,
     epsilon_decay: float = 0.05,
+    runner: Optional[TaskRunner] = None,
 ) -> List[Fig8Series]:
-    """Train one agent per (epsilon, #IFUs) cell and record rewards."""
-    series: List[Fig8Series] = []
-    for num_ifus in ifu_counts:
-        workload = generate_workload(
-            WorkloadConfig(
-                mempool_size=mempool_size,
-                num_users=max(12, num_ifus + 6),
-                num_ifus=num_ifus,
-                min_ifu_involvement=max(2, mempool_size // 8),
-                seed=seed,
-            )
+    """Train one agent per (epsilon, #IFUs) cell and record rewards.
+
+    Each cell is one independent training task on the fabric — one DQN
+    per epsilon setting, exactly the paper's Figure 8 layout.
+    """
+    runner = runner if runner is not None else SerialRunner()
+    tasks = [
+        Task(
+            fn=_fig8_cell,
+            args=(
+                epsilon, num_ifus, mempool_size, preset, window,
+                epsilon_decay,
+            ),
+            seed=seed,
+            label=f"fig8[ifus={num_ifus},eps={epsilon}]",
         )
-        # Fee-priority admission: behavior-neutral (fees are stamped in
-        # generated order) but records the run's mempool telemetry.
-        transactions = mempool_admit(workload)
-        for epsilon in epsilons:
-            config = GenTranSeqConfig(
-                epsilon=epsilon,
-                epsilon_min=0.0 if epsilon == 0.0 else 0.01,
-                epsilon_decay=epsilon_decay,
-                episodes=preset.episodes,
-                steps_per_episode=preset.steps_per_episode,
-                seed=seed,
-            )
-            module = GenTranSeq(config=config)
-            result = module.optimize(
-                workload.pre_state, transactions, workload.ifus
-            )
-            rewards = tuple(result.episode_rewards)
-            series.append(
-                Fig8Series(
-                    epsilon=epsilon,
-                    num_ifus=num_ifus,
-                    episode_rewards=rewards,
-                    moving_avg=tuple(moving_average(rewards, window)),
-                    best_profit=result.history.best_profit,
-                )
-            )
-    return series
+        for num_ifus in ifu_counts
+        for epsilon in epsilons
+    ]
+    return runner.map(tasks)
 
 
 def render_fig8(series: Optional[List[Fig8Series]] = None) -> str:

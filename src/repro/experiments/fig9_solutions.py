@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..analysis import KDECurve, kde_curve
 from ..config import GenTranSeqConfig, WorkloadConfig
 from ..core import GenTranSeq
+from ..parallel import SerialRunner, Task, TaskRunner
 from ..workloads import generate_workload
 from .common import QUICK, EffortPreset
 
@@ -40,46 +41,85 @@ class Fig9Curve:
         return self.kde.peak()[0]
 
 
+def _fig9_trial(
+    mempool_size: int,
+    num_ifus: int,
+    preset: EffortPreset,
+    workload_seed: int,
+    config_seed: int,
+) -> List[int]:
+    """One (grid cell, trial): swap counts of every first solution.
+
+    Figure 9 historically drew its workload and agent seeds from two
+    different streams, so both are explicit arguments rather than the
+    fabric's single ``seed`` keyword.
+    """
+    workload = generate_workload(
+        WorkloadConfig(
+            mempool_size=mempool_size,
+            num_users=max(20, num_ifus + 6),
+            num_ifus=num_ifus,
+            min_ifu_involvement=max(2, mempool_size // 10),
+            seed=workload_seed,
+        )
+    )
+    config = GenTranSeqConfig(
+        episodes=preset.episodes,
+        steps_per_episode=preset.steps_per_episode,
+        seed=config_seed,
+    )
+    module = GenTranSeq(config=config)
+    result = module.optimize(
+        workload.pre_state, workload.transactions, workload.ifus
+    )
+    return list(result.first_solution_swaps)
+
+
 def run_fig9(
     mempool_sizes: Sequence[int] = (50, 100),
     ifu_counts: Sequence[int] = (1, 2, 3, 4),
     preset: EffortPreset = QUICK,
     seed: int = 0,
+    runner: Optional[TaskRunner] = None,
 ) -> List[Fig9Curve]:
-    """Collect solution sizes and fit KDEs for the full grid."""
+    """Collect solution sizes and fit KDEs for the full grid.
+
+    Trials fan out as independent tasks over ``runner`` (serial by
+    default); per-cell sizes are reassembled in trial order so the KDE
+    input — and hence the curve — is backend-independent.
+    """
+    runner = runner if runner is not None else SerialRunner()
+    cells = [
+        (mempool_size, num_ifus)
+        for mempool_size in mempool_sizes
+        for num_ifus in ifu_counts
+    ]
+    tasks = [
+        Task(
+            fn=_fig9_trial,
+            args=(mempool_size, num_ifus, preset, seed + 31 * trial, seed + trial),
+            label=f"fig9[mempool={mempool_size},ifus={num_ifus}]#{trial}",
+        )
+        for mempool_size, num_ifus in cells
+        for trial in range(preset.trials)
+    ]
+    values = runner.map(tasks)
     curves: List[Fig9Curve] = []
-    for mempool_size in mempool_sizes:
-        for num_ifus in ifu_counts:
-            sizes: List[int] = []
-            for trial in range(preset.trials):
-                workload = generate_workload(
-                    WorkloadConfig(
-                        mempool_size=mempool_size,
-                        num_users=max(20, num_ifus + 6),
-                        num_ifus=num_ifus,
-                        min_ifu_involvement=max(2, mempool_size // 10),
-                        seed=seed + 31 * trial,
-                    )
-                )
-                config = GenTranSeqConfig(
-                    episodes=preset.episodes,
-                    steps_per_episode=preset.steps_per_episode,
-                    seed=seed + trial,
-                )
-                module = GenTranSeq(config=config)
-                result = module.optimize(
-                    workload.pre_state, workload.transactions, workload.ifus
-                )
-                sizes.extend(result.first_solution_swaps)
-            kde = kde_curve(sizes, grid_min=0.0) if sizes else None
-            curves.append(
-                Fig9Curve(
-                    mempool_size=mempool_size,
-                    num_ifus=num_ifus,
-                    solution_sizes=tuple(sizes),
-                    kde=kde,
-                )
+    for cell_index, (mempool_size, num_ifus) in enumerate(cells):
+        sizes: List[int] = []
+        for trial_sizes in values[
+            cell_index * preset.trials : (cell_index + 1) * preset.trials
+        ]:
+            sizes.extend(trial_sizes)
+        kde = kde_curve(sizes, grid_min=0.0) if sizes else None
+        curves.append(
+            Fig9Curve(
+                mempool_size=mempool_size,
+                num_ifus=num_ifus,
+                solution_sizes=tuple(sizes),
+                kde=kde,
             )
+        )
     return curves
 
 

@@ -23,6 +23,7 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from ..config import SnapshotStudyConfig, TelemetryConfig
 from ..errors import ReproError
+from ..parallel import SerialRunner, TaskRunner, get_runner
 from ..telemetry import ManifestRecorder, configure, get_metrics, get_tracer
 from .common import EffortPreset, QUICK
 from . import (
@@ -42,15 +43,17 @@ from . import (
 class ExperimentSpec:
     """One runnable experiment: id, runner, renderer, JSON extractor.
 
-    ``run`` receives the effort preset *and* the RNG seed, so every
-    stochastic experiment is seeded explicitly from the spec and the
-    seed lands in the run manifest.  ``seed`` is the default used by
-    ``run_all``; deterministic experiments simply ignore it.
+    ``run`` receives the effort preset, the RNG seed *and* the task
+    runner, so every stochastic experiment is seeded explicitly from
+    the spec (the seed lands in the run manifest) and its sweep fans
+    out over the shared execution fabric.  ``seed`` is the default used
+    by ``run_all``; deterministic experiments simply ignore both the
+    seed and the runner.
     """
 
     experiment_id: str
     description: str
-    run: Callable[[EffortPreset, int], Any]
+    run: Callable[[EffortPreset, int, TaskRunner], Any]
     render: Callable[[Any], str]
     to_json: Callable[[Any], Any]
     seed: int = 0
@@ -74,27 +77,28 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
         "table3",
         "PT gas/fee behaviour in OpenSea transactions",
-        lambda preset, seed: table3_gas.run_table3(),
+        lambda preset, seed, runner: table3_gas.run_table3(),
         table3_gas.render_table3,
         _dataclass_list,
     ),
     ExperimentSpec(
         "fig5",
         "Section VI case studies",
-        lambda preset, seed: fig5_cases.run_case_studies(),
+        lambda preset, seed, runner: fig5_cases.run_case_studies(),
         fig5_cases.render_case_studies,
         _dataclass_list,
     ),
     ExperimentSpec(
         "fig6",
         "average profit per IFU vs #IFUs",
-        lambda preset, seed: fig6_profit.run_fig6(
+        lambda preset, seed, runner: fig6_profit.run_fig6(
             # The paper's grid at FULL; a reduced grid for QUICK runs.
             mempool_sizes=(25, 50, 100) if preset.name == "full" else (10, 25),
             ifu_counts=(1, 2, 3, 4) if preset.name == "full" else (1, 2, 4),
             num_aggregators=10 if preset.name == "full" else 6,
             preset=preset,
             seed=seed,
+            runner=runner,
         ),
         fig6_profit.render_fig6,
         _dataclass_list,
@@ -102,7 +106,7 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
         "fig7",
         "total profit vs adversarial fraction",
-        lambda preset, seed: fig7_adversarial.run_fig7(
+        lambda preset, seed, runner: fig7_adversarial.run_fig7(
             mempool_sizes=(50, 100) if preset.name == "full" else (25, 50),
             fractions=(
                 (0.1, 0.2, 0.3, 0.4, 0.5) if preset.name == "full"
@@ -111,6 +115,7 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
             num_aggregators=10 if preset.name == "full" else 4,
             preset=preset,
             seed=seed,
+            runner=runner,
         ),
         fig7_adversarial.render_fig7,
         _dataclass_list,
@@ -118,10 +123,11 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
         "fig8",
         "DQN learning curves vs exploration",
-        lambda preset, seed: fig8_learning.run_fig8(
+        lambda preset, seed, runner: fig8_learning.run_fig8(
             ifu_counts=(1,), mempool_size=12, preset=preset,
             epsilon_decay=0.3 if preset.episodes < 50 else 0.05,
             seed=seed,
+            runner=runner,
         ),
         fig8_learning.render_fig8,
         _dataclass_list,
@@ -129,9 +135,10 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
         "fig9",
         "KDE of solution sizes",
-        lambda preset, seed: fig9_solutions.run_fig9(
+        lambda preset, seed, runner: fig9_solutions.run_fig9(
             mempool_sizes=(12,), ifu_counts=(1, 2), preset=preset,
             seed=seed,
+            runner=runner,
         ),
         fig9_solutions.render_fig9,
         lambda curves: [
@@ -147,7 +154,7 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
         "fig10",
         "NFT snapshot study",
-        lambda preset, seed: fig10_snapshots.run_fig10(
+        lambda preset, seed, runner: fig10_snapshots.run_fig10(
             SnapshotStudyConfig(seed=seed)
         ),
         fig10_snapshots.render_fig10,
@@ -156,12 +163,13 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
         "fig11",
         "DQN inference vs NLP solvers",
-        lambda preset, seed: fig11_solvers.run_fig11(
+        lambda preset, seed, runner: fig11_solvers.run_fig11(
             sizes=(
                 (5, 10, 25, 50, 100) if preset.name == "full"
                 else (5, 10, 25)
             ),
             seed=seed,
+            runner=runner,
         ),
         fig11_solvers.render_fig11,
         _dataclass_list,
@@ -169,8 +177,9 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
         "defense",
         "Section VIII detection + demotion",
-        lambda preset, seed: defense_eval.run_defense_eval(
+        lambda preset, seed, runner: defense_eval.run_defense_eval(
             thresholds=(0.01, 0.3), rounds=2, preset=preset, seed=seed,
+            runner=runner,
         ),
         defense_eval.render_defense_eval,
         _dataclass_list,
@@ -196,6 +205,7 @@ def run_all(
     preset: EffortPreset = QUICK,
     only: Optional[List[str]] = None,
     telemetry: Optional[TelemetryConfig] = None,
+    jobs: int = 1,
 ) -> List[RunRecord]:
     """Run every (or the selected) experiment, archiving artifacts.
 
@@ -204,6 +214,13 @@ def run_all(
     (``trace.jsonl`` in ``output_dir`` unless the config names a path)
     are recorded for the whole run, and each manifest snapshots the
     registry as of that experiment's completion.
+
+    ``jobs`` selects the execution fabric backend each experiment's
+    internal sweep fans out over: ``1`` (default) runs serially in
+    process, ``N > 1`` uses a pool of N worker processes, and a
+    negative value auto-sizes to the machine.  Results are identical
+    for every ``jobs`` value; worker telemetry is merged back into the
+    parent registry, so manifests carry the complete stats either way.
     """
     output_dir = pathlib.Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
@@ -220,10 +237,13 @@ def run_all(
         session = configure(telemetry)
     records: List[RunRecord] = []
     try:
-        for spec in REGISTRY:
-            if wanted is not None and spec.experiment_id not in wanted:
-                continue
-            records.append(_run_one(spec, preset, output_dir))
+        with get_runner(jobs) as task_runner:
+            for spec in REGISTRY:
+                if wanted is not None and spec.experiment_id not in wanted:
+                    continue
+                records.append(
+                    _run_one(spec, preset, output_dir, task_runner)
+                )
         if session is not None:
             get_tracer().emit_metrics("run_all.final")
     finally:
@@ -233,7 +253,10 @@ def run_all(
 
 
 def _run_one(
-    spec: ExperimentSpec, preset: EffortPreset, output_dir: pathlib.Path
+    spec: ExperimentSpec,
+    preset: EffortPreset,
+    output_dir: pathlib.Path,
+    task_runner: Optional[TaskRunner] = None,
 ) -> RunRecord:
     text_path = output_dir / f"{spec.experiment_id}.txt"
     json_path = output_dir / f"{spec.experiment_id}.json"
@@ -251,7 +274,11 @@ def _run_one(
             with get_tracer().span(
                 "experiment", experiment=spec.experiment_id
             ):
-                result = spec.run(preset, spec.seed)
+                result = spec.run(
+                    preset,
+                    spec.seed,
+                    task_runner if task_runner is not None else SerialRunner(),
+                )
             text_path.write_text(spec.render(result) + "\n")
             json_path.write_text(
                 json.dumps(

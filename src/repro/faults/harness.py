@@ -22,7 +22,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,6 +39,9 @@ from ..workloads.generator import generate_workload
 from .injector import ChaosTargets, FaultInjector
 from .invariants import InvariantChecker
 from .plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..parallel import TaskRunner
 
 
 class CorruptAggregator(Aggregator):
@@ -431,9 +434,31 @@ DEFAULT_MATRIX: Tuple[ChaosScenario, ...] = (
 )
 
 
+def _run_scenario(scenario: ChaosScenario, strict: bool) -> ChaosReport:
+    """One chaos scenario as a fabric task (module-level, picklable)."""
+    return ChaosHarness(scenario).run(strict=strict)
+
+
 def run_matrix(
     scenarios: Sequence[ChaosScenario] = DEFAULT_MATRIX,
     strict: bool = False,
+    runner: Optional["TaskRunner"] = None,
 ) -> List[ChaosReport]:
-    """Run every scenario; returns the per-scenario reports."""
-    return [ChaosHarness(scenario).run(strict=strict) for scenario in scenarios]
+    """Run every scenario; returns the per-scenario reports.
+
+    Scenarios are independent (each seeds its own simulation), so they
+    fan out over ``runner`` — serial by default — and reports come back
+    in scenario order regardless of backend.
+    """
+    from ..parallel import SerialRunner, Task
+
+    runner = runner if runner is not None else SerialRunner()
+    tasks = [
+        Task(
+            fn=_run_scenario,
+            args=(scenario, strict),
+            label=f"chaos[{scenario.name}]",
+        )
+        for scenario in scenarios
+    ]
+    return runner.map(tasks)

@@ -1,0 +1,342 @@
+"""Deterministic parallel execution fabric for embarrassingly parallel sweeps.
+
+Every PAROLE evaluation is a sweep over independent points — Fig. 6/7
+trials, one DQN training run per Fig. 8 epsilon, Fig. 9/11 solver
+trials, the chaos matrix.  This module gives them one orchestration
+shape:
+
+* a declarative :class:`Task` record — ``(fn, args, kwargs, seed)`` with
+  the seed passed explicitly so the task owns its entire random state;
+* a :class:`TaskRunner` abstraction with three backends:
+  :class:`SerialRunner` (the reference implementation),
+  :class:`ProcessRunner` (chunked ``ProcessPoolExecutor`` dispatch with
+  spawn-safe worker init), and :class:`AutoRunner` (picks by task count
+  x CPU count);
+* :func:`spawn_task_seeds` — per-task seeds derived from the sweep seed
+  via ``np.random.SeedSequence.spawn``, the recommended derivation for
+  new sweeps (statistically independent streams, stable across numpy
+  versions and platforms).
+
+**Determinism contract.**  Results are reassembled in submission order
+and every task's randomness comes from its explicit seed, so a sweep
+produces identical results on every backend, for every worker count,
+regardless of completion order.  ``tests/parallel`` asserts byte-equal
+JSON payloads for the Fig. 6/7/9 harnesses across ``--jobs 1/2/4``.
+
+**Telemetry.**  When the parent process has a live metrics registry,
+workers record into their own chunk-local registry/tracer and ship a
+serialized state + span buffer back; the parent folds them in
+(``MetricsRegistry.merge`` / ``Tracer.absorb``) in chunk-submission
+order, so ``--telemetry --jobs N`` manifests carry the same counts as a
+serial run.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ParallelError
+from ..telemetry import get_metrics, get_tracer
+from .worker import ChunkPayload, ChunkResult, TaskError, init_worker, run_chunk
+
+__all__ = [
+    "Task",
+    "TaskResult",
+    "TaskRunner",
+    "SerialRunner",
+    "ProcessRunner",
+    "AutoRunner",
+    "get_runner",
+    "spawn_task_seeds",
+]
+
+
+def spawn_task_seeds(sweep_seed: int, count: int) -> Tuple[int, ...]:
+    """Derive ``count`` independent task seeds from one sweep seed.
+
+    Uses ``np.random.SeedSequence(sweep_seed).spawn(count)`` — children
+    are statistically independent streams whose values are documented as
+    reproducible across numpy versions and platforms — and collapses
+    each child to one ``uint32`` so the result can feed any config that
+    takes a plain integer seed.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    sequence = np.random.SeedSequence(sweep_seed)
+    return tuple(
+        int(child.generate_state(1, dtype=np.uint32)[0])
+        for child in sequence.spawn(count)
+    )
+
+
+@dataclass(frozen=True)
+class Task:
+    """One declarative unit of sweep work.
+
+    ``fn`` must be picklable for the process backend — a module-level
+    function, not a lambda or closure.  A non-None ``seed`` is passed to
+    ``fn`` as the keyword argument ``seed``; tasks whose functions need
+    several seed streams carry them in ``args``/``kwargs`` instead.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    label: str = ""
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task, tagged with its submission index."""
+
+    index: int
+    value: Any = None
+    error: Optional[TaskError] = None
+    label: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class TaskRunner:
+    """Executes a batch of tasks; results come back in submission order."""
+
+    name = "base"
+
+    def run(self, tasks: Sequence[Task]) -> List[TaskResult]:
+        """Execute every task; per-task failures land in ``.error``."""
+        raise NotImplementedError
+
+    def map(self, tasks: Sequence[Task]) -> List[Any]:
+        """Execute every task and return the values in submission order.
+
+        Raises :class:`~repro.errors.ParallelError` on the first failed
+        task (carrying the worker-side traceback), mirroring what the
+        equivalent serial loop would have raised.
+        """
+        results = self.run(tasks)
+        for result in results:
+            if result.error is not None:
+                detail = result.label or f"task #{result.index}"
+                raise ParallelError(
+                    f"{detail} failed with {result.error}\n"
+                    f"{result.error.traceback}"
+                )
+        return [result.value for result in results]
+
+    def close(self) -> None:
+        """Release pooled resources (no-op for stateless backends)."""
+
+    def __enter__(self) -> "TaskRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class SerialRunner(TaskRunner):
+    """Reference backend: run in-process, in submission order.
+
+    The default everywhere (``--jobs 1``): zero overhead, identical call
+    graph to the pre-fabric code, and the behaviour every other backend
+    must reproduce byte-for-byte.
+    """
+
+    name = "serial"
+
+    def run(self, tasks: Sequence[Task]) -> List[TaskResult]:
+        from .worker import call_task
+
+        results: List[TaskResult] = []
+        for index, task in enumerate(tasks):
+            try:
+                value = call_task(task.fn, task.args, task.kwargs, task.seed)
+                results.append(
+                    TaskResult(index=index, value=value, label=task.label)
+                )
+            except Exception as exc:
+                import traceback as tb_module
+
+                results.append(
+                    TaskResult(
+                        index=index,
+                        error=TaskError(
+                            exc_type=type(exc).__name__,
+                            message=str(exc),
+                            traceback=tb_module.format_exc(),
+                        ),
+                        label=task.label,
+                    )
+                )
+        return results
+
+
+def _default_start_method() -> str:
+    """``fork`` where available (cheap startup), else ``spawn``.
+
+    Workers are spawn-safe either way: the task protocol only ships
+    picklable module-level functions, and ``init_worker`` resets any
+    telemetry state a fork might have inherited.
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ProcessRunner(TaskRunner):
+    """Process-pool backend with chunked dispatch.
+
+    Tasks are split into contiguous chunks (default: enough chunks for
+    ~4 per worker, for load balancing without per-task IPC overhead) and
+    submitted to a lazily created ``ProcessPoolExecutor``.  The pool is
+    kept alive across ``run`` calls so one ``run_all --jobs N`` session
+    pays worker startup once; call :meth:`close` (or use the runner as a
+    context manager) to tear it down.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+        span_buffer_size: int = 4096,
+    ) -> None:
+        cpu = os.cpu_count() or 1
+        self.max_workers = max(1, max_workers if max_workers is not None else cpu)
+        self.chunk_size = chunk_size
+        self.start_method = start_method or _default_start_method()
+        self.span_buffer_size = span_buffer_size
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            import multiprocessing
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=multiprocessing.get_context(self.start_method),
+                initializer=init_worker,
+            )
+        return self._executor
+
+    def _chunks(
+        self, tasks: Sequence[Task]
+    ) -> List[Tuple[Tuple[int, Any, tuple, Dict[str, Any], Optional[int]], ...]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(tasks) // (self.max_workers * 4)))
+        indexed = [
+            (index, task.fn, tuple(task.args), dict(task.kwargs), task.seed)
+            for index, task in enumerate(tasks)
+        ]
+        return [
+            tuple(indexed[start : start + size])
+            for start in range(0, len(indexed), size)
+        ]
+
+    def run(self, tasks: Sequence[Task]) -> List[TaskResult]:
+        if not tasks:
+            return []
+        capture = bool(get_metrics().enabled)
+        payloads = [
+            ChunkPayload(
+                tasks=chunk,
+                capture_telemetry=capture,
+                span_buffer_size=self.span_buffer_size,
+            )
+            for chunk in self._chunks(tasks)
+        ]
+        pool = self._pool()
+        futures = [pool.submit(run_chunk, payload) for payload in payloads]
+        # Collect and merge in *submission* order, not completion order:
+        # that keeps merged gauges (last-write-wins) and the span stream
+        # deterministic for a fixed task list and worker count.
+        by_index: Dict[int, TaskResult] = {}
+        for future in futures:
+            chunk_result: ChunkResult = future.result()
+            self._merge_telemetry(chunk_result)
+            for index, value, error in chunk_result.outcomes:
+                by_index[index] = TaskResult(
+                    index=index,
+                    value=value,
+                    error=error,
+                    label=tasks[index].label,
+                )
+        return [by_index[index] for index in range(len(tasks))]
+
+    @staticmethod
+    def _merge_telemetry(chunk_result: ChunkResult) -> None:
+        if chunk_result.metrics_state is not None:
+            get_metrics().merge(chunk_result.metrics_state)
+        if chunk_result.spans:
+            get_tracer().absorb(chunk_result.spans, worker=chunk_result.pid)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+class AutoRunner(TaskRunner):
+    """Picks a backend per batch: serial for small work, processes else.
+
+    The crossover is ``min_tasks`` tasks *and* at least two effective
+    workers (``min(max_workers, cpu_count)``) — a single-core box or a
+    two-point sweep never pays pool startup for nothing.
+    """
+
+    name = "auto"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        min_tasks: int = 4,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        self.max_workers = max_workers
+        self.min_tasks = max(1, min_tasks)
+        self._serial = SerialRunner()
+        self._process = ProcessRunner(
+            max_workers=max_workers, chunk_size=chunk_size
+        )
+
+    def effective_workers(self) -> int:
+        cpu = os.cpu_count() or 1
+        return min(self.max_workers or cpu, cpu)
+
+    def select(self, task_count: int) -> TaskRunner:
+        """The backend a batch of ``task_count`` tasks would use."""
+        if task_count >= self.min_tasks and self.effective_workers() >= 2:
+            return self._process
+        return self._serial
+
+    def run(self, tasks: Sequence[Task]) -> List[TaskResult]:
+        return self.select(len(tasks)).run(tasks)
+
+    def close(self) -> None:
+        self._process.close()
+
+
+def get_runner(jobs: Optional[int] = None) -> TaskRunner:
+    """Map a ``--jobs`` value onto a backend.
+
+    ``None``, ``0`` or ``1`` — :class:`SerialRunner` (the default keeps
+    current behaviour); ``N > 1`` — :class:`ProcessRunner` with ``N``
+    workers; any negative value — :class:`AutoRunner` (use every core
+    when the batch is big enough).
+    """
+    if jobs is None or jobs in (0, 1):
+        return SerialRunner()
+    if jobs < 0:
+        return AutoRunner()
+    return ProcessRunner(max_workers=jobs)

@@ -77,6 +77,7 @@ __all__ = [
     "TelemetryConfig",
     "TelemetrySession",
     "configure",
+    "reset_for_worker",
     # metrics
     "DEFAULT_BUCKETS",
     "Counter",
@@ -113,6 +114,20 @@ __all__ = [
     "summarize_trace",
     "tail_trace",
 ]
+
+
+def reset_for_worker() -> None:
+    """Restore no-op telemetry backends in a freshly started worker.
+
+    A forked worker inherits the parent's live registry, tracer and open
+    sinks; recording into them would double-count metrics (the parent
+    also merges the worker's explicit snapshot) and interleave writes on
+    shared file descriptors.  Process-pool initializers call this first;
+    the worker then enables its *own* registry/tracer per work chunk and
+    ships the results back for the parent to merge.
+    """
+    disable_metrics()
+    disable_tracing()
 
 
 class _FanOutSink(TraceSink):

@@ -24,9 +24,10 @@ Metric names are dotted paths ``<layer>.<thing>`` (``mempool.submitted``,
 
 from __future__ import annotations
 
+import os
 import threading
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "Counter",
@@ -195,6 +196,47 @@ class Histogram:
             "p99": self.percentile(99.0),
         }
 
+    def state(self) -> Dict[str, Any]:
+        """Lossless serializable state (bucket counts, not percentiles).
+
+        Unlike :meth:`summary`, two histograms can be exactly recombined
+        from their states — the basis of cross-process metric merging.
+        """
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+            }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        The bucket bounds must match exactly; merging is equivalent to
+        having observed the union of both histograms' samples (bucket
+        counts, totals and extrema combine losslessly — only the exact
+        sample order, which percentile estimates never see, is lost).
+        """
+        bounds = tuple(float(b) for b in state["bounds"])
+        if bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{bounds} != {self.bounds}"
+            )
+        counts = list(state["counts"])
+        if len(counts) != len(self._counts):
+            raise ValueError("bucket count vectors differ in length")
+        with self._lock:
+            for index, count in enumerate(counts):
+                self._counts[index] += int(count)
+            self._count += int(state["count"])
+            self._sum += float(state["sum"])
+            self._min = min(self._min, float(state["min"]))
+            self._max = max(self._max, float(state["max"]))
+
 
 class _NullCounter:
     __slots__ = ()
@@ -321,6 +363,65 @@ class MetricsRegistry:
                 + list(self._histograms)
             )
 
+    def dump_state(self) -> Dict[str, Dict[str, Any]]:
+        """Lossless, picklable view of every instrument.
+
+        Counters and gauges dump their raw values; histograms dump full
+        bucket states (:meth:`Histogram.state`).  A worker process sends
+        this back to the parent, which folds it in via :meth:`merge` —
+        ``registry.merge(other.dump_state())`` leaves ``registry`` exactly
+        as if it had recorded both processes' observations itself.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {key: c.value for key, c in sorted(counters.items())},
+            "gauges": {key: g.value for key, g in sorted(gauges.items())},
+            "histograms": {
+                key: h.state() for key, h in sorted(histograms.items())
+            },
+        }
+
+    def merge(self, state: Mapping[str, Mapping[str, Any]]) -> None:
+        """Fold a :meth:`dump_state` payload into this registry.
+
+        Counters add, histograms combine bucket-for-bucket, and gauges
+        take the incoming value (last merge wins — callers that need
+        deterministic gauges must merge worker states in a fixed order,
+        which the parallel fabric does by folding chunks in submission
+        order).  Series keys already carry their labels, so labelled
+        series merge like any other.
+        """
+        for key, value in state.get("counters", {}).items():
+            self._counter_by_key(key).inc(float(value))
+        for key, value in state.get("gauges", {}).items():
+            self._gauge_by_key(key).set(float(value))
+        for key, hist_state in state.get("histograms", {}).items():
+            bounds = tuple(float(b) for b in hist_state["bounds"])
+            with self._lock:
+                instrument = self._histograms.get(key)
+                if instrument is None:
+                    instrument = self._histograms[key] = Histogram(bounds)
+            instrument.merge_state(hist_state)
+
+    def _counter_by_key(self, key: str) -> Counter:
+        """Counter lookup by full series key (merging path)."""
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter()
+        return instrument
+
+    def _gauge_by_key(self, key: str) -> Gauge:
+        """Gauge lookup by full series key (merging path)."""
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge()
+        return instrument
+
     def reset(self) -> None:
         """Drop every instrument (tests and fresh experiment runs)."""
         with self._lock:
@@ -354,6 +455,12 @@ class NullMetrics:
     def series_names(self) -> List[str]:
         return []
 
+    def dump_state(self) -> Dict[str, Dict[str, Any]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, state: Mapping[str, Mapping[str, Any]]) -> None:
+        pass
+
     def reset(self) -> None:
         pass
 
@@ -364,19 +471,33 @@ Metrics = Union[MetricsRegistry, NullMetrics]
 #: :func:`set_metrics`; readers grab it once per object lifetime.
 _ACTIVE: Metrics = NullMetrics()
 _ACTIVE_LOCK = threading.Lock()
+#: PID that installed the active backend.  A forked worker inherits the
+#: parent's live registry object; recording into it would double-count
+#: once the parent merges the worker's own snapshot back in, so
+#: :func:`get_metrics` demotes inherited registries to ``NullMetrics``.
+_ACTIVE_PID: int = os.getpid()
 
 
 def get_metrics() -> Metrics:
-    """The active metrics backend (``NullMetrics`` unless enabled)."""
+    """The active metrics backend (``NullMetrics`` unless enabled).
+
+    Fork-safe: when called in a child process that inherited a *live*
+    parent registry, the child's backend is reset to ``NullMetrics``
+    first (the parallel fabric gives workers their own registry and
+    merges it back explicitly — see ``repro.parallel``).
+    """
+    if _ACTIVE.enabled and os.getpid() != _ACTIVE_PID:
+        set_metrics(NullMetrics())
     return _ACTIVE
 
 
 def set_metrics(backend: Metrics) -> Metrics:
     """Install ``backend`` as the active one; returns the previous."""
-    global _ACTIVE
+    global _ACTIVE, _ACTIVE_PID
     with _ACTIVE_LOCK:
         previous = _ACTIVE
         _ACTIVE = backend
+        _ACTIVE_PID = os.getpid()
     return previous
 
 

@@ -280,6 +280,42 @@ class Tracer:
             record["attrs"] = attrs
         self.sink.emit(record)
 
+    def absorb(self, records: List[Dict[str, Any]], **attrs: Any) -> int:
+        """Re-emit span/event records captured in another process.
+
+        Worker processes trace into a :class:`RingBufferSink`; the parent
+        calls ``absorb`` with the buffered records to splice them into its
+        own trace.  Span ids are remapped into this tracer's id sequence
+        (keeping parent/child chains intact within the absorbed batch);
+        records whose parent lies outside the batch are re-parented under
+        the parent process's current span.  Extra ``attrs`` (e.g.
+        ``worker=<pid>``) are stamped onto every absorbed record.
+        Returns the number of records emitted.
+        """
+        if not self.enabled:
+            return 0
+        id_map: Dict[int, int] = {}
+        for record in records:
+            old_id = record.get("span_id")
+            if isinstance(old_id, int):
+                id_map[old_id] = next(self._ids)
+        anchor = self.current_span_id()
+        emitted = 0
+        for record in records:
+            copy = dict(record)
+            old_id = copy.get("span_id")
+            if isinstance(old_id, int):
+                copy["span_id"] = id_map[old_id]
+            parent = copy.get("parent_id")
+            copy["parent_id"] = id_map.get(parent, anchor)
+            if attrs:
+                merged = dict(copy.get("attrs") or {})
+                merged.update(attrs)
+                copy["attrs"] = merged
+            self.sink.emit(copy)
+            emitted += 1
+        return emitted
+
     def emit_metrics(self, name: str = "metrics") -> None:
         """Attach a snapshot of the active metrics registry to the trace."""
         if not self.enabled:

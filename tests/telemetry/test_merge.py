@@ -1,0 +1,192 @@
+"""Cross-process metric merging and span absorption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    RingBufferSink,
+    Tracer,
+)
+
+
+class TestHistogramState:
+    def test_state_roundtrip_is_lossless(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 9.0):
+            hist.observe(value)
+        twin = Histogram(bounds=(1.0, 2.0, 4.0))
+        twin.merge_state(hist.state())
+        assert twin.bucket_counts() == hist.bucket_counts()
+        assert twin.count == hist.count
+        assert twin.sum == hist.sum
+        assert twin.min == hist.min
+        assert twin.max == hist.max
+
+    def test_merge_equals_union_of_observations(self):
+        """merge_state(b) == having observed a's and b's samples."""
+        left = Histogram(bounds=(1.0, 10.0))
+        right = Histogram(bounds=(1.0, 10.0))
+        combined = Histogram(bounds=(1.0, 10.0))
+        for value in (0.2, 5.0):
+            left.observe(value)
+            combined.observe(value)
+        for value in (7.0, 42.0):
+            right.observe(value)
+            combined.observe(value)
+        left.merge_state(right.state())
+        assert left.bucket_counts() == combined.bucket_counts()
+        assert left.count == combined.count
+        assert left.sum == combined.sum
+        assert left.min == combined.min
+        assert left.max == combined.max
+        for q in (0.0, 50.0, 95.0, 100.0):
+            assert left.percentile(q) == combined.percentile(q)
+
+    def test_merge_into_empty(self):
+        source = Histogram(bounds=(1.0,))
+        source.observe(0.5)
+        empty = Histogram(bounds=(1.0,))
+        empty.merge_state(source.state())
+        assert empty.count == 1
+        assert empty.min == 0.5
+        assert empty.max == 0.5
+
+    def test_bounds_mismatch_rejected(self):
+        a = Histogram(bounds=(1.0, 2.0))
+        b = Histogram(bounds=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge_state(b.state())
+
+
+class TestRegistryMerge:
+    def test_counters_add(self):
+        parent = MetricsRegistry()
+        parent.counter("x.calls").inc(3)
+        worker = MetricsRegistry()
+        worker.counter("x.calls").inc(4)
+        worker.counter("x.other").inc()
+        parent.merge(worker.dump_state())
+        assert parent.counter("x.calls").value == 7.0
+        assert parent.counter("x.other").value == 1.0
+
+    def test_gauges_last_merge_wins(self):
+        parent = MetricsRegistry()
+        parent.gauge("x.level").set(1.0)
+        worker = MetricsRegistry()
+        worker.gauge("x.level").set(9.0)
+        parent.merge(worker.dump_state())
+        assert parent.gauge("x.level").value == 9.0
+
+    def test_histograms_combine(self):
+        parent = MetricsRegistry()
+        parent.histogram("x.latency").observe(0.5)
+        worker = MetricsRegistry()
+        worker.histogram("x.latency").observe(2.0)
+        parent.merge(worker.dump_state())
+        assert parent.histogram("x.latency").count == 2
+        assert parent.histogram("x.latency").sum == 2.5
+
+    def test_histogram_created_with_incoming_bounds(self):
+        worker = MetricsRegistry()
+        worker.histogram("x.custom", bounds=(1.0, 2.0)).observe(1.5)
+        parent = MetricsRegistry()
+        parent.merge(worker.dump_state())
+        assert parent.histogram("x.custom").bounds == (1.0, 2.0)
+        assert parent.histogram("x.custom").count == 1
+
+    def test_labelled_series_merge_by_key(self):
+        parent = MetricsRegistry()
+        parent.counter("x.outcomes", kind="ok").inc()
+        worker = MetricsRegistry()
+        worker.counter("x.outcomes", kind="ok").inc()
+        worker.counter("x.outcomes", kind="bad").inc()
+        parent.merge(worker.dump_state())
+        assert parent.counter("x.outcomes", kind="ok").value == 2.0
+        assert parent.counter("x.outcomes", kind="bad").value == 1.0
+
+    def test_merge_is_associative_across_workers(self):
+        """Folding two worker states sequentially == one big recording."""
+        parent = MetricsRegistry()
+        reference = MetricsRegistry()
+        for worker_values in ((1.0, 2.0), (3.0,)):
+            worker = MetricsRegistry()
+            for value in worker_values:
+                worker.counter("w.calls").inc()
+                worker.histogram("w.value").observe(value)
+                reference.counter("w.calls").inc()
+                reference.histogram("w.value").observe(value)
+            parent.merge(worker.dump_state())
+        assert parent.dump_state() == reference.dump_state()
+
+    def test_null_metrics_merge_is_noop(self):
+        backend = NullMetrics()
+        backend.merge({"counters": {"x": 1.0}})
+        assert backend.dump_state() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestTracerAbsorb:
+    def _worker_records(self):
+        """Simulate a worker tracing into its own ring buffer."""
+        ring = RingBufferSink(capacity=16)
+        tracer = Tracer(ring)
+        with tracer.span("worker.outer", task=1):
+            with tracer.span("worker.inner"):
+                pass
+        return ring.events()
+
+    def test_absorb_remaps_span_ids(self):
+        records = self._worker_records()
+        ring = RingBufferSink(capacity=16)
+        parent = Tracer(ring)
+        # Burn some ids so worker and parent sequences collide.
+        with parent.span("parent.before"):
+            pass
+        count = parent.absorb(records, worker=1234)
+        assert count == len(records) == 2
+        absorbed = ring.events()[1:]
+        ids = {r["span_id"] for r in ring.events()}
+        assert len(ids) == 3  # no collision with the parent's own span
+        # Child/parent chain inside the batch is preserved.
+        inner = next(r for r in absorbed if r["name"] == "worker.inner")
+        outer = next(r for r in absorbed if r["name"] == "worker.outer")
+        assert inner["parent_id"] == outer["span_id"]
+
+    def test_orphans_reparented_under_current_span(self):
+        records = self._worker_records()
+        ring = RingBufferSink(capacity=16)
+        parent = Tracer(ring)
+        with parent.span("parent.experiment") as anchor:
+            parent.absorb(records)
+        outer = next(
+            r for r in ring.events() if r["name"] == "worker.outer"
+        )
+        assert outer["parent_id"] == anchor.span_id
+
+    def test_absorb_stamps_extra_attrs(self):
+        records = self._worker_records()
+        ring = RingBufferSink(capacity=16)
+        parent = Tracer(ring)
+        parent.absorb(records, worker=4321)
+        assert all(r["attrs"]["worker"] == 4321 for r in ring.events())
+        # Original attrs survive the merge.
+        outer = next(
+            r for r in ring.events() if r["name"] == "worker.outer"
+        )
+        assert outer["attrs"]["task"] == 1
+
+    def test_absorb_does_not_mutate_input_records(self):
+        records = self._worker_records()
+        before = [dict(r) for r in records]
+        parent = Tracer(RingBufferSink(capacity=16))
+        parent.absorb(records, worker=1)
+        assert records == before
+
+    def test_disabled_tracer_absorbs_nothing(self):
+        records = self._worker_records()
+        assert Tracer().absorb(records) == 0
