@@ -1,0 +1,101 @@
+"""Result-store bench: cold vs warm ``run_all`` at QUICK effort.
+
+Runs a representative experiment subset cold into a fresh
+content-addressed store, then reruns it warm from the same cache, and
+archives wall-clock numbers plus the acceptance gates
+(``BENCH_store.json``):
+
+* the warm rerun serves **every** experiment from cache (100% hit
+  ratio, no recomputation);
+* the warm ``<id>.txt``/``<id>.json`` artifacts are byte-identical to
+  the cold run's;
+* the warm pass clears a 5x wall-clock speedup over cold.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import tempfile
+import time
+
+from repro.experiments import QUICK, run_all
+from repro.store import ResultStore
+
+from conftest import RESULTS_DIR
+
+BENCH_SCHEMA = "BENCH_store/v1"
+#: Everything cheap enough to run twice in a bench, including one DQN
+#: training experiment (fig8) so the speedup covers real compute.
+EXPERIMENTS = ["table3", "fig5", "fig8", "fig9"]
+REQUIRED_SPEEDUP = 5.0
+
+
+def test_store_warm_rerun_speedup(save_artifact):
+    """Cold vs warm run_all; archives BENCH_store.json."""
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        cache = root / "cache"
+
+        started = time.perf_counter()
+        cold_records = run_all(
+            root / "cold", preset=QUICK, only=EXPERIMENTS,
+            store=ResultStore(cache),
+        )
+        cold_seconds = time.perf_counter() - started
+        assert all(record.ok for record in cold_records)
+
+        warm_store = ResultStore(cache)
+        started = time.perf_counter()
+        warm_records = run_all(
+            root / "warm", preset=QUICK, only=EXPERIMENTS, store=warm_store,
+        )
+        warm_seconds = time.perf_counter() - started
+        assert all(record.ok for record in warm_records)
+
+        hit_ratio = (
+            sum(1 for r in warm_records if r.cache["experiment_hit"])
+            / len(warm_records)
+        )
+        identical = {}
+        for experiment_id in EXPERIMENTS:
+            identical[experiment_id] = all(
+                (root / "cold" / f"{experiment_id}{suffix}").read_bytes()
+                == (root / "warm" / f"{experiment_id}{suffix}").read_bytes()
+                for suffix in (".txt", ".json")
+            )
+        speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+        store_bytes = warm_store.size_bytes()
+
+    lines = [
+        f"Result store: cold vs warm run_all ({', '.join(EXPERIMENTS)})",
+        "",
+        f"cold : {cold_seconds:8.2f}s",
+        f"warm : {warm_seconds:8.2f}s  ({speedup:.1f}x, "
+        f"hit ratio {hit_ratio:.0%}, store {store_bytes} bytes)",
+        "byte-identical artifacts: "
+        + ", ".join(f"{k}={v}" for k, v in identical.items()),
+    ]
+    save_artifact("bench_store", "\n".join(lines))
+
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "experiments": EXPERIMENTS,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": speedup,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "warm_hit_ratio": hit_ratio,
+        "byte_identical": identical,
+        "store_bytes": store_bytes,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_store.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    assert hit_ratio == 1.0, "warm rerun recomputed an experiment"
+    assert all(identical.values()), f"artifacts differ: {identical}"
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"warm rerun only {speedup:.1f}x faster (need {REQUIRED_SPEEDUP}x)"
+    )

@@ -8,14 +8,18 @@ Part 2 runs the Figure 10 study: generate the synthetic
 Optimism/Arbitrum snapshot population, scan it for reorderable price
 differentials, and print the per-chain / per-tier profit opportunity.
 
+Part 2 goes through the :mod:`repro.api` facade
+(``api.run_experiment("fig10")``) instead of importing ``run_fig10``
+directly — direct harness imports are deprecated for examples; the
+facade shares the registry (and cache keys) with ``parole run-all``.
+
 Usage::
 
     python examples/marketplace_study.py
 """
 
-from repro import NFTContractConfig
+from repro import NFTContractConfig, api
 from repro.analysis import format_table
-from repro.experiments import render_fig10, run_fig10
 from repro.market import Marketplace
 from repro.tokens import LimitedEditionNFT
 
@@ -57,8 +61,9 @@ def main() -> None:
     print("=" * 72)
     print("Part 2: snapshot study across Optimism/Arbitrum (Figure 10)")
     print("=" * 72)
-    summaries = run_fig10()
-    print(render_fig10(summaries))
+    outcome = api.run_experiment("fig10")
+    summaries = outcome.result
+    print(outcome.text, end="")
     arbitrum = sum(
         s.total_profit_eth for s in summaries if s.chain.value == "arbitrum"
     )

@@ -7,13 +7,18 @@ Runs in under a minute:
 3. unleashes the PAROLE attack (GENTRANSEQ DQN) on the same collection
    and shows the profitable order it discovers.
 
+Experiments go through the :mod:`repro.api` facade
+(``api.run_experiment("fig5")``) rather than importing the harness
+directly — direct ``run_figN``/``run_case_studies`` imports are
+deprecated for examples; the facade shares the registry (and therefore
+the cache keys) with ``parole run-all``.
+
 Usage::
 
     python examples/quickstart.py
 """
 
-from repro import GenTranSeqConfig, ParoleAttack, AttackConfig
-from repro.experiments import render_case_studies, run_case_studies
+from repro import GenTranSeqConfig, ParoleAttack, AttackConfig, api
 from repro.workloads import case_study_fixture
 
 
@@ -21,7 +26,7 @@ def main() -> None:
     print("=" * 72)
     print("Figure 5 case studies (exact replay)")
     print("=" * 72)
-    print(render_case_studies(run_case_studies()))
+    print(api.run_experiment("fig5").text, end="")
 
     print()
     print("=" * 72)

@@ -52,6 +52,9 @@ from .rollup import (
 )
 from .tokens import LimitedEditionNFT, ScarcityPricing
 from .workloads import Workload, case_study_fixture, generate_workload
+from . import api
+from .api import list_experiments, open_store, run_experiment
+from .store import ResultStore
 
 __version__ = "1.0.0"
 
@@ -95,4 +98,10 @@ __all__ = [
     "Workload",
     "case_study_fixture",
     "generate_workload",
+    # experiment facade + result store
+    "api",
+    "list_experiments",
+    "open_store",
+    "run_experiment",
+    "ResultStore",
 ]

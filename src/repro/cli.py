@@ -44,6 +44,36 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="content-addressed result store directory; completed "
+             "experiments and sweep cells are reused across runs, so a "
+             "killed run resumes where it stopped",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache and run everything cold",
+    )
+    parser.add_argument(
+        "--cache-clear", action="store_true",
+        help="empty the store before running",
+    )
+
+
+def _store(args: argparse.Namespace):
+    """The ResultStore selected by the cache flags (None when disabled)."""
+    cache_dir = getattr(args, "cache", None)
+    if cache_dir is None or getattr(args, "no_cache", False):
+        return None
+    from .store import ResultStore
+
+    store = ResultStore(cache_dir)
+    if getattr(args, "cache_clear", False):
+        store.clear()
+    return store
+
+
 def _cmd_case_studies(args: argparse.Namespace) -> int:
     cases = experiments.run_case_studies(certify_optimum=args.certify)
     print(experiments.render_case_studies(cases))
@@ -135,7 +165,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         ),
         preset.config(seed=args.seed),
     )
-    report = campaign.run(args.rounds)
+    report = campaign.run(args.rounds, store=_store(args))
     for record in report.rounds:
         print(f"round {record.round_index}: {record.profit_eth:+.4f} ETH "
               f"(attacked: {record.attacked})")
@@ -170,20 +200,36 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     from .config import TelemetryConfig
     from .experiments import run_all
 
+    store = _store(args)
     telemetry = TelemetryConfig(enabled=True) if args.telemetry else None
     records = run_all(
         pathlib.Path(args.out), preset=_preset(args), only=args.only,
-        telemetry=telemetry, jobs=args.jobs,
+        telemetry=telemetry, jobs=args.jobs, store=store,
     )
     failures = 0
     for record in records:
         status = "ok" if record.ok else f"FAILED ({record.error})"
-        print(f"{record.experiment_id:<10} {record.elapsed_seconds:7.1f}s  {status}")
+        note = ""
+        if record.cache is not None:
+            if record.cache["experiment_hit"]:
+                note = "  [cached]"
+            elif record.cache["hits"] or record.cache["misses"]:
+                note = (
+                    f"  [tasks cached {record.cache['hits']}/"
+                    f"{record.cache['hits'] + record.cache['misses']}]"
+                )
+        print(f"{record.experiment_id:<10} "
+              f"{record.elapsed_seconds:7.1f}s  {status}{note}")
         failures += 0 if record.ok else 1
     from .experiments import write_report
 
     report_path = write_report(args.out)
     print(f"artifacts in {args.out}/, report at {report_path}")
+    if store is not None:
+        stats = store.stats
+        print(f"cache: {stats.hits} hits / {stats.misses} misses "
+              f"(hit ratio {stats.hit_ratio:.0%}), "
+              f"{store.size_bytes()} bytes in {args.cache}")
     return 1 if failures else 0
 
 
@@ -213,7 +259,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             )
         ]
     with _runner(args) as runner:
-        reports = run_matrix(scenarios, runner=runner)
+        reports = run_matrix(scenarios, runner=runner, store=_store(args))
     failures = 0
     for report in reports:
         print(report.render())
@@ -284,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--ifus", type=int, default=1)
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument("--full", action="store_true")
+    _add_cache_flags(campaign)
     campaign.set_defaults(handler=_cmd_campaign)
 
     bisect = subparsers.add_parser(
@@ -308,6 +355,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="record metrics, per-experiment manifests and a JSONL trace",
     )
     _add_jobs_flag(run_all)
+    _add_cache_flags(run_all)
     run_all.set_defaults(handler=_cmd_run_all)
 
     chaos = subparsers.add_parser(
@@ -331,6 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--flaky-every", type=int, default=0, metavar="K",
                        help="aggregator 1 dies on every K-th execution")
     _add_jobs_flag(chaos)
+    _add_cache_flags(chaos)
     chaos.set_defaults(handler=_cmd_chaos)
 
     telemetry = subparsers.add_parser(

@@ -79,6 +79,7 @@ class AttackCampaign:
         objective_name: str = "mean",
     ) -> None:
         self.workload_config = workload_config or WorkloadConfig()
+        self.objective_name = objective_name
         base_gts = gentranseq_config or GenTranSeqConfig()
         ifus = tuple(f"ifu-{i}" for i in range(self.workload_config.num_ifus))
         self.attack = ParoleAttack(
@@ -95,8 +96,36 @@ class AttackCampaign:
         )
         return generate_workload(config)
 
-    def run(self, rounds: int) -> CampaignReport:
-        """Attack ``rounds`` fresh mempools with the same agent."""
+    def run(self, rounds: int, store=None) -> CampaignReport:
+        """Attack ``rounds`` fresh mempools with the same agent.
+
+        With a :class:`~repro.store.ResultStore`, the whole report is
+        memoized under a key derived from both configs, the objective
+        and the round count — a warm rerun returns the archived report
+        without retraining (the campaign is sequential, so round-level
+        caching would break the warm-start experience accumulation).
+        """
+        key = None
+        if store is not None:
+            from ..store import CodecError, decode, encode, experiment_key
+
+            key = experiment_key(
+                "campaign",
+                "campaign",
+                {
+                    "workload": self.workload_config,
+                    "gentranseq": self.attack.config.gentranseq,
+                    "objective": self.objective_name,
+                    "rounds": rounds,
+                },
+                self.workload_config.seed,
+            )
+            payload, found = store.fetch(key)
+            if found:
+                try:
+                    return decode(payload)
+                except CodecError:
+                    pass
         report = CampaignReport()
         for round_index in range(rounds):
             workload = self._round_workload(round_index)
@@ -115,6 +144,11 @@ class AttackCampaign:
                     ),
                 )
             )
+        if store is not None and key is not None:
+            try:
+                store.put(key, encode(report))
+            except CodecError:
+                pass
         return report
 
 

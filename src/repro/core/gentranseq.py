@@ -100,6 +100,7 @@ class GenTranSeq:
         ifus: Sequence[str],
         stop_when_profitable: bool = False,
         objective: Optional[Objective] = None,
+        checkpointer=None,
     ) -> GenTranSeqResult:
         """Train the DQN on this collection and return the best order.
 
@@ -108,12 +109,19 @@ class GenTranSeq:
         offline", Section VII-F).  ``objective`` overrides the module's
         objective for this run only (used by the min-gain mode, whose
         objective depends on the original order's outcome).
+        ``checkpointer`` (a
+        :class:`~repro.store.checkpoint.TrainingCheckpointer`) resumes
+        an interrupted training run from its last persisted episode.
         """
         env = self.build_env(pre_state, transactions, ifus, objective=objective)
         agent = self._agent_for(env)
         started = time.perf_counter()
         history = train(
-            env, agent, self.config, stop_when_profitable=stop_when_profitable
+            env,
+            agent,
+            self.config,
+            stop_when_profitable=stop_when_profitable,
+            checkpointer=checkpointer,
         )
         elapsed = time.perf_counter() - started
         # Mirror the run's replay-engine counters into the metrics

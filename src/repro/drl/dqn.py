@@ -151,6 +151,34 @@ class DQNAgent:
         """Copy Q-network weights into the target network."""
         self.target_network.copy_weights_from(self.q_network)
 
+    def state_dict(self) -> dict:
+        """Everything a mid-training resume needs, bit-exactly.
+
+        Covers both networks (with Adam moments), the replay buffer,
+        the agent's RNG bit-generator state, the current epsilon and the
+        step/loss counters.  See
+        :class:`repro.store.checkpoint.TrainingCheckpointer`.
+        """
+        return {
+            "q_network": self.q_network.state_dict(),
+            "target_network": self.target_network.state_dict(),
+            "replay": self.replay.state_dict(),
+            "rng": self.rng.bit_generator.state,
+            "epsilon": self.epsilon,
+            "steps": self._steps,
+            "losses": list(self._losses),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this agent."""
+        self.q_network.load_state_dict(state["q_network"])
+        self.target_network.load_state_dict(state["target_network"])
+        self.replay.load_state_dict(state["replay"])
+        self.rng.bit_generator.state = state["rng"]
+        self.epsilon = float(state["epsilon"])
+        self._steps = int(state["steps"])
+        self._losses = list(state["losses"])
+
     @property
     def steps(self) -> int:
         """Total environment steps observed."""

@@ -172,6 +172,42 @@ class MLP:
     # Weight management
     # ------------------------------------------------------------------ #
 
+    def state_dict(self) -> dict:
+        """Complete training state: parameters plus Adam moments.
+
+        Everything needed to resume an interrupted training run
+        bit-identically (used by the store's checkpoint layer).
+        """
+        return {
+            "weights": [w.copy() for w in self.weights],
+            "biases": [b.copy() for b in self.biases],
+            "optimizer": {
+                "m": {k: v.copy() for k, v in self.optimizer._m.items()},
+                "v": {k: v.copy() for k, v in self.optimizer._v.items()},
+                "t": self.optimizer._t,
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (shapes must match)."""
+        weights = [np.asarray(w, dtype=np.float64) for w in state["weights"]]
+        biases = [np.asarray(b, dtype=np.float64) for b in state["biases"]]
+        if [w.shape for w in weights] != [w.shape for w in self.weights]:
+            raise NetworkShapeError("checkpoint weight shapes do not match")
+        self.weights = weights
+        self.biases = biases
+        optimizer = state.get("optimizer", {})
+        self.optimizer._m = {
+            int(k): np.asarray(v, dtype=np.float64)
+            for k, v in optimizer.get("m", {}).items()
+        }
+        self.optimizer._v = {
+            int(k): np.asarray(v, dtype=np.float64)
+            for k, v in optimizer.get("v", {}).items()
+        }
+        self.optimizer._t = int(optimizer.get("t", 0))
+        self._cache = None
+
     def copy_weights_from(self, other: "MLP") -> None:
         """Overwrite this network's parameters with ``other``'s."""
         if (

@@ -73,6 +73,30 @@ class ReplayBuffer:
         dones = np.array([t.done for t in batch], dtype=bool)
         return states, actions, rewards, next_states, dones
 
+    def state_dict(self) -> dict:
+        """Ring contents plus cursor — enough to resume eviction order."""
+        return {
+            "capacity": self.capacity,
+            "next": self._next,
+            "size": self._size,
+            "storage": list(self._storage),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this buffer."""
+        capacity = int(state["capacity"])
+        if capacity != self.capacity:
+            raise DRLError(
+                f"checkpoint capacity {capacity} != buffer capacity "
+                f"{self.capacity}"
+            )
+        storage = list(state["storage"])
+        if len(storage) != capacity:
+            raise DRLError("checkpoint storage length mismatch")
+        self._storage = storage
+        self._next = int(state["next"])
+        self._size = int(state["size"])
+
     def clear(self) -> None:
         """Drop every stored transition."""
         self._storage = [None] * self.capacity

@@ -14,12 +14,15 @@ ad-hoc side lists.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..config import GenTranSeqConfig
 from ..telemetry import get_metrics, get_tracer
 from .dqn import DQNAgent
 from .env_base import Environment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store.checkpoint import TrainingCheckpointer
 
 
 @dataclass
@@ -83,6 +86,7 @@ def train(
     agent: DQNAgent,
     config: Optional[GenTranSeqConfig] = None,
     stop_when_profitable: bool = False,
+    checkpointer: Optional["TrainingCheckpointer"] = None,
 ) -> TrainingHistory:
     """Run the Algorithm 1 training loop and return its history.
 
@@ -97,10 +101,19 @@ def train(
     stop_when_profitable:
         Early-exit an episode at the first profitable sequence; used by
         the defense probe where only existence of profit matters.
+    checkpointer:
+        Optional :class:`~repro.store.checkpoint.TrainingCheckpointer`:
+        restores the latest persisted state before the first episode
+        (so an interrupted run resumes mid-training, bit-identically)
+        and re-persists every K episodes.
     """
     cfg = config or agent.config
     history = TrainingHistory()
     patience = cfg.early_stop_patience
+    start_episode = 0
+    if checkpointer is not None:
+        checkpoint_env = env if hasattr(env, "best_order") else None
+        start_episode = checkpointer.restore(agent, checkpoint_env, history)
     metrics = get_metrics()
     tracer = get_tracer()
     m_episodes = metrics.counter("drl.episodes")
@@ -114,7 +127,7 @@ def train(
                 10.0, 100.0, 1000.0, 10000.0),
     )
     m_loss = metrics.histogram("drl.td_loss")
-    for episode in range(cfg.episodes):
+    for episode in range(start_episode, cfg.episodes):
         if patience is not None and len(history.episodes) > patience:
             from ..analysis.convergence import is_plateaued
 
@@ -184,4 +197,12 @@ def train(
                 buffer_size=len(agent.replay),
             )
         )
+        if checkpointer is not None:
+            checkpointer.maybe_save(
+                episode,
+                agent,
+                env if hasattr(env, "best_order") else None,
+                history,
+                cfg.episodes,
+            )
     return history

@@ -21,7 +21,14 @@ from .fig9_solutions import Fig9Curve, run_fig9, render_fig9
 from .fig10_snapshots import run_fig10, render_fig10
 from .fig11_solvers import Fig11Row, run_fig11, render_fig11
 from .defense_eval import DefensePoint, run_defense_eval, render_defense_eval
-from .runner import REGISTRY, ExperimentSpec, RunRecord, run_all
+from .runner import (
+    REGISTRY,
+    ExperimentSpec,
+    RunRecord,
+    SpecOutcome,
+    execute_spec,
+    run_all,
+)
 from .report import build_report, write_report
 
 __all__ = [
@@ -58,6 +65,8 @@ __all__ = [
     "REGISTRY",
     "ExperimentSpec",
     "RunRecord",
+    "SpecOutcome",
+    "execute_spec",
     "run_all",
     "build_report",
     "write_report",

@@ -52,12 +52,20 @@ def _fig8_cell(
     epsilon_decay: float,
     *,
     seed: int,
+    checkpoint_store=None,
+    checkpoint_every: int = 5,
 ) -> Fig8Series:
     """Train one (epsilon, #IFUs) cell and return its learning curve.
 
     Regenerating the workload per task costs a few milliseconds but
     makes every cell fully independent — the fabric can train each
     epsilon's agent in its own worker process.
+
+    With ``checkpoint_store`` set, the DQN persists its full training
+    state every ``checkpoint_every`` episodes under a key derived from
+    the cell parameters, so a killed run resumes mid-training instead
+    of restarting the cell from episode 0.  The checkpoint is deleted
+    once the cell finishes (the task-level cache takes over from there).
     """
     workload = generate_workload(
         WorkloadConfig(
@@ -79,8 +87,34 @@ def _fig8_cell(
         steps_per_episode=preset.steps_per_episode,
         seed=seed,
     )
+    checkpointer = None
+    if checkpoint_store is not None:
+        from ..store import TrainingCheckpointer, checkpoint_key
+
+        key = checkpoint_key(
+            "fig8-cell",
+            {
+                "epsilon": epsilon,
+                "num_ifus": num_ifus,
+                "mempool_size": mempool_size,
+                "episodes": preset.episodes,
+                "steps_per_episode": preset.steps_per_episode,
+                "epsilon_decay": epsilon_decay,
+            },
+            seed,
+        )
+        checkpointer = TrainingCheckpointer(
+            checkpoint_store, key, every=checkpoint_every
+        )
     module = GenTranSeq(config=config)
-    result = module.optimize(workload.pre_state, transactions, workload.ifus)
+    result = module.optimize(
+        workload.pre_state,
+        transactions,
+        workload.ifus,
+        checkpointer=checkpointer,
+    )
+    if checkpointer is not None:
+        checkpointer.clear()
     rewards = tuple(result.episode_rewards)
     return Fig8Series(
         epsilon=epsilon,
@@ -107,6 +141,11 @@ def run_fig8(
     per epsilon setting, exactly the paper's Figure 8 layout.
     """
     runner = runner if runner is not None else SerialRunner()
+    # Checkpoints share whatever store the runner caches tasks in; the
+    # handle is key-neutral (canonicalised to a constant) so passing it
+    # does not perturb the task cache key.
+    store = getattr(runner, "store", None)
+    kwargs = {"checkpoint_store": store} if store is not None else {}
     tasks = [
         Task(
             fn=_fig8_cell,
@@ -114,6 +153,7 @@ def run_fig8(
                 epsilon, num_ifus, mempool_size, preset, window,
                 epsilon_decay,
             ),
+            kwargs=dict(kwargs),
             seed=seed,
             label=f"fig8[ifus={num_ifus},eps={epsilon}]",
         )

@@ -24,6 +24,7 @@ from typing import Any, Callable, List, Optional, Tuple
 from ..config import SnapshotStudyConfig, TelemetryConfig
 from ..errors import ReproError
 from ..parallel import SerialRunner, TaskRunner, get_runner
+from ..store import CodecError, ResultStore, decode, encode, experiment_key
 from ..telemetry import ManifestRecorder, configure, get_metrics, get_tracer
 from .common import EffortPreset, QUICK
 from . import (
@@ -77,14 +78,14 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
         "table3",
         "PT gas/fee behaviour in OpenSea transactions",
-        lambda preset, seed, runner: table3_gas.run_table3(),
+        table3_gas.run_table3,
         table3_gas.render_table3,
         _dataclass_list,
     ),
     ExperimentSpec(
         "fig5",
         "Section VI case studies",
-        lambda preset, seed, runner: fig5_cases.run_case_studies(),
+        fig5_cases.run_case_studies,
         fig5_cases.render_case_studies,
         _dataclass_list,
     ),
@@ -188,6 +189,89 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
 
 
 @dataclass
+class SpecOutcome:
+    """What one :func:`execute_spec` call produced.
+
+    ``result`` is the live experiment result object on a cold run; on a
+    cache hit it is the decoded stored result, or ``None`` when the
+    result object was not storable (the rendered ``text``/``json_text``
+    are always present and byte-identical to the cold run's).
+    """
+
+    result: Any
+    text: str
+    json_text: str
+    cache_hit: bool = False
+
+
+def execute_spec(
+    spec: ExperimentSpec,
+    preset: EffortPreset = QUICK,
+    seed: Optional[int] = None,
+    task_runner: Optional[TaskRunner] = None,
+    store: Optional[ResultStore] = None,
+) -> SpecOutcome:
+    """Run one experiment through the uniform spec interface.
+
+    The single execution path shared by :func:`run_all` and the
+    :mod:`repro.api` facade.  With a ``store``, the whole experiment is
+    memoized under :func:`~repro.store.keys.experiment_key` — a warm
+    call returns the archived text/JSON renderings without recomputing
+    anything — and the task runner's per-cell cache is pointed at the
+    same store for the duration of the call.
+    """
+    seed = spec.seed if seed is None else seed
+    runner = task_runner if task_runner is not None else SerialRunner()
+    key = experiment_key(
+        spec.experiment_id, preset.name, {"preset": preset}, seed
+    )
+    if store is not None:
+        payload, found = store.fetch(key)
+        if found:
+            get_metrics().counter("store.experiment_hits").inc()
+            result = None
+            if payload.get("result") is not None:
+                try:
+                    result = decode(payload["result"])
+                except CodecError:
+                    result = None
+            return SpecOutcome(
+                result=result,
+                text=payload["text"],
+                json_text=payload["json"],
+                cache_hit=True,
+            )
+        get_metrics().counter("store.experiment_misses").inc()
+    previous_store = getattr(runner, "store", None)
+    if store is not None:
+        runner.store = store
+    try:
+        with get_tracer().span("experiment", experiment=spec.experiment_id):
+            result = spec.run(preset, seed, runner)
+    finally:
+        runner.store = previous_store
+    text = spec.render(result) + "\n"
+    json_text = json.dumps(
+        {
+            "experiment": spec.experiment_id,
+            "description": spec.description,
+            "preset": preset.name,
+            "seed": seed,
+            "data": spec.to_json(result),
+        },
+        indent=2,
+        default=str,
+    )
+    if store is not None:
+        try:
+            encoded = encode(result)
+        except CodecError:
+            encoded = None
+        store.put(key, {"text": text, "json": json_text, "result": encoded})
+    return SpecOutcome(result=result, text=text, json_text=json_text)
+
+
+@dataclass
 class RunRecord:
     """Outcome of one experiment run."""
 
@@ -198,6 +282,29 @@ class RunRecord:
     ok: bool
     error: Optional[str] = None
     manifest_path: Optional[str] = None
+    #: Per-experiment cache accounting (None when no store was active):
+    #: experiment_hit flag, task hit/miss deltas and the task hit ratio.
+    cache: Optional[dict] = None
+
+
+def _cache_summary(
+    store: ResultStore,
+    before: dict,
+    experiment_hit: bool,
+) -> dict:
+    """Task-cache deltas for one experiment, plus its hit ratio."""
+    after = store.stats.snapshot()
+    delta = {k: after[k] - before.get(k, 0) for k in after}
+    looked_up = delta["hits"] + delta["misses"]
+    return {
+        "experiment_hit": experiment_hit,
+        "hits": delta["hits"],
+        "misses": delta["misses"],
+        "puts": delta["puts"],
+        "bytes_written": delta["bytes_written"],
+        "bytes_read": delta["bytes_read"],
+        "hit_ratio": delta["hits"] / looked_up if looked_up else 0.0,
+    }
 
 
 def run_all(
@@ -206,6 +313,7 @@ def run_all(
     only: Optional[List[str]] = None,
     telemetry: Optional[TelemetryConfig] = None,
     jobs: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[RunRecord]:
     """Run every (or the selected) experiment, archiving artifacts.
 
@@ -221,6 +329,12 @@ def run_all(
     negative value auto-sizes to the machine.  Results are identical
     for every ``jobs`` value; worker telemetry is merged back into the
     parent registry, so manifests carry the complete stats either way.
+
+    With a ``store``, completed experiments and their individual sweep
+    cells are memoized content-addressed (see :mod:`repro.store`): a
+    killed run resumes from the last completed task, and a warm rerun
+    replays every artifact byte-identically from cache.  Each record
+    (and manifest) carries its per-experiment hit accounting.
     """
     output_dir = pathlib.Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
@@ -237,12 +351,12 @@ def run_all(
         session = configure(telemetry)
     records: List[RunRecord] = []
     try:
-        with get_runner(jobs) as task_runner:
+        with get_runner(jobs, store=store) as task_runner:
             for spec in REGISTRY:
                 if wanted is not None and spec.experiment_id not in wanted:
                     continue
                 records.append(
-                    _run_one(spec, preset, output_dir, task_runner)
+                    _run_one(spec, preset, output_dir, task_runner, store)
                 )
         if session is not None:
             get_tracer().emit_metrics("run_all.final")
@@ -257,6 +371,7 @@ def _run_one(
     preset: EffortPreset,
     output_dir: pathlib.Path,
     task_runner: Optional[TaskRunner] = None,
+    store: Optional[ResultStore] = None,
 ) -> RunRecord:
     text_path = output_dir / f"{spec.experiment_id}.txt"
     json_path = output_dir / f"{spec.experiment_id}.json"
@@ -269,32 +384,22 @@ def _run_one(
         config={"preset": preset, "seed": spec.seed},
         out_dir=output_dir,
     )
+    stats_before = store.stats.snapshot() if store is not None else {}
+    cache_info: Optional[dict] = None
     try:
         with recorder:
-            with get_tracer().span(
-                "experiment", experiment=spec.experiment_id
-            ):
-                result = spec.run(
-                    preset,
-                    spec.seed,
-                    task_runner if task_runner is not None else SerialRunner(),
-                )
-            text_path.write_text(spec.render(result) + "\n")
-            json_path.write_text(
-                json.dumps(
-                    {
-                        "experiment": spec.experiment_id,
-                        "description": spec.description,
-                        "preset": preset.name,
-                        "seed": spec.seed,
-                        "data": spec.to_json(result),
-                    },
-                    indent=2,
-                    default=str,
-                )
+            outcome = execute_spec(
+                spec, preset, task_runner=task_runner, store=store
             )
+            text_path.write_text(outcome.text)
+            json_path.write_text(outcome.json_text)
             recorder.add_artifact("text", text_path)
             recorder.add_artifact("json", json_path)
+            if store is not None:
+                cache_info = _cache_summary(
+                    store, stats_before, outcome.cache_hit
+                )
+                recorder.extra["cache"] = cache_info
             get_metrics().counter("experiments.completed").inc()
         return RunRecord(
             experiment_id=spec.experiment_id,
@@ -303,9 +408,12 @@ def _run_one(
             json_path=str(json_path),
             ok=True,
             manifest_path=str(recorder.path) if recorder.path else None,
+            cache=cache_info,
         )
     except Exception as exc:  # archive partial failures, keep going
         get_metrics().counter("experiments.failed").inc()
+        if store is not None:
+            cache_info = _cache_summary(store, stats_before, False)
         return RunRecord(
             experiment_id=spec.experiment_id,
             elapsed_seconds=time.perf_counter() - started,
@@ -314,4 +422,5 @@ def _run_one(
             ok=False,
             error=f"{type(exc).__name__}: {exc}",
             manifest_path=str(recorder.path) if recorder.path else None,
+            cache=cache_info,
         )

@@ -2,14 +2,27 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..analysis import format_table
 from ..market import TransactionRecord, table3_rows
+from ..parallel import TaskRunner
+from .common import QUICK, EffortPreset
 
 
-def run_table3() -> List[TransactionRecord]:
-    """Regenerate the three Table III rows from the gas model."""
+def run_table3(
+    preset: EffortPreset = QUICK,
+    seed: int = 0,
+    runner: Optional[TaskRunner] = None,
+) -> List[TransactionRecord]:
+    """Regenerate the three Table III rows from the gas model.
+
+    Takes the uniform ``(preset, seed, runner)`` experiment signature so
+    the registry addresses every experiment the same way; the table is
+    derived from fixed on-chain constants, so all three parameters are
+    deliberately ignored (the run is fully deterministic).
+    """
+    del preset, seed, runner  # deterministic gas-model constants
     return table3_rows()
 
 

@@ -443,16 +443,26 @@ def run_matrix(
     scenarios: Sequence[ChaosScenario] = DEFAULT_MATRIX,
     strict: bool = False,
     runner: Optional["TaskRunner"] = None,
+    store=None,
 ) -> List[ChaosReport]:
     """Run every scenario; returns the per-scenario reports.
 
     Scenarios are independent (each seeds its own simulation), so they
     fan out over ``runner`` — serial by default — and reports come back
     in scenario order regardless of backend.
+
+    With a :class:`~repro.store.ResultStore` (passed explicitly or
+    already attached to ``runner``), scenario reports are cached in the
+    ``chaos:`` namespace — fault-injected runs can share a cache
+    directory with clean experiment runs without ever sharing entries.
     """
     from ..parallel import SerialRunner, Task
 
     runner = runner if runner is not None else SerialRunner()
+    store = store if store is not None else getattr(runner, "store", None)
+    previous_store = getattr(runner, "store", None)
+    if store is not None:
+        runner.store = store.namespaced("chaos")
     tasks = [
         Task(
             fn=_run_scenario,
@@ -461,4 +471,7 @@ def run_matrix(
         )
         for scenario in scenarios
     ]
-    return runner.map(tasks)
+    try:
+        return runner.map(tasks)
+    finally:
+        runner.store = previous_store

@@ -26,6 +26,7 @@ from .fabric import (
     TaskResult,
     TaskRunner,
     get_runner,
+    resolve_cache_key,
     spawn_task_seeds,
 )
 from .worker import ChunkPayload, ChunkResult, TaskError, init_worker, run_chunk
@@ -38,6 +39,7 @@ __all__ = [
     "TaskResult",
     "TaskRunner",
     "get_runner",
+    "resolve_cache_key",
     "spawn_task_seeds",
     "ChunkPayload",
     "ChunkResult",

@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ParallelError
+from ..store import CodecError, ResultStore, UnkeyableError, task_key
 from ..telemetry import get_metrics, get_tracer
 from .worker import ChunkPayload, ChunkResult, TaskError, init_worker, run_chunk
 
@@ -52,6 +53,7 @@ __all__ = [
     "ProcessRunner",
     "AutoRunner",
     "get_runner",
+    "resolve_cache_key",
     "spawn_task_seeds",
 ]
 
@@ -89,6 +91,26 @@ class Task:
     kwargs: Dict[str, Any] = field(default_factory=dict)
     seed: Optional[int] = None
     label: str = ""
+    #: Result-store key for this task.  ``None`` (the default) derives a
+    #: content-addressed key from ``(fn, args, kwargs, seed)`` whenever
+    #: the runner carries a store; set explicitly to pin a key.
+    cache_key: Optional[str] = None
+
+
+def resolve_cache_key(task: Task) -> Optional[str]:
+    """The store key a task caches under, or None when uncacheable.
+
+    Explicit ``task.cache_key`` wins; otherwise the key is derived from
+    the code fingerprint plus a canonical encoding of the task record
+    (see :func:`repro.store.task_key`).  Tasks whose arguments cannot be
+    canonically encoded simply run uncached.
+    """
+    if task.cache_key is not None:
+        return task.cache_key
+    try:
+        return task_key(task.fn, task.args, task.kwargs, task.seed)
+    except UnkeyableError:
+        return None
 
 
 @dataclass
@@ -106,12 +128,81 @@ class TaskResult:
 
 
 class TaskRunner:
-    """Executes a batch of tasks; results come back in submission order."""
+    """Executes a batch of tasks; results come back in submission order.
+
+    When :attr:`store` is set (see ``--cache DIR`` / ``get_runner``),
+    every cacheable task is looked up in the store *before* dispatch and
+    persisted *as its result arrives* — so a killed sweep resumes from
+    completed tasks on the next run, and a fully warm batch never
+    touches the backend at all.  Cached values round-trip through the
+    store codec exactly, keeping warm results byte-identical to cold
+    ones (asserted by ``tests/parallel/test_determinism.py``).
+    """
 
     name = "base"
 
+    #: Optional :class:`~repro.store.ResultStore`; assign (or pass to
+    #: ``get_runner``) to memoize task results.
+    store: Optional[ResultStore] = None
+
     def run(self, tasks: Sequence[Task]) -> List[TaskResult]:
         """Execute every task; per-task failures land in ``.error``."""
+        store = self.store
+        if store is None or not tasks:
+            return self._run_batch(list(tasks), None)
+        metrics = get_metrics()
+        m_hits = metrics.counter("store.task_hits")
+        m_misses = metrics.counter("store.task_misses")
+        m_uncacheable = metrics.counter("store.task_uncacheable")
+        results: Dict[int, TaskResult] = {}
+        pending: List[Task] = []
+        pending_meta: List[Tuple[int, Optional[str]]] = []
+        for index, task in enumerate(tasks):
+            key = resolve_cache_key(task)
+            if key is not None:
+                value, found = store.fetch_object(key)
+                if found:
+                    m_hits.inc()
+                    results[index] = TaskResult(
+                        index=index, value=value, label=task.label
+                    )
+                    continue
+                m_misses.inc()
+            else:
+                m_uncacheable.inc()
+            pending.append(task)
+            pending_meta.append((index, key))
+
+        def persist(local_index: int, result: TaskResult) -> None:
+            _, key = pending_meta[local_index]
+            if key is None or result.error is not None:
+                return
+            try:
+                store.put_object(key, result.value)
+            except CodecError:
+                metrics.counter("store.task_unstorable").inc()
+
+        if pending:
+            for local_index, result in enumerate(
+                self._run_batch(pending, persist)
+            ):
+                global_index, _ = pending_meta[local_index]
+                results[global_index] = TaskResult(
+                    index=global_index,
+                    value=result.value,
+                    error=result.error,
+                    label=result.label,
+                )
+        return [results[index] for index in range(len(tasks))]
+
+    def _run_batch(
+        self,
+        tasks: List[Task],
+        persist: Optional[Callable[[int, TaskResult], None]],
+    ) -> List[TaskResult]:
+        """Backend hook: execute ``tasks``, calling ``persist`` with each
+        ``(batch index, result)`` as results become available (so an
+        interrupted batch keeps what already finished)."""
         raise NotImplementedError
 
     def map(self, tasks: Sequence[Task]) -> List[Any]:
@@ -151,30 +242,38 @@ class SerialRunner(TaskRunner):
 
     name = "serial"
 
-    def run(self, tasks: Sequence[Task]) -> List[TaskResult]:
+    def __init__(self, store: Optional[ResultStore] = None) -> None:
+        self.store = store
+
+    def _run_batch(
+        self,
+        tasks: List[Task],
+        persist: Optional[Callable[[int, TaskResult], None]],
+    ) -> List[TaskResult]:
         from .worker import call_task
 
         results: List[TaskResult] = []
         for index, task in enumerate(tasks):
             try:
                 value = call_task(task.fn, task.args, task.kwargs, task.seed)
-                results.append(
-                    TaskResult(index=index, value=value, label=task.label)
-                )
+                result = TaskResult(index=index, value=value, label=task.label)
             except Exception as exc:
                 import traceback as tb_module
 
-                results.append(
-                    TaskResult(
-                        index=index,
-                        error=TaskError(
-                            exc_type=type(exc).__name__,
-                            message=str(exc),
-                            traceback=tb_module.format_exc(),
-                        ),
-                        label=task.label,
-                    )
+                result = TaskResult(
+                    index=index,
+                    error=TaskError(
+                        exc_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback=tb_module.format_exc(),
+                    ),
+                    label=task.label,
                 )
+            # Persist before the failure propagates out of ``map``:
+            # everything that completed stays completed.
+            if persist is not None:
+                persist(index, result)
+            results.append(result)
         return results
 
 
@@ -210,12 +309,14 @@ class ProcessRunner(TaskRunner):
         chunk_size: Optional[int] = None,
         start_method: Optional[str] = None,
         span_buffer_size: int = 4096,
+        store: Optional[ResultStore] = None,
     ) -> None:
         cpu = os.cpu_count() or 1
         self.max_workers = max(1, max_workers if max_workers is not None else cpu)
         self.chunk_size = chunk_size
         self.start_method = start_method or _default_start_method()
         self.span_buffer_size = span_buffer_size
+        self.store = store
         self._executor: Optional[ProcessPoolExecutor] = None
 
     def _pool(self) -> ProcessPoolExecutor:
@@ -244,7 +345,11 @@ class ProcessRunner(TaskRunner):
             for start in range(0, len(indexed), size)
         ]
 
-    def run(self, tasks: Sequence[Task]) -> List[TaskResult]:
+    def _run_batch(
+        self,
+        tasks: List[Task],
+        persist: Optional[Callable[[int, TaskResult], None]],
+    ) -> List[TaskResult]:
         if not tasks:
             return []
         capture = bool(get_metrics().enabled)
@@ -260,18 +365,23 @@ class ProcessRunner(TaskRunner):
         futures = [pool.submit(run_chunk, payload) for payload in payloads]
         # Collect and merge in *submission* order, not completion order:
         # that keeps merged gauges (last-write-wins) and the span stream
-        # deterministic for a fixed task list and worker count.
+        # deterministic for a fixed task list and worker count.  Each
+        # chunk's results are persisted as soon as it is collected, so a
+        # killed ``--jobs N`` run keeps every chunk it got through.
         by_index: Dict[int, TaskResult] = {}
         for future in futures:
             chunk_result: ChunkResult = future.result()
             self._merge_telemetry(chunk_result)
             for index, value, error in chunk_result.outcomes:
-                by_index[index] = TaskResult(
+                result = TaskResult(
                     index=index,
                     value=value,
                     error=error,
                     label=tasks[index].label,
                 )
+                by_index[index] = result
+                if persist is not None:
+                    persist(index, result)
         return [by_index[index] for index in range(len(tasks))]
 
     @staticmethod
@@ -302,9 +412,11 @@ class AutoRunner(TaskRunner):
         max_workers: Optional[int] = None,
         min_tasks: int = 4,
         chunk_size: Optional[int] = None,
+        store: Optional[ResultStore] = None,
     ) -> None:
         self.max_workers = max_workers
         self.min_tasks = max(1, min_tasks)
+        self.store = store
         self._serial = SerialRunner()
         self._process = ProcessRunner(
             max_workers=max_workers, chunk_size=chunk_size
@@ -320,23 +432,34 @@ class AutoRunner(TaskRunner):
             return self._process
         return self._serial
 
-    def run(self, tasks: Sequence[Task]) -> List[TaskResult]:
-        return self.select(len(tasks)).run(tasks)
+    def _run_batch(
+        self,
+        tasks: List[Task],
+        persist: Optional[Callable[[int, TaskResult], None]],
+    ) -> List[TaskResult]:
+        # Delegate to the selected backend's raw batch hook: caching
+        # already happened in this runner's ``run``, so the sub-runner
+        # must not consult its own (unset) store again.
+        return self.select(len(tasks))._run_batch(tasks, persist)
 
     def close(self) -> None:
         self._process.close()
 
 
-def get_runner(jobs: Optional[int] = None) -> TaskRunner:
+def get_runner(
+    jobs: Optional[int] = None, store: Optional[ResultStore] = None
+) -> TaskRunner:
     """Map a ``--jobs`` value onto a backend.
 
     ``None``, ``0`` or ``1`` — :class:`SerialRunner` (the default keeps
     current behaviour); ``N > 1`` — :class:`ProcessRunner` with ``N``
     workers; any negative value — :class:`AutoRunner` (use every core
-    when the batch is big enough).
+    when the batch is big enough).  ``store`` attaches a result store
+    (``--cache DIR``): every backend then consults it before dispatch
+    and persists task results as they complete.
     """
     if jobs is None or jobs in (0, 1):
-        return SerialRunner()
+        return SerialRunner(store=store)
     if jobs < 0:
-        return AutoRunner()
-    return ProcessRunner(max_workers=jobs)
+        return AutoRunner(store=store)
+    return ProcessRunner(max_workers=jobs, store=store)

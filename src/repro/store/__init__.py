@@ -1,0 +1,50 @@
+"""``repro.store`` — content-addressed result store with resumable runs.
+
+The memoization layer behind warm ``parole run-all --cache DIR`` re-runs
+and crash-resume: a zero-dependency, disk-backed
+:class:`~repro.store.result_store.ResultStore` (atomic writes, JSON
+payloads, an index file, size/age eviction), cache keys derived from
+``(store schema version, code fingerprint, experiment id, effort
+preset, config hash, seed)`` (:mod:`repro.store.keys`), an exact
+round-trip codec for result dataclasses (:mod:`repro.store.codec`) and
+periodic DQN training checkpoints
+(:class:`~repro.store.checkpoint.TrainingCheckpointer`).
+
+See ``docs/store.md`` for key anatomy, invalidation rules and a resume
+walkthrough.
+"""
+
+from .codec import CodecError, decode, encode
+from .keys import (
+    STORE_SCHEMA_VERSION,
+    UnkeyableError,
+    canonical,
+    checkpoint_key,
+    code_fingerprint,
+    config_digest,
+    digest,
+    experiment_key,
+    task_key,
+)
+from .result_store import ResultStore, StoreError, StoreStats
+from .checkpoint import CHECKPOINT_SCHEMA, TrainingCheckpointer
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "CHECKPOINT_SCHEMA",
+    "UnkeyableError",
+    "CodecError",
+    "StoreError",
+    "ResultStore",
+    "StoreStats",
+    "TrainingCheckpointer",
+    "canonical",
+    "checkpoint_key",
+    "code_fingerprint",
+    "config_digest",
+    "decode",
+    "digest",
+    "encode",
+    "experiment_key",
+    "task_key",
+]

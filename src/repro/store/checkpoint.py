@@ -1,0 +1,117 @@
+"""Mid-training checkpoints for DQN runs, persisted into the store.
+
+A :class:`TrainingCheckpointer` snapshots the *complete* training state
+every K episodes — Q/target network weights, Adam moments, replay-buffer
+contents, the agent's RNG bit-generator state, the epsilon schedule
+position and the per-episode history, plus the environment's
+best-order-so-far — so an interrupted Fig. 8 run resumes mid-training
+and finishes **bit-identically** to an uninterrupted one (asserted by
+``tests/store/test_cached_runs.py``).
+
+Checkpoints live under ``ckpt:`` keys and are :meth:`clear`-ed once the
+run completes (the task-level result cache takes over from there), so
+they never accumulate in a healthy store.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from .codec import decode, encode
+from .result_store import ResultStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.environment import ReorderEnv
+    from ..drl.dqn import DQNAgent
+    from ..drl.trainer import TrainingHistory
+
+__all__ = ["CHECKPOINT_SCHEMA", "TrainingCheckpointer"]
+
+CHECKPOINT_SCHEMA = "repro.store/checkpoint/v1"
+
+
+class TrainingCheckpointer:
+    """Periodic save/restore of one training run's full state."""
+
+    def __init__(self, store: ResultStore, key: str, every: int = 5) -> None:
+        if every <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        self.store = store
+        self.key = key
+        self.every = every
+
+    # -- restore --------------------------------------------------------
+
+    def restore(
+        self,
+        agent: "DQNAgent",
+        env: Optional["ReorderEnv"],
+        history: "TrainingHistory",
+    ) -> int:
+        """Load the latest checkpoint, if any; returns the next episode.
+
+        Mutates ``agent`` (weights, optimizer, replay, RNG, schedule
+        position), ``env`` (best order/objective found so far) and
+        ``history`` (completed episodes) in place.  Returns 0 when no
+        usable checkpoint exists.
+        """
+        payload, found = self.store.fetch(self.key)
+        if not found or payload.get("schema") != CHECKPOINT_SCHEMA:
+            return 0
+        state: Dict[str, Any] = decode(payload["state"])
+        agent.load_state_dict(state["agent"])
+        if env is not None and state.get("env") is not None:
+            env.best_order = tuple(state["env"]["best_order"])
+            env.best_objective = state["env"]["best_objective"]
+        history.episodes.extend(state["history"])
+        return int(payload["episode"])
+
+    # -- save -----------------------------------------------------------
+
+    def maybe_save(
+        self,
+        episode: int,
+        agent: "DQNAgent",
+        env: Optional["ReorderEnv"],
+        history: "TrainingHistory",
+        total_episodes: int,
+    ) -> bool:
+        """Persist after every ``every``-th episode (not after the last —
+        a finished run is covered by the result cache, not checkpoints).
+        """
+        completed = episode + 1
+        if completed % self.every != 0 or completed >= total_episodes:
+            return False
+        self.save(completed, agent, env, history)
+        return True
+
+    def save(
+        self,
+        next_episode: int,
+        agent: "DQNAgent",
+        env: Optional["ReorderEnv"],
+        history: "TrainingHistory",
+    ) -> None:
+        env_state = None
+        if env is not None:
+            env_state = {
+                "best_order": list(env.best_order),
+                "best_objective": env.best_objective,
+            }
+        state = {
+            "agent": agent.state_dict(),
+            "env": env_state,
+            "history": list(history.episodes),
+        }
+        self.store.put(
+            self.key,
+            {
+                "schema": CHECKPOINT_SCHEMA,
+                "episode": next_episode,
+                "state": encode(state),
+            },
+        )
+
+    def clear(self) -> None:
+        """Drop the checkpoint (call when the run completes)."""
+        self.store.delete(self.key)

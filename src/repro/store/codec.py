@@ -1,0 +1,158 @@
+"""Tagged JSON codec: exact round-trips for experiment result objects.
+
+The store holds JSON values, but experiment results are (frozen)
+dataclasses of tuples, enums and numpy scalars/arrays.  This codec
+encodes such objects into plain JSON with explicit type tags and
+decodes them back to *equal* objects — bit-exact for floats (JSON
+round-trips finite doubles exactly via ``repr``), shape/dtype-exact for
+numpy arrays, type-exact for dataclasses and enums.  That exactness is
+what makes a cache hit byte-identical to a cold run once the result is
+re-rendered and re-serialized.
+
+Only types under the ``repro``/``tests``/``benchmarks`` namespaces (or
+stdlib enums) are reconstructed; anything else raises
+:class:`CodecError` at encode time, so unsupported payloads fail loudly
+instead of caching garbage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import importlib
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["CodecError", "encode", "decode"]
+
+#: Tag vocabulary.  Kept terse: checkpoints serialize whole replay
+#: buffers through this codec.
+_TUPLE = "__tuple__"
+_SET = "__set__"
+_FROZENSET = "__frozenset__"
+_DATACLASS = "__dc__"
+_ENUM = "__enum__"
+_NDARRAY = "__nd__"
+_NPSCALAR = "__np__"
+_DICT = "__dict__"
+_TAGS = (_TUPLE, _SET, _FROZENSET, _DATACLASS, _ENUM, _NDARRAY, _NPSCALAR, _DICT)
+
+
+class CodecError(ReproError):
+    """A value cannot be encoded (or decoded) by the store codec."""
+
+
+def encode(value: Any) -> Any:
+    """Encode ``value`` into a plain-JSON structure with type tags."""
+    if value is None or isinstance(value, (bool, int, str, float)):
+        return value
+    if isinstance(value, enum.Enum):
+        return {_ENUM: _type_ref(type(value)), "v": encode(value.value)}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            _DATACLASS: _type_ref(type(value)),
+            "f": {
+                f.name: encode(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, tuple):
+        return {_TUPLE: [encode(item) for item in value]}
+    if isinstance(value, list):
+        return [encode(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        tag = _FROZENSET if isinstance(value, frozenset) else _SET
+        from .keys import canonical_repr
+
+        items = sorted((encode(item) for item in value), key=canonical_repr)
+        return {tag: items}
+    if isinstance(value, Mapping):
+        if all(isinstance(k, str) for k in value) and not (
+            set(value) & set(_TAGS)
+        ):
+            return {str(k): encode(v) for k, v in value.items()}
+        return {_DICT: [[encode(k), encode(v)] for k, v in value.items()]}
+    if isinstance(value, np.ndarray):
+        return {
+            _NDARRAY: str(value.dtype),
+            "shape": list(value.shape),
+            "data": value.ravel().tolist(),
+        }
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return {_NPSCALAR: value.dtype.name, "v": value.item()}
+    raise CodecError(
+        f"cannot encode {type(value).__module__}.{type(value).__qualname__} "
+        "for the result store"
+    )
+
+
+def decode(value: Any) -> Any:
+    """Invert :func:`encode`."""
+    if value is None or isinstance(value, (bool, int, str, float)):
+        return value
+    if isinstance(value, list):
+        return [decode(item) for item in value]
+    if isinstance(value, dict):
+        if _TUPLE in value:
+            return tuple(decode(item) for item in value[_TUPLE])
+        if _SET in value:
+            return set(decode(item) for item in value[_SET])
+        if _FROZENSET in value:
+            return frozenset(decode(item) for item in value[_FROZENSET])
+        if _ENUM in value:
+            return _resolve(value[_ENUM])(decode(value["v"]))
+        if _DATACLASS in value:
+            return _build_dataclass(
+                _resolve(value[_DATACLASS]),
+                {k: decode(v) for k, v in value["f"].items()},
+            )
+        if _NDARRAY in value:
+            array = np.asarray(
+                decode(value["data"]), dtype=np.dtype(value[_NDARRAY])
+            )
+            return array.reshape(tuple(value["shape"]))
+        if _NPSCALAR in value:
+            return np.dtype(value[_NPSCALAR]).type(value["v"])
+        if _DICT in value:
+            return {decode(k): decode(v) for k, v in value[_DICT]}
+        return {k: decode(v) for k, v in value.items()}
+    raise CodecError(f"cannot decode stored value of type {type(value).__name__}")
+
+
+def _type_ref(cls: type) -> str:
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+_ALLOWED_MODULE_PREFIXES = ("repro.", "tests.", "benchmarks.", "enum", "test_", "bench_")
+
+
+def _resolve(ref: str) -> type:
+    module_name, _, qualname = ref.partition(":")
+    if not (
+        module_name.startswith(_ALLOWED_MODULE_PREFIXES)
+        or module_name in ("repro", "tests", "benchmarks", "conftest", "__main__")
+    ):
+        raise CodecError(f"refusing to resolve type outside repro: {ref}")
+    try:
+        obj: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+    except (ImportError, AttributeError) as exc:
+        raise CodecError(f"cannot resolve stored type {ref}: {exc}") from exc
+    if not isinstance(obj, type):
+        raise CodecError(f"stored type ref {ref} is not a class")
+    return obj
+
+
+def _build_dataclass(cls: type, fields: Dict[str, Any]) -> Any:
+    if not dataclasses.is_dataclass(cls):
+        raise CodecError(f"{cls!r} is not a dataclass")
+    init_fields = {f.name for f in dataclasses.fields(cls) if f.init}
+    instance = cls(**{k: v for k, v in fields.items() if k in init_fields})
+    for name, value in fields.items():
+        if name not in init_fields:
+            object.__setattr__(instance, name, value)
+    return instance

@@ -1,0 +1,227 @@
+"""Cache-key derivation for the content-addressed result store.
+
+Every key is a SHA-256 digest over a *canonical encoding* of the value
+tuple the ISSUE's memoization discipline calls for::
+
+    (store schema version, code fingerprint, experiment id,
+     effort preset, config hash, seed)
+
+plus a short human-readable prefix (``exp:`` / ``task:`` / ``ckpt:``)
+naming the key family.  The *code fingerprint* is a hash of the whole
+``repro`` source tree, computed once per process — any source change
+invalidates every cached entry, the same conservative rule build
+systems apply.
+
+Canonicalisation here is **strict**: a value that cannot be reduced to
+deterministic JSON primitives (an arbitrary object whose ``repr`` would
+embed a memory address, a lambda, a closure) raises
+:class:`UnkeyableError` instead of silently producing an unstable key.
+Callers treat that as "this work is not cache-addressable" and simply
+skip caching it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import pathlib
+from typing import Any, Callable, Mapping, Optional, Union
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "UnkeyableError",
+    "canonical",
+    "digest",
+    "code_fingerprint",
+    "config_digest",
+    "experiment_key",
+    "task_key",
+    "checkpoint_key",
+]
+
+#: Bump when the store's key anatomy or payload layout changes: every
+#: pre-existing entry becomes unreachable (a miss), never misread.
+STORE_SCHEMA_VERSION = "repro.store/v1"
+
+
+class UnkeyableError(ReproError):
+    """A value cannot be canonically encoded into a cache key."""
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to deterministic JSON-able primitives, strictly.
+
+    Dataclasses are encoded with their qualified type name (two configs
+    of different types never collide even with equal fields); mappings
+    are key-sorted; sets are element-sorted; numpy scalars/arrays are
+    expanded; module-level functions are encoded by qualified name.
+    Anything else raises :class:`UnkeyableError`.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, enum.Enum):
+        return ["__enum__", _type_ref(type(value)), value.value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return ["__dataclass__", _type_ref(type(value)), fields]
+    if isinstance(value, Mapping):
+        items = [
+            [canonical_repr(canonical(k)), canonical(v)]
+            for k, v in value.items()
+        ]
+        items.sort(key=lambda kv: kv[0])
+        return ["__mapping__", items]
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        encoded = [canonical(item) for item in value]
+        return ["__set__", sorted(encoded, key=canonical_repr)]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return ["__ndarray__", str(value.dtype), list(value.shape),
+                canonical(value.tolist())]
+    if callable(value):
+        return ["__fn__", _fn_ref(value)]
+    # A store handle threaded through task kwargs (e.g. a checkpoint
+    # store) never changes the task's *result*, so it is key-neutral.
+    from .result_store import ResultStore
+
+    if isinstance(value, ResultStore):
+        return "__store__"
+    raise UnkeyableError(
+        f"cannot canonically encode {type(value).__module__}."
+        f"{type(value).__qualname__} into a cache key"
+    )
+
+
+def canonical_repr(encoded: Any) -> str:
+    """A stable total order over already-canonical values."""
+    return json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+
+
+def _type_ref(cls: type) -> str:
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def _fn_ref(fn: Callable[..., Any]) -> str:
+    qualname = getattr(fn, "__qualname__", None)
+    module = getattr(fn, "__module__", None)
+    if not qualname or not module:
+        raise UnkeyableError(f"cannot key callable {fn!r}")
+    if "<lambda>" in qualname or "<locals>" in qualname:
+        raise UnkeyableError(
+            f"cannot key non-module-level callable {module}.{qualname}"
+        )
+    return f"{module}:{qualname}"
+
+
+def digest(value: Any) -> str:
+    """SHA-256 hex digest of ``value``'s canonical encoding."""
+    payload = canonical_repr(canonical(value))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def config_digest(config: Any) -> str:
+    """Short stable hash of a config mapping/dataclass."""
+    return digest(config)[:16]
+
+
+_FINGERPRINT_CACHE: dict = {}
+
+
+def code_fingerprint(root: Union[str, pathlib.Path, None] = None) -> str:
+    """Hash of the source tree, cached per process per root.
+
+    Hashes every ``*.py`` file under ``root`` (default: the installed
+    ``repro`` package directory), sorted by relative path, so any code
+    change — anywhere in the package — yields a new fingerprint and
+    therefore invalidates every cached result derived from it.
+    """
+    base = (
+        pathlib.Path(root)
+        if root is not None
+        else pathlib.Path(__file__).resolve().parent.parent
+    )
+    key = str(base)
+    cached = _FINGERPRINT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    for path in sorted(base.rglob("*.py"), key=lambda p: str(p.relative_to(base))):
+        hasher.update(str(path.relative_to(base)).encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(path.read_bytes())
+        hasher.update(b"\x00")
+    fingerprint = hasher.hexdigest()
+    _FINGERPRINT_CACHE[key] = fingerprint
+    return fingerprint
+
+
+def experiment_key(
+    experiment_id: str,
+    preset: str,
+    config: Any,
+    seed: Optional[int],
+) -> str:
+    """Key for one whole experiment run (the ``run_all`` artifact unit)."""
+    return "exp:" + digest(
+        [
+            STORE_SCHEMA_VERSION,
+            code_fingerprint(),
+            experiment_id,
+            preset,
+            config_digest(config),
+            seed,
+        ]
+    )
+
+
+def task_key(
+    fn: Callable[..., Any],
+    args: Any = (),
+    kwargs: Optional[Mapping[str, Any]] = None,
+    seed: Optional[int] = None,
+) -> str:
+    """Key for one fabric task — the sweep-cell unit of caching.
+
+    The ``(args, kwargs)`` pair plays the role of the experiment
+    config; the function's qualified name plays the experiment id.
+    Raises :class:`UnkeyableError` when any argument is not canonically
+    encodable (the fabric then runs the task uncached).
+    """
+    return "task:" + digest(
+        [
+            STORE_SCHEMA_VERSION,
+            code_fingerprint(),
+            _fn_ref(fn),
+            config_digest([canonical(args), canonical(dict(kwargs or {}))]),
+            seed,
+        ]
+    )
+
+
+def checkpoint_key(tag: str, config: Any, seed: Optional[int]) -> str:
+    """Key for an in-progress training checkpoint (cleared on success)."""
+    return "ckpt:" + digest(
+        [
+            STORE_SCHEMA_VERSION,
+            code_fingerprint(),
+            tag,
+            config_digest(config),
+            seed,
+        ]
+    )

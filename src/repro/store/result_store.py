@@ -1,0 +1,348 @@
+"""Disk-backed, content-addressed store for experiment results.
+
+Zero-dependency memoization for the evaluation grid: JSON payloads
+keyed by content-addressed strings (see :mod:`repro.store.keys`), with
+
+* **atomic writes** — payloads land via tmp-file + ``os.replace``, so a
+  crash mid-write never leaves a readable-but-corrupt object; the index
+  is updated only *after* the object rename, so it never points at a
+  missing or partial file;
+* **an index file** (``index.json``) carrying per-entry size, creation
+  time and a monotone sequence number — the accelerator for lookups and
+  the ground truth for eviction order.  Object files embed their own
+  key, so a lost or stale index is rebuilt by scanning ``objects/``;
+* **eviction by size and age** — oldest-first (by insertion sequence),
+  enforced on ``put``; an entry is never evicted while an older entry
+  is kept;
+* **namespaces** — ``store.namespaced("chaos")`` returns a view that
+  prefixes every key with ``chaos:``, so chaos-matrix results can share
+  a directory with clean runs without ever sharing entries.
+
+Handles are cheap, picklable (the in-memory index is dropped, workers
+re-read from disk) and safe to share between the run-all orchestrator,
+the parallel fabric and DQN checkpointing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..errors import ReproError
+from .codec import decode, encode
+
+__all__ = ["ResultStore", "StoreStats", "StoreError"]
+
+_OBJECT_SCHEMA = "repro.store/object/v1"
+_INDEX_SCHEMA = "repro.store/index/v1"
+
+
+class StoreError(ReproError):
+    """The store is misconfigured or an entry is unusable."""
+
+
+@dataclass
+class StoreStats:
+    """Process-local operation counters (shared by namespaced views)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultStore:
+    """Content-addressed JSON store with atomic writes and eviction."""
+
+    def __init__(
+        self,
+        root: Union[str, pathlib.Path],
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+        namespace: str = "",
+        _stats: Optional[StoreStats] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise StoreError("max_bytes must be positive (or None)")
+        if max_age_seconds is not None and max_age_seconds <= 0:
+            raise StoreError("max_age_seconds must be positive (or None)")
+        self.root = pathlib.Path(root)
+        self.max_bytes = max_bytes
+        self.max_age_seconds = max_age_seconds
+        self.namespace = namespace
+        self.stats = _stats if _stats is not None else StoreStats()
+        self._index: Optional[Dict[str, Dict[str, Any]]] = None
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "objects").mkdir(exist_ok=True)
+
+    # -- pickling: workers re-read the index from disk ------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_index"] = None
+        state["stats"] = StoreStats()  # counters are process-local
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
+    # -- namespacing ----------------------------------------------------
+
+    def namespaced(self, namespace: str) -> "ResultStore":
+        """A view of the same store that prefixes keys with ``namespace:``.
+
+        Idempotent for an identical namespace, so threading one handle
+        through nested layers cannot stack prefixes.
+        """
+        if namespace == self.namespace:
+            return self
+        return ResultStore(
+            self.root,
+            max_bytes=self.max_bytes,
+            max_age_seconds=self.max_age_seconds,
+            namespace=namespace,
+            _stats=self.stats,
+        )
+
+    def _full_key(self, key: str) -> str:
+        if not key:
+            raise StoreError("empty store key")
+        return f"{self.namespace}:{key}" if self.namespace else key
+
+    # -- paths ----------------------------------------------------------
+
+    def _digest(self, full_key: str) -> str:
+        return hashlib.sha256(full_key.encode("utf-8")).hexdigest()
+
+    def _object_path(self, full_key: str) -> pathlib.Path:
+        digest = self._digest(full_key)
+        return self.root / "objects" / digest[:2] / f"{digest}.json"
+
+    @property
+    def index_path(self) -> pathlib.Path:
+        return self.root / "index.json"
+
+    # -- index ----------------------------------------------------------
+
+    def _load_index(self, refresh: bool = False) -> Dict[str, Dict[str, Any]]:
+        if self._index is not None and not refresh:
+            return self._index
+        try:
+            raw = json.loads(self.index_path.read_text())
+            entries = raw.get("entries", {})
+            if not isinstance(entries, dict):
+                raise ValueError("malformed index")
+        except (OSError, ValueError):
+            entries = self._rebuild_index()
+        self._index = entries
+        return entries
+
+    def _rebuild_index(self) -> Dict[str, Dict[str, Any]]:
+        """Rescan ``objects/`` — object files are the ground truth."""
+        entries: Dict[str, Dict[str, Any]] = {}
+        seq = 0
+        records: List[Tuple[float, str, Dict[str, Any]]] = []
+        for path in sorted((self.root / "objects").rglob("*.json")):
+            try:
+                obj = json.loads(path.read_text())
+                key = obj["key"]
+                created = float(obj.get("created", 0.0))
+            except (OSError, ValueError, KeyError, TypeError):
+                continue  # partial/corrupt object: invisible, not fatal
+            records.append((created, key, {"size": path.stat().st_size}))
+        for created, key, meta in sorted(records, key=lambda r: r[0]):
+            entries[key] = {"size": meta["size"], "created": created, "seq": seq}
+            seq += 1
+        self._write_index(entries)
+        return entries
+
+    def _write_index(self, entries: Dict[str, Dict[str, Any]]) -> None:
+        payload = json.dumps(
+            {"schema": _INDEX_SCHEMA, "entries": entries},
+            sort_keys=True,
+        )
+        self._atomic_write(self.index_path, payload)
+        self._index = entries
+
+    def _atomic_write(self, path: pathlib.Path, text: str) -> int:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        data = text.encode("utf-8")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+        return len(data)
+
+    # -- raw JSON payloads ----------------------------------------------
+
+    def put(self, key: str, payload: Any) -> str:
+        """Store a JSON-able payload under ``key``; returns the full key.
+
+        The object file is written atomically first; the index entry is
+        added only after the rename succeeds, so readers never observe a
+        key whose payload is missing or partial.
+        """
+        full = self._full_key(key)
+        now = time.time()
+        entries = self._load_index(refresh=True)
+        seq = 1 + max((e.get("seq", 0) for e in entries.values()), default=-1)
+        text = json.dumps(
+            {
+                "schema": _OBJECT_SCHEMA,
+                "key": full,
+                "created": now,
+                "seq": seq,
+                "payload": payload,
+            }
+        )
+        size = self._atomic_write(self._object_path(full), text)
+        entries[full] = {"size": size, "created": now, "seq": seq}
+        self.stats.puts += 1
+        self.stats.bytes_written += size
+        self._evict(entries, now)
+        self._write_index(entries)
+        return full
+
+    def fetch(self, key: str) -> Tuple[Any, bool]:
+        """``(payload, True)`` on a hit, ``(None, False)`` on a miss."""
+        full = self._full_key(key)
+        entries = self._load_index()
+        entry = entries.get(full)
+        path = self._object_path(full)
+        if entry is None:
+            # Another process may have written since our index snapshot.
+            entries = self._load_index(refresh=True)
+            entry = entries.get(full)
+        if entry is not None and self._expired(entry, time.time()):
+            self.delete(key)
+            entry = None
+        if entry is None or not path.exists():
+            self.stats.misses += 1
+            return None, False
+        try:
+            obj = json.loads(path.read_bytes())
+            payload = obj["payload"]
+        except (OSError, ValueError, KeyError):
+            self.stats.misses += 1
+            return None, False
+        self.stats.hits += 1
+        self.stats.bytes_read += entry.get("size", 0)
+        return payload, True
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The payload under ``key``, or ``default`` on a miss."""
+        payload, found = self.fetch(key)
+        return payload if found else default
+
+    def contains(self, key: str) -> bool:
+        entries = self._load_index(refresh=True)
+        return self._full_key(key) in entries
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; True when an entry existed."""
+        full = self._full_key(key)
+        entries = self._load_index(refresh=True)
+        existed = full in entries
+        entries.pop(full, None)
+        try:
+            self._object_path(full).unlink()
+        except OSError:
+            pass
+        if existed:
+            self._write_index(entries)
+        return existed
+
+    # -- typed object payloads (via the tagged codec) -------------------
+
+    def put_object(self, key: str, value: Any) -> str:
+        """Store an arbitrary result object (dataclasses round-trip)."""
+        return self.put(key, encode(value))
+
+    def fetch_object(self, key: str) -> Tuple[Any, bool]:
+        payload, found = self.fetch(key)
+        if not found:
+            return None, False
+        return decode(payload), True
+
+    # -- maintenance ----------------------------------------------------
+
+    def keys(self) -> List[str]:
+        """Every stored full key (namespace prefixes included)."""
+        return sorted(self._load_index(refresh=True))
+
+    def size_bytes(self) -> int:
+        return sum(e.get("size", 0) for e in self._load_index(refresh=True).values())
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        entries = self._load_index(refresh=True)
+        count = len(entries)
+        for full in list(entries):
+            try:
+                self._object_path(full).unlink()
+            except OSError:
+                pass
+        self._write_index({})
+        return count
+
+    def _expired(self, entry: Dict[str, Any], now: float) -> bool:
+        if self.max_age_seconds is None:
+            return False
+        return now - float(entry.get("created", now)) > self.max_age_seconds
+
+    def _evict(self, entries: Dict[str, Dict[str, Any]], now: float) -> None:
+        """Enforce the age and size budgets, oldest-first.
+
+        Entries leave strictly in insertion order (``seq``), so an entry
+        is never removed while any older entry stays — the survivors are
+        always the newest suffix of the insertion sequence.
+        """
+        doomed: List[str] = [
+            full for full, entry in entries.items() if self._expired(entry, now)
+        ]
+        if self.max_bytes is not None:
+            total = sum(
+                e.get("size", 0) for k, e in entries.items() if k not in doomed
+            )
+            by_age = sorted(
+                (k for k in entries if k not in doomed),
+                key=lambda k: entries[k].get("seq", 0),
+            )
+            for full in by_age:
+                if total <= self.max_bytes:
+                    break
+                total -= entries[full].get("size", 0)
+                doomed.append(full)
+        for full in doomed:
+            entries.pop(full, None)
+            try:
+                self._object_path(full).unlink()
+            except OSError:
+                pass
+            self.stats.evictions += 1
+
+    # -- iteration / debugging ------------------------------------------
+
+    def entries(self) -> Iterable[Tuple[str, Dict[str, Any]]]:
+        """(full key, index entry) pairs, oldest first."""
+        index = self._load_index(refresh=True)
+        return sorted(index.items(), key=lambda kv: kv[1].get("seq", 0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ns = f", namespace={self.namespace!r}" if self.namespace else ""
+        return f"ResultStore({str(self.root)!r}{ns})"

@@ -95,3 +95,37 @@ def test_chunk_size_does_not_change_results():
     reference = _payload(_run_fig6(SerialRunner()))
     with ProcessRunner(max_workers=2, chunk_size=1) as runner:
         assert _payload(_run_fig6(runner)) == reference
+
+
+def test_cached_rerun_byte_identical_to_cold(tmp_path):
+    """A warm, fully store-served run renders byte-identically.
+
+    Extends the determinism contract to the result store: cache hits
+    round-trip through the codec exactly, so the archived JSON payload
+    of a 100%-hit rerun equals the cold run's byte for byte.
+    """
+    from repro.store import ResultStore
+
+    cold_runner = SerialRunner(store=ResultStore(tmp_path / "cache"))
+    reference = _payload(_run_fig9(cold_runner))
+    assert cold_runner.store.stats.hits == 0
+
+    warm_runner = SerialRunner(store=ResultStore(tmp_path / "cache"))
+    warm = _payload(_run_fig9(warm_runner))
+    assert warm == reference
+    assert warm_runner.store.stats.misses == 0
+    assert warm_runner.store.stats.hits > 0
+
+
+def test_cached_process_run_matches_cached_serial(tmp_path):
+    """The store composes with the process backend: a pool warming the
+    cache and a serial rerun reading it agree byte-for-byte."""
+    from repro.store import ResultStore
+
+    with ProcessRunner(
+        max_workers=2, store=ResultStore(tmp_path / "cache")
+    ) as runner:
+        reference = _payload(_run_fig9(runner))
+    warm_runner = SerialRunner(store=ResultStore(tmp_path / "cache"))
+    assert _payload(_run_fig9(warm_runner)) == reference
+    assert warm_runner.store.stats.misses == 0

@@ -1,0 +1,207 @@
+"""Key derivation and codec round-trips for the result store."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    CodecError,
+    ResultStore,
+    UnkeyableError,
+    canonical,
+    checkpoint_key,
+    code_fingerprint,
+    config_digest,
+    decode,
+    digest,
+    encode,
+    experiment_key,
+    task_key,
+)
+
+
+def _module_fn(x, *, seed=None):
+    return x * 2
+
+
+@dataclasses.dataclass(frozen=True)
+class Point:
+    x: float
+    y: float
+    tags: tuple = ()
+
+
+class Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+# --------------------------------------------------------------------- #
+# canonical / digest
+# --------------------------------------------------------------------- #
+
+
+class TestCanonical:
+    def test_mapping_order_insensitive(self):
+        assert digest({"a": 1, "b": 2}) == digest({"b": 2, "a": 1})
+
+    def test_distinct_values_distinct_digests(self):
+        assert digest({"a": 1}) != digest({"a": 2})
+
+    def test_dataclass_encodes_fields(self):
+        one = canonical(Point(1.0, 2.0))
+        two = canonical(Point(1.0, 3.0))
+        assert one != two
+        assert one[0] == "__dataclass__"
+
+    def test_set_order_insensitive(self):
+        assert canonical({3, 1, 2}) == canonical({2, 3, 1})
+
+    def test_lambda_rejected(self):
+        with pytest.raises(UnkeyableError):
+            canonical(lambda x: x)
+
+    def test_local_function_rejected(self):
+        def local(x):
+            return x
+
+        with pytest.raises(UnkeyableError):
+            canonical(local)
+
+    def test_module_function_accepted(self):
+        ref = canonical(_module_fn)
+        assert "test_keys_codec" in str(ref)
+
+    def test_unencodable_object_rejected(self):
+        with pytest.raises(UnkeyableError):
+            canonical(object())
+
+    def test_store_handle_is_key_neutral(self, tmp_path):
+        a = ResultStore(tmp_path / "a")
+        b = ResultStore(tmp_path / "b")
+        assert canonical(a) == canonical(b)
+
+    def test_numpy_scalars_match_python(self):
+        assert canonical(np.int64(3)) == canonical(3)
+
+
+# --------------------------------------------------------------------- #
+# key anatomy
+# --------------------------------------------------------------------- #
+
+
+class TestKeys:
+    def test_prefixes(self):
+        assert experiment_key("fig8", "quick", {}, 0).startswith("exp:")
+        assert task_key(_module_fn, (1,), {}, 0).startswith("task:")
+        assert checkpoint_key("t", {}, 0).startswith("ckpt:")
+
+    def test_seed_changes_key(self):
+        assert task_key(_module_fn, (1,), {}, 0) != task_key(
+            _module_fn, (1,), {}, 1
+        )
+
+    def test_args_change_key(self):
+        assert task_key(_module_fn, (1,), {}, 0) != task_key(
+            _module_fn, (2,), {}, 0
+        )
+
+    def test_preset_changes_experiment_key(self):
+        assert experiment_key("fig8", "quick", {}, 0) != experiment_key(
+            "fig8", "full", {}, 0
+        )
+
+    def test_config_changes_experiment_key(self):
+        assert experiment_key("fig8", "quick", {"k": 1}, 0) != experiment_key(
+            "fig8", "quick", {"k": 2}, 0
+        )
+
+    def test_fingerprint_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_store_handle_in_kwargs_is_key_neutral(self, tmp_path):
+        with_store = task_key(
+            _module_fn, (1,), {"checkpoint_store": ResultStore(tmp_path)}, 0
+        )
+        with_other = task_key(
+            _module_fn,
+            (1,),
+            {"checkpoint_store": ResultStore(tmp_path / "other")},
+            0,
+        )
+        assert with_store == with_other
+
+    def test_config_digest_is_short_hex(self):
+        d = config_digest({"a": 1})
+        assert len(d) == 16
+        int(d, 16)  # parses as hex
+
+
+# --------------------------------------------------------------------- #
+# codec round-trips
+# --------------------------------------------------------------------- #
+
+
+class TestCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            42,
+            -1.5,
+            "text",
+            [1, 2, 3],
+            {"k": [1, {"nested": (2, 3)}]},
+            (1, "two", 3.0),
+            {1, 2, 3},
+            frozenset({"a", "b"}),
+            Color.BLUE,
+            Point(0.1, 0.2, tags=("a", "b")),
+            {("tuple", "key"): "value"},
+        ],
+    )
+    def test_round_trip_exact(self, value):
+        assert decode(encode(value)) == value
+
+    def test_round_trip_preserves_types(self):
+        restored = decode(encode((1, {2}, Point(0.0, 0.0))))
+        assert isinstance(restored, tuple)
+        assert isinstance(restored[1], set)
+        assert isinstance(restored[2], Point)
+
+    def test_float_repr_exact(self):
+        value = [0.1 + 0.2, math.pi, 1e-300]
+        text = json.dumps(encode(value))
+        assert decode(json.loads(text)) == value
+
+    def test_ndarray_round_trip(self):
+        array = np.arange(6, dtype=np.float64).reshape(2, 3) / 7.0
+        restored = decode(encode(array))
+        assert restored.dtype == array.dtype
+        assert restored.shape == array.shape
+        assert np.array_equal(restored, array)
+
+    def test_numpy_scalar_round_trip(self):
+        scalar = np.float64(1.0) / 3.0
+        restored = decode(encode(scalar))
+        assert isinstance(restored, np.float64)
+        assert restored == scalar
+
+    def test_encoded_form_is_json_serializable(self):
+        payload = encode({"arr": np.ones(3), "pt": Point(1.0, 2.0)})
+        json.dumps(payload)  # must not raise, no default= needed
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(CodecError):
+            encode(object())
+
+    def test_decode_rejects_foreign_module(self):
+        with pytest.raises(CodecError):
+            decode({"__dc__": "subprocess:Popen", "f": {}})

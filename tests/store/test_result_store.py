@@ -1,0 +1,252 @@
+"""ResultStore durability, eviction and namespace properties.
+
+The satellite property suite from the ISSUE: arbitrary JSON payloads
+round-trip exactly, a simulated crash between the tmp-file write and
+the rename leaves the index consistent, and eviction never removes an
+entry newer than one it keeps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.store import ResultStore, StoreError
+
+# Arbitrary JSON values (finite floats only: NaN != NaN would fail the
+# equality assertion for reasons unrelated to the store).
+_JSON = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+
+class TestRoundTrip:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(payload=_JSON)
+    def test_arbitrary_json_round_trips(self, tmp_path, payload):
+        store = ResultStore(tmp_path / "s")
+        store.put("k", payload)
+        fetched, found = store.fetch("k")
+        assert found
+        assert fetched == payload
+
+    def test_miss_returns_not_found(self, tmp_path):
+        store = ResultStore(tmp_path)
+        payload, found = store.fetch("absent")
+        assert payload is None and not found
+
+    def test_overwrite_replaces(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", 1)
+        store.put("k", 2)
+        assert store.get("k") == 2
+
+    def test_fresh_handle_sees_entries(self, tmp_path):
+        ResultStore(tmp_path).put("k", {"v": 7})
+        assert ResultStore(tmp_path).get("k") == {"v": 7}
+
+    def test_empty_key_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            ResultStore(tmp_path).put("", 1)
+
+
+class TestCrashConsistency:
+    def test_crash_between_tmp_write_and_rename(self, tmp_path, monkeypatch):
+        """A put killed before ``os.replace`` leaves no trace in the index."""
+        store = ResultStore(tmp_path)
+        store.put("survivor", 1)
+
+        real_replace = os.replace
+        calls = {"n": 0}
+
+        def dying_replace(src, dst):
+            calls["n"] += 1
+            if calls["n"] == 1:  # the object-file rename of this put
+                raise OSError("simulated crash")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", dying_replace)
+        with pytest.raises(OSError):
+            store.put("victim", {"big": "payload"})
+        monkeypatch.undo()
+
+        # Index is consistent: the survivor is intact, the victim is
+        # absent, and a fresh handle (full disk re-read) agrees.
+        assert store.get("survivor") == 1
+        _, found = store.fetch("victim")
+        assert not found
+        fresh = ResultStore(tmp_path)
+        assert fresh.get("survivor") == 1
+        _, found = fresh.fetch("victim")
+        assert not found
+
+        # The store remains writable after the crash.
+        store.put("victim", 2)
+        assert ResultStore(tmp_path).get("victim") == 2
+
+    def test_leftover_tmp_file_is_invisible(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", 1)
+        orphan = tmp_path / "objects" / "ab" / "deadbeef.json.tmp-999"
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_text("{ partial")
+        # Even a full index rebuild (index.json lost) skips the orphan.
+        store.index_path.unlink()
+        fresh = ResultStore(tmp_path)
+        assert fresh.get("k") == 1
+        assert fresh.keys() == ["k"]
+
+    def test_index_rebuilt_from_objects(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.index_path.unlink()
+        fresh = ResultStore(tmp_path)
+        assert fresh.get("a") == 1
+        assert fresh.get("b") == 2
+        assert sorted(fresh.keys()) == ["a", "b"]
+
+    def test_corrupt_index_rebuilt(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("a", 1)
+        store.index_path.write_text("not json at all {")
+        assert ResultStore(tmp_path).get("a") == 1
+
+    def test_corrupt_object_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        full = store.put("a", 1)
+        store._object_path(full).write_text("{ corrupt")
+        _, found = ResultStore(tmp_path).fetch("a")
+        assert not found
+
+
+class TestEviction:
+    def _sizes(self, store):
+        return {k: e["size"] for k, e in store.entries()}
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        payload_lengths=st.lists(
+            st.integers(min_value=0, max_value=400), min_size=1, max_size=12
+        ),
+        max_bytes=st.integers(min_value=200, max_value=2000),
+    )
+    def test_survivors_are_newest_suffix(
+        self, tmp_path, payload_lengths, max_bytes
+    ):
+        """Eviction never removes an entry newer than one it keeps."""
+        root = tmp_path / f"s{len(list(tmp_path.iterdir()))}"
+        store = ResultStore(root, max_bytes=max_bytes)
+        order = []
+        for i, length in enumerate(payload_lengths):
+            key = f"k{i}"
+            store.put(key, "x" * length)
+            order.append(key)
+        surviving = {k for k, _ in store.entries()}
+        # Survivors must be a contiguous suffix of insertion order.
+        kept = [k in surviving for k in order]
+        first_kept = kept.index(True) if any(kept) else len(kept)
+        assert all(kept[first_kept:]), (
+            f"evicted an entry newer than a kept one: {kept}"
+        )
+        # Every surviving payload is readable.
+        for i, key in enumerate(order):
+            if key in surviving:
+                assert store.get(key) == "x" * payload_lengths[i]
+
+    def test_newest_entry_always_survives_its_own_put(self, tmp_path):
+        store = ResultStore(tmp_path, max_bytes=250)
+        for i in range(6):
+            store.put(f"k{i}", "y" * 50)
+        assert store.get("k5") == "y" * 50
+
+    def test_max_age_expires_entries(self, tmp_path, monkeypatch):
+        import time as time_module
+
+        store = ResultStore(tmp_path, max_age_seconds=10.0)
+        store.put("old", 1)
+        real_time = time_module.time
+        monkeypatch.setattr(
+            "repro.store.result_store.time.time", lambda: real_time() + 60.0
+        )
+        _, found = store.fetch("old")
+        assert not found
+
+    def test_clear_empties_everything(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.clear() == 2
+        assert store.keys() == []
+        assert store.size_bytes() == 0
+
+
+class TestNamespaces:
+    def test_namespaced_entries_never_collide(self, tmp_path):
+        store = ResultStore(tmp_path)
+        chaos = store.namespaced("chaos")
+        store.put("k", "clean")
+        chaos.put("k", "chaotic")
+        assert store.get("k") == "clean"
+        assert chaos.get("k") == "chaotic"
+        assert sorted(ResultStore(tmp_path).keys()) == ["chaos:k", "k"]
+
+    def test_namespacing_is_idempotent(self, tmp_path):
+        chaos = ResultStore(tmp_path).namespaced("chaos")
+        assert chaos.namespaced("chaos") is chaos
+
+    def test_namespaced_view_shares_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        chaos = store.namespaced("chaos")
+        chaos.put("k", 1)
+        chaos.fetch("k")
+        assert store.stats.puts == 1
+        assert store.stats.hits == 1
+
+
+class TestStats:
+    def test_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.fetch("a")  # miss
+        store.put("a", 1)
+        store.fetch("a")  # hit
+        assert store.stats.misses == 1
+        assert store.stats.puts == 1
+        assert store.stats.hits == 1
+        assert store.stats.bytes_written > 0
+        assert store.stats.bytes_read > 0
+        assert store.stats.hit_ratio == 0.5
+
+    def test_pickled_handle_resets_stats_and_rereads(self, tmp_path):
+        import pickle
+
+        store = ResultStore(tmp_path)
+        store.put("k", 1)
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.stats.puts == 0
+        assert clone.get("k") == 1
+
+    def test_object_files_embed_their_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        full = store.put("k", 1)
+        obj = json.loads(store._object_path(full).read_text())
+        assert obj["key"] == full
