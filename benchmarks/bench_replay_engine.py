@@ -14,13 +14,20 @@ consistency, IFU wealth) — four ways:
 * ``env_memoized``      — the full ``ReorderEnv.evaluate_order`` with the
   permutation LRU in front.
 
-A JSON record (``BENCH_replay.json``) is archived so future PRs can
-track the perf trajectory.
+A second sweep measures the columnar batch kernel
+(``BatchReplayEngine.evaluate_many``) at K ∈ {1, 8, 32, 128} candidates
+per call against the K = 1 incremental path — the population-solver hot
+path this PR vectorised.
+
+A JSON record (``BENCH_replay.json``) is archived — including the host
+``cpu_count``, the numpy version, the compiled-kernel backend and the
+swept batch sizes — so future PRs can track the perf trajectory.
 
 Acceptance: incremental single-swap re-evaluation at N = 50 must be at
 least 5x faster than from-scratch replay (measured against the stronger,
 already-optimised scratch baseline; the seed-cost speedup is reported
-alongside).
+alongside), and the batch kernel at K = 32 must deliver at least 5x the
+aggregate throughput of the K = 1 incremental path.
 
 A second bench (``BENCH_telemetry.json``) measures what the telemetry
 instrumentation costs on the same hot path: the disabled no-op backends
@@ -31,13 +38,15 @@ enabled-path overhead is archived for the record.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import time
 
 import numpy as np
 
 from repro.config import GenTranSeqConfig, WorkloadConfig
 from repro.core import ReorderEnv
-from repro.rollup import IncrementalOVM, L2State, OVM
+from repro.rollup import BatchReplayEngine, IncrementalOVM, L2State, OVM
 from repro.telemetry import (
     RingBufferSink,
     disable_metrics,
@@ -52,7 +61,13 @@ from conftest import RESULTS_DIR
 SIZES = (10, 20, 50, 100)
 SWAPS_PER_SIZE = 300
 
-BENCH_SCHEMA = "BENCH_replay/v1"
+BATCH_N = 50
+BATCH_SIZES = (1, 8, 32, 128)
+BATCH_POOL = 512
+BATCH_REPEATS = 3
+BATCH_MIN_SPEEDUP_AT_32 = 5.0
+
+BENCH_SCHEMA = "BENCH_replay/v2"
 TELEMETRY_BENCH_SCHEMA = "BENCH_telemetry/v1"
 TELEMETRY_SIZES = (20, 50)
 TELEMETRY_REPEATS = 5
@@ -188,9 +203,71 @@ def _bench_size(size: int) -> dict:
     }
 
 
+def _bench_batch_kernel() -> dict:
+    """Aggregate candidate throughput of evaluate_many across K.
+
+    K = 1 is the incremental engine (the pre-batch scoring path); K > 1
+    chunks the same 512-candidate pool into columnar kernel calls.
+    Best-of-``BATCH_REPEATS`` per configuration suppresses scheduler
+    noise; throughput is candidates scored per second.
+    """
+    workload = _workload(BATCH_N)
+    pre = workload.pre_state
+    rng = np.random.default_rng(13)
+    pool = [
+        tuple(int(x) for x in rng.permutation(BATCH_N))
+        for _ in range(BATCH_POOL)
+    ]
+
+    records = []
+    incremental_rate = None
+    backend = "numpy"
+    for k in BATCH_SIZES:
+        best = float("inf")
+        for _ in range(BATCH_REPEATS):
+            if k == 1:
+                engine = IncrementalOVM(
+                    pre, workload.transactions, wealth_users=workload.ifus
+                )
+                engine.evaluate(range(BATCH_N))  # the one-time baseline
+                started = time.perf_counter()
+                for order in pool:
+                    engine.evaluate(order)
+                best = min(best, time.perf_counter() - started)
+            else:
+                engine = BatchReplayEngine(
+                    pre, workload.transactions, wealth_users=workload.ifus
+                )
+                backend = engine.kernel_backend
+                started = time.perf_counter()
+                for lo in range(0, BATCH_POOL, k):
+                    engine.evaluate_many(pool[lo : lo + k])
+                best = min(best, time.perf_counter() - started)
+        rate = BATCH_POOL / best
+        if k == 1:
+            incremental_rate = rate
+        records.append(
+            {
+                "batch_size": k,
+                "candidates": BATCH_POOL,
+                "seconds": best,
+                "evals_per_second": rate,
+                "speedup_vs_incremental": rate / incremental_rate,
+            }
+        )
+    return {
+        "size": BATCH_N,
+        "pool": BATCH_POOL,
+        "repeats": BATCH_REPEATS,
+        "kernel_backend": backend,
+        "records": records,
+    }
+
+
 def test_replay_engine_throughput(save_artifact):
     """Scratch vs incremental replay across N; archives BENCH_replay.json."""
     records = [_bench_size(size) for size in SIZES]
+    batch = _bench_batch_kernel()
 
     lines = [
         "Replay engine: single-swap re-evaluation throughput",
@@ -207,12 +284,32 @@ def test_replay_engine_throughput(save_artifact):
             f"{rec['mean_resume_depth']:>13.1f}  "
             f"{rec['cache_hit_rate'] * 100:>9.1f}%"
         )
+    lines += [
+        "",
+        f"Batch kernel ({batch['kernel_backend']} backend): aggregate "
+        f"candidate throughput at N = {BATCH_N}",
+        "",
+        f"{'K':>4}  {'evals/s':>10}  {'vs K=1':>8}",
+    ]
+    for rec in batch["records"]:
+        lines.append(
+            f"{rec['batch_size']:>4}  {rec['evals_per_second']:>10.0f}  "
+            f"{rec['speedup_vs_incremental']:>7.2f}x"
+        )
     save_artifact("bench_replay_engine", "\n".join(lines))
 
     payload = {
         "schema": BENCH_SCHEMA,
         "swaps_per_size": SWAPS_PER_SIZE,
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "numpy_version": np.__version__,
+            "python_version": platform.python_version(),
+            "kernel_backend": batch["kernel_backend"],
+        },
+        "batch_sizes": list(BATCH_SIZES),
         "records": records,
+        "batch": batch,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_replay.json").write_text(
@@ -223,6 +320,14 @@ def test_replay_engine_throughput(save_artifact):
     assert at_50["speedup"] >= 5.0, (
         f"incremental replay only {at_50['speedup']:.1f}x faster at N=50 "
         "(acceptance requires >= 5x)"
+    )
+    at_32 = next(
+        rec for rec in batch["records"] if rec["batch_size"] == 32
+    )
+    assert at_32["speedup_vs_incremental"] >= BATCH_MIN_SPEEDUP_AT_32, (
+        f"batch kernel only {at_32['speedup_vs_incremental']:.1f}x the "
+        f"incremental path at K=32 (acceptance requires >= "
+        f"{BATCH_MIN_SPEEDUP_AT_32:.0f}x)"
     )
 
 

@@ -26,6 +26,7 @@ from ..config import GenTranSeqConfig
 from ..drl.env_base import Environment
 from ..errors import DRLError
 from ..rollup.replay_engine import (
+    BatchReplayEngine,
     EvalSummary,
     IncrementalOVM,
     PermutationCache,
@@ -75,9 +76,16 @@ class ReorderEnv(Environment):
             stats=self._stats,
             wealth_users=self.ifus,
         )
+        # Single authoritative evaluation cache.  The batch engine below
+        # is stateless and `IncrementalOVM` only keeps its resume prefix,
+        # so a scored ordering is held exactly once — here.
         self._eval_cache = PermutationCache(
             maxsize=self.config.evaluation_cache_size, stats=self._stats
         )
+        # Columnar batch kernel, built lazily on the first multi-miss
+        # population (shares the stats object, so batch counters land in
+        # the same `replay_stats()` surface).
+        self._batch_engine: Optional[BatchReplayEngine] = None
         self._encoder = TransactionEncoder(pre_state, ifus)
         self._actions = swap_action_table(len(transactions))
         self._order: List[int] = list(range(len(transactions)))
@@ -186,6 +194,54 @@ class ReorderEnv(Environment):
             self._eval_cache.put(key, cached)
         # Shallow copy: callers mutate the info dict (e.g. pop the summary).
         return dict(cached)
+
+    def evaluate_orders(
+        self, orders: Sequence[Sequence[int]]
+    ) -> List[Dict[str, Any]]:
+        """Score a population of permutations in one columnar replay.
+
+        LRU-aware batch scoring: candidates already held by the
+        evaluation cache are answered from it; a *single* miss routes
+        through the incremental engine (which resumes from the shared
+        prefix); two or more distinct misses are scored by the columnar
+        batch kernel in one :meth:`BatchReplayEngine.evaluate_many`
+        call.  Duplicate misses within the population replay once.
+
+        Returns one evaluation dict per input order, positionally, each
+        identical to what :meth:`evaluate_order` returns for that order
+        — population solvers call this with whole candidate sets
+        (neighbourhoods, restart chains, insertion frontiers) instead of
+        looping over ``evaluate_order``.
+        """
+        keys = [tuple(order) for order in orders]
+        results: List[Optional[Dict[str, Any]]] = [None] * len(keys)
+        misses: Dict[Tuple[int, ...], List[int]] = {}
+        for index, key in enumerate(keys):
+            self._m_evaluations.inc()
+            cached = self._eval_cache.get(key)
+            if cached is not None:
+                results[index] = dict(cached)
+            else:
+                misses.setdefault(key, []).append(index)
+        if misses:
+            miss_keys = list(misses)
+            if len(miss_keys) == 1:
+                summaries = [self._engine.evaluate(miss_keys[0])]
+            else:
+                if self._batch_engine is None:
+                    self._batch_engine = BatchReplayEngine(
+                        self.pre_state,
+                        self.transactions,
+                        stats=self._stats,
+                        wealth_users=self.ifus,
+                    )
+                summaries = self._batch_engine.evaluate_many(miss_keys)
+            for key, summary in zip(miss_keys, summaries):
+                cached = self._evaluation_from_summary(key, summary)
+                self._eval_cache.put(key, cached)
+                for index in misses[key]:
+                    results[index] = dict(cached)
+        return results  # type: ignore[return-value]
 
     def replay_stats(self) -> Dict[str, float]:
         """Replay-engine and evaluation-cache counters for profiling.

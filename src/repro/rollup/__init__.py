@@ -11,6 +11,7 @@ from .transaction import NFTTransaction, TxKind
 from .state import L2State, StepResult, ExecutionMode
 from .ovm import OVM, ReplayTrace
 from .replay_engine import (
+    BatchReplayEngine,
     EvalSummary,
     IncrementalOVM,
     PermutationCache,
@@ -42,6 +43,7 @@ __all__ = [
     "ReplayTrace",
     "EvalSummary",
     "IncrementalOVM",
+    "BatchReplayEngine",
     "PermutationCache",
     "ReplayEngineStats",
     "BedrockMempool",

@@ -1,0 +1,92 @@
+"""Lazy compiler/loader for the batch replay C kernel.
+
+The columnar batch replay engine's step loop is numpy-vectorised across
+candidates, but at small K the per-step ufunc dispatch overhead
+dominates.  ``_batch_replay.c`` implements the identical step loop as
+sequential scalar IEEE-754 operations; this module compiles it with the
+system C compiler on first use (once per process, into a temporary
+directory) and binds it through :mod:`ctypes`.
+
+The kernel is strictly optional: any failure — no compiler, sandboxed
+filesystem, unsupported platform — degrades silently to the pure-numpy
+loops, which are differentially verified against the serial engine in
+their own right.  Set ``REPRO_BATCH_CKERNEL=0`` to force the numpy path
+(the differential test-suite exercises both).
+"""
+
+from __future__ import annotations
+
+import atexit
+import ctypes
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+_SOURCE = Path(__file__).with_name("_batch_replay.c")
+_CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off"]
+_loaded = False
+_kernel: Optional[ctypes.CDLL] = None
+
+
+def _compile() -> Optional[ctypes.CDLL]:
+    compiler = (
+        os.environ.get("CC")
+        or shutil.which("cc")
+        or shutil.which("gcc")
+        or shutil.which("clang")
+    )
+    if compiler is None or not _SOURCE.exists():
+        return None
+    build_dir = tempfile.mkdtemp(prefix="repro-batch-kernel-")
+    atexit.register(shutil.rmtree, build_dir, ignore_errors=True)
+    lib_path = os.path.join(build_dir, "_batch_replay.so")
+    try:
+        subprocess.run(
+            [compiler, *_CFLAGS, "-o", lib_path, str(_SOURCE)],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        lib = ctypes.CDLL(lib_path)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    fn = lib.parole_batch_replay
+    fn.restype = ctypes.c_int64
+    fn.argtypes = (
+        [ctypes.c_int64] * 3          # length, k, n_rows
+        + [ctypes.c_void_p] * 11      # orders .. table
+        + [ctypes.c_double] * 2       # max_supply_f, initial_price
+        + [ctypes.c_int64] * 4        # max_supply, strict, charge, pool_row
+        + [ctypes.c_void_p] * 6       # bal, inv, rem, exec, price, rem_mat
+    )
+    return lib
+
+
+def load_kernel() -> Optional[ctypes.CDLL]:
+    """The compiled kernel library, or ``None`` when unavailable.
+
+    Compilation is attempted at most once per process; the result
+    (including failure) is cached.
+    """
+    global _loaded, _kernel
+    if not _loaded:
+        _loaded = True
+        if os.environ.get("REPRO_BATCH_CKERNEL", "1") != "0":
+            _kernel = _compile()
+    return _kernel
+
+
+def kernel_backend() -> str:
+    """``"c"`` when the compiled step loop is active, else ``"numpy"``."""
+    return "c" if load_kernel() is not None else "numpy"
+
+
+def _reset_for_tests() -> None:
+    """Forget the cached load decision (test hook)."""
+    global _loaded, _kernel
+    _loaded = False
+    _kernel = None

@@ -23,22 +23,37 @@ that:
   object-shaped :meth:`IncrementalOVM.replay_order` materialises a full
   :class:`~.ovm.ReplayTrace` from the same columns for callers that want
   one.
+* :class:`BatchReplayEngine` scores **K candidate orderings per call**
+  (:meth:`~BatchReplayEngine.evaluate_many`) on columnar numpy state —
+  one ``(users, candidates)`` balance matrix, one inventory matrix, a
+  per-candidate supply vector and an executed-bitmask matrix — so
+  population-style solvers amortise the Python interpreter over whole
+  candidate sets.  Results are bit-identical to K serial
+  :class:`IncrementalOVM` evaluations (same IEEE-754 operations in the
+  same order; a differential property test enforces it).
 * :class:`PermutationCache` memoises full evaluations by order tuple —
   DQN ε-greedy rollouts, hill climbing and annealing revisit permutations
-  constantly.
+  constantly.  It is the **single authoritative evaluation cache**: the
+  environment owns one instance consulted by both the serial and the
+  batch path; neither engine keeps a second copy of a scored ordering.
 * :class:`ReplayEngineStats` counts scratch/incremental replays, reused
-  vs executed steps and cache hits so callers (``solvers/profiling.py``)
-  can report how much replay work was avoided.
+  vs executed steps, batch-kernel calls/candidates and cache hits so
+  callers (``solvers/profiling.py``, run manifests) can report how much
+  replay work was avoided.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from itertools import chain
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..telemetry import get_metrics
 from ..tokens import TxValidity
+from .ckernel import load_kernel
 from .ovm import ReplayTrace, TraceStep
 from .state import CountingInventory, ExecutionMode, L2State, StepResult
 from .transaction import NFTTransaction, TxKind
@@ -65,11 +80,21 @@ class ReplayEngineStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    batch_calls: int = 0
+    batch_candidates: int = 0
+    batch_steps: int = 0
 
     @property
     def replays(self) -> int:
         """Total replays served by the engine (cache hits excluded)."""
-        return self.scratch_replays + self.incremental_replays
+        return self.scratch_replays + self.incremental_replays + self.batch_candidates
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average candidates per batch-kernel call."""
+        if not self.batch_calls:
+            return 0.0
+        return self.batch_candidates / self.batch_calls
 
     @property
     def mean_resume_depth(self) -> float:
@@ -125,6 +150,10 @@ class ReplayEngineStats:
             "cache_evictions": float(self.cache_evictions),
             "cache_hit_rate": self.cache_hit_rate,
             "step_reuse_fraction": self.step_reuse_fraction,
+            "batch_calls": float(self.batch_calls),
+            "batch_candidates": float(self.batch_candidates),
+            "batch_steps": float(self.batch_steps),
+            "mean_batch_size": self.mean_batch_size,
         }
 
 
@@ -599,6 +628,530 @@ class IncrementalOVM:
         state.mode = self._mode
         state.charge_fees = self._charge
         return state
+
+
+class BatchReplayEngine:
+    """Columnar replay of K candidate orderings per call.
+
+    Bound, like :class:`IncrementalOVM`, to one pre-state and one fixed
+    transaction collection.  :meth:`evaluate_many` replays every
+    candidate simultaneously on column-major numpy state (cell
+    ``candidate * rows + row`` — each candidate owns one contiguous
+    state block):
+
+    * ``balances``  — ``(K * rows,)`` float64;
+    * ``inventory`` — ``(K * rows,)`` int64 with the same layout;
+    * ``remaining`` — ``(K,)`` live supply counters (Eq. 10);
+    * executed / price / remaining matrices — ``(L, K)``, one row per
+      position, exactly the serial engine's per-step columns.
+
+    The step loop is kind-agnostic: each transaction is pre-compiled to
+    *payer / payee / inventory-increment / inventory-decrement* row
+    indices (dummy rows absorb the roles a kind doesn't have — the payer
+    dummy holds ``+inf`` so "no payment required" never fails the balance
+    check, the sink row absorbs dead writes and is excluded from the
+    consistency scan).  Two interchangeable backends execute the steps
+    (``kernel_backend`` reports which): the primary path is a lazily
+    compiled C step loop (``_batch_replay.c``, built with
+    ``-ffp-contract=off`` so every FLOP stays a plain IEEE-754 double
+    op) that runs each candidate's steps in the serial engine's exact
+    operation order; when no compiler is available — or
+    ``REPRO_BATCH_CKERNEL=0`` is set — a vectorised numpy fallback
+    advances all K candidates through position ``t`` with ~20 array
+    operations regardless of K.
+
+    Bit-identity with the serial engine is a hard contract: the kernel
+    performs the same IEEE-754 additions/subtractions in the same order
+    (including the buyer-write-before-seller-read sequencing that makes
+    self-transfers exact), indexes the same Eq. 10 price table, and a
+    burn past the global supply raises the same ``TokenError`` a serial
+    replay's price read would.  ``tests/rollup/test_batch_replay.py``
+    enforces equivalence property-wise, reverting candidates included.
+
+    The engine is stateless between calls and keeps **no cache**: the
+    environment's :class:`PermutationCache` is the single authority for
+    memoised evaluations (see ``ReorderEnv.evaluate_orders``).
+    """
+
+    #: Inventory level granted to the owner-check dummy row so strict
+    #: ownership checks always pass for kinds that have none (mints).
+    _OWNER_OK = 1 << 30
+
+    def __init__(
+        self,
+        pre_state: L2State,
+        transactions: Sequence[NFTTransaction],
+        mode: Optional[ExecutionMode] = None,
+        stats: Optional[ReplayEngineStats] = None,
+        wealth_users: Sequence[str] = (),
+    ) -> None:
+        self.pre_state = pre_state
+        self.transactions = tuple(transactions)
+        self.stats = stats if stats is not None else ReplayEngineStats()
+        self.wealth_users = tuple(wealth_users)
+        self._mode = mode if mode is not None else pre_state.mode
+        self._strict = self._mode is ExecutionMode.STRICT
+        self._charge = pre_state.charge_fees
+        self._max_supply = pre_state.nft_config.max_supply
+        self._pricing = pre_state.pricing
+        table = self._pricing.table()
+        self._table = (
+            np.asarray(table, dtype=np.float64) if table is not None else None
+        )
+        self._initial_price = pre_state.nft_config.initial_price_eth
+
+        # ---- user-row layout ------------------------------------------- #
+        # Real users first (balances, inventory, tx participants, watched
+        # wealth users), then the three dummy rows the kind-agnostic step
+        # loop scatters through.
+        rows: Dict[str, int] = {}
+        for user in pre_state.balances:
+            rows.setdefault(user, len(rows))
+        for user in pre_state.inventory:
+            rows.setdefault(user, len(rows))
+        for tx in self.transactions:
+            rows.setdefault(tx.sender, len(rows))
+            if tx.recipient is not None:
+                rows.setdefault(tx.recipient, len(rows))
+        rows.setdefault(L2State.FEE_POOL, len(rows))
+        for user in self.wealth_users:
+            rows.setdefault(user, len(rows))
+        self._rows = rows
+        self._n_real = len(rows)
+        self._pay_dummy = self._n_real        # +inf balance: payment always ok
+        self._own_dummy = self._n_real + 1    # huge inventory: ownership always ok
+        self._sink = self._n_real + 2         # absorbs dead writes, never read
+        self._n_rows = self._n_real + 3
+        self._pool_row = rows[L2State.FEE_POOL]
+        self._wealth_rows = np.asarray(
+            [rows[user] for user in self.wealth_users], dtype=np.intp
+        )
+
+        # ---- pre-state columns ----------------------------------------- #
+        self._base_balances = np.zeros(self._n_rows, dtype=np.float64)
+        for user, value in pre_state.balances.items():
+            self._base_balances[rows[user]] = value
+        self._base_balances[self._pay_dummy] = np.inf
+        self._base_inventory = np.zeros(self._n_rows, dtype=np.int64)
+        for user, held in pre_state.inventory.items():
+            self._base_inventory[rows[user]] = held
+        self._base_inventory[self._own_dummy] = self._OWNER_OK
+        self._initial_total = int(sum(pre_state.inventory.values()))
+
+        # ---- per-transaction role compilation -------------------------- #
+        n = len(self.transactions)
+        self._pay_row = np.empty(n, dtype=np.intp)   # debited by `price`
+        self._recv_row = np.empty(n, dtype=np.intp)  # credited by `price`
+        self._inc_row = np.empty(n, dtype=np.intp)   # inventory + 1
+        self._dec_row = np.empty(n, dtype=np.intp)   # inventory - 1
+        self._own_row = np.empty(n, dtype=np.intp)   # strict ownership check
+        self._fee_row = np.empty(n, dtype=np.intp)   # debited by `total_fee`
+        self._is_mint = np.zeros(n, dtype=bool)
+        self._is_burn = np.zeros(n, dtype=bool)
+        self._dsupply = np.zeros(n, dtype=np.int64)
+        self._fees = np.empty(n, dtype=np.float64)
+        for i, tx in enumerate(self.transactions):
+            sender = rows[tx.sender]
+            self._fee_row[i] = sender
+            self._fees[i] = tx.total_fee
+            if tx.kind is TxKind.MINT:
+                self._is_mint[i] = True
+                self._pay_row[i] = sender
+                self._recv_row[i] = self._sink
+                self._inc_row[i] = sender
+                # Decrement the owner dummy rather than the sink: the
+                # strict ownership check then always reads the dec row
+                # (one shared gather), and the dummy's huge stock keeps
+                # mints owner-valid for any batch horizon.
+                self._dec_row[i] = self._own_dummy
+                self._own_row[i] = self._own_dummy
+                self._dsupply[i] = 1
+            elif tx.kind is TxKind.TRANSFER:
+                recipient = rows[tx.recipient]
+                self._pay_row[i] = recipient
+                self._recv_row[i] = sender
+                self._inc_row[i] = recipient
+                self._dec_row[i] = sender
+                self._own_row[i] = sender
+            else:  # BURN
+                self._is_burn[i] = True
+                self._pay_row[i] = self._pay_dummy
+                self._recv_row[i] = self._sink
+                self._inc_row[i] = self._sink
+                self._dec_row[i] = sender
+                self._own_row[i] = sender
+                self._dsupply[i] = -1
+        self._collection_mints = int(self._is_mint.sum())
+        self._collection_burns = int(self._is_burn.sum())
+        # Stacked role pairs: one setup gather yields both halves.
+        self._payrecv_row = np.stack([self._pay_row, self._recv_row])
+        self._decinc_row = np.stack([self._dec_row, self._inc_row])
+        #: A transfer whose buyer is its seller must sequence the debit
+        #: before the credit (and the inventory out before in) within one
+        #: step; the fused gather/scatter pairs below would let the last
+        #: write win instead.  Compile-time flag selects the exact path.
+        self._has_self_transfer = any(
+            tx.kind is TxKind.TRANSFER and tx.recipient == tx.sender
+            for tx in self.transactions
+        )
+        # Compiled scalar step loop (optional; bit-identical).  The C ABI
+        # assumes 64-bit index arrays, so skip it on narrow platforms.
+        self._ckernel = (
+            load_kernel() if np.dtype(np.intp).itemsize == 8 else None
+        )
+
+    @property
+    def kernel_backend(self) -> str:
+        """``"c"`` when the compiled step loop is active, else ``"numpy"``."""
+        return "c" if self._ckernel is not None else "numpy"
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def evaluate_many(self, orders: Sequence[Sequence[int]]) -> List[EvalSummary]:
+        """Score K candidate orderings in one columnar replay.
+
+        Returns one :class:`EvalSummary` per input order, positionally,
+        each bit-identical to ``IncrementalOVM.evaluate`` on the same
+        order.  Orders of different lengths are grouped and replayed per
+        length.  A candidate whose replay would raise (a burn past the
+        global supply) raises the identical ``TokenError`` here — the
+        whole call fails, exactly as a serial scoring loop would fail at
+        that candidate.
+        """
+        keys = [tuple(order) for order in orders]
+        if not keys:
+            return []
+        self.stats.batch_calls += 1
+        self.stats.batch_candidates += len(keys)
+        by_length: Dict[int, List[int]] = {}
+        for index, key in enumerate(keys):
+            by_length.setdefault(len(key), []).append(index)
+        results: List[Optional[EvalSummary]] = [None] * len(keys)
+        for length, indices in by_length.items():
+            for slot, summary in zip(
+                indices, self._run([keys[i] for i in indices], length)
+            ):
+                results[slot] = summary
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _prices(self, remaining: np.ndarray) -> np.ndarray:
+        """Eq. 10 prices for a vector of remaining supplies.
+
+        Table indexing when the supply is table-sized, else the closed
+        form with the serial engine's exact operation order
+        (``max_supply / max(S, 1) * P0``).
+        """
+        if self._table is not None:
+            return self._table[remaining]
+        return self._max_supply / np.maximum(remaining, 1) * self._initial_price
+
+    def _run(self, keys: List[Tuple[int, ...]], length: int) -> List[EvalSummary]:
+        k = len(keys)
+        self.stats.batch_steps += length * k
+        flat = np.fromiter(
+            chain.from_iterable(keys), dtype=np.intp, count=k * length
+        )
+        if flat.size and (
+            flat.min() < 0 or flat.max() >= len(self.transactions)
+        ):
+            raise IndexError("order index outside the bound collection")
+        if self._ckernel is not None:
+            state = self._steps_compiled(flat, k, length)
+        else:
+            state = self._steps_numpy(flat, k, length)
+        return self._summarise(keys, k, state)
+
+    def _steps_compiled(
+        self, flat: np.ndarray, k: int, length: int
+    ) -> Tuple[np.ndarray, ...]:
+        """Step loop via the compiled scalar kernel (see :mod:`ckernel`).
+
+        The C loop walks each candidate's steps as sequential scalar
+        IEEE-754 operations in the serial engine's exact order, so it is
+        bit-identical by construction — no fused-scatter, deferred
+        inventory or guard-precheck reasoning required.
+        """
+        max_supply = self._max_supply
+        bal = np.tile(self._base_balances, k)
+        inv = np.tile(self._base_inventory, k)
+        rem = np.full(k, max_supply - self._initial_total, dtype=np.int64)
+        exec_mat = np.empty((length, k), dtype=np.uint8)
+        price_mat = np.empty((length, k), dtype=np.float64)
+        rem_mat = np.empty((length, k), dtype=np.int64)
+        table = self._table
+        bad = self._ckernel.parole_batch_replay(
+            length,
+            k,
+            self._n_rows,
+            flat.ctypes.data,
+            self._pay_row.ctypes.data,
+            self._recv_row.ctypes.data,
+            self._dec_row.ctypes.data,
+            self._inc_row.ctypes.data,
+            self._fee_row.ctypes.data,
+            self._dsupply.ctypes.data,
+            self._fees.ctypes.data,
+            self._is_mint.ctypes.data,
+            self._is_burn.ctypes.data,
+            table.ctypes.data if table is not None else None,
+            float(max_supply),
+            self._initial_price,
+            max_supply,
+            int(self._strict),
+            int(self._charge),
+            self._pool_row,
+            bal.ctypes.data,
+            inv.ctypes.data,
+            rem.ctypes.data,
+            exec_mat.ctypes.data,
+            price_mat.ctypes.data,
+            rem_mat.ctypes.data,
+        )
+        if bad >= 0:
+            # Identical failure to the serial engine: the Eq. 10 read one
+            # past max supply raises TokenError (`rem[bad]` still holds
+            # the poisoned candidate's pre-step remaining supply).
+            dead = max_supply - int(rem[bad])
+            self._pricing.price(max_supply - dead + 1)
+        return exec_mat.view(bool), price_mat, rem_mat, bal, inv, rem
+
+    def _steps_numpy(
+        self, flat: np.ndarray, k: int, length: int
+    ) -> Tuple[np.ndarray, ...]:
+        """Pure-numpy step loop: vectorised across candidates per step."""
+        orders = flat.reshape(k, length).T  # (L, K)
+        strict = self._strict
+        charge = self._charge
+        max_supply = self._max_supply
+        initial_total = self._initial_total
+        n_rows = self._n_rows
+        # State lives in flat column-major vectors (cell = col * n_rows +
+        # row): each candidate owns one contiguous copy of the base state,
+        # so the whole-batch role gathers below need only a per-candidate
+        # offset add (no multiply), and every step is 1-D gather/scatter —
+        # measurably cheaper than 2-D (rows, cols) fancy indexing at
+        # small K.
+        colbase = np.arange(k) * n_rows
+        pr2 = self._payrecv_row[:, orders] + colbase  # (2, L, K)
+        di2 = self._decinc_row[:, orders] + colbase
+        pay_f, recv_f = pr2[0], pr2[1]
+        dec_f, inc_f = di2[0], di2[1]
+        ds = self._dsupply[orders]
+        ds_live = (ds != 0).any(axis=1).tolist()
+        bal = np.tile(self._base_balances, k)
+        inv = np.tile(self._base_inventory, k)
+        rem = np.full(k, max_supply - initial_total, dtype=np.int64)
+        exec_rows: List[np.ndarray] = []
+        price_rows: List[np.ndarray] = []
+        rem_rows: List[np.ndarray] = []
+
+        # Non-strict replay never *reads* inventory mid-loop (no ownership
+        # checks; consistency and wealth only need the final counts), so
+        # the per-step inventory updates are deferred to two bincounts
+        # over the executed matrix after the loop.
+        defer_inv = not strict
+        # The payer/payee (and inventory out/in) cell pairs of one step
+        # never collide unless the collection holds a self-transfer, so
+        # each pair can share one fused gather + scatter; a self-transfer
+        # must sequence the debit before the credit instead.
+        fused = not self._has_self_transfer
+        if fused:
+            payrecv_rows = pr2.transpose(1, 0, 2).reshape(length, 2 * k)
+            if not defer_inv:
+                decinc_rows = di2.transpose(1, 0, 2).reshape(length, 2 * k)
+        elif strict:
+            own_rows = self._own_row[orders] + colbase
+        if charge:
+            fee_rows = self._fee_row[orders] + colbase
+            fee_amt_rows = self._fees[orders]
+            pool = bal.reshape(k, n_rows)[:, self._pool_row]
+        # Eq. 1 headroom: exhausting the supply needs more than
+        # `max_supply - initial_total` *executed mints* before some step,
+        # so the check is provably dead — and skipped wholesale — unless a
+        # candidate carries that many mint entries.
+        headroom = max_supply - initial_total
+        can_exhaust = length > headroom and self._collection_mints > headroom
+        if can_exhaust:
+            mint = self._is_mint[orders]
+            if int(mint.sum(axis=0).max(initial=0)) <= headroom:
+                can_exhaust = False
+            else:
+                mint_rows = list(mint)
+                mint_live = mint.any(axis=1).tolist()
+        # Burn poisoning (Eq. 10 undefined past max supply) needs
+        # `initial_total` executed burns before some step; same wholesale
+        # skip when no candidate carries that many burn entries.
+        burn_possible = length > initial_total and self._collection_burns > 0
+        if burn_possible:
+            burn = self._is_burn[orders]
+            if int(burn.sum(axis=0).max(initial=0)) < initial_total:
+                burn_possible = False
+            else:
+                burn_rows = list(burn)
+        table = self._table
+        init_price = self._initial_price
+        own_ok = None
+
+        exec_append = exec_rows.append
+        price_append = price_rows.append
+        rem_append = rem_rows.append
+        general_steps = length
+        if (
+            fused
+            and defer_inv
+            and not charge
+            and not can_exhaust
+            and not burn_possible
+            and table is not None
+        ):
+            # Branch-free specialisation of the loop below for the common
+            # configuration (non-strict, fee-less, guards provably dead):
+            # seven numpy ops per step regardless of K.
+            for prt, dst, live in zip(payrecv_rows, ds, ds_live):
+                price = table[rem]
+                b2k = bal[prt]
+                pb, rb = b2k[:k], b2k[k:]
+                executed = pb >= price
+                delta = price * executed
+                pb -= delta
+                rb += delta
+                bal[prt] = b2k
+                if live:
+                    rem = rem - dst * executed
+                exec_append(executed)
+                price_append(price)
+                rem_append(rem)
+            general_steps = 0  # the general loop below has nothing to do
+
+        for t in range(general_steps):
+            # Eq. 10 price before the step (`rem` is the previous step's
+            # remaining supply).
+            if table is not None:
+                price = table[rem]
+            else:
+                price = max_supply / np.maximum(rem, 1) * init_price
+            if fused:
+                prt = payrecv_rows[t]
+                b2k = bal[prt]
+                pb, rb = b2k[:k], b2k[k:]
+                executed = pb >= price
+                if strict:
+                    # The dec row doubles as the ownership row (mints
+                    # point theirs at the owner dummy), so the strict
+                    # check rides the inventory gather.
+                    dit = decinc_rows[t]
+                    i2k = inv[dit]
+                    di, ii = i2k[:k], i2k[k:]
+                    own_ok = di >= 1
+                    executed &= own_ok
+            else:
+                prt = pay_f[t]
+                pb = bal[prt]
+                executed = pb >= price
+                if strict:
+                    own_ok = inv[own_rows[t]] >= 1
+                    executed &= own_ok
+            if can_exhaust and mint_live[t]:
+                # Eq. 1: a mint additionally needs supply headroom.
+                executed &= ~mint_rows[t] | (rem >= 1)
+            if burn_possible and t >= initial_total:
+                # `rem >= max_supply` ⇔ no live token left to burn.
+                poisoned = burn_rows[t] & (rem >= max_supply)
+                if strict:
+                    poisoned &= own_ok
+                if poisoned.any():
+                    # Identical failure to the serial engine: the Eq. 10
+                    # read one past max supply raises TokenError.
+                    dead = max_supply - int(rem[int(np.argmax(poisoned))])
+                    self._pricing.price(max_supply - dead + 1)
+            # Apply, sequenced exactly like the serial transition: debit
+            # the payer, then credit the payee (a self-transfer must read
+            # the debited balance), then inventory out, then inventory in.
+            delta = price * executed
+            if fused:
+                pb -= delta
+                rb += delta
+                bal[prt] = b2k
+                if not defer_inv:
+                    di -= executed
+                    ii += executed
+                    inv[dit] = i2k
+            else:
+                bal[prt] = pb - delta
+                rrt = recv_f[t]
+                bal[rrt] = bal[rrt] + delta
+                if not defer_inv:
+                    drt, irt = dec_f[t], inc_f[t]
+                    inv[drt] = inv[drt] - executed
+                    inv[irt] = inv[irt] + executed
+            if charge:
+                fdelta = fee_amt_rows[t] * executed
+                frt = fee_rows[t]
+                bal[frt] = bal[frt] - fdelta
+                pool += fdelta
+            if ds_live[t]:
+                rem = rem - ds[t] * executed
+            exec_rows.append(executed)
+            price_rows.append(price)
+            rem_rows.append(rem)
+
+        exec_mat = (
+            np.asarray(exec_rows) if length else np.empty((0, k), dtype=bool)
+        )
+        price_mat = (
+            np.asarray(price_rows)
+            if length
+            else np.empty((0, k), dtype=np.float64)
+        )
+        rem_mat = (
+            np.asarray(rem_rows) if length else np.empty((0, k), dtype=np.int64)
+        )
+        if defer_inv and length:
+            hits = exec_mat.ravel()
+            inv += np.bincount(inc_f.ravel()[hits], minlength=inv.size)
+            inv -= np.bincount(dec_f.ravel()[hits], minlength=inv.size)
+        return exec_mat, price_mat, rem_mat, bal, inv, rem
+
+    def _summarise(
+        self, keys: List[Tuple[int, ...]], k: int, state: Tuple[np.ndarray, ...]
+    ) -> List[EvalSummary]:
+        """Shared :class:`EvalSummary` assembly from the step outputs."""
+        exec_mat, price_mat, rem_mat, bal, inv, rem = state
+        final_price = self._prices(rem)
+        bal_mat = bal.reshape(k, self._n_rows)
+        inv_mat = inv.reshape(k, self._n_rows)
+        consistent = (~(inv_mat[:, : self._n_real] < 0).any(axis=1)).tolist()
+        executed_counts = exec_mat.sum(axis=0).tolist()
+        wealth_cols = (
+            bal_mat[:, self._wealth_rows]
+            + inv_mat[:, self._wealth_rows] * final_price[:, None]
+        ).tolist()
+        exec_cols = exec_mat.T.tolist()
+        price_cols = price_mat.T.tolist()
+        rem_cols = rem_mat.T.tolist()
+        final_prices = final_price.tolist()
+        users = self.wealth_users
+        summaries = []
+        for col, key in enumerate(keys):
+            summaries.append(
+                EvalSummary(
+                    order=key,
+                    executed=exec_cols[col],
+                    prices_before=price_cols[col],
+                    remaining_after=rem_cols[col],
+                    final_price=final_prices[col],
+                    consistent=consistent[col],
+                    executed_count=executed_counts[col],
+                    wealth=dict(zip(users, wealth_cols[col])),
+                )
+            )
+        return summaries
 
 
 class PermutationCache:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.environment import ReorderEnv
 from ..core.multi_ifu import Objective, mean_wealth
@@ -61,6 +61,22 @@ class ReorderProblem:
         if not evaluation["feasible"]:
             return float("-inf")
         return evaluation["objective"]
+
+    def score_many(self, orders: Sequence[Sequence[int]]) -> List[float]:
+        """Score a whole candidate set through the columnar batch kernel.
+
+        One :meth:`ReorderEnv.evaluate_orders` call: cached candidates
+        are answered from the evaluation cache, the misses replay
+        simultaneously.  Returns one value per input order, positionally
+        — each bit-identical to :meth:`score` on the same order, so a
+        solver can swap a scoring loop for one ``score_many`` call
+        without changing the permutation it selects.
+        """
+        self.evaluations += len(orders)
+        return [
+            evaluation["objective"] if evaluation["feasible"] else float("-inf")
+            for evaluation in self._env.evaluate_orders(orders)
+        ]
 
     def identity_order(self) -> Tuple[int, ...]:
         """The original permutation ``(0, 1, ..., N-1)``."""

@@ -5,6 +5,12 @@ Builds an order one transaction at a time, always inserting the next
 objective of the partial prefix.  Fast and deterministic, but blind to
 cross-transaction interactions — a useful "what a naive bot would do"
 baseline.
+
+Every insertion frontier (all positions the next transaction could take)
+is scored as one candidate set through the columnar batch kernel; the
+position scan keeps the serial loop's order and strict-improvement
+tie-break, so the constructed order is byte-identical to the
+one-score-per-position version.
 """
 
 from __future__ import annotations
@@ -25,14 +31,18 @@ class GreedyInsertionSolver(ReorderSolver):
         started = time.perf_counter()
         order: List[int] = []
         for tx_index in range(problem.size):
-            best_position = len(order)
-            best_value = float("-inf")
+            # Score the candidate prefix padded with the untouched
+            # suffix so every evaluation covers a full permutation —
+            # one batch-kernel call per insertion frontier.
+            frontier = []
             for position in range(len(order) + 1):
                 candidate = order[:position] + [tx_index] + order[position:]
-                # Score the candidate prefix padded with the untouched
-                # suffix so every evaluation covers a full permutation.
                 suffix = [k for k in range(problem.size) if k not in candidate]
-                value = problem.score(candidate + suffix)
+                frontier.append(tuple(candidate + suffix))
+            values = problem.score_many(frontier)
+            best_position = len(order)
+            best_value = float("-inf")
+            for position, value in enumerate(values):
                 if value > best_value:
                     best_value = value
                     best_position = position

@@ -41,13 +41,22 @@ class HillClimbSolver(ReorderSolver):
     ) -> Tuple[Tuple[int, ...], float, int]:
         value = problem.score(order)
         rounds = 0
+        pairs = tuple(combinations(range(problem.size), 2))
         for rounds in range(1, self.max_rounds + 1):
+            # Whole swap neighbourhood as one candidate set: a single
+            # batch-kernel call instead of N(N-1)/2 serial replays.  The
+            # selection scan below runs in the same ``combinations``
+            # order with the same tie-break as the serial loop, so the
+            # climb visits byte-identical orders.
+            neighbourhood = []
+            for i, j in pairs:
+                order[i], order[j] = order[j], order[i]
+                neighbourhood.append(tuple(order))
+                order[i], order[j] = order[j], order[i]
+            values = problem.score_many(neighbourhood)
             best_swap = None
             best_gain = 0.0
-            for i, j in combinations(range(problem.size), 2):
-                order[i], order[j] = order[j], order[i]
-                candidate = problem.score(order)
-                order[i], order[j] = order[j], order[i]
+            for (i, j), candidate in zip(pairs, values):
                 gain = candidate - value
                 if candidate != float("-inf") and gain > best_gain + 1e-15:
                     best_gain = gain
@@ -57,7 +66,7 @@ class HillClimbSolver(ReorderSolver):
             i, j = best_swap
             order[i], order[j] = order[j], order[i]
             value += best_gain
-            value = problem.score(order)  # refresh exactly
+            value = problem.score(order)  # refresh exactly (a cache hit)
         return tuple(order), value, rounds
 
 

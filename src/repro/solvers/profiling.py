@@ -94,11 +94,12 @@ def profile_solver(
         )
     stats_after = problem.replay_stats()
     # Counters are cumulative per problem; report this run's increments
-    # for the additive ones and the final value for the derived rates.
+    # for the additive ones and the final value for the derived rates
+    # (hit rate, resume depth, reuse fraction, mean batch size).
     replay_stats = {
         key: (
             value - stats_before.get(key, 0.0)
-            if not key.endswith(("_rate", "_depth", "_fraction"))
+            if not key.endswith(("_rate", "_depth", "_fraction", "_size"))
             else value
         )
         for key, value in stats_after.items()

@@ -1,0 +1,329 @@
+"""Differential tests for the columnar batch replay kernel.
+
+The load-bearing property: ``BatchReplayEngine.evaluate_many(orders)``
+must be *bit-identical* — objective inputs, executed set, feasibility,
+final price, wealth floats — to K independent ``IncrementalOVM``
+replays of the same orders, in both execution modes, with and without
+fee charging, including infeasible and reverting candidates.  Both
+kernel backends (the compiled C step loop and the pure-numpy fallback)
+are held to the same contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NFTContractConfig, WorkloadConfig
+from repro.errors import TokenError
+from repro.rollup import (
+    BatchReplayEngine,
+    ExecutionMode,
+    IncrementalOVM,
+    L2State,
+    NFTTransaction,
+    ReplayEngineStats,
+    TxKind,
+)
+from repro.rollup.ckernel import load_kernel
+from repro.workloads import generate_workload
+
+
+USERS = ("ifu", "u1", "u2", "u3")
+
+BACKENDS = ("c", "numpy")
+
+
+def _mint(sender, **kw):
+    return NFTTransaction(kind=TxKind.MINT, sender=sender, **kw)
+
+
+def _transfer(sender, recipient, **kw):
+    return NFTTransaction(
+        kind=TxKind.TRANSFER, sender=sender, recipient=recipient, **kw
+    )
+
+
+def _burn(sender, **kw):
+    return NFTTransaction(kind=TxKind.BURN, sender=sender, **kw)
+
+
+def _random_collection(rng: np.random.Generator, size: int):
+    """Mixed mint/transfer/burn collection (burns capped below supply
+    poisoning — the reverting case gets its own dedicated tests)."""
+    txs = []
+    burns = 0
+    for nonce in range(size):
+        kind = rng.choice(3)
+        sender = USERS[rng.choice(len(USERS))]
+        fee = float(rng.uniform(0.1, 2.0))
+        if kind == 2 and burns >= 4:
+            kind = 0
+        if kind == 0:
+            txs.append(_mint(sender, nonce=nonce, priority_fee=fee))
+        elif kind == 1:
+            others = [u for u in USERS if u != sender]
+            recipient = others[rng.choice(len(others))]
+            txs.append(
+                _transfer(sender, recipient, nonce=nonce, priority_fee=fee)
+            )
+        else:
+            burns += 1
+            txs.append(_burn(sender, nonce=nonce, priority_fee=fee))
+    return tuple(txs)
+
+
+def _pre_state(mode: ExecutionMode, charge_fees: bool) -> L2State:
+    return L2State(
+        NFTContractConfig(max_supply=12),
+        balances={"ifu": 4.0, "u1": 3.0, "u2": 1.0, "u3": 0.3},
+        inventory={"ifu": 2, "u1": 1, "u2": 1},
+        mode=mode,
+        charge_fees=charge_fees,
+    )
+
+
+def _batch_engine(backend, pre, txs, **kw):
+    engine = BatchReplayEngine(pre, txs, **kw)
+    if backend == "c":
+        if engine._ckernel is None:
+            pytest.skip("compiled kernel unavailable on this host")
+    else:
+        engine._ckernel = None
+    return engine
+
+
+def _assert_summaries_identical(batch, serial):
+    """Every EvalSummary field, compared bit-for-bit (== on floats)."""
+    assert batch.order == serial.order
+    assert batch.executed == serial.executed
+    assert batch.prices_before == serial.prices_before
+    assert batch.remaining_after == serial.remaining_after
+    assert batch.final_price == serial.final_price
+    assert batch.consistent == serial.consistent
+    assert batch.executed_count == serial.executed_count
+    assert batch.wealth == serial.wealth
+    for user, value in batch.wealth.items():
+        # Not just == — identical IEEE-754 bit patterns.
+        assert repr(value) == repr(serial.wealth[user])
+
+
+class TestDifferentialIdentity:
+    """evaluate_many ≡ K independent IncrementalOVM.evaluate calls."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        mode=st.sampled_from(list(ExecutionMode)),
+        charge_fees=st.booleans(),
+        backend=st.sampled_from(BACKENDS),
+    )
+    def test_matches_serial_engine(self, seed, mode, charge_fees, backend):
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(3, 9))
+        txs = _random_collection(rng, size)
+        pre = _pre_state(mode, charge_fees)
+        engine = _batch_engine(
+            backend, pre, txs, wealth_users=("ifu", "u1")
+        )
+        # Mixed-length candidate set: full permutations, ragged
+        # prefixes, the empty order and one with duplicate indices.
+        orders = [tuple(range(size))]
+        orders += [
+            tuple(int(x) for x in rng.permutation(size)) for _ in range(6)
+        ]
+        orders += [
+            tuple(int(x) for x in rng.permutation(size)[: size // 2])
+            for _ in range(2)
+        ]
+        orders += [(), (0,) * min(3, size)]
+        summaries = engine.evaluate_many(orders)
+        assert len(summaries) == len(orders)
+        for order, batch_summary in zip(orders, summaries):
+            serial = IncrementalOVM(
+                pre, txs, wealth_users=("ifu", "u1")
+            ).evaluate(order)
+            _assert_summaries_identical(batch_summary, serial)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1_000),
+        backend=st.sampled_from(BACKENDS),
+    )
+    def test_generated_workload_matches(self, seed, backend):
+        workload = generate_workload(
+            WorkloadConfig(mempool_size=12, seed=seed)
+        )
+        pre, txs = workload.pre_state, workload.transactions
+        users = tuple(sorted(pre.balances))[:3]
+        engine = _batch_engine(backend, pre, txs, wealth_users=users)
+        rng = np.random.default_rng(seed)
+        orders = [
+            tuple(int(x) for x in rng.permutation(len(txs)))
+            for _ in range(8)
+        ]
+        for order, batch_summary in zip(
+            orders, engine.evaluate_many(orders)
+        ):
+            serial = IncrementalOVM(pre, txs, wealth_users=users).evaluate(
+                order
+            )
+            _assert_summaries_identical(batch_summary, serial)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backends_agree_bit_for_bit(self, backend):
+        """The two backends are interchangeable on the same candidates."""
+        rng = np.random.default_rng(7)
+        txs = _random_collection(rng, 8)
+        pre = _pre_state(ExecutionMode.BATCH, True)
+        orders = [
+            tuple(int(x) for x in rng.permutation(8)) for _ in range(16)
+        ]
+        mine = _batch_engine(
+            backend, pre, txs, wealth_users=("ifu",)
+        ).evaluate_many(orders)
+        other = _batch_engine(
+            BACKENDS[1 - BACKENDS.index(backend)],
+            pre,
+            txs,
+            wealth_users=("ifu",),
+        ).evaluate_many(orders)
+        for a, b in zip(mine, other):
+            _assert_summaries_identical(a, b)
+
+
+class TestInfeasibleAndReverting:
+    """Candidates that fail must fail identically to the serial engine."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_infeasible_candidates_report_inconsistent(self, backend, mode):
+        # u3 cannot afford a mint in STRICT, and double-spends of the
+        # same token mark the batch inconsistent — both must round-trip.
+        pre = _pre_state(mode, False)
+        txs = (
+            _mint("u3", nonce=0),
+            _transfer("u1", "u2", nonce=1),
+            _transfer("u1", "u3", nonce=2),
+            _mint("ifu", nonce=3),
+        )
+        engine = _batch_engine(backend, pre, txs, wealth_users=("ifu",))
+        orders = [
+            (0, 1, 2, 3),
+            (1, 2, 0, 3),
+            (3, 2, 1, 0),
+            (2, 1, 3, 0),
+        ]
+        for order, batch_summary in zip(orders, engine.evaluate_many(orders)):
+            serial = IncrementalOVM(pre, txs, wealth_users=("ifu",)).evaluate(
+                order
+            )
+            _assert_summaries_identical(batch_summary, serial)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_supply_exhaustion_matches(self, backend):
+        pre = L2State(
+            NFTContractConfig(max_supply=3),
+            balances={u: 50.0 for u in USERS},
+            inventory={"ifu": 1, "u1": 1},
+            mode=ExecutionMode.BATCH,
+        )
+        txs = tuple(
+            _mint(USERS[i % len(USERS)], nonce=i) for i in range(4)
+        ) + (_transfer("ifu", "u2", nonce=4),)
+        engine = _batch_engine(backend, pre, txs, wealth_users=("ifu",))
+        rng = np.random.default_rng(0)
+        orders = [
+            tuple(int(x) for x in rng.permutation(5)) for _ in range(20)
+        ]
+        for order, batch_summary in zip(orders, engine.evaluate_many(orders)):
+            serial = IncrementalOVM(pre, txs, wealth_users=("ifu",)).evaluate(
+                order
+            )
+            _assert_summaries_identical(batch_summary, serial)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_burn_poisoning_raises_identically(self, backend):
+        """Burning the supply past ``max_supply`` reverts (TokenError) —
+        the batch call must raise the identical error, as a serial
+        scoring loop would fail at that candidate."""
+        pre = L2State(
+            NFTContractConfig(max_supply=4),
+            balances={u: 50.0 for u in USERS},
+            inventory={"ifu": 2, "u1": 1, "u2": 1},
+            mode=ExecutionMode.BATCH,
+        )
+        txs = (
+            _burn("ifu", nonce=0),
+            _burn("u1", nonce=1),
+            _burn("u2", nonce=2),
+            _burn("ifu", nonce=3),
+            _burn("u3", nonce=4),
+        )
+        engine = _batch_engine(backend, pre, txs, wealth_users=("ifu",))
+        poison = (0, 1, 2, 3, 4)  # fifth burn pushes supply past max
+        with pytest.raises(TokenError) as batch_error:
+            engine.evaluate_many([(0, 1, 2, 3), poison])
+        with pytest.raises(TokenError) as serial_error:
+            IncrementalOVM(pre, txs).evaluate(poison)
+        assert str(batch_error.value) == str(serial_error.value)
+
+
+class TestBatchBookkeeping:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stats_counters(self, backend):
+        rng = np.random.default_rng(1)
+        txs = _random_collection(rng, 6)
+        stats = ReplayEngineStats()
+        engine = _batch_engine(
+            backend,
+            _pre_state(ExecutionMode.BATCH, False),
+            txs,
+            stats=stats,
+        )
+        orders = [tuple(int(x) for x in rng.permutation(6)) for _ in range(5)]
+        engine.evaluate_many(orders)
+        assert stats.batch_calls == 1
+        assert stats.batch_candidates == 5
+        assert stats.batch_steps == 30
+        assert stats.mean_batch_size == 5.0
+        assert "mean_batch_size" in stats.as_dict()
+
+    def test_empty_candidate_set(self):
+        rng = np.random.default_rng(2)
+        txs = _random_collection(rng, 4)
+        engine = BatchReplayEngine(_pre_state(ExecutionMode.BATCH, False), txs)
+        assert engine.evaluate_many([]) == []
+
+    def test_kernel_backend_property(self):
+        rng = np.random.default_rng(3)
+        txs = _random_collection(rng, 4)
+        engine = BatchReplayEngine(_pre_state(ExecutionMode.BATCH, False), txs)
+        assert engine.kernel_backend in ("c", "numpy")
+        engine._ckernel = None
+        assert engine.kernel_backend == "numpy"
+
+    def test_out_of_range_index_rejected(self):
+        rng = np.random.default_rng(4)
+        txs = _random_collection(rng, 4)
+        engine = BatchReplayEngine(_pre_state(ExecutionMode.BATCH, False), txs)
+        with pytest.raises(IndexError):
+            engine.evaluate_many([(0, 1), (0, 99)])
+
+
+class TestKernelLoader:
+    def test_disable_via_environment(self, monkeypatch):
+        from repro.rollup import ckernel
+
+        monkeypatch.setenv("REPRO_BATCH_CKERNEL", "0")
+        ckernel._reset_for_tests()
+        try:
+            assert load_kernel() is None
+            assert ckernel.kernel_backend() == "numpy"
+        finally:
+            monkeypatch.delenv("REPRO_BATCH_CKERNEL")
+            ckernel._reset_for_tests()
+
+    def test_loader_is_cached(self):
+        assert load_kernel() is load_kernel()
