@@ -23,7 +23,16 @@ from repro.drl import (
 from repro.workloads import case_study_fixture
 from repro.workloads.scenarios import IFU
 
+from conftest import BenchSeries
+
 BUDGET = dict(episodes=10, steps_per_episode=40)
+
+
+def _slug(label: str) -> str:
+    return (
+        label.replace(" ", "_").replace("(", "").replace(")", "")
+        .replace("=", "_").replace(".", "_")
+    )
 
 
 def _train_on_case_study(env_cls, config, agent_cls=DQNAgent):
@@ -39,7 +48,7 @@ def _train_on_case_study(env_cls, config, agent_cls=DQNAgent):
     return env, history
 
 
-def test_ablation_swap_vs_insertion(benchmark, save_artifact):
+def test_ablation_swap_vs_insertion(benchmark, save_artifact, emit_bench):
     """The paper's swap-action MDP vs the insertion-action variant."""
     config = GenTranSeqConfig(seed=3, **BUDGET)
 
@@ -71,13 +80,23 @@ def test_ablation_swap_vs_insertion(benchmark, save_artifact):
             rows,
         ),
     )
+    emit_bench(
+        "ablation_swap_vs_insertion",
+        series=[
+            BenchSeries(
+                f"best_profit_{_slug(row[0])}", "ETH", (float(row[2]),)
+            )
+            for row in rows
+        ],
+        benchmark=benchmark,
+    )
     # Both action spaces must be able to exploit the case study.
     assert all(float(row[2]) > 0 for row in rows)
     # Insertion has the larger action space (N(N-1) vs N(N-1)/2).
     assert rows[1][1] == 2 * rows[0][1]
 
 
-def test_ablation_penalty_weight(benchmark, save_artifact):
+def test_ablation_penalty_weight(benchmark, save_artifact, emit_bench):
     """Eq. 8's W: how hard to punish infeasible/losing orders."""
 
     def run():
@@ -99,6 +118,16 @@ def test_ablation_penalty_weight(benchmark, save_artifact):
         "ablation_penalty_weight",
         format_table(("Penalty", "Best profit (ETH)", "Mean episode reward"), rows),
     )
+    emit_bench(
+        "ablation_penalty_weight",
+        series=[
+            BenchSeries(
+                f"best_profit_{_slug(row[0])}", "ETH", (float(row[1]),)
+            )
+            for row in rows
+        ],
+        benchmark=benchmark,
+    )
     # All weights complete and the paper's W>1 setting still finds profit.
     assert all(float(row[1]) >= 0 for row in rows)
     assert float(rows[1][1]) > 0  # W=10 (library default)
@@ -106,7 +135,7 @@ def test_ablation_penalty_weight(benchmark, save_artifact):
     assert float(rows[2][2]) <= float(rows[0][2])
 
 
-def test_ablation_target_network_period(benchmark, save_artifact):
+def test_ablation_target_network_period(benchmark, save_artifact, emit_bench):
     """Table II updates the target network every 30 steps; vary it."""
 
     def run():
@@ -125,11 +154,21 @@ def test_ablation_target_network_period(benchmark, save_artifact):
         "ablation_target_period",
         format_table(("Target update", "Best profit (ETH)"), rows),
     )
+    emit_bench(
+        "ablation_target_period",
+        series=[
+            BenchSeries(
+                f"best_profit_{_slug(row[0])}", "ETH", (float(row[1]),)
+            )
+            for row in rows
+        ],
+        benchmark=benchmark,
+    )
     assert len(rows) == 3
     assert all(float(row[1]) >= 0 for row in rows)
 
 
-def test_ablation_dqn_variants(benchmark, save_artifact):
+def test_ablation_dqn_variants(benchmark, save_artifact, emit_bench):
     """Vanilla DQN (the paper) vs Double DQN vs prioritized replay."""
     config = GenTranSeqConfig(seed=3, **BUDGET)
 
@@ -157,11 +196,21 @@ def test_ablation_dqn_variants(benchmark, save_artifact):
             ("Agent", "Best profit (ETH)", "Episodes w/ solution"), rows
         ),
     )
+    emit_bench(
+        "ablation_dqn_variants",
+        series=[
+            BenchSeries(
+                f"best_profit_{_slug(row[0])}", "ETH", (float(row[1]),)
+            )
+            for row in rows
+        ],
+        benchmark=benchmark,
+    )
     # All variants must exploit the case study within the budget.
     assert all(float(row[1]) > 0 for row in rows)
 
 
-def test_ablation_epsilon_schedule_modes(benchmark, save_artifact):
+def test_ablation_epsilon_schedule_modes(benchmark, save_artifact, emit_bench):
     """Eq. 9 as printed grows above 1; the exponential fix decays."""
 
     def run():
@@ -186,6 +235,16 @@ def test_ablation_epsilon_schedule_modes(benchmark, save_artifact):
                 for episode, e, l in zip((0, 25, 50, 99), exp_values, lit_values)
             ],
         ),
+    )
+    emit_bench(
+        "ablation_epsilon_schedule",
+        series=[
+            BenchSeries(
+                "exponential_eps", "epsilon", exp_values, direction="lower"
+            ),
+            BenchSeries("literal_eps", "epsilon", lit_values, direction="lower"),
+        ],
+        benchmark=benchmark,
     )
     # The exponential schedule decays toward eps_min...
     assert exp_values[0] > exp_values[-1]

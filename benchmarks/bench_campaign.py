@@ -14,6 +14,8 @@ from repro.config import GenTranSeqConfig, WorkloadConfig
 from repro.core import cold_vs_warm
 from repro.parallel import AutoRunner
 
+from conftest import BenchSeries
+
 WORKLOAD = WorkloadConfig(
     mempool_size=10, num_users=8, num_ifus=1, min_ifu_involvement=3, seed=0
 )
@@ -25,7 +27,7 @@ def _run():
         return cold_vs_warm(WORKLOAD, GTS, rounds=4, runner=runner)
 
 
-def test_campaign_cold_vs_warm(benchmark, save_artifact):
+def test_campaign_cold_vs_warm(benchmark, save_artifact, emit_bench):
     cold, warm = benchmark.pedantic(_run, rounds=1, iterations=1)
 
     rows = [
@@ -41,6 +43,16 @@ def test_campaign_cold_vs_warm(benchmark, save_artifact):
         format_table(("Round", "Cold profit (ETH)", "Warm profit (ETH)"), rows)
         + f"\ncold total: {cold.total_profit_eth:.4f} ETH"
         + f"\nwarm total: {warm.total_profit_eth:.4f} ETH",
+    )
+
+    emit_bench(
+        "campaign",
+        series=[
+            BenchSeries("cold_total_profit", "ETH", (cold.total_profit_eth,)),
+            BenchSeries("warm_total_profit", "ETH", (warm.total_profit_eth,)),
+            BenchSeries("warm_hit_rate", "fraction", (warm.hit_rate,)),
+        ],
+        benchmark=benchmark,
     )
 
     assert len(cold.rounds) == len(warm.rounds) == 4

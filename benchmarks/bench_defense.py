@@ -8,6 +8,8 @@ below threshold.
 
 from repro.experiments import EffortPreset, render_defense_eval, run_defense_eval
 
+from conftest import BenchSeries
+
 BENCH = EffortPreset(name="bench", episodes=4, steps_per_episode=25, trials=1)
 
 
@@ -21,9 +23,26 @@ def _run():
     )
 
 
-def test_defense_threshold_sweep(benchmark, save_artifact):
+def test_defense_threshold_sweep(benchmark, save_artifact, emit_bench):
     points = benchmark.pedantic(_run, rounds=1, iterations=1)
     save_artifact("defense_eval", render_defense_eval(points))
+    emit_bench(
+        "defense_eval",
+        series=[
+            BenchSeries(
+                "detection_rate",
+                "fraction",
+                tuple(p.detection_rate for p in points),
+            ),
+            BenchSeries(
+                "mean_residual_profit",
+                "ETH",
+                tuple(p.mean_residual_profit_eth for p in points),
+                direction="lower",
+            ),
+        ],
+        benchmark=benchmark,
+    )
 
     assert len(points) == 2
     low, high = points
@@ -34,7 +53,7 @@ def test_defense_threshold_sweep(benchmark, save_artifact):
     assert all(p.mean_residual_profit_eth >= 0 for p in points)
 
 
-def test_order_commitment_alternative(benchmark, save_artifact):
+def test_order_commitment_alternative(benchmark, save_artifact, emit_bench):
     """The protocol-level fix: order commitments catch the attack with
     one extra digest per batch — contrast with the probe-based defense,
     which costs a GENTRANSEQ run per pending batch."""
@@ -82,6 +101,16 @@ def test_order_commitment_alternative(benchmark, save_artifact):
                 ("verification cost", f"{check_cost * 1000:.2f} ms"),
             ],
         ),
+    )
+    emit_bench(
+        "defense_order_commitment",
+        series=[
+            BenchSeries(
+                "verification_seconds", "s", (check_cost,), direction="lower"
+            ),
+            BenchSeries("attack_profit", "ETH", (outcome.profit,)),
+        ],
+        benchmark=benchmark,
     )
     assert outcome.attacked
     assert not report.execution.should_challenge  # execution was honest

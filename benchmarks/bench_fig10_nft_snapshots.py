@@ -10,14 +10,33 @@ from repro.config import SnapshotStudyConfig
 from repro.experiments import render_fig10, run_fig10
 from repro.market import Chain
 
+from conftest import BenchSeries
+
 
 def _run():
     return run_fig10(SnapshotStudyConfig(collections_per_tier=8, seed=0))
 
 
-def test_fig10_snapshot_study(benchmark, save_artifact):
+def test_fig10_snapshot_study(benchmark, save_artifact, emit_bench):
     summaries = benchmark(_run)
     save_artifact("fig10_nft_snapshots", render_fig10(summaries))
+    emit_bench(
+        "fig10_nft_snapshots",
+        series=[
+            BenchSeries(
+                f"total_profit_{chain.name.lower()}",
+                "ETH",
+                tuple(
+                    cell.total_profit_eth
+                    for cell in summaries
+                    if cell.chain is chain
+                ),
+                meta={"chain": chain.name},
+            )
+            for chain in (Chain.OPTIMISM, Chain.ARBITRUM)
+        ],
+        benchmark=benchmark,
+    )
 
     assert len(summaries) == 6
     assert all(cell.total_profit_eth > 0 for cell in summaries)

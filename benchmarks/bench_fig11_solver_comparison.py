@@ -9,6 +9,8 @@ with N than the DQN's.
 
 from repro.experiments import render_fig11, run_fig11
 
+from conftest import BenchSeries
+
 SIZES = (5, 10, 25)
 
 
@@ -22,9 +24,27 @@ def _run():
     )
 
 
-def test_fig11_solver_comparison(benchmark, save_artifact):
+def test_fig11_solver_comparison(benchmark, save_artifact, emit_bench):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
     save_artifact("fig11_solver_comparison", render_fig11(rows))
+    emit_bench(
+        "fig11_solver_comparison",
+        series=[
+            BenchSeries(
+                "dqn_inference_seconds_N25",
+                "s",
+                tuple(
+                    r.elapsed_seconds
+                    for r in rows
+                    if r.solver_name == "DQN (inference)"
+                    and r.mempool_size == SIZES[-1]
+                ),
+                direction="lower",
+                meta={"N": SIZES[-1]},
+            )
+        ],
+        benchmark=benchmark,
+    )
 
     assert len(rows) == len(SIZES) * 4
     by_key = {(r.solver_name, r.mempool_size): r for r in rows}

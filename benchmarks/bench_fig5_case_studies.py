@@ -10,16 +10,26 @@ import pytest
 
 from repro.experiments import render_case_studies, run_case_studies
 
+from conftest import BenchSeries
 
-def test_case_study_replay(benchmark, save_artifact):
+
+def test_case_study_replay(benchmark, save_artifact, emit_bench):
     cases = benchmark(run_case_studies)
     assert cases["case1"].final_balance == pytest.approx(2.5)
     assert cases["case2"].final_balance == pytest.approx(2.5667, abs=1e-3)
     assert cases["case3"].final_balance == pytest.approx(2.7333, abs=1e-3)
     save_artifact("fig5_case_studies", render_case_studies(cases))
+    emit_bench(
+        "fig5_case_studies",
+        series=[
+            BenchSeries(f"{name}_balance", "ETH", (cases[name].final_balance,))
+            for name in ("case1", "case2", "case3")
+        ],
+        benchmark=benchmark,
+    )
 
 
-def test_case_study_certified_optimum(benchmark, save_artifact):
+def test_case_study_certified_optimum(benchmark, save_artifact, emit_bench):
     def certify():
         return run_case_studies(certify_optimum=True)
 
@@ -30,4 +40,11 @@ def test_case_study_certified_optimum(benchmark, save_artifact):
         f"exhaustive optimum over 8! orders: "
         f"{cases['best'].final_balance:.4f} ETH "
         f"(paper case 3: {cases['case3'].final_balance:.4f} ETH)",
+    )
+    emit_bench(
+        "fig5_certified_optimum",
+        series=[
+            BenchSeries("best_balance", "ETH", (cases["best"].final_balance,))
+        ],
+        benchmark=benchmark,
     )

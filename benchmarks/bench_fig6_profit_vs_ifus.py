@@ -9,6 +9,8 @@ fraction earns more in total.
 
 from repro.experiments import EffortPreset, render_fig6, run_fig6
 
+from conftest import BenchSeries
+
 BENCH = EffortPreset(name="bench", episodes=4, steps_per_episode=30, trials=2)
 
 
@@ -27,9 +29,24 @@ def _mean(values):
     return sum(values) / len(values)
 
 
-def test_fig6_profit_vs_ifus(benchmark, save_artifact):
+def test_fig6_profit_vs_ifus(benchmark, save_artifact, emit_bench):
     points = benchmark.pedantic(_run, rounds=1, iterations=1)
     save_artifact("fig6_profit_vs_ifus", render_fig6(points))
+    emit_bench(
+        "fig6_profit_vs_ifus",
+        series=[
+            BenchSeries(
+                f"avg_profit_per_ifu_{n}ifus",
+                "ETH",
+                tuple(
+                    p.avg_profit_per_ifu_eth for p in points if p.num_ifus == n
+                ),
+                meta={"num_ifus": n},
+            )
+            for n in (1, 2, 4)
+        ],
+        benchmark=benchmark,
+    )
 
     assert len(points) == 2 * 2 * 3
 

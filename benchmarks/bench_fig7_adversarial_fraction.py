@@ -9,6 +9,8 @@ sub-linear total compared to 1 IFU.
 
 from repro.experiments import EffortPreset, render_fig7, run_fig7
 
+from conftest import BenchSeries
+
 BENCH = EffortPreset(name="bench", episodes=3, steps_per_episode=25, trials=1)
 FRACTIONS = (0.25, 0.5, 0.75)
 
@@ -24,9 +26,26 @@ def _run():
     )
 
 
-def test_fig7_adversarial_fraction(benchmark, save_artifact):
+def test_fig7_adversarial_fraction(benchmark, save_artifact, emit_bench):
     points = benchmark.pedantic(_run, rounds=1, iterations=1)
     save_artifact("fig7_adversarial_fraction", render_fig7(points))
+    emit_bench(
+        "fig7_adversarial_fraction",
+        series=[
+            BenchSeries(
+                f"total_profit_frac{int(fraction * 100)}",
+                "ETH",
+                tuple(
+                    p.total_profit_eth
+                    for p in points
+                    if p.adversarial_fraction == fraction
+                ),
+                meta={"fraction": fraction},
+            )
+            for fraction in FRACTIONS
+        ],
+        benchmark=benchmark,
+    )
 
     assert len(points) == 2 * 2 * 3
     by_cell = {

@@ -12,6 +12,8 @@ into the benchmark's budget.
 from repro.analysis import moving_average
 from repro.experiments import EffortPreset, render_fig8, run_fig8
 
+from conftest import BenchSeries
+
 BENCH = EffortPreset(name="bench", episodes=12, steps_per_episode=40, trials=1)
 
 
@@ -26,9 +28,22 @@ def _run():
     )
 
 
-def test_fig8_learning_curves(benchmark, save_artifact):
+def test_fig8_learning_curves(benchmark, save_artifact, emit_bench):
     series = benchmark.pedantic(_run, rounds=1, iterations=1)
     save_artifact("fig8_learning_curves", render_fig8(series))
+    emit_bench(
+        "fig8_learning_curves",
+        series=[
+            BenchSeries(
+                f"best_profit_eps{curve.epsilon:g}",
+                "ETH",
+                (curve.best_profit,),
+                meta={"epsilon": curve.epsilon},
+            )
+            for curve in series
+        ],
+        benchmark=benchmark,
+    )
 
     assert len(series) == 3
     by_eps = {curve.epsilon: curve for curve in series}

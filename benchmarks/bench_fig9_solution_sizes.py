@@ -8,6 +8,8 @@ distributions spread (weakly) as more IFUs are served.
 
 from repro.experiments import EffortPreset, render_fig9, run_fig9
 
+from conftest import BenchSeries
+
 BENCH = EffortPreset(name="bench", episodes=6, steps_per_episode=40, trials=2)
 
 
@@ -20,9 +22,23 @@ def _run():
     )
 
 
-def test_fig9_solution_sizes(benchmark, save_artifact):
+def test_fig9_solution_sizes(benchmark, save_artifact, emit_bench):
     curves = benchmark.pedantic(_run, rounds=1, iterations=1)
     save_artifact("fig9_solution_sizes", render_fig9(curves))
+    emit_bench(
+        "fig9_solution_sizes",
+        series=[
+            BenchSeries(
+                f"solution_sizes_{curve.num_ifus}ifus",
+                "swaps",
+                tuple(float(s) for s in curve.solution_sizes),
+                direction="lower",
+                meta={"num_ifus": curve.num_ifus},
+            )
+            for curve in curves
+        ],
+        benchmark=benchmark,
+    )
 
     assert len(curves) == 2
     single = next(c for c in curves if c.num_ifus == 1)

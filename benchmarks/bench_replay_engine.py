@@ -37,7 +37,6 @@ enabled-path overhead is archived for the record.
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import time
@@ -56,7 +55,7 @@ from repro.telemetry import (
 )
 from repro.workloads import generate_workload
 
-from conftest import RESULTS_DIR
+from conftest import BenchSeries, GateVerdict
 
 SIZES = (10, 20, 50, 100)
 SWAPS_PER_SIZE = 300
@@ -264,7 +263,7 @@ def _bench_batch_kernel() -> dict:
     }
 
 
-def test_replay_engine_throughput(save_artifact):
+def test_replay_engine_throughput(save_artifact, emit_bench):
     """Scratch vs incremental replay across N; archives BENCH_replay.json."""
     records = [_bench_size(size) for size in SIZES]
     batch = _bench_batch_kernel()
@@ -298,31 +297,68 @@ def test_replay_engine_throughput(save_artifact):
         )
     save_artifact("bench_replay_engine", "\n".join(lines))
 
-    payload = {
-        "schema": BENCH_SCHEMA,
-        "swaps_per_size": SWAPS_PER_SIZE,
-        "environment": {
-            "cpu_count": os.cpu_count(),
-            "numpy_version": np.__version__,
-            "python_version": platform.python_version(),
-            "kernel_backend": batch["kernel_backend"],
+    at_50 = next(rec for rec in records if rec["size"] == 50)
+    at_32 = next(
+        rec for rec in batch["records"] if rec["batch_size"] == 32
+    )
+    series = [
+        BenchSeries(
+            f"incremental_evals_per_s_N{rec['size']}",
+            "evals/s",
+            (rec["incremental_evals_per_second"],),
+            meta={"N": rec["size"]},
+        )
+        for rec in records
+    ] + [
+        BenchSeries("incremental_speedup_N50", "x", (at_50["speedup"],)),
+        BenchSeries(
+            "batch_evals_per_s_K32", "evals/s", (at_32["evals_per_second"],)
+        ),
+        BenchSeries(
+            "batch_speedup_K32", "x", (at_32["speedup_vs_incremental"],)
+        ),
+    ]
+    emit_bench(
+        "replay",
+        series=series,
+        gates=[
+            GateVerdict(
+                name="incremental_speedup_N50",
+                armed=True,
+                passed=at_50["speedup"] >= 5.0,
+                threshold=5.0,
+                observed=at_50["speedup"],
+            ),
+            GateVerdict(
+                name="batch_speedup_K32",
+                armed=True,
+                passed=(
+                    at_32["speedup_vs_incremental"]
+                    >= BATCH_MIN_SPEEDUP_AT_32
+                ),
+                threshold=BATCH_MIN_SPEEDUP_AT_32,
+                observed=at_32["speedup_vs_incremental"],
+            ),
+        ],
+        view={
+            "schema": BENCH_SCHEMA,
+            "swaps_per_size": SWAPS_PER_SIZE,
+            "environment": {
+                "cpu_count": os.cpu_count(),
+                "numpy_version": np.__version__,
+                "python_version": platform.python_version(),
+                "kernel_backend": batch["kernel_backend"],
+            },
+            "batch_sizes": list(BATCH_SIZES),
+            "records": records,
+            "batch": batch,
         },
-        "batch_sizes": list(BATCH_SIZES),
-        "records": records,
-        "batch": batch,
-    }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_replay.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
+        kernel_backend=batch["kernel_backend"],
     )
 
-    at_50 = next(rec for rec in records if rec["size"] == 50)
     assert at_50["speedup"] >= 5.0, (
         f"incremental replay only {at_50['speedup']:.1f}x faster at N=50 "
         "(acceptance requires >= 5x)"
-    )
-    at_32 = next(
-        rec for rec in batch["records"] if rec["batch_size"] == 32
     )
     assert at_32["speedup_vs_incremental"] >= BATCH_MIN_SPEEDUP_AT_32, (
         f"batch kernel only {at_32['speedup_vs_incremental']:.1f}x the "
@@ -429,7 +465,7 @@ def _bench_telemetry_size(size: int) -> dict:
     }
 
 
-def test_telemetry_overhead(save_artifact):
+def test_telemetry_overhead(save_artifact, emit_bench):
     """Disabled telemetry must cost <= 5% on single-swap re-evaluation."""
     records = [_bench_telemetry_size(size) for size in TELEMETRY_SIZES]
 
@@ -449,15 +485,44 @@ def test_telemetry_overhead(save_artifact):
         )
     save_artifact("bench_telemetry_overhead", "\n".join(lines))
 
-    payload = {
-        "schema": TELEMETRY_BENCH_SCHEMA,
-        "swaps_per_size": SWAPS_PER_SIZE,
-        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
-        "records": records,
-    }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_telemetry.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
+    emit_bench(
+        "telemetry",
+        series=[
+            BenchSeries(
+                f"disabled_overhead_N{rec['size']}",
+                "fraction",
+                (rec["disabled_overhead"],),
+                direction="lower",
+                meta={"N": rec["size"]},
+            )
+            for rec in records
+        ]
+        + [
+            BenchSeries(
+                f"enabled_overhead_N{rec['size']}",
+                "fraction",
+                (rec["enabled_overhead"],),
+                direction="lower",
+                meta={"N": rec["size"]},
+            )
+            for rec in records
+        ],
+        gates=[
+            GateVerdict(
+                name=f"disabled_overhead_N{rec['size']}",
+                armed=True,
+                passed=rec["disabled_overhead"] <= MAX_DISABLED_OVERHEAD,
+                threshold=MAX_DISABLED_OVERHEAD,
+                observed=rec["disabled_overhead"],
+            )
+            for rec in records
+        ],
+        view={
+            "schema": TELEMETRY_BENCH_SCHEMA,
+            "swaps_per_size": SWAPS_PER_SIZE,
+            "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+            "records": records,
+        },
     )
 
     for rec in records:

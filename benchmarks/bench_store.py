@@ -14,7 +14,6 @@ archives wall-clock numbers plus the acceptance gates
 
 from __future__ import annotations
 
-import json
 import pathlib
 import tempfile
 import time
@@ -22,7 +21,7 @@ import time
 from repro.experiments import QUICK, run_all
 from repro.store import ResultStore
 
-from conftest import RESULTS_DIR
+from conftest import BenchSeries, GateVerdict
 
 BENCH_SCHEMA = "BENCH_store/v1"
 #: Everything cheap enough to run twice in a bench, including one DQN
@@ -31,7 +30,7 @@ EXPERIMENTS = ["table3", "fig5", "fig8", "fig9"]
 REQUIRED_SPEEDUP = 5.0
 
 
-def test_store_warm_rerun_speedup(save_artifact):
+def test_store_warm_rerun_speedup(save_artifact, emit_bench):
     """Cold vs warm run_all; archives BENCH_store.json."""
     with tempfile.TemporaryDirectory() as tmp:
         root = pathlib.Path(tmp)
@@ -78,20 +77,41 @@ def test_store_warm_rerun_speedup(save_artifact):
     ]
     save_artifact("bench_store", "\n".join(lines))
 
-    payload = {
-        "schema": BENCH_SCHEMA,
-        "experiments": EXPERIMENTS,
-        "cold_seconds": cold_seconds,
-        "warm_seconds": warm_seconds,
-        "speedup": speedup,
-        "required_speedup": REQUIRED_SPEEDUP,
-        "warm_hit_ratio": hit_ratio,
-        "byte_identical": identical,
-        "store_bytes": store_bytes,
-    }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_store.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
+    emit_bench(
+        "store",
+        series=[
+            BenchSeries("cold_seconds", "s", (cold_seconds,), direction="lower"),
+            BenchSeries("warm_seconds", "s", (warm_seconds,), direction="lower"),
+            BenchSeries("warm_speedup", "x", (speedup,)),
+            BenchSeries("warm_hit_ratio", "fraction", (hit_ratio,)),
+        ],
+        gates=[
+            GateVerdict(
+                name="warm_speedup",
+                armed=True,
+                passed=speedup >= REQUIRED_SPEEDUP,
+                threshold=REQUIRED_SPEEDUP,
+                observed=speedup,
+            ),
+            GateVerdict(
+                name="warm_hit_ratio",
+                armed=True,
+                passed=hit_ratio == 1.0,
+                threshold=1.0,
+                observed=hit_ratio,
+            ),
+        ],
+        view={
+            "schema": BENCH_SCHEMA,
+            "experiments": EXPERIMENTS,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+            "required_speedup": REQUIRED_SPEEDUP,
+            "warm_hit_ratio": hit_ratio,
+            "byte_identical": identical,
+            "store_bytes": store_bytes,
+        },
     )
 
     assert hit_ratio == 1.0, "warm rerun recomputed an experiment"

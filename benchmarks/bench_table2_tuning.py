@@ -16,6 +16,8 @@ from repro.config import GenTranSeqConfig
 from repro.core import GenTranSeq
 from repro.workloads import case_study_fixture
 
+from conftest import BenchSeries
+
 BUDGET = dict(episodes=8, steps_per_episode=35)
 
 
@@ -27,7 +29,7 @@ def _train(config):
     )
 
 
-def test_learning_rate_sweep(benchmark, save_artifact):
+def test_learning_rate_sweep(benchmark, save_artifact, emit_bench):
     rates = (0.05, 0.35, 0.7)
 
     def run():
@@ -47,6 +49,16 @@ def test_learning_rate_sweep(benchmark, save_artifact):
             [(label, f"{profit:.4f}") for label, profit in rows],
         ),
     )
+    emit_bench(
+        "table2_learning_rate",
+        series=[
+            BenchSeries(
+                label.replace("=", "_").replace(".", "_"), "ETH", (profit,)
+            )
+            for label, profit in rows
+        ],
+        benchmark=benchmark,
+    )
     best = max(profit for _, profit in rows)
     paper_choice = dict(rows)["alpha=0.7"]
     # The paper's alpha=0.7 finds profit and stays near the sweep's best.
@@ -54,7 +66,7 @@ def test_learning_rate_sweep(benchmark, save_artifact):
     assert paper_choice >= 0.5 * best
 
 
-def test_discount_factor_sweep(benchmark, save_artifact):
+def test_discount_factor_sweep(benchmark, save_artifact, emit_bench):
     gammas = (0.1, 0.618, 0.95)
 
     def run():
@@ -73,6 +85,16 @@ def test_discount_factor_sweep(benchmark, save_artifact):
             ("Discount factor", "Best profit (ETH)"),
             [(label, f"{profit:.4f}") for label, profit in rows],
         ),
+    )
+    emit_bench(
+        "table2_discount_factor",
+        series=[
+            BenchSeries(
+                label.replace("=", "_").replace(".", "_"), "ETH", (profit,)
+            )
+            for label, profit in rows
+        ],
+        benchmark=benchmark,
     )
     paper_choice = dict(rows)["gamma=0.618"]
     best = max(profit for _, profit in rows)

@@ -9,11 +9,26 @@ import pytest
 
 from repro.experiments import render_table3, run_table3
 
+from conftest import BenchSeries
 
-def test_table3_regeneration(benchmark, save_artifact):
+
+def test_table3_regeneration(benchmark, save_artifact, emit_bench):
     rows = benchmark(run_table3)
     assert [r.tx_type for r in rows] == ["mint", "transfer", "burn"]
     assert rows[0].gas_usage_percent == pytest.approx(90.91, abs=0.01)
     assert rows[1].gas_usage_percent == pytest.approx(69.84, abs=0.01)
     assert rows[2].gas_usage_percent == pytest.approx(69.82, abs=0.01)
     save_artifact("table3", render_table3(rows))
+    emit_bench(
+        "table3_gas",
+        series=[
+            BenchSeries(
+                f"gas_usage_{row.tx_type}",
+                "%",
+                (row.gas_usage_percent,),
+                direction="lower",
+            )
+            for row in rows
+        ],
+        benchmark=benchmark,
+    )

@@ -17,6 +17,8 @@ from repro.core import ParoleAttack
 from repro.sim import TimedRollupScenario
 from repro.workloads import generate_workload
 
+from conftest import BenchSeries
+
 
 def _workload():
     return generate_workload(
@@ -59,7 +61,7 @@ def _run():
     return rows, honest
 
 
-def test_deadline_gates_the_attack(benchmark, save_artifact):
+def test_deadline_gates_the_attack(benchmark, save_artifact, emit_bench):
     (sweeps, honest) = benchmark.pedantic(_run, rounds=1, iterations=1)
 
     table_rows = [
@@ -87,6 +89,24 @@ def test_deadline_gates_the_attack(benchmark, save_artifact):
     )
 
     tight, generous = sweeps[0][1], sweeps[1][1]
+    emit_bench(
+        "timed_deployment",
+        series=[
+            BenchSeries(
+                "mean_inclusion_latency_honest",
+                "sim units",
+                (honest.mean_inclusion_latency,),
+                direction="lower",
+            ),
+            BenchSeries(
+                "mean_inclusion_latency_generous",
+                "sim units",
+                (generous.mean_inclusion_latency,),
+                direction="lower",
+            ),
+        ],
+        benchmark=benchmark,
+    )
     # A deadline far below real DQN compute suppresses the attack...
     assert tight.attacks_fired == 0
     assert tight.missed_deadlines > 0

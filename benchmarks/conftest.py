@@ -4,6 +4,13 @@ Every bench regenerates its paper table/figure as text; outputs are
 printed (visible with ``pytest -s``) and archived under
 ``benchmarks/results/`` so a bench run leaves the full set of regenerated
 artifacts on disk.
+
+Numbers flow through one shared writer: the :func:`emit_bench` fixture
+builds a versioned :class:`repro.perf.BenchRecord` (environment
+fingerprint, named series, machine-readable gate verdicts, the bench's
+legacy payload as the ``view``), renders it to the historical
+``BENCH_<id>.json`` filename, and — when ``REPRO_PERF_STORE`` names a
+directory — appends it to the perf trend store for regression tracking.
 """
 
 from __future__ import annotations
@@ -11,6 +18,16 @@ from __future__ import annotations
 import pathlib
 
 import pytest
+
+from repro.perf import (
+    BenchSeries,
+    GateVerdict,
+    new_record,
+    open_trend_from_env,
+    write_record,
+)
+
+__all__ = ["RESULTS_DIR", "BenchSeries", "GateVerdict"]
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -26,3 +43,57 @@ def save_artifact():
         print(f"\n===== {name} =====\n{content}\n")
 
     return _save
+
+
+def _benchmark_samples(benchmark) -> list:
+    """Raw wall-clock samples from a pytest-benchmark fixture, if any.
+
+    Absent stats (``--benchmark-disable``, or the fixture never ran)
+    degrade to no series rather than an error.
+    """
+    if benchmark is None:
+        return []
+    try:
+        return [float(v) for v in benchmark.stats.stats.data]
+    except (AttributeError, TypeError):
+        return []
+
+
+@pytest.fixture()
+def emit_bench():
+    """The one shared writer behind every ``BENCH_*.json`` artifact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(
+        bench_id: str,
+        series=(),
+        gates=(),
+        view=None,
+        meta=None,
+        kernel_backend=None,
+        benchmark=None,
+    ):
+        series = list(series)
+        samples = _benchmark_samples(benchmark)
+        if samples:
+            series.append(
+                BenchSeries("wall_time", "s", samples, direction="lower")
+            )
+        record = new_record(
+            bench_id,
+            series=series,
+            gates=gates,
+            view=view,
+            meta=meta,
+            kernel_backend=kernel_backend,
+        )
+        path = write_record(record, RESULTS_DIR)
+        for gate in record.gates:
+            print(gate.render())
+        trend = open_trend_from_env()
+        if trend is not None:
+            trend.append(record)
+        print(f"bench record: {path.name} (env {record.env_digest})")
+        return record
+
+    return _emit

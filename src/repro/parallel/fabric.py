@@ -362,26 +362,38 @@ class ProcessRunner(TaskRunner):
             for chunk in self._chunks(tasks)
         ]
         pool = self._pool()
-        futures = [pool.submit(run_chunk, payload) for payload in payloads]
-        # Collect and merge in *submission* order, not completion order:
-        # that keeps merged gauges (last-write-wins) and the span stream
-        # deterministic for a fixed task list and worker count.  Each
-        # chunk's results are persisted as soon as it is collected, so a
-        # killed ``--jobs N`` run keeps every chunk it got through.
-        by_index: Dict[int, TaskResult] = {}
-        for future in futures:
-            chunk_result: ChunkResult = future.result()
-            self._merge_telemetry(chunk_result)
-            for index, value, error in chunk_result.outcomes:
-                result = TaskResult(
-                    index=index,
-                    value=value,
-                    error=error,
-                    label=tasks[index].label,
-                )
-                by_index[index] = result
-                if persist is not None:
-                    persist(index, result)
+        with get_tracer().span(
+            "fabric.dispatch",
+            tasks=len(tasks),
+            chunks=len(payloads),
+            workers=self.max_workers,
+        ):
+            futures = [pool.submit(run_chunk, payload) for payload in payloads]
+            # Collect and merge in *submission* order, not completion
+            # order: that keeps merged gauges (last-write-wins) and the
+            # span stream deterministic for a fixed task list and worker
+            # count.  Each chunk's results are persisted as soon as it is
+            # collected, so a killed ``--jobs N`` run keeps every chunk
+            # it got through.
+            by_index: Dict[int, TaskResult] = {}
+            for chunk_index, future in enumerate(futures):
+                with get_tracer().span(
+                    "fabric.chunk_wait",
+                    chunk=chunk_index,
+                    tasks=len(payloads[chunk_index].tasks),
+                ):
+                    chunk_result: ChunkResult = future.result()
+                self._merge_telemetry(chunk_result)
+                for index, value, error in chunk_result.outcomes:
+                    result = TaskResult(
+                        index=index,
+                        value=value,
+                        error=error,
+                        label=tasks[index].label,
+                    )
+                    by_index[index] = result
+                    if persist is not None:
+                        persist(index, result)
         return [by_index[index] for index in range(len(tasks))]
 
     @staticmethod

@@ -1,0 +1,412 @@
+"""Noise-aware regression detection over bench-record trends.
+
+The detector never compares apples to oranges and never lets a gate
+that could not run read as green:
+
+* **median-of-K baselines** — the baseline for a series is the median
+  of that series' central values over the last ``baseline_window``
+  *prior* runs with the **same environment digest** (different machine
+  → different trend);
+* **relative threshold + MAD outlier rule** — a candidate only counts
+  as a regression when it is worse than the baseline by more than
+  ``rel_threshold`` *and* further from the baseline than
+  ``mad_k`` × MAD of the history (so a noisy series needs a bigger move
+  to trip than a rock-steady one).  When the history's MAD is zero the
+  relative threshold alone decides;
+* **explicit unarmed verdicts** — not enough history, an environment
+  mismatch, or a bench-level unarmed gate (``cpu_count=1``) all yield
+  ``status="unarmed"`` with a reason, reported loudly and separately
+  from pass/fail.
+
+``parole perf check`` exits nonzero only on *confirmed* regressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from .record import BenchRecord
+
+__all__ = [
+    "RegressionPolicy",
+    "SeriesVerdict",
+    "RegressionReport",
+    "detect_regressions",
+    "make_baseline",
+    "check_against_baseline",
+    "compare_records",
+]
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return float("nan")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _mad(values: Sequence[float]) -> float:
+    """Median absolute deviation — the detector's noise estimate."""
+    if not values:
+        return 0.0
+    center = _median(values)
+    return _median([abs(v - center) for v in values])
+
+
+@dataclass(frozen=True)
+class RegressionPolicy:
+    """Tunable knobs of the detector."""
+
+    #: Worse-than-baseline fraction that starts to count (0.10 = 10%).
+    rel_threshold: float = 0.10
+    #: How many MADs from the baseline a candidate must sit to confirm.
+    mad_k: float = 3.0
+    #: Minimum prior runs (same env) before any series verdict arms.
+    min_history: int = 2
+    #: How many most-recent prior runs feed the median baseline.
+    baseline_window: int = 5
+
+
+@dataclass(frozen=True)
+class SeriesVerdict:
+    """The detector's decision on one (bench, series) pair."""
+
+    bench_id: str
+    series: str
+    #: ``ok`` | ``improved`` | ``regressed`` | ``unarmed``
+    status: str
+    reason: str = ""
+    unit: str = ""
+    direction: str = "higher"
+    baseline: Optional[float] = None
+    candidate: Optional[float] = None
+    #: Signed relative change, positive = better in ``direction`` terms.
+    rel_delta: Optional[float] = None
+    history_mad: Optional[float] = None
+    history_size: int = 0
+
+    def render(self) -> str:
+        label = f"{self.bench_id}/{self.series}"
+        if self.status == "unarmed":
+            return f"  {label:<44} gate unarmed: {self.reason}"
+        delta = (
+            f"{self.rel_delta:+.1%}" if self.rel_delta is not None else "n/a"
+        )
+        values = ""
+        if self.baseline is not None and self.candidate is not None:
+            values = (
+                f" ({self.candidate:g} vs baseline {self.baseline:g}"
+                f"{' ' + self.unit if self.unit else ''})"
+            )
+        marker = {"ok": "ok", "improved": "IMPROVED", "regressed": "REGRESSED"}[
+            self.status
+        ]
+        suffix = f" — {self.reason}" if self.reason else ""
+        return f"  {label:<44} {marker:<9} {delta:>8}{values}{suffix}"
+
+
+@dataclass
+class RegressionReport:
+    """All verdicts from one detection pass."""
+
+    verdicts: List[SeriesVerdict] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[SeriesVerdict]:
+        return [v for v in self.verdicts if v.status == "regressed"]
+
+    @property
+    def unarmed(self) -> List[SeriesVerdict]:
+        return [v for v in self.verdicts if v.status == "unarmed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = ["perf check:"]
+        lines += [v.render() for v in self.verdicts]
+        lines.append("")
+        lines.append(
+            f"{len(self.verdicts)} series checked — "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.unarmed)} unarmed"
+        )
+        for verdict in self.unarmed:
+            lines.append(
+                f"WARNING: {verdict.bench_id}/{verdict.series} gate "
+                f"unarmed: {verdict.reason}"
+            )
+        for verdict in self.regressions:
+            lines.append(
+                f"REGRESSION: {verdict.bench_id}/{verdict.series} "
+                f"{verdict.rel_delta:+.1%} vs baseline"
+            )
+        return "\n".join(lines)
+
+
+def _worseness(
+    candidate: float, baseline: float, direction: str
+) -> Optional[float]:
+    """Signed relative change where *positive means better*.
+
+    ``None`` when the baseline is zero (no meaningful ratio).
+    """
+    if baseline == 0:
+        return None
+    raw = (candidate - baseline) / abs(baseline)
+    return raw if direction == "higher" else -raw
+
+
+def _series_verdict(
+    candidate: BenchRecord,
+    history: Sequence[BenchRecord],
+    series_name: str,
+    policy: RegressionPolicy,
+) -> SeriesVerdict:
+    series = candidate.series_by_name()[series_name]
+    base = dict(
+        bench_id=candidate.bench_id,
+        series=series_name,
+        unit=series.unit,
+        direction=series.direction,
+    )
+    # A bench-level unarmed gate poisons every verdict for the record:
+    # numbers recorded in an environment that cannot support the bench's
+    # acceptance gate must not produce green (or red) checks.
+    for gate in candidate.unarmed_gates():
+        return SeriesVerdict(
+            status="unarmed",
+            reason=f"bench gate {gate.name!r} unarmed: {gate.reason}",
+            candidate=series.median,
+            **base,
+        )
+    prior = [
+        r
+        for r in history
+        if r.env_digest == candidate.env_digest
+        and r.schema == candidate.schema
+        and not (
+            r.git_rev == candidate.git_rev
+            and r.created_at == candidate.created_at
+        )
+        and series_name in r.series_by_name()
+    ]
+    if len(prior) < policy.min_history:
+        matching_env = any(
+            r.env_digest == candidate.env_digest for r in history
+        )
+        if history and not matching_env:
+            reason = (
+                "no history from this environment "
+                f"(env digest {candidate.env_digest})"
+            )
+        else:
+            reason = (
+                f"insufficient history ({len(prior)} prior run(s), "
+                f"need {policy.min_history})"
+            )
+        return SeriesVerdict(
+            status="unarmed", reason=reason,
+            candidate=series.median, history_size=len(prior), **base,
+        )
+    window = prior[-policy.baseline_window:]
+    centers = [r.series_by_name()[series_name].median for r in window]
+    baseline = _median(centers)
+    mad = _mad(centers)
+    rel = _worseness(series.median, baseline, series.direction)
+    if rel is None:
+        return SeriesVerdict(
+            status="unarmed",
+            reason="baseline is zero; relative comparison undefined",
+            baseline=baseline, candidate=series.median,
+            history_mad=mad, history_size=len(window), **base,
+        )
+    verdict = dict(
+        baseline=baseline, candidate=series.median, rel_delta=rel,
+        history_mad=mad, history_size=len(window), **base,
+    )
+    if rel < -policy.rel_threshold:
+        # Worse than the threshold — but only *confirmed* when it also
+        # clears the noise floor of the history.
+        if mad > 0 and abs(series.median - baseline) <= policy.mad_k * mad:
+            return SeriesVerdict(
+                status="ok",
+                reason=(
+                    f"within noise ({policy.mad_k:g}×MAD="
+                    f"{policy.mad_k * mad:g})"
+                ),
+                **verdict,
+            )
+        return SeriesVerdict(status="regressed", **verdict)
+    if rel > policy.rel_threshold:
+        return SeriesVerdict(status="improved", **verdict)
+    return SeriesVerdict(status="ok", **verdict)
+
+
+def detect_regressions(
+    candidates: Sequence[BenchRecord],
+    history_by_bench: Mapping[str, Sequence[BenchRecord]],
+    policy: Optional[RegressionPolicy] = None,
+) -> RegressionReport:
+    """Judge each candidate record against its bench's history."""
+    policy = policy or RegressionPolicy()
+    report = RegressionReport()
+    for candidate in candidates:
+        history = list(history_by_bench.get(candidate.bench_id, ()))
+        for series in candidate.series:
+            report.verdicts.append(
+                _series_verdict(candidate, history, series.name, policy)
+            )
+    return report
+
+
+# -- file baselines ------------------------------------------------------
+
+BASELINE_SCHEMA = "repro.perf/baseline/v1"
+
+
+def make_baseline(records: Sequence[BenchRecord]) -> Dict[str, Any]:
+    """Freeze the latest records into a committed-baseline payload."""
+    benches: Dict[str, Any] = {}
+    for record in records:
+        benches[record.bench_id] = {
+            "git_rev": record.git_rev,
+            "env": dict(record.env),
+            "env_digest": record.env_digest,
+            "series": {
+                s.name: {
+                    "unit": s.unit,
+                    "direction": s.direction,
+                    "value": s.median,
+                }
+                for s in record.series
+            },
+        }
+    return {"schema": BASELINE_SCHEMA, "benches": benches}
+
+
+def check_against_baseline(
+    candidates: Sequence[BenchRecord],
+    baseline: Mapping[str, Any],
+    policy: Optional[RegressionPolicy] = None,
+) -> RegressionReport:
+    """Judge candidates against a frozen baseline file.
+
+    A file baseline carries a single value per series (no noise
+    estimate), so the MAD rule cannot apply — the relative threshold
+    decides alone.  Environment mismatches unarm, never fail.
+    """
+    policy = policy or RegressionPolicy()
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"not a perf baseline: schema={baseline.get('schema')!r}"
+        )
+    benches: Mapping[str, Any] = baseline.get("benches", {})
+    report = RegressionReport()
+    for candidate in candidates:
+        entry = benches.get(candidate.bench_id)
+        for series in candidate.series:
+            base = dict(
+                bench_id=candidate.bench_id,
+                series=series.name,
+                unit=series.unit,
+                direction=series.direction,
+            )
+            unarmed_gate = next(iter(candidate.unarmed_gates()), None)
+            if unarmed_gate is not None:
+                report.verdicts.append(SeriesVerdict(
+                    status="unarmed",
+                    reason=(
+                        f"bench gate {unarmed_gate.name!r} unarmed: "
+                        f"{unarmed_gate.reason}"
+                    ),
+                    candidate=series.median, **base,
+                ))
+                continue
+            if entry is None or series.name not in entry.get("series", {}):
+                report.verdicts.append(SeriesVerdict(
+                    status="unarmed",
+                    reason="series missing from baseline",
+                    candidate=series.median, **base,
+                ))
+                continue
+            if entry.get("env_digest") != candidate.env_digest:
+                report.verdicts.append(SeriesVerdict(
+                    status="unarmed",
+                    reason=(
+                        "environment differs from baseline "
+                        f"(baseline {entry.get('env_digest')}, "
+                        f"candidate {candidate.env_digest})"
+                    ),
+                    candidate=series.median, **base,
+                ))
+                continue
+            frozen = entry["series"][series.name]
+            rel = _worseness(
+                series.median, float(frozen["value"]), series.direction
+            )
+            verdict = dict(
+                baseline=float(frozen["value"]),
+                candidate=series.median,
+                rel_delta=rel, history_size=1, **base,
+            )
+            if rel is None:
+                report.verdicts.append(SeriesVerdict(
+                    status="unarmed",
+                    reason="baseline is zero; relative comparison undefined",
+                    baseline=float(frozen["value"]),
+                    candidate=series.median, **base,
+                ))
+            elif rel < -policy.rel_threshold:
+                report.verdicts.append(
+                    SeriesVerdict(status="regressed", **verdict)
+                )
+            elif rel > policy.rel_threshold:
+                report.verdicts.append(
+                    SeriesVerdict(status="improved", **verdict)
+                )
+            else:
+                report.verdicts.append(SeriesVerdict(status="ok", **verdict))
+    return report
+
+
+# -- rev-to-rev comparison ----------------------------------------------
+
+
+def compare_records(
+    old: BenchRecord, new: BenchRecord
+) -> List[SeriesVerdict]:
+    """Per-series deltas between two concrete records (no gating)."""
+    verdicts: List[SeriesVerdict] = []
+    old_series = old.series_by_name()
+    for series in new.series:
+        base = dict(
+            bench_id=new.bench_id, series=series.name,
+            unit=series.unit, direction=series.direction,
+        )
+        previous = old_series.get(series.name)
+        if previous is None:
+            verdicts.append(SeriesVerdict(
+                status="unarmed", reason="series absent in first record",
+                candidate=series.median, **base,
+            ))
+            continue
+        rel = _worseness(series.median, previous.median, series.direction)
+        status = "ok"
+        if rel is not None:
+            status = (
+                "improved" if rel > 0.02 else "regressed" if rel < -0.02
+                else "ok"
+            )
+        verdicts.append(SeriesVerdict(
+            status=status if rel is not None else "unarmed",
+            reason="" if rel is not None else "first value is zero",
+            baseline=previous.median, candidate=series.median,
+            rel_delta=rel, history_size=1, **base,
+        ))
+    return verdicts

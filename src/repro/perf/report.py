@@ -1,0 +1,122 @@
+"""Human-readable views over the trend store.
+
+``render_report`` is the ``parole perf report`` body: per bench, the
+latest record's series (with medians and sample counts), gate verdicts,
+and the delta against the previous record from the same environment.
+``render_compare`` is the ``parole perf compare REV1 REV2`` body.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from .record import BenchRecord
+from .regression import compare_records
+from .trend import TrendStore
+
+__all__ = ["render_record", "render_report", "render_compare"]
+
+
+def _stamp(record: BenchRecord) -> str:
+    rev = (record.git_rev or "unknown")[:12]
+    when = time.strftime(
+        "%Y-%m-%d %H:%M:%S", time.localtime(record.created_at)
+    )
+    return f"rev {rev}, recorded {when}, env {record.env_digest}"
+
+
+def render_record(
+    record: BenchRecord, previous: Optional[BenchRecord] = None
+) -> str:
+    """One bench's section of the report."""
+    lines = [f"bench {record.bench_id} — {_stamp(record)}"]
+    env = record.env
+    lines.append(
+        f"  env: cpu_count={env.get('cpu_count')} "
+        f"python={env.get('python_version')} "
+        f"numpy={env.get('numpy_version')}"
+        + (
+            f" kernel={env.get('kernel_backend')}"
+            if env.get("kernel_backend")
+            else ""
+        )
+    )
+    header = f"  {'series':<40} {'median':>12} {'n':>4}  {'unit':<12}"
+    delta_header = previous is not None
+    if delta_header:
+        header += f" {'vs prev':>9}"
+    lines.append(header)
+    deltas = {}
+    if previous is not None:
+        deltas = {
+            v.series: v.rel_delta for v in compare_records(previous, record)
+        }
+    for series in record.series:
+        row = (
+            f"  {series.name:<40} {series.median:>12g} "
+            f"{len(series.values):>4}  {series.unit:<12}"
+        )
+        if delta_header:
+            rel = deltas.get(series.name)
+            row += f" {rel:>+8.1%}" if rel is not None else f" {'n/a':>9}"
+        lines.append(row)
+    for gate in record.gates:
+        lines.append(f"  {gate.render()}")
+    return "\n".join(lines)
+
+
+def render_report(
+    trend: TrendStore, bench_ids: Optional[Sequence[str]] = None
+) -> str:
+    """The full ``parole perf report`` text."""
+    ids = list(bench_ids) if bench_ids else trend.bench_ids()
+    if not ids:
+        return "perf report: trend store is empty (no bench records)"
+    sections: List[str] = []
+    for bench_id in ids:
+        history = trend.history(bench_id)
+        if not history:
+            sections.append(f"bench {bench_id} — no records")
+            continue
+        latest = history[-1]
+        same_env = [
+            r
+            for r in history[:-1]
+            if r.env_digest == latest.env_digest
+        ]
+        previous = same_env[-1] if same_env else None
+        sections.append(render_record(latest, previous))
+    return "\n\n".join(sections)
+
+
+def render_compare(
+    trend: TrendStore,
+    rev_a: str,
+    rev_b: str,
+    bench_ids: Optional[Sequence[str]] = None,
+) -> str:
+    """Per-series delta report between two recorded revisions."""
+    ids = list(bench_ids) if bench_ids else trend.bench_ids()
+    lines = [f"perf compare: {rev_a} -> {rev_b}"]
+    found = 0
+    for bench_id in ids:
+        old = trend.at_rev(bench_id, rev_a)
+        new = trend.at_rev(bench_id, rev_b)
+        if old is None or new is None:
+            missing = rev_a if old is None else rev_b
+            lines.append(f"  {bench_id}: no record at {missing}")
+            continue
+        found += 1
+        lines.append(f"{bench_id}:")
+        if old.env_digest != new.env_digest:
+            lines.append(
+                "  note: environments differ "
+                f"({old.env_digest} vs {new.env_digest}); deltas are "
+                "not like-for-like"
+            )
+        for verdict in compare_records(old, new):
+            lines.append(verdict.render())
+    if not found:
+        lines.append("no bench has records at both revisions")
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Trend store: bench records keyed by (bench id, git rev, env).
+
+Bench records append into a ``perf:`` namespace of the content-addressed
+:class:`~repro.store.ResultStore` — the same atomic-rename, rebuildable-
+index machinery that memoizes experiments — so the perf history can live
+in the same directory as a result cache without sharing entries.
+
+The key is ``bench:<bench_id>:<git_rev>:<env_digest>``: re-running the
+same bench at the same revision on the same machine *replaces* the
+record (latest wins), while every new revision or machine adds a point
+to the trajectory.  History queries sort by the records' own
+``created_at`` stamps, so the trajectory is stable however the entries
+landed on disk.
+
+``REPRO_PERF_STORE`` names the default on-disk location; benches consult
+it via :func:`open_trend_from_env` so a CI job can opt every bench into
+trend recording with one environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Dict, List, Optional, Union
+
+from ..store import ResultStore
+from .record import BenchRecord
+
+__all__ = [
+    "PERF_NAMESPACE",
+    "PERF_STORE_ENV",
+    "TrendStore",
+    "open_trend",
+    "open_trend_from_env",
+]
+
+PERF_NAMESPACE = "perf"
+#: Environment variable naming the trend-store directory; when set,
+#: every bench run appends its record automatically.
+PERF_STORE_ENV = "REPRO_PERF_STORE"
+
+
+class TrendStore:
+    """Append/query bench records in a ``perf:``-namespaced ResultStore."""
+
+    def __init__(self, store: ResultStore) -> None:
+        self.store = store.namespaced(PERF_NAMESPACE)
+
+    @classmethod
+    def open(cls, root: Union[str, pathlib.Path]) -> "TrendStore":
+        return cls(ResultStore(root))
+
+    # -- keys -----------------------------------------------------------
+
+    @staticmethod
+    def record_key(record: BenchRecord) -> str:
+        rev = record.git_rev or "unknown"
+        return f"bench:{record.bench_id}:{rev}:{record.env_digest}"
+
+    # -- writing --------------------------------------------------------
+
+    def append(self, record: BenchRecord) -> str:
+        """Store ``record``; returns the full store key."""
+        return self.store.put(self.record_key(record), record.to_json())
+
+    # -- reading --------------------------------------------------------
+
+    def _all_records(self) -> List[BenchRecord]:
+        records: List[BenchRecord] = []
+        prefix = f"{PERF_NAMESPACE}:bench:"
+        for full_key in self.store.keys():
+            if not full_key.startswith(prefix):
+                continue
+            payload = self.store.get(full_key[len(f"{PERF_NAMESPACE}:"):])
+            if payload is None:
+                continue
+            try:
+                records.append(BenchRecord.from_json(payload))
+            except (ValueError, KeyError, TypeError):
+                continue  # unreadable entry: invisible, not fatal
+        return records
+
+    def bench_ids(self) -> List[str]:
+        """Every bench id with at least one stored record, sorted."""
+        return sorted({r.bench_id for r in self._all_records()})
+
+    def history(
+        self,
+        bench_id: str,
+        env_digest: Optional[str] = None,
+    ) -> List[BenchRecord]:
+        """Records for ``bench_id`` (optionally one env), oldest first."""
+        records = [
+            r for r in self._all_records() if r.bench_id == bench_id
+        ]
+        if env_digest is not None:
+            records = [r for r in records if r.env_digest == env_digest]
+        return sorted(records, key=lambda r: (r.created_at, r.git_rev or ""))
+
+    def latest(
+        self,
+        bench_id: str,
+        env_digest: Optional[str] = None,
+    ) -> Optional[BenchRecord]:
+        history = self.history(bench_id, env_digest=env_digest)
+        return history[-1] if history else None
+
+    def at_rev(self, bench_id: str, git_rev: str) -> Optional[BenchRecord]:
+        """The newest record for ``bench_id`` at a revision (prefix match)."""
+        matches = [
+            r
+            for r in self.history(bench_id)
+            if r.git_rev is not None and r.git_rev.startswith(git_rev)
+        ]
+        return matches[-1] if matches else None
+
+
+def open_trend(root: Union[str, pathlib.Path]) -> TrendStore:
+    """Open (creating if needed) the trend store at ``root``."""
+    return TrendStore.open(root)
+
+
+def open_trend_from_env() -> Optional[TrendStore]:
+    """The trend store named by ``REPRO_PERF_STORE``, or ``None``."""
+    root = os.environ.get(PERF_STORE_ENV)
+    if not root:
+        return None
+    return TrendStore.open(root)

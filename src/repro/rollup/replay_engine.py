@@ -51,7 +51,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..telemetry import get_metrics
+from ..telemetry import get_metrics, span
 from ..tokens import TxValidity
 from .ckernel import load_kernel
 from .ovm import ReplayTrace, TraceStep
@@ -825,16 +825,19 @@ class BatchReplayEngine:
             return []
         self.stats.batch_calls += 1
         self.stats.batch_candidates += len(keys)
-        by_length: Dict[int, List[int]] = {}
-        for index, key in enumerate(keys):
-            by_length.setdefault(len(key), []).append(index)
-        results: List[Optional[EvalSummary]] = [None] * len(keys)
-        for length, indices in by_length.items():
-            for slot, summary in zip(
-                indices, self._run([keys[i] for i in indices], length)
-            ):
-                results[slot] = summary
-        return results  # type: ignore[return-value]
+        with span(
+            "replay.batch_kernel", k=len(keys), backend=self.kernel_backend
+        ):
+            by_length: Dict[int, List[int]] = {}
+            for index, key in enumerate(keys):
+                by_length.setdefault(len(key), []).append(index)
+            results: List[Optional[EvalSummary]] = [None] * len(keys)
+            for length, indices in by_length.items():
+                for slot, summary in zip(
+                    indices, self._run([keys[i] for i in indices], length)
+                ):
+                    results[slot] = summary
+            return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
     # Internals

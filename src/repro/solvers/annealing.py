@@ -21,6 +21,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..telemetry import span
 from .base import ReorderProblem, ReorderSolver, SolverResult
 
 
@@ -59,37 +60,43 @@ class SimulatedAnnealingSolver(ReorderSolver):
         best_value = identity_value
         temperature = self.initial_temperature
         accepted = 0
-        for _ in range(self.iterations):
-            swaps = []
-            for chain, rng in enumerate(rngs):
-                i, j = rng.choice(problem.size, size=2, replace=False)
-                order = current[chain]
-                order[i], order[j] = order[j], order[i]
-                swaps.append((i, j))
-            # One kernel call scores every chain's proposal; with a
-            # single chain this degenerates to the serial score path
-            # (the environment routes a lone miss through the
-            # incremental engine).
-            values = problem.score_many([tuple(o) for o in current])
-            for chain, rng in enumerate(rngs):
-                value = values[chain]
-                delta = value - current_value[chain]
-                take = delta >= 0 or (
-                    value != float("-inf")
-                    and temperature > 1e-12
-                    and rng.random() < math.exp(delta / temperature)
-                )
-                if take:
-                    current_value[chain] = value
-                    accepted += 1
-                    if value > best_value:
-                        best_value = value
-                        best_order = tuple(current[chain])
-                else:
-                    i, j = swaps[chain]
+        with span(
+            "solver.round",
+            solver=self.name,
+            chains=chains,
+            iterations=self.iterations,
+        ):
+            for _ in range(self.iterations):
+                swaps = []
+                for chain, rng in enumerate(rngs):
+                    i, j = rng.choice(problem.size, size=2, replace=False)
                     order = current[chain]
                     order[i], order[j] = order[j], order[i]
-            temperature *= self.cooling
+                    swaps.append((i, j))
+                # One kernel call scores every chain's proposal; with a
+                # single chain this degenerates to the serial score path
+                # (the environment routes a lone miss through the
+                # incremental engine).
+                values = problem.score_many([tuple(o) for o in current])
+                for chain, rng in enumerate(rngs):
+                    value = values[chain]
+                    delta = value - current_value[chain]
+                    take = delta >= 0 or (
+                        value != float("-inf")
+                        and temperature > 1e-12
+                        and rng.random() < math.exp(delta / temperature)
+                    )
+                    if take:
+                        current_value[chain] = value
+                        accepted += 1
+                        if value > best_value:
+                            best_value = value
+                            best_order = tuple(current[chain])
+                    else:
+                        i, j = swaps[chain]
+                        order = current[chain]
+                        order[i], order[j] = order[j], order[i]
+                temperature *= self.cooling
         elapsed = time.perf_counter() - started
         return self._result(
             problem,

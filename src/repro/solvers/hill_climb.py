@@ -14,6 +14,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..telemetry import span
 from .base import ReorderProblem, ReorderSolver, SolverResult
 
 
@@ -53,7 +54,13 @@ class HillClimbSolver(ReorderSolver):
                 order[i], order[j] = order[j], order[i]
                 neighbourhood.append(tuple(order))
                 order[i], order[j] = order[j], order[i]
-            values = problem.score_many(neighbourhood)
+            with span(
+                "solver.round",
+                solver=self.name,
+                round=rounds,
+                candidates=len(neighbourhood),
+            ):
+                values = problem.score_many(neighbourhood)
             best_swap = None
             best_gain = 0.0
             for (i, j), candidate in zip(pairs, values):

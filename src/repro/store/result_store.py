@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..errors import ReproError
+from ..telemetry import event, get_metrics, span
 from .codec import decode, encode
 
 __all__ = ["ResultStore", "StoreStats", "StoreError"]
@@ -198,24 +199,28 @@ class ResultStore:
         key whose payload is missing or partial.
         """
         full = self._full_key(key)
-        now = time.time()
-        entries = self._load_index(refresh=True)
-        seq = 1 + max((e.get("seq", 0) for e in entries.values()), default=-1)
-        text = json.dumps(
-            {
-                "schema": _OBJECT_SCHEMA,
-                "key": full,
-                "created": now,
-                "seq": seq,
-                "payload": payload,
-            }
-        )
-        size = self._atomic_write(self._object_path(full), text)
-        entries[full] = {"size": size, "created": now, "seq": seq}
-        self.stats.puts += 1
-        self.stats.bytes_written += size
-        self._evict(entries, now)
-        self._write_index(entries)
+        with span("store.put", key=full):
+            now = time.time()
+            entries = self._load_index(refresh=True)
+            seq = 1 + max(
+                (e.get("seq", 0) for e in entries.values()), default=-1
+            )
+            text = json.dumps(
+                {
+                    "schema": _OBJECT_SCHEMA,
+                    "key": full,
+                    "created": now,
+                    "seq": seq,
+                    "payload": payload,
+                }
+            )
+            size = self._atomic_write(self._object_path(full), text)
+            entries[full] = {"size": size, "created": now, "seq": seq}
+            self.stats.puts += 1
+            self.stats.bytes_written += size
+            get_metrics().counter("store.puts").inc()
+            self._evict(entries, now)
+            self._write_index(entries)
         return full
 
     def fetch(self, key: str) -> Tuple[Any, bool]:
@@ -232,17 +237,24 @@ class ResultStore:
             self.delete(key)
             entry = None
         if entry is None or not path.exists():
-            self.stats.misses += 1
+            self._record_miss(full)
             return None, False
         try:
             obj = json.loads(path.read_bytes())
             payload = obj["payload"]
         except (OSError, ValueError, KeyError):
-            self.stats.misses += 1
+            self._record_miss(full)
             return None, False
         self.stats.hits += 1
         self.stats.bytes_read += entry.get("size", 0)
+        get_metrics().counter("store.fetch", outcome="hit").inc()
+        event("store.hit", key=full)
         return payload, True
+
+    def _record_miss(self, full_key: str) -> None:
+        self.stats.misses += 1
+        get_metrics().counter("store.fetch", outcome="miss").inc()
+        event("store.miss", key=full_key)
 
     def get(self, key: str, default: Any = None) -> Any:
         """The payload under ``key``, or ``default`` on a miss."""

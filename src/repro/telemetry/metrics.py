@@ -103,6 +103,13 @@ class Histogram:
     last bound land in a +Inf overflow bucket.  Percentiles interpolate
     linearly inside the winning bucket (clamped by the observed min/max,
     so single-observation histograms report exact values).
+
+    **Empty histograms**: with zero observations there is no meaningful
+    central value or extremum, so :attr:`mean`, :attr:`min`, :attr:`max`
+    and :meth:`percentile` all return ``NaN`` (never a fake ``0.0`` that
+    could be mistaken for a real measurement).  :meth:`summary` of an
+    empty histogram reports only ``count``/``sum`` and omits the NaN
+    statistics, keeping snapshots strict-JSON safe.
     """
 
     __slots__ = ("bounds", "_lock", "_counts", "_count", "_sum", "_min", "_max")
@@ -143,15 +150,18 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
+        """Mean of all observations; ``NaN`` when empty."""
+        return self._sum / self._count if self._count else float("nan")
 
     @property
     def min(self) -> float:
-        return self._min if self._count else 0.0
+        """Smallest observation; ``NaN`` when empty."""
+        return self._min if self._count else float("nan")
 
     @property
     def max(self) -> float:
-        return self._max if self._count else 0.0
+        """Largest observation; ``NaN`` when empty."""
+        return self._max if self._count else float("nan")
 
     def bucket_counts(self) -> Tuple[int, ...]:
         """Per-bucket observation counts (last entry is the overflow)."""
@@ -168,7 +178,7 @@ class Histogram:
         if not 0.0 <= q <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
         if not self._count:
-            return 0.0
+            return float("nan")
         rank = q / 100.0 * self._count
         cumulative = 0
         for index, bucket_count in enumerate(self._counts):
@@ -184,7 +194,14 @@ class Histogram:
         return self._max
 
     def summary(self) -> Dict[str, float]:
-        """JSON-able digest used by snapshots and manifests."""
+        """JSON-able digest used by snapshots and manifests.
+
+        An empty histogram reports only ``count`` and ``sum`` — its
+        other statistics are ``NaN`` (see the class docstring) and NaN
+        is not valid strict JSON, so they are omitted rather than faked.
+        """
+        if not self._count:
+            return {"count": 0.0, "sum": 0.0}
         return {
             "count": float(self._count),
             "sum": self._sum,

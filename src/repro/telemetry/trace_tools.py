@@ -20,13 +20,23 @@ __all__ = ["read_trace", "summarize_trace", "tail_trace"]
 def read_trace(
     path: Union[str, pathlib.Path],
 ) -> Tuple[List[Dict[str, Any]], int]:
-    """Parse a JSONL trace; returns (events, unparseable-line count)."""
+    """Parse a JSONL trace; returns (events, unparseable-line count).
+
+    A trace file may be mid-write (truncated final line), contain
+    undecodable bytes, or carry records of the wrong shape — all of
+    those are counted and skipped, never raised.  Only a missing or
+    unreadable file is fatal.
+    """
     path = pathlib.Path(path)
     if not path.exists():
         raise ReproError(f"trace file not found: {path}")
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as exc:
+        raise ReproError(f"cannot read trace file {path}: {exc}") from exc
     events: List[Dict[str, Any]] = []
     bad = 0
-    for line in path.read_text().splitlines():
+    for line in text.splitlines():
         line = line.strip()
         if not line:
             continue
@@ -40,6 +50,22 @@ def read_trace(
         else:
             bad += 1
     return events, bad
+
+
+def _as_float(value: Any, default: float = 0.0) -> float:
+    """Coerce a trace field to a finite float, falling back on garbage.
+
+    Truncated or hand-edited traces can carry strings, nulls, lists or
+    NaN where a number belongs; the summarizer degrades those to
+    ``default`` instead of crashing mid-report.
+    """
+    try:
+        result = float(value)
+    except (TypeError, ValueError):
+        return default
+    if result != result or result in (float("inf"), float("-inf")):
+        return default
+    return result
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -60,7 +86,7 @@ def summarize_trace(path: Union[str, pathlib.Path]) -> str:
     durations: Dict[str, List[float]] = defaultdict(list)
     for record in spans:
         durations[str(record.get("name", "?"))].append(
-            float(record.get("duration_s", 0.0))
+            _as_float(record.get("duration_s", 0.0))
         )
 
     lines = [
@@ -70,7 +96,7 @@ def summarize_trace(path: Union[str, pathlib.Path]) -> str:
         + (f", {bad} unparseable lines" if bad else ""),
     ]
     if spans:
-        clocks = [float(e.get("end", 0.0)) for e in spans]
+        clocks = [_as_float(e.get("end", 0.0)) for e in spans]
         lines.append(f"span clock range: 0.000s .. {max(clocks):.3f}s")
         lines.append("")
         lines.append(
@@ -88,12 +114,12 @@ def summarize_trace(path: Union[str, pathlib.Path]) -> str:
             )
     if metrics_events:
         last = metrics_events[-1].get("metrics", {})
-        counters = last.get("counters", {})
-        if counters:
+        counters = last.get("counters", {}) if isinstance(last, dict) else {}
+        if isinstance(counters, dict) and counters:
             lines.append("")
             lines.append("final counter values:")
-            for key in sorted(counters):
-                lines.append(f"  {key} = {counters[key]:g}")
+            for key in sorted(counters, key=str):
+                lines.append(f"  {key} = {_as_float(counters[key]):g}")
     return "\n".join(lines)
 
 
@@ -103,10 +129,10 @@ def _format_event(record: Dict[str, Any]) -> str:
     if kind == "span":
         extra = (
             f"id={record.get('span_id')} parent={record.get('parent_id')} "
-            f"dur={1000.0 * float(record.get('duration_s', 0.0)):.3f}ms"
+            f"dur={1000.0 * _as_float(record.get('duration_s', 0.0)):.3f}ms"
         )
     else:
-        extra = f"t={float(record.get('t', 0.0)):.6f}s"
+        extra = f"t={_as_float(record.get('t', 0.0)):.6f}s"
     attrs = record.get("attrs")
     suffix = f" {json.dumps(attrs, default=str)}" if attrs else ""
     return f"[{kind}] {name} {extra}{suffix}"

@@ -1,0 +1,193 @@
+"""Regression detector: thresholds, MAD noise rule, unarmed verdicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import (
+    BenchRecord,
+    BenchSeries,
+    GateVerdict,
+    RegressionPolicy,
+    check_against_baseline,
+    compare_records,
+    detect_regressions,
+    make_baseline,
+)
+
+ENV = {"cpu_count": 4, "python_version": "3.11.7", "numpy_version": "2.4.6"}
+OTHER_ENV = {"cpu_count": 1, "python_version": "3.11.7", "numpy_version": "2.4.6"}
+
+
+def _rec(value, rev, created_at, env=ENV, direction="higher", gates=()):
+    return BenchRecord(
+        bench_id="replay",
+        created_at=created_at,
+        git_rev=rev,
+        env=env,
+        series=(BenchSeries("speedup", "x", (value,), direction=direction),),
+        gates=tuple(gates),
+    )
+
+
+def _history(values, env=ENV):
+    return [
+        _rec(v, f"rev{i}", 100.0 + i, env=env) for i, v in enumerate(values)
+    ]
+
+
+class TestDetectRegressions:
+    def test_injected_regression_is_caught(self):
+        history = _history([100.0, 102.0, 98.0])
+        candidate = _rec(50.0, "bad", 500.0)
+        report = detect_regressions([candidate], {"replay": history})
+        assert not report.ok
+        assert report.regressions[0].series == "speedup"
+        assert report.regressions[0].rel_delta == pytest.approx(-0.5)
+
+    def test_noise_level_jitter_passes(self):
+        history = _history([100.0, 102.0, 98.0])
+        candidate = _rec(97.0, "meh", 500.0)  # -3%, under the 10% threshold
+        report = detect_regressions([candidate], {"replay": history})
+        assert report.ok
+        assert report.verdicts[0].status == "ok"
+
+    def test_lower_is_better_direction_flips_the_sign(self):
+        history = [
+            _rec(1.0, f"rev{i}", 100.0 + i, direction="lower")
+            for i in range(3)
+        ]
+        slower = _rec(2.0, "bad", 500.0, direction="lower")
+        report = detect_regressions([slower], {"replay": history})
+        assert not report.ok
+        faster = _rec(0.5, "good", 500.0, direction="lower")
+        report = detect_regressions([faster], {"replay": history})
+        assert report.ok
+        assert report.verdicts[0].status == "improved"
+
+    def test_noisy_history_needs_a_bigger_move(self):
+        # Median 100, MAD 10: a 15% drop clears the threshold but sits
+        # inside 3xMAD — confirmed noise, not a regression.
+        history = _history([80.0, 90.0, 100.0, 110.0, 120.0])
+        candidate = _rec(85.0, "jit", 500.0)
+        report = detect_regressions([candidate], {"replay": history})
+        assert report.ok
+        assert "noise" in report.verdicts[0].reason
+
+    def test_insufficient_history_is_unarmed(self):
+        history = _history([100.0])
+        candidate = _rec(50.0, "bad", 500.0)
+        report = detect_regressions([candidate], {"replay": history})
+        assert report.ok  # unarmed is loud, not a failure
+        verdict = report.verdicts[0]
+        assert verdict.status == "unarmed"
+        assert "insufficient history" in verdict.reason
+
+    def test_env_mismatch_is_unarmed_with_digest_reason(self):
+        history = _history([100.0, 101.0, 99.0], env=OTHER_ENV)
+        candidate = _rec(50.0, "bad", 500.0, env=ENV)
+        report = detect_regressions([candidate], {"replay": history})
+        verdict = report.verdicts[0]
+        assert verdict.status == "unarmed"
+        assert "no history from this environment" in verdict.reason
+
+    def test_bench_level_unarmed_gate_poisons_the_record(self):
+        history = _history([100.0, 102.0, 98.0])
+        candidate = _rec(
+            50.0,
+            "bad",
+            500.0,
+            gates=[
+                GateVerdict(
+                    "speedup_4workers", armed=False, reason="cpu_count=1 < 4"
+                )
+            ],
+        )
+        report = detect_regressions([candidate], {"replay": history})
+        verdict = report.verdicts[0]
+        assert verdict.status == "unarmed"
+        assert "cpu_count=1" in verdict.reason
+        assert report.ok
+
+    def test_zero_baseline_is_unarmed(self):
+        history = _history([0.0, 0.0, 0.0])
+        candidate = _rec(1.0, "new", 500.0)
+        report = detect_regressions([candidate], {"replay": history})
+        assert report.verdicts[0].status == "unarmed"
+        assert "zero" in report.verdicts[0].reason
+
+    def test_render_mentions_unarmed_gates_loudly(self):
+        history = _history([100.0])
+        report = detect_regressions(
+            [_rec(99.0, "x", 500.0)], {"replay": history}
+        )
+        text = report.render()
+        assert "gate unarmed:" in text
+        assert "WARNING:" in text
+
+    def test_policy_threshold_is_tunable(self):
+        history = _history([100.0, 100.0, 100.0])  # MAD 0: threshold rules
+        candidate = _rec(97.0, "meh", 500.0)  # -3% vs median 100
+        strict = RegressionPolicy(rel_threshold=0.02)
+        report = detect_regressions(
+            [candidate], {"replay": history}, policy=strict
+        )
+        assert not report.ok
+
+    def test_render_flags_regressions(self):
+        history = _history([100.0, 102.0, 98.0])
+        report = detect_regressions(
+            [_rec(50.0, "bad", 500.0)], {"replay": history}
+        )
+        assert "REGRESSION:" in report.render()
+
+
+class TestBaselineFile:
+    def test_roundtrip_check_ok(self):
+        baseline = make_baseline([_rec(100.0, "base", 100.0)])
+        report = check_against_baseline([_rec(99.0, "new", 200.0)], baseline)
+        assert report.ok
+        assert report.verdicts[0].status == "ok"
+
+    def test_regression_against_baseline(self):
+        baseline = make_baseline([_rec(100.0, "base", 100.0)])
+        report = check_against_baseline([_rec(50.0, "new", 200.0)], baseline)
+        assert not report.ok
+
+    def test_env_mismatch_unarms_never_fails(self):
+        baseline = make_baseline([_rec(100.0, "base", 100.0, env=OTHER_ENV)])
+        report = check_against_baseline([_rec(50.0, "new", 200.0)], baseline)
+        assert report.ok
+        assert report.verdicts[0].status == "unarmed"
+        assert "environment differs" in report.verdicts[0].reason
+
+    def test_missing_series_unarms(self):
+        baseline = make_baseline([_rec(100.0, "base", 100.0)])
+        other = BenchRecord(
+            bench_id="replay",
+            created_at=200.0,
+            git_rev="new",
+            env=ENV,
+            series=(BenchSeries("latency", "s", (1.0,), direction="lower"),),
+        )
+        report = check_against_baseline([other], baseline)
+        assert report.verdicts[0].status == "unarmed"
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ValueError):
+            check_against_baseline([], {"schema": "nope"})
+
+
+class TestCompareRecords:
+    def test_reports_signed_deltas(self):
+        old = _rec(100.0, "a", 100.0)
+        new = _rec(120.0, "b", 200.0)
+        verdicts = compare_records(old, new)
+        assert verdicts[0].status == "improved"
+        assert verdicts[0].rel_delta == pytest.approx(0.2)
+
+    def test_small_moves_are_ok(self):
+        verdicts = compare_records(
+            _rec(100.0, "a", 100.0), _rec(101.0, "b", 200.0)
+        )
+        assert verdicts[0].status == "ok"

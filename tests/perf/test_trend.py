@@ -1,0 +1,75 @@
+"""Trend store: keying, replacement, history ordering, env filtering."""
+
+from __future__ import annotations
+
+from repro.perf import BenchRecord, BenchSeries, TrendStore, open_trend
+
+ENV_A = {"cpu_count": 4, "python_version": "3.11.7", "numpy_version": "2.4.6"}
+ENV_B = {"cpu_count": 1, "python_version": "3.11.7", "numpy_version": "2.4.6"}
+
+
+def _rec(bench_id, value, rev, created_at, env=ENV_A):
+    return BenchRecord(
+        bench_id=bench_id,
+        created_at=created_at,
+        git_rev=rev,
+        env=env,
+        series=(BenchSeries("speedup", "x", (value,)),),
+    )
+
+
+class TestTrendStore:
+    def test_key_is_bench_rev_env(self):
+        record = _rec("replay", 5.0, "abc123", 1.0)
+        key = TrendStore.record_key(record)
+        assert key == f"bench:replay:abc123:{record.env_digest}"
+
+    def test_append_and_history_sorted_by_time(self, tmp_path):
+        trend = open_trend(tmp_path)
+        # Append out of chronological order; history must sort by stamp.
+        trend.append(_rec("replay", 5.5, "rev2", 200.0))
+        trend.append(_rec("replay", 5.0, "rev1", 100.0))
+        history = trend.history("replay")
+        assert [r.git_rev for r in history] == ["rev1", "rev2"]
+
+    def test_same_triple_rerun_replaces(self, tmp_path):
+        trend = open_trend(tmp_path)
+        trend.append(_rec("replay", 5.0, "rev1", 100.0))
+        trend.append(_rec("replay", 6.0, "rev1", 150.0))
+        history = trend.history("replay")
+        assert len(history) == 1
+        assert history[0].series[0].median == 6.0
+
+    def test_env_filter(self, tmp_path):
+        trend = open_trend(tmp_path)
+        trend.append(_rec("replay", 5.0, "rev1", 100.0, env=ENV_A))
+        trend.append(_rec("replay", 2.0, "rev1", 100.0, env=ENV_B))
+        digest_a = _rec("replay", 0.0, "x", 0.0, env=ENV_A).env_digest
+        only_a = trend.history("replay", env_digest=digest_a)
+        assert len(only_a) == 1
+        assert only_a[0].series[0].median == 5.0
+
+    def test_latest_and_at_rev_prefix(self, tmp_path):
+        trend = open_trend(tmp_path)
+        trend.append(_rec("replay", 5.0, "aabbccddeeff", 100.0))
+        trend.append(_rec("replay", 6.0, "112233445566", 200.0))
+        assert trend.latest("replay").series[0].median == 6.0
+        assert trend.at_rev("replay", "aabbcc").series[0].median == 5.0
+        assert trend.at_rev("replay", "zz") is None
+
+    def test_bench_ids(self, tmp_path):
+        trend = open_trend(tmp_path)
+        trend.append(_rec("replay", 5.0, "rev1", 100.0))
+        trend.append(_rec("parallel", 1.0, "rev1", 100.0))
+        assert trend.bench_ids() == ["parallel", "replay"]
+
+    def test_shares_store_with_other_namespaces(self, tmp_path):
+        """Perf history coexists with a result cache in one directory."""
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        store.put("experiment:x", {"value": 1})
+        trend = TrendStore(store)
+        trend.append(_rec("replay", 5.0, "rev1", 100.0))
+        assert trend.bench_ids() == ["replay"]
+        assert store.get("experiment:x") == {"value": 1}

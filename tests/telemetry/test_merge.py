@@ -190,3 +190,71 @@ class TestTracerAbsorb:
     def test_disabled_tracer_absorbs_nothing(self):
         records = self._worker_records()
         assert Tracer().absorb(records) == 0
+
+
+class TestAbsorbDeterminism:
+    """Same chunk set, same absorb order => byte-identical span streams.
+
+    The fabric collects worker chunks in *submission* order regardless
+    of which worker finishes first, so the merged trace — span ids,
+    parent links, everything — must depend only on the chunk set, never
+    on completion timing.
+    """
+
+    def _chunk_records(self, chunk: int):
+        """One worker chunk's ring-buffer contents (self-contained tree)."""
+        ring = RingBufferSink(capacity=16)
+        tracer = Tracer(ring)
+        with tracer.span(f"chunk{chunk}.outer", chunk=chunk):
+            with tracer.span(f"chunk{chunk}.inner"):
+                pass
+            tracer.event(f"chunk{chunk}.tick")
+        return ring.events()
+
+    def _merge(self, chunks):
+        """Absorb chunks the way the fabric does: submission order."""
+        ring = RingBufferSink(capacity=64)
+        parent = Tracer(ring)
+        with parent.span("fabric.dispatch"):
+            for index, records in enumerate(chunks):
+                parent.absorb(records, worker=1000 + index)
+        return ring.events()
+
+    @staticmethod
+    def _structure(records):
+        """Records minus wall-clock fields (the deterministic part)."""
+        timing = ("start", "end", "duration_s", "t")
+        return [
+            {k: v for k, v in r.items() if k not in timing} for r in records
+        ]
+
+    def test_two_merges_of_same_chunks_are_identical(self):
+        chunks = [self._chunk_records(c) for c in range(3)]
+        first = self._structure(self._merge(chunks))
+        second = self._structure(self._merge(chunks))
+        assert first == second
+
+    def test_completion_order_does_not_leak_into_the_stream(self):
+        # Workers finish 2, 0, 1 — the fabric still buffers futures and
+        # absorbs in submission order, so the merged stream matches a
+        # run where they finished in order.
+        chunks = [self._chunk_records(c) for c in range(3)]
+        completion_order = [2, 0, 1]
+        buffered = {c: chunks[c] for c in completion_order}  # "as completed"
+        merged = self._merge([buffered[c] for c in range(3)])
+        assert self._structure(merged) == self._structure(self._merge(chunks))
+
+    def test_parent_links_are_deterministic(self):
+        chunks = [self._chunk_records(c) for c in range(2)]
+        first = self._merge(chunks)
+        second = self._merge(chunks)
+        for a, b in zip(first, second):
+            assert a.get("span_id") == b.get("span_id")
+            assert a.get("parent_id") == b.get("parent_id")
+        # Every absorbed chunk root hangs off the dispatch span.
+        dispatch = next(r for r in first if r["name"] == "fabric.dispatch")
+        for chunk in range(2):
+            outer = next(
+                r for r in first if r["name"] == f"chunk{chunk}.outer"
+            )
+            assert outer["parent_id"] == dispatch["span_id"]

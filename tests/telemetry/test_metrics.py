@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+import math
 import threading
 
 import pytest
@@ -88,13 +90,32 @@ class TestHistogramBuckets:
         assert h.min == 1.0
         assert h.max == 3.0
 
-    def test_empty_histogram_is_all_zero(self):
+    def test_empty_histogram_stats_are_nan(self):
+        # No observations means no meaningful central value or extremum:
+        # the documented contract is NaN, never a fake 0.0.
         h = Histogram(bounds=(1.0,))
         assert h.count == 0
-        assert h.mean == 0.0
-        assert h.min == 0.0
-        assert h.max == 0.0
-        assert h.percentile(50.0) == 0.0
+        assert math.isnan(h.mean)
+        assert math.isnan(h.min)
+        assert math.isnan(h.max)
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert math.isnan(h.percentile(q))
+
+    def test_empty_histogram_summary_is_json_safe(self):
+        # summary() feeds strict-JSON manifests, so the NaN statistics
+        # are omitted for an empty histogram rather than serialized.
+        h = Histogram(bounds=(1.0,))
+        summary = h.summary()
+        assert summary == {"count": 0.0, "sum": 0.0}
+        json.dumps(summary, allow_nan=False)
+
+    def test_summary_regains_stats_after_first_observation(self):
+        h = Histogram(bounds=(1.0,))
+        h.observe(0.5)
+        summary = h.summary()
+        assert summary["count"] == 1.0
+        assert summary["mean"] == 0.5
+        json.dumps(summary, allow_nan=False)
 
 
 class TestHistogramPercentiles:

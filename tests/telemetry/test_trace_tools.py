@@ -1,0 +1,128 @@
+"""The trace summarizer must survive truncated and malformed JSONL.
+
+Trace files are written incrementally by live processes (and sometimes
+hand-edited), so the reading side treats every record as hostile:
+partial final lines, undecodable bytes and garbage-typed fields are
+skipped with a warning count — never raised.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import read_trace, summarize_trace, tail_trace
+
+
+def _write_lines(path, records):
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+
+
+def _span(name, duration=0.01, end=1.0, **extra):
+    record = {
+        "type": "span",
+        "name": name,
+        "span_id": 1,
+        "parent_id": None,
+        "start": end - duration,
+        "end": end,
+        "duration_s": duration,
+    }
+    record.update(extra)
+    return record
+
+
+class TestReadTrace:
+    def test_missing_file_is_fatal(self, tmp_path):
+        with pytest.raises(ReproError):
+            read_trace(tmp_path / "nope.jsonl")
+
+    def test_truncated_final_line_is_counted_not_raised(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        good = _span("replay.batch_kernel")
+        trace.write_text(
+            json.dumps(good) + "\n" + '{"type": "span", "name": "cut-of'
+        )
+        events, bad = read_trace(trace)
+        assert [e["name"] for e in events] == ["replay.batch_kernel"]
+        assert bad == 1
+
+    def test_undecodable_bytes_are_skipped(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_bytes(
+            json.dumps(_span("ok")).encode() + b"\n\xff\xfe\x00garbage\n"
+        )
+        events, bad = read_trace(trace)
+        assert len(events) == 1
+        assert bad == 1
+
+    def test_non_object_records_are_counted_as_bad(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text('[1, 2, 3]\n"just a string"\n42\n')
+        events, bad = read_trace(trace)
+        assert events == []
+        assert bad == 3
+
+
+class TestSummarizeMalformed:
+    def test_garbage_typed_fields_never_raise(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        _write_lines(
+            trace,
+            [
+                _span("fine"),
+                _span("bad.duration", duration=0.01) | {"duration_s": "fast"},
+                _span("bad.end") | {"end": None},
+                _span("bad.both") | {"duration_s": [1, 2], "end": "later"},
+                _span("bad.nan") | {"duration_s": float("nan")},
+                {"type": "event", "name": "tick", "t": "not-a-time"},
+            ],
+        )
+        digest = summarize_trace(trace)
+        assert "fine" in digest
+        assert "bad.duration" in digest  # degraded to 0, still listed
+
+    def test_malformed_metrics_snapshot_never_raises(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        _write_lines(
+            trace,
+            [
+                _span("work"),
+                {"type": "metrics", "name": "metrics", "metrics": "oops"},
+                {
+                    "type": "metrics",
+                    "name": "metrics",
+                    "metrics": {"counters": {"x.calls": "many", "y": 2.0}},
+                },
+            ],
+        )
+        digest = summarize_trace(trace)
+        assert "y = 2" in digest
+        assert "x.calls = 0" in digest  # non-numeric degraded, not fatal
+
+    def test_unparseable_line_count_is_reported(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(json.dumps(_span("a")) + "\n{broken\n")
+        assert "1 unparseable" in summarize_trace(trace)
+
+    def test_empty_file_summarizes(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text("")
+        assert "0 spans" in summarize_trace(trace)
+
+
+class TestTailMalformed:
+    def test_tail_survives_garbage_fields(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        _write_lines(
+            trace,
+            [
+                _span("ok"),
+                _span("bad") | {"duration_s": {"nested": True}},
+                {"type": "event", "name": "tick", "t": None},
+            ],
+        )
+        out = tail_trace(trace, count=10)
+        assert out.count("\n") == 2  # all three lines rendered
