@@ -270,6 +270,35 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .streaming import ScannerConfig, StreamConfig, run_stream
+
+    cache_dir = getattr(args, "cache", None)
+    if getattr(args, "no_cache", False):
+        cache_dir = None
+    if cache_dir is not None and getattr(args, "cache_clear", False):
+        from .store import ResultStore
+
+        ResultStore(cache_dir).clear()
+    config = StreamConfig(
+        lanes=args.lanes,
+        duration_batches=args.duration_batches,
+        batch_size=args.batch_size,
+        submit_per_batch=args.submit_per_batch,
+        shards=args.shards,
+        seed=args.seed,
+        scanner=ScannerConfig(max_swaps=args.max_swaps),
+        cache_dir=cache_dir,
+    )
+    with _runner(args) as runner:
+        report = run_stream(config, runner=runner)
+    if args.json:
+        print(report.deterministic_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     from .telemetry import summarize_trace, tail_trace
 
@@ -523,6 +552,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(chaos)
     _add_cache_flags(chaos)
     chaos.set_defaults(handler=_cmd_chaos)
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="bounded soak of the always-on streaming attack pipeline "
+             "(traffic -> sharded mempool -> scanner -> rollup lanes)",
+    )
+    stream.add_argument("--lanes", type=int, default=2,
+                        help="independent rollup deployments to drive")
+    stream.add_argument("--duration-batches", type=int, default=50,
+                        help="block intervals to serve per lane")
+    stream.add_argument("--batch-size", type=int, default=16,
+                        help="transactions collected per interval")
+    stream.add_argument("--submit-per-batch", type=int, default=24,
+                        help="transactions submitted per interval "
+                             "(above --batch-size builds a backlog)")
+    stream.add_argument("--shards", type=int, default=4,
+                        help="mempool shards (throughput knob; drain "
+                             "order is identical for every value)")
+    stream.add_argument("--max-swaps", type=int, default=12,
+                        help="DQN rollout depth per scanned batch")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--json", action="store_true",
+                        help="print the deterministic report as JSON")
+    _add_jobs_flag(stream)
+    _add_cache_flags(stream)
+    stream.set_defaults(handler=_cmd_stream)
 
     telemetry = subparsers.add_parser(
         "telemetry", help="summarize or tail a recorded JSONL trace"

@@ -221,6 +221,8 @@ class WorkloadConfig:
         _require(self.min_ifu_involvement >= 0,
                  "min_ifu_involvement must be non-negative")
         _require(self.initial_balance_eth > 0, "initial balance must be positive")
+        _require(0.0 <= self.premint_fraction <= 1.0,
+                 "premint_fraction must be in [0, 1]")
 
 
 @dataclass(frozen=True)

@@ -67,11 +67,12 @@ class GuardedRollupNode(RollupNode):
             if not aggregator.alive:
                 report.skipped_aggregators.append(aggregator.address)
                 continue
-            if len(self.mempool) == 0 or self.mempool.stalled:
+            if len(self.mempool) == 0:
+                break
+            if self.mempool.stalled:
+                report.stalled = True
                 break
             collected = self.mempool.collect(min(count, len(self.mempool)))
-            if not collected:
-                break
 
             plan = plan_demotion(self.guard, self.l2_state.copy(), collected)
             report.plans.append(plan)

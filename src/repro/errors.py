@@ -69,6 +69,16 @@ class MempoolError(RollupError):
     """Invalid mempool operation (duplicate tx, unknown tx, ...)."""
 
 
+class MempoolStalledError(MempoolError):
+    """``collect`` was called while the pool is stalled.
+
+    Distinct from an empty result: the pool may hold pending
+    transactions, but collection is unavailable until ``resume()``.
+    Callers must check ``stalled`` (or catch this) instead of treating
+    the round as drained.
+    """
+
+
 class InvalidTransactionError(RollupError):
     """A transaction failed its execution constraint (Eq. 1, 3 or 5)."""
 

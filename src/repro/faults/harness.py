@@ -150,6 +150,9 @@ class RoundRecord:
     mempool_pending: int
     invariants_ok: bool
     violations: Tuple[str, ...]
+    #: The round hit a stalled mempool and left its pending transactions
+    #: in place (distinct from an empty pool producing no batches).
+    stalled: bool = False
 
 
 @dataclass
@@ -335,6 +338,7 @@ class ChaosHarness:
                 mempool_pending=len(self.node.mempool),
                 invariants_ok=sweep.ok,
                 violations=sweep.violations,
+                stalled=report.stalled,
             )
         )
 

@@ -6,15 +6,41 @@ in a *private* mempool; aggregators must collect them in priority order
 always returns the top-fee prefix — the adversarial aggregator's only
 freedom is what it does *after* collection, which is precisely the PAROLE
 attack surface.
+
+Ordering guarantees
+-------------------
+
+* Every transaction is re-stamped with the pool's own arrival counter on
+  first admission, so fee-tie ordering is first-come-first-served *as
+  observed by this mempool* — a submitter cannot jump the FCFS queue by
+  pre-stamping a low ``submitted_at`` (nor accidentally collide with the
+  internal counter).  Duplicate detection uses the stamp-independent
+  :attr:`~repro.rollup.transaction.NFTTransaction.arrival_identity`, so
+  resubmitting the same logical transaction is rejected regardless of
+  how either copy was stamped.
+* ``requeue`` (the recovery/demotion path) preserves the original
+  stamps: a requeued transaction re-enters fee-priority order at its
+  original arrival position, ahead of newer submissions at the same fee.
+* The pending set is indexed by a lazy-deletion binary heap, so
+  ``collect(k)`` costs O(k log N) instead of the full O(N log N) sort —
+  the difference between a batch experiment and a streaming pipeline
+  draining millions of submissions.
+
+A stalled pool (fault injection) raises
+:class:`~repro.errors.MempoolStalledError` from ``collect`` rather than
+returning an empty tuple: callers must distinguish "nothing pending"
+from "collection unavailable", or they silently advance rounds during an
+outage.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Sequence, Tuple
 
-from ..errors import MempoolError
+from ..errors import MempoolError, MempoolStalledError
 from ..telemetry import get_metrics
-from .transaction import NFTTransaction, sort_by_fee
+from .transaction import NFTTransaction
 
 
 class BedrockMempool:
@@ -22,6 +48,18 @@ class BedrockMempool:
 
     def __init__(self) -> None:
         self._pending: Dict[str, NFTTransaction] = {}
+        #: Stamp-independent identity -> pending tx hash (duplicate check).
+        self._identity: Dict[str, str] = {}
+        #: Admission sequence per pending hash: the final ordering
+        #: tiebreak, so collect order is a total order even when two
+        #: pending transactions share fee, stamp and nonce.
+        self._order: Dict[str, int] = {}
+        #: Lazy-deletion priority index.  Entries are
+        #: ``(-total_fee, submitted_at, nonce, admission_seq, tx_hash)``;
+        #: dropped/collected hashes leave stale entries behind that are
+        #: skipped (and discarded) when they surface at the top.
+        self._heap: List[Tuple[float, int, int, int, str]] = []
+        self._seq: int = 0
         self._arrival: int = 0
         self._stalled = False
         # Telemetry is bound at construction: instruments resolve to
@@ -54,20 +92,25 @@ class BedrockMempool:
         return tx_hash in self._pending
 
     def submit(self, tx: NFTTransaction) -> str:
-        """Accept a transaction into the pool; returns its hash.
+        """Accept a transaction into the pool; returns its (stamped) hash.
 
-        Transactions are stamped with an arrival sequence number used for
-        fee-tie ordering, mirroring first-come-first-served within a fee
-        level.
+        The transaction is *always* re-stamped with the pool's arrival
+        counter — fee ties are broken first-come-first-served in the
+        order this mempool admitted them, never by a caller-supplied
+        ``submitted_at``.  Resubmitting a logically-identical pending
+        transaction raises :class:`~repro.errors.MempoolError` no matter
+        how either copy was stamped.
         """
-        stamped = tx if tx.submitted_at else self._stamp(tx)
-        tx_hash = stamped.tx_hash
-        if tx_hash in self._pending:
-            raise MempoolError(f"duplicate transaction {tx_hash[:12]}...")
-        self._pending[tx_hash] = stamped
+        identity = tx.arrival_identity
+        if identity in self._identity:
+            raise MempoolError(
+                f"duplicate transaction {self._identity[identity][:12]}..."
+            )
+        stamped = self._stamp(tx)
+        self._admit(stamped, identity)
         self._m_submitted.inc()
         self._m_pending.set(len(self._pending))
-        return tx_hash
+        return stamped.tx_hash
 
     def _stamp(self, tx: NFTTransaction) -> NFTTransaction:
         self._arrival += 1
@@ -83,43 +126,89 @@ class BedrockMempool:
             label=tx.label,
         )
 
+    def _admit(self, tx: NFTTransaction, identity: str) -> None:
+        tx_hash = tx.tx_hash
+        self._seq += 1
+        self._pending[tx_hash] = tx
+        self._identity[identity] = tx_hash
+        self._order[tx_hash] = self._seq
+        heapq.heappush(
+            self._heap,
+            (-tx.total_fee, tx.submitted_at, tx.nonce, self._seq, tx_hash),
+        )
+
+    def _priority(self, tx: NFTTransaction) -> Tuple[float, int, int, int]:
+        return (-tx.total_fee, tx.submitted_at, tx.nonce, self._order[tx.tx_hash])
+
     def submit_all(self, txs: Sequence[NFTTransaction]) -> List[str]:
         """Submit several transactions, preserving order."""
         return [self.submit(tx) for tx in txs]
 
     def peek(self, count: int) -> Tuple[NFTTransaction, ...]:
-        """The next ``count`` transactions in priority order (no removal)."""
-        ordered = sort_by_fee(self._pending.values())
-        return ordered[:count]
+        """The next ``count`` transactions in priority order (no removal).
+
+        Exactly the prefix ``collect(count)`` would return.
+        """
+        return tuple(
+            heapq.nsmallest(count, self._pending.values(), key=self._priority)
+        )
 
     def collect(self, count: int) -> Tuple[NFTTransaction, ...]:
         """Remove and return the top ``count`` transactions by fee priority.
 
         This is the aggregator's "Mempool" of the evaluation section: the
-        set of transactions one aggregator processes per round.
+        set of transactions one aggregator processes per round.  Raises
+        :class:`~repro.errors.MempoolStalledError` while the pool is
+        stalled — an empty result always means the pool was drained.
         """
         if count <= 0:
             raise MempoolError("collect count must be positive")
         if self._stalled:
-            return ()
-        selected = self.peek(count)
-        for tx in selected:
-            del self._pending[tx.tx_hash]
+            raise MempoolStalledError(
+                "mempool is stalled: collection unavailable "
+                f"({len(self._pending)} transactions pending)"
+            )
+        selected: List[NFTTransaction] = []
+        while self._heap and len(selected) < count:
+            _, _, _, seq, tx_hash = heapq.heappop(self._heap)
+            if self._order.get(tx_hash) != seq:
+                continue  # stale entry: already collected or dropped
+            tx = self._pending.pop(tx_hash)
+            del self._identity[tx.arrival_identity]
+            del self._order[tx_hash]
             self._m_collect_fee.observe(tx.priority_fee)
+            selected.append(tx)
         self._m_collected.inc(len(selected))
         self._m_pending.set(len(self._pending))
-        return selected
+        return tuple(selected)
+
+    def admit_stamped(self, tx: NFTTransaction) -> str:
+        """Admit a transaction that already carries its arrival stamp.
+
+        The requeue/demotion recovery paths and the sharded streaming
+        mempool (which stamps globally before routing) come through
+        here; ordinary submission must use :meth:`submit`, which always
+        re-stamps.  Returns the transaction hash.
+        """
+        identity = tx.arrival_identity
+        if identity in self._identity:
+            raise MempoolError(
+                f"transaction {tx.tx_hash[:12]}... is already pending"
+            )
+        self._admit(tx, identity)
+        self._m_pending.set(len(self._pending))
+        return tx.tx_hash
 
     def requeue(self, txs: Sequence[NFTTransaction]) -> None:
-        """Return transactions to the pool (the defense's demotion path)."""
+        """Return transactions to the pool (the defense's demotion path).
+
+        Stamps are preserved, so requeued transactions re-enter
+        fee-priority order at their original arrival position — ahead of
+        any newer submission at the same fee level.
+        """
         for tx in txs:
-            if tx.tx_hash in self._pending:
-                raise MempoolError(
-                    f"transaction {tx.tx_hash[:12]}... is already pending"
-                )
-            self._pending[tx.tx_hash] = tx
+            self.admit_stamped(tx)
             self._m_requeued.inc()
-        self._m_pending.set(len(self._pending))
 
     def drop(self, tx_hash: str) -> NFTTransaction:
         """Remove one transaction by hash."""
@@ -127,10 +216,12 @@ class BedrockMempool:
             dropped = self._pending.pop(tx_hash)
         except KeyError:
             raise MempoolError(f"unknown transaction {tx_hash[:12]}...") from None
+        del self._identity[dropped.arrival_identity]
+        del self._order[tx_hash]
         self._m_dropped.inc()
         self._m_pending.set(len(self._pending))
         return dropped
 
     def pending(self) -> Tuple[NFTTransaction, ...]:
         """All pending transactions in priority order."""
-        return sort_by_fee(self._pending.values())
+        return tuple(sorted(self._pending.values(), key=self._priority))

@@ -81,6 +81,9 @@ class RoundReport:
     commit_retries: List[CommitRetry] = field(default_factory=list)
     reverted_batch_ids: List[int] = field(default_factory=list)
     skipped_aggregators: List[str] = field(default_factory=list)
+    #: The round ended early because the mempool was stalled — pending
+    #: transactions were *not* drained, as opposed to an empty pool.
+    stalled: bool = False
 
     @property
     def batches(self) -> List[Batch]:
@@ -105,11 +108,14 @@ class RollupNode:
         self,
         l2_state: L2State,
         config: Optional[RollupConfig] = None,
+        mempool: Optional[BedrockMempool] = None,
     ) -> None:
         self.config = config or RollupConfig()
         self.chain = L1Chain()
         self.contract = OptimisticRollupContract(self.chain, self.config)
-        self.mempool = BedrockMempool()
+        #: Any object honouring the BedrockMempool interface works here —
+        #: the streaming pipeline injects a ShardedMempool.
+        self.mempool = mempool if mempool is not None else BedrockMempool()
         self.l2_state = l2_state
         self.aggregators: List[Aggregator] = []
         self.verifiers: List[Verifier] = []
@@ -215,11 +221,12 @@ class RollupNode:
             if not aggregator.alive:
                 report.skipped_aggregators.append(aggregator.address)
                 continue
-            if len(self.mempool) == 0 or self.mempool.stalled:
+            if len(self.mempool) == 0:
+                break
+            if self.mempool.stalled:
+                report.stalled = True
                 break
             collected = self.mempool.collect(min(count, len(self.mempool)))
-            if not collected:
-                break
             self._process_and_commit(aggregator, collected, report)
         self.chain.seal_block()
         return report

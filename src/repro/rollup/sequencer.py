@@ -158,9 +158,14 @@ class Sequencer:
         with span(
             "sequencer.block", number=len(self.blocks), aggregator=aggregator.address
         ) as current:
-            collected = self.mempool.collect(count)
-            if not collected:  # stalled mempool
+            if self.mempool.stalled:
+                # Explicit stall check: pending transactions wait out the
+                # outage rather than being mistaken for a drained pool.
                 current.add(stalled=True)
+                get_metrics().counter("sequencer.stalled_slots").inc()
+                return None
+            collected = self.mempool.collect(count)
+            if not collected:
                 return None
             try:
                 result = aggregator.process(self.state.copy(), collected)

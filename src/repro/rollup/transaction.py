@@ -79,6 +79,28 @@ class NFTTransaction:
             ]
         )
 
+    @property
+    def arrival_identity(self) -> str:
+        """Digest of everything *but* the arrival stamp.
+
+        Two submissions of the same logical transaction share this
+        identity regardless of when (or whether) a mempool stamped them,
+        so admission-time duplicate detection survives re-stamping.
+        """
+        return hash_value(
+            [
+                "tx-identity",
+                self.kind.value,
+                self.sender,
+                self.recipient,
+                self.token_id,
+                self.base_fee,
+                self.priority_fee,
+                self.nonce,
+                self.label,
+            ]
+        )
+
     def involves(self, user: str) -> bool:
         """Whether ``user`` is the sender or the recipient."""
         return self.sender == user or self.recipient == user

@@ -99,8 +99,13 @@ class MempoolActor(Actor):
             self.submission_times[tx_hash] = message.delivered_at
         elif message.kind == "collect":
             count = message.payload
-            selected = self.mempool.collect(min(count, len(self.mempool))) \
-                if len(self.mempool) else ()
+            # A stalled pool serves no collection (the aggregator's slot
+            # passes); only a genuinely empty pool answers with nothing
+            # pending.
+            if self.mempool.stalled or not len(self.mempool):
+                selected: Tuple[NFTTransaction, ...] = ()
+            else:
+                selected = self.mempool.collect(min(count, len(self.mempool)))
             self.send(message.sender, "collected", tuple(selected))
 
 

@@ -70,12 +70,20 @@ def _build_pre_state(
     users = list(ifus) + list(regulars)
     balances = {user: float(config.initial_balance_eth) for user in users}
     inventory = {user: 0 for user in users}
-    premint = int(max_supply * config.premint_fraction)
-    # Every IFU starts with a token so a transfer-out is always available.
+    # Every IFU starts with a token so a transfer-out is always available
+    # — that invariant wins over the requested premint fraction, so a low
+    # ``premint_fraction`` tops up to one token per IFU instead of
+    # silently truncating the IFU list.
+    if len(ifus) > max_supply:
+        raise ReproError(
+            f"cannot seed {len(ifus)} IFUs with one token each: "
+            f"collection max_supply is {max_supply}"
+        )
+    premint = max(int(max_supply * config.premint_fraction), len(ifus))
     holders = list(ifus) + [
         users[int(rng.integers(len(users)))] for _ in range(premint - len(ifus))
     ]
-    for holder in holders[:premint]:
+    for holder in holders:
         inventory[holder] += 1
     return L2State(
         nft_config=nft_config,

@@ -91,6 +91,38 @@ class TestDeterminism:
         )
 
 
+class TestStallSurfacing:
+    def test_stalled_rounds_are_explicit_and_lose_nothing(self):
+        # Regression: a stalled mempool used to serve empty collections,
+        # so rounds inside the outage looked identical to a drained pool
+        # and nothing recorded that collection was unavailable.
+        plan = FaultPlan(events=(
+            FaultEvent(time=3.0, kind=FaultKind.MEMPOOL_STALL),
+            FaultEvent(time=9.0, kind=FaultKind.MEMPOOL_RESUME),
+        ))
+        scenario = ChaosScenario(name="stall-window", seed=2, rounds=8, plan=plan)
+        report = ChaosHarness(scenario).run(strict=True)
+        stalled_rounds = [r for r in report.rounds if r.stalled]
+        assert stalled_rounds, "outage rounds must be flagged, not silent"
+        for record in stalled_rounds:
+            assert record.committed_batch_ids == ()
+            assert record.mempool_pending > 0
+        # Collection resumes after the outage and nothing was lost.
+        resumed = [r for r in report.rounds if r.time > 9.0]
+        assert any(r.committed_batch_ids for r in resumed)
+        assert report.accepted_txs == report.included_txs + report.pending_txs
+
+    def test_stall_report_deterministic(self):
+        scenario = ChaosScenario(
+            name="stall-det", seed=7, rounds=8, stalls=1,
+            crashes=0, partitions=0, commit_failures=0, drop_bursts=0,
+        )
+        assert (
+            ChaosHarness(scenario).run().to_json()
+            == ChaosHarness(scenario).run().to_json()
+        )
+
+
 class TestExplicitPlan:
     def test_hand_written_plan_overrides_knobs(self):
         plan = FaultPlan(events=(

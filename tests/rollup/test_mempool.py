@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import MempoolError
+from repro.errors import MempoolError, MempoolStalledError
 from repro.rollup import BedrockMempool, NFTTransaction, TxKind
 
 
@@ -42,6 +42,36 @@ class TestSubmission:
         pool.submit_all([make_tx("a"), make_tx("b", nonce=1)])
         assert len(pool) == 2
 
+    def test_prestamped_submission_is_restamped(self, pool):
+        # Regression: submit() used to keep a caller-supplied
+        # ``submitted_at``, so pre-stamped transactions bypassed the
+        # pool's own arrival counter entirely.
+        tx = NFTTransaction(kind=TxKind.MINT, sender="a", submitted_at=99)
+        pool.submit(tx)
+        assert pool.pending()[0].submitted_at == 1
+
+    def test_fee_ties_fcfs_despite_prestamped_arrival(self, pool):
+        # Regression: a submitter could jump the FCFS queue within a fee
+        # level by pre-stamping a low submitted_at; admission order must
+        # win regardless of the stamp the transaction arrived with.
+        pool.submit(make_tx("first"))
+        pool.submit(make_tx("second", nonce=1))
+        jumper = NFTTransaction(
+            kind=TxKind.MINT, sender="jumper", nonce=2, submitted_at=1
+        )
+        pool.submit(jumper)
+        order = [tx.sender for tx in pool.collect(3)]
+        assert order == ["first", "second", "jumper"]
+
+    def test_duplicate_detected_across_stamps(self, pool):
+        # The same logical transaction is a duplicate no matter how the
+        # resubmitted copy was stamped.
+        pool.submit(make_tx("a"))
+        with pytest.raises(MempoolError):
+            pool.submit(
+                NFTTransaction(kind=TxKind.MINT, sender="a", submitted_at=77)
+            )
+
 
 class TestCollection:
     def test_collect_highest_fee_first(self, pool):
@@ -73,6 +103,40 @@ class TestCollection:
         pool.peek(1)
         assert len(pool) == 1
 
+    def test_peek_matches_collect_prefix(self, pool):
+        for index, priority in enumerate([0.3, 0.9, 0.1, 0.9, 0.5]):
+            pool.submit(make_tx(f"s{index}", priority=priority, nonce=index))
+        preview = pool.peek(3)
+        assert pool.collect(3) == preview
+
+    def test_drop_leaves_priority_order_intact(self, pool):
+        top = pool.submit(make_tx("gone", priority=0.9))
+        pool.submit(make_tx("kept", priority=0.1, nonce=1))
+        pool.drop(top)
+        assert [tx.sender for tx in pool.collect(2)] == ["kept"]
+
+
+class TestStall:
+    def test_collect_while_stalled_raises(self, pool):
+        # Regression: a stalled pool used to answer collect() with an
+        # empty tuple, indistinguishable from a drained pool.
+        pool.submit(make_tx("a"))
+        pool.stall()
+        with pytest.raises(MempoolStalledError):
+            pool.collect(1)
+        pool.resume()
+        assert len(pool.collect(1)) == 1
+
+    def test_stalled_error_is_a_mempool_error(self, pool):
+        pool.stall()
+        with pytest.raises(MempoolError):
+            pool.collect(1)
+
+    def test_stalled_pool_still_accepts_submissions(self, pool):
+        pool.stall()
+        pool.submit(make_tx("a"))
+        assert len(pool) == 1
+
 
 class TestRequeue:
     def test_requeue_restores(self, pool):
@@ -86,6 +150,42 @@ class TestRequeue:
         pending = pool.pending()
         with pytest.raises(MempoolError):
             pool.requeue(pending)
+
+    def test_requeue_then_collect_restores_fcfs_position(self, pool):
+        # A requeued transaction keeps its original arrival stamp, so it
+        # re-enters fee-tie order ahead of anything submitted since.
+        pool.submit(make_tx("early"))
+        pool.submit(make_tx("later", nonce=1))
+        collected = pool.collect(2)
+        pool.submit(make_tx("newest", nonce=2))
+        pool.requeue(collected)
+        order = [tx.sender for tx in pool.collect(3)]
+        assert order == ["early", "later", "newest"]
+
+    def test_requeue_ties_broken_by_original_arrival(self, pool):
+        # Requeue order must not matter: ties re-resolve by the stamps
+        # the transactions were first admitted with.
+        pool.submit(make_tx("a"))
+        pool.submit(make_tx("b", nonce=1))
+        first, second = pool.collect(2)
+        pool.requeue([second])
+        pool.requeue([first])
+        assert [tx.sender for tx in pool.collect(2)] == ["a", "b"]
+
+    def test_requeue_then_collect_deterministic(self, pool):
+        # Same submissions + same requeues => same drain order, run to run.
+        def run():
+            p = BedrockMempool()
+            p.submit_all(
+                [make_tx(f"u{i}", priority=0.5, nonce=i) for i in range(6)]
+            )
+            taken = p.collect(3)
+            p.submit(make_tx("late", priority=0.5, nonce=6))
+            p.requeue(taken)
+            return [tx.sender for tx in p.collect(7)]
+
+        assert run() == run()
+        assert run()[:3] == ["u0", "u1", "u2"]
 
     def test_drop_unknown_raises(self, pool):
         with pytest.raises(MempoolError):

@@ -1,0 +1,132 @@
+"""ShardedMempool: drain-order equivalence, duplicates, stall, requeue."""
+
+import pytest
+
+from repro.errors import MempoolError, MempoolStalledError
+from repro.rollup.mempool import BedrockMempool
+from repro.rollup.transaction import NFTTransaction, TxKind
+from repro.streaming import ShardedMempool
+
+
+def _mint(sender, fee, nonce, label=""):
+    return NFTTransaction(
+        kind=TxKind.MINT, sender=sender, priority_fee=fee, nonce=nonce,
+        label=label or f"{sender}-{nonce}",
+    )
+
+
+def _traffic(count=120):
+    """A fee distribution with plenty of exact ties."""
+    fees = [0.1, 0.25, 0.25, 0.4, 0.1, 0.25]
+    return [
+        _mint(f"user-{i % 13}", fees[i % len(fees)], i) for i in range(count)
+    ]
+
+
+class TestDrainOrderEquivalence:
+    @pytest.mark.parametrize("shards", [1, 2, 4, 7, 16])
+    def test_drain_order_matches_unsharded_pool(self, shards):
+        txs = _traffic()
+        reference = BedrockMempool()
+        reference.submit_all(txs)
+        expected = [tx.label for tx in reference.collect(len(txs))]
+
+        pool = ShardedMempool(shards=shards)
+        pool.submit_all(txs)
+        drained = []
+        while len(pool):
+            drained.extend(tx.label for tx in pool.collect(9))
+        assert drained == expected
+
+    def test_peek_matches_collect_prefix(self):
+        pool = ShardedMempool(shards=4)
+        pool.submit_all(_traffic(60))
+        peeked = [tx.tx_hash for tx in pool.peek(20)]
+        collected = [tx.tx_hash for tx in pool.collect(20)]
+        assert peeked == collected
+
+    def test_pending_is_globally_sorted(self):
+        pool = ShardedMempool(shards=4)
+        pool.submit_all(_traffic(40))
+        pending = pool.pending()
+        assert len(pending) == 40
+        keys = [(-tx.total_fee, tx.submitted_at) for tx in pending]
+        assert keys == sorted(keys)
+
+
+class TestAdmission:
+    def test_global_stamps_are_unique_and_sequential(self):
+        pool = ShardedMempool(shards=4)
+        pool.submit_all(_traffic(30))
+        stamps = sorted(tx.submitted_at for tx in pool.pending())
+        assert stamps == list(range(1, 31))
+
+    def test_duplicate_rejected_across_shards(self):
+        pool = ShardedMempool(shards=4)
+        tx = _mint("alice", 0.3, 0)
+        pool.submit(tx)
+        with pytest.raises(MempoolError):
+            pool.submit(tx)
+
+    def test_contains_and_len_span_all_shards(self):
+        pool = ShardedMempool(shards=3)
+        hashes = pool.submit_all(_traffic(20))
+        assert len(pool) == 20
+        assert all(tx_hash in pool for tx_hash in hashes)
+
+    def test_drop_finds_the_owning_shard(self):
+        pool = ShardedMempool(shards=4)
+        hashes = pool.submit_all(_traffic(20))
+        dropped = pool.drop(hashes[7])
+        assert dropped.tx_hash == hashes[7]
+        assert hashes[7] not in pool
+        assert len(pool) == 19
+
+    def test_drop_unknown_hash_raises(self):
+        pool = ShardedMempool(shards=2)
+        with pytest.raises(MempoolError):
+            pool.drop("deadbeef")
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(MempoolError):
+            ShardedMempool(shards=0)
+
+
+class TestStall:
+    def test_stalled_collect_raises(self):
+        pool = ShardedMempool(shards=2)
+        pool.submit_all(_traffic(10))
+        pool.stall()
+        with pytest.raises(MempoolStalledError):
+            pool.collect(4)
+
+    def test_stalled_pool_still_accepts_submissions(self):
+        pool = ShardedMempool(shards=2)
+        pool.stall()
+        pool.submit(_mint("alice", 0.1, 0))
+        assert len(pool) == 1
+        pool.resume()
+        assert len(pool.collect(1)) == 1
+
+
+class TestRequeue:
+    def test_requeue_restores_original_position(self):
+        pool = ShardedMempool(shards=4)
+        pool.submit_all(_traffic(30))
+        front = pool.collect(10)
+        pool.requeue(front)
+        recollected = [tx.tx_hash for tx in pool.collect(10)]
+        assert recollected == [tx.tx_hash for tx in front]
+
+    def test_requeue_matches_unsharded_behaviour(self):
+        txs = _traffic(40)
+        reference = BedrockMempool()
+        reference.submit_all(txs)
+        taken = reference.collect(15)
+        reference.requeue(taken)
+        expected = [tx.label for tx in reference.collect(40)]
+
+        pool = ShardedMempool(shards=4)
+        pool.submit_all(txs)
+        pool.requeue(pool.collect(15))
+        assert [tx.label for tx in pool.collect(40)] == expected

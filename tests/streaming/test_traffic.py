@@ -1,0 +1,93 @@
+"""Traffic generator: determinism, feasibility, population shape."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.rollup.state import ExecutionMode
+from repro.streaming import StreamTrafficConfig, TrafficGenerator
+
+SMALL = StreamTrafficConfig(num_users=50, max_supply=256)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_stream(self):
+        first = TrafficGenerator(SMALL, seed=9).next_batch(60)
+        second = TrafficGenerator(SMALL, seed=9).next_batch(60)
+        assert [tx.tx_hash for tx in first] == [tx.tx_hash for tx in second]
+
+    def test_batch_boundaries_do_not_matter(self):
+        whole = TrafficGenerator(SMALL, seed=4).next_batch(40)
+        chunked = TrafficGenerator(SMALL, seed=4)
+        pieces = chunked.next_batch(15) + chunked.next_batch(25)
+        assert [tx.tx_hash for tx in whole] == [tx.tx_hash for tx in pieces]
+
+    def test_different_seed_changes_stream(self):
+        first = TrafficGenerator(SMALL, seed=1).next_batch(40)
+        second = TrafficGenerator(SMALL, seed=2).next_batch(40)
+        assert [tx.tx_hash for tx in first] != [tx.tx_hash for tx in second]
+
+    def test_config_seed_is_default(self):
+        cfg = StreamTrafficConfig(num_users=50, max_supply=256, seed=7)
+        assert TrafficGenerator(cfg).seed == 7
+
+
+class TestFeasibility:
+    def test_stream_is_strictly_feasible_in_generation_order(self):
+        generator = TrafficGenerator(SMALL, seed=3)
+        state = generator.pre_state.copy()
+        state.mode = ExecutionMode.STRICT
+        for tx in generator.next_batch(150):
+            assert state.apply(tx).executed, tx.describe()
+
+    def test_nonces_and_labels_are_sequential(self):
+        generator = TrafficGenerator(SMALL, seed=0)
+        batch = generator.next_batch(25)
+        assert [tx.nonce for tx in batch] == list(range(25))
+        assert [tx.label for tx in batch] == [f"stream-{i}" for i in range(25)]
+        assert generator.generated == 25
+
+    def test_fees_are_positive(self):
+        batch = TrafficGenerator(SMALL, seed=5).next_batch(50)
+        assert all(tx.priority_fee > 0 for tx in batch)
+
+
+class TestPopulation:
+    def test_every_ifu_seeded_with_a_token(self):
+        cfg = StreamTrafficConfig(
+            num_users=40, num_ifus=3, max_supply=64, premint_fraction=0.0
+        )
+        generator = TrafficGenerator(cfg, seed=0)
+        for ifu in generator.ifus:
+            assert generator.pre_state.holdings(ifu) >= 1
+
+    def test_zipf_concentrates_volume_on_hot_ranks(self):
+        generator = TrafficGenerator(SMALL, seed=11)
+        batch = generator.next_batch(400)
+        hot = sum(1 for tx in batch if tx.involves(generator.users[0]))
+        cold = sum(1 for tx in batch if tx.involves(generator.users[-1]))
+        assert hot > cold
+
+    def test_involvement_counts_cover_every_ifu(self):
+        cfg = StreamTrafficConfig(num_users=50, num_ifus=2, max_supply=256)
+        generator = TrafficGenerator(cfg, seed=1)
+        counts = generator.involvement(generator.next_batch(200))
+        assert set(counts) == set(generator.ifus)
+        assert sum(counts.values()) > 0
+
+
+class TestValidation:
+    def test_rejects_bad_mix(self):
+        with pytest.raises(ReproError):
+            StreamTrafficConfig(tx_type_mix=(0.5, 0.5, 0.5))
+
+    def test_rejects_more_ifus_than_users(self):
+        with pytest.raises(ReproError):
+            StreamTrafficConfig(num_users=3, num_ifus=4)
+
+    def test_rejects_supply_below_ifus(self):
+        with pytest.raises(ReproError):
+            StreamTrafficConfig(num_users=10, num_ifus=4, max_supply=3)
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ReproError):
+            TrafficGenerator(SMALL, seed=0).next_batch(0)

@@ -14,7 +14,7 @@ class TestParser:
         parser = build_parser()
         for name in ("case-studies", "attack", "table3", "fig6", "fig7",
                      "fig8", "fig9", "fig10", "fig11", "defense",
-                     "campaign", "bisect", "run-all"):
+                     "campaign", "bisect", "run-all", "stream"):
             args = parser.parse_args([name] if name != "attack" else ["attack"])
             assert hasattr(args, "handler")
 
@@ -64,3 +64,21 @@ class TestExecution:
         )
         assert args.rounds == 2
         assert args.mempool == 8
+
+    def test_stream_parser(self):
+        args = build_parser().parse_args(
+            ["stream", "--duration-batches", "5", "--lanes", "1",
+             "--shards", "2", "--jobs", "2"]
+        )
+        assert args.duration_batches == 5
+        assert args.lanes == 1
+        assert args.shards == 2
+        assert args.jobs == 2
+
+    def test_stream_json_output(self, capsys):
+        assert main(["stream", "--duration-batches", "2", "--lanes", "1",
+                     "--batch-size", "4", "--submit-per-batch", "5",
+                     "--max-swaps", "3", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert '"violations": []' in out
+        assert '"order_digest"' in out

@@ -46,6 +46,39 @@ class TestIFUGuarantees:
         for ifu in workload.ifus:
             assert workload.pre_state.holdings(ifu) >= 1
 
+    def test_ifus_hold_tokens_at_low_premint_fraction(self):
+        # Regression: with premint < num_ifus the pre-state builder
+        # truncated the holder list and silently dropped the "every IFU
+        # starts with a token" invariant.
+        workload = generate_workload(
+            WorkloadConfig(
+                mempool_size=10,
+                num_users=8,
+                num_ifus=3,
+                max_supply=20,
+                premint_fraction=0.05,
+                seed=1,
+            )
+        )
+        for ifu in workload.ifus:
+            assert workload.pre_state.holdings(ifu) >= 1
+
+    def test_premint_zero_still_seeds_ifus(self):
+        workload = generate_workload(
+            WorkloadConfig(
+                mempool_size=10,
+                num_users=8,
+                num_ifus=2,
+                max_supply=20,
+                premint_fraction=0.0,
+                seed=3,
+            )
+        )
+        total = sum(
+            workload.pre_state.holdings(user) for user in workload.users
+        )
+        assert total == 2  # exactly one token per IFU, nothing else
+
     def test_ifu_names_distinct_from_users(self):
         workload = generate_workload(
             WorkloadConfig(mempool_size=10, num_users=8, num_ifus=2, seed=1)
