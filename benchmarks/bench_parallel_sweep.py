@@ -21,7 +21,13 @@ import time
 
 from repro.experiments.common import QUICK
 from repro.experiments.fig6_profit import _fig6_trial
-from repro.parallel import ProcessRunner, SerialRunner, Task, spawn_task_seeds
+from repro.parallel import (
+    ProcessRunner,
+    SerialRunner,
+    StealingRunner,
+    Task,
+    spawn_task_seeds,
+)
 
 from conftest import BenchSeries, GateVerdict
 
@@ -68,21 +74,26 @@ def test_parallel_sweep_speedup(save_artifact, emit_bench):
             "identical_to_serial": True,
         }
     ]
-    for workers in WORKER_COUNTS:
-        with ProcessRunner(max_workers=workers) as runner:
-            # Warm the pool outside the timed region: a long sweep pays
-            # worker startup once, and the bench measures steady state.
-            runner.map(tasks[:1])
-            seconds, values = _time_runner(runner, tasks)
-        records.append(
-            {
-                "jobs": workers,
-                "backend": "process",
-                "seconds": seconds,
-                "speedup": serial_seconds / seconds,
-                "identical_to_serial": values == serial_values,
-            }
-        )
+    for backend, make_runner in (
+        ("process", lambda n: ProcessRunner(max_workers=n)),
+        ("stealing", lambda n: StealingRunner(max_workers=n)),
+    ):
+        for workers in WORKER_COUNTS:
+            with make_runner(workers) as runner:
+                # Warm the pool outside the timed region: a long sweep
+                # pays worker startup once, and the bench measures
+                # steady state.
+                runner.map(tasks[:1])
+                seconds, values = _time_runner(runner, tasks)
+            records.append(
+                {
+                    "jobs": workers,
+                    "backend": backend,
+                    "seconds": seconds,
+                    "speedup": serial_seconds / seconds,
+                    "identical_to_serial": values == serial_values,
+                }
+            )
 
     gate_active = cpu_count >= MIN_CORES_FOR_GATE
 
@@ -106,7 +117,10 @@ def test_parallel_sweep_speedup(save_artifact, emit_bench):
         )
     save_artifact("bench_parallel_sweep", "\n".join(lines))
 
-    at_4 = next(rec for rec in records if rec["jobs"] == 4)
+    at_4 = next(
+        rec for rec in records
+        if rec["jobs"] == 4 and rec["backend"] == "process"
+    )
     gate = GateVerdict(
         name="speedup_4workers",
         armed=gate_active,
@@ -154,7 +168,6 @@ def test_parallel_sweep_speedup(save_artifact, emit_bench):
         )
 
     if gate_active:
-        at_4 = next(rec for rec in records if rec["jobs"] == 4)
         assert at_4["speedup"] >= REQUIRED_SPEEDUP, (
             f"4 workers only {at_4['speedup']:.2f}x faster than serial "
             f"on {cpu_count} cores (acceptance requires >= "

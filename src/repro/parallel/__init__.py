@@ -15,19 +15,36 @@ Typical sweep::
 Backends produce identical results for identical task lists — the
 experiment harnesses (`fig6`/`fig7`/`fig8`/`fig9`/`fig11`/`defense`),
 ``run_all --jobs N``, the chaos matrix and the sweep benches all ride
-on this package.
+on this package.  Local backends: :class:`SerialRunner`,
+:class:`ProcessRunner` (static chunks), :class:`StealingRunner`
+(work-stealing scheduler, the ``--jobs N`` default).  The remote
+backend (:class:`~.remote.RemoteRunner` + ``parole worker serve``)
+drives the same scheduler over socket-connected hosts sharing one
+result store; see :mod:`.protocol` for the wire format.
 """
 
 from .fabric import (
     AutoRunner,
     ProcessRunner,
     SerialRunner,
+    StealingRunner,
     Task,
     TaskResult,
     TaskRunner,
     get_runner,
+    parse_worker_addresses,
     resolve_cache_key,
     spawn_task_seeds,
+)
+from .scheduler import (
+    COST_NAMESPACE,
+    EndpointDied,
+    TaskCostModel,
+    WorkerEndpoint,
+    WorkStealingScheduler,
+    cost_group,
+    next_chunk_size,
+    plan_queues,
 )
 from .worker import ChunkPayload, ChunkResult, TaskError, init_worker, run_chunk
 
@@ -35,12 +52,22 @@ __all__ = [
     "AutoRunner",
     "ProcessRunner",
     "SerialRunner",
+    "StealingRunner",
     "Task",
     "TaskResult",
     "TaskRunner",
     "get_runner",
+    "parse_worker_addresses",
     "resolve_cache_key",
     "spawn_task_seeds",
+    "COST_NAMESPACE",
+    "EndpointDied",
+    "TaskCostModel",
+    "WorkerEndpoint",
+    "WorkStealingScheduler",
+    "cost_group",
+    "next_chunk_size",
+    "plan_queues",
     "ChunkPayload",
     "ChunkResult",
     "TaskError",

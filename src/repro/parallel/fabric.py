@@ -43,7 +43,20 @@ import numpy as np
 from ..errors import ParallelError
 from ..store import CodecError, ResultStore, UnkeyableError, task_key
 from ..telemetry import get_metrics, get_tracer
-from .worker import ChunkPayload, ChunkResult, TaskError, init_worker, run_chunk
+from .scheduler import (
+    EndpointDied,
+    TaskCostModel,
+    WorkerEndpoint,
+    WorkStealingScheduler,
+)
+from .worker import (
+    ChunkPayload,
+    ChunkResult,
+    TaskError,
+    init_worker,
+    run_chunk,
+    steal_worker_main,
+)
 
 __all__ = [
     "Task",
@@ -51,8 +64,10 @@ __all__ = [
     "TaskRunner",
     "SerialRunner",
     "ProcessRunner",
+    "StealingRunner",
     "AutoRunner",
     "get_runner",
+    "parse_worker_addresses",
     "resolve_cache_key",
     "spawn_task_seeds",
 ]
@@ -333,17 +348,31 @@ class ProcessRunner(TaskRunner):
     def _chunks(
         self, tasks: Sequence[Task]
     ) -> List[Tuple[Tuple[int, Any, tuple, Dict[str, Any], Optional[int]], ...]]:
+        total = len(tasks)
+        if total == 0:
+            return []
         size = self.chunk_size
         if size is None:
-            size = max(1, -(-len(tasks) // (self.max_workers * 4)))
+            size = max(1, -(-total // (self.max_workers * 4)))
+        # Remainder-balanced sizing: the old ``[size, size, ..., rest]``
+        # split left a ragged last chunk — with ``total`` slightly above
+        # a chunk boundary, one task (possibly the expensive one)
+        # serialized behind an otherwise idle pool.  Keep the same chunk
+        # *count* but spread the remainder so sizes differ by at most 1
+        # and never exceed an explicitly requested ``chunk_size``.
+        count = -(-total // size)
+        base, extra = divmod(total, count)
         indexed = [
             (index, task.fn, tuple(task.args), dict(task.kwargs), task.seed)
             for index, task in enumerate(tasks)
         ]
-        return [
-            tuple(indexed[start : start + size])
-            for start in range(0, len(indexed), size)
-        ]
+        chunks = []
+        start = 0
+        for chunk_index in range(count):
+            length = base + (1 if chunk_index < extra else 0)
+            chunks.append(tuple(indexed[start : start + length]))
+            start += length
+        return chunks
 
     def _run_batch(
         self,
@@ -409,6 +438,177 @@ class ProcessRunner(TaskRunner):
             self._executor = None
 
 
+class _ProcessEndpoint(WorkerEndpoint):
+    """One pipe-connected local worker process for the stealing fabric."""
+
+    slots = 1
+
+    def __init__(self, ident: str, start_method: str) -> None:
+        self.ident = ident
+        self.start_method = start_method
+        self._conn = None
+        self._proc = None
+        self._start()
+
+    def _start(self) -> None:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(self.start_method)
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=steal_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        self._conn, self._proc = parent_conn, proc
+
+    def waitable(self):
+        return self._conn
+
+    def send_chunk(self, chunk_id, entries, capture_telemetry, span_buffer_size):
+        payload = ChunkPayload(
+            tasks=tuple(entries),
+            capture_telemetry=capture_telemetry,
+            span_buffer_size=span_buffer_size,
+        )
+        try:
+            self._conn.send((chunk_id, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise EndpointDied(f"{self.ident}: {exc}") from exc
+
+    def recv_outcome(self):
+        try:
+            return self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise EndpointDied(f"{self.ident}: worker pipe closed") from exc
+
+    def respawn(self) -> bool:
+        self.close(graceful=False)
+        try:
+            self._start()
+            return True
+        except OSError:
+            return False
+
+    def close(self, graceful: bool = True) -> None:
+        if self._conn is not None:
+            try:
+                if graceful:
+                    self._conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+        if self._proc is not None:
+            self._proc.join(timeout=5.0 if graceful else 0.5)
+            if self._proc.is_alive():
+                self._proc.terminate()
+                self._proc.join(timeout=1.0)
+            self._proc = None
+
+
+class StealingRunner(ProcessRunner):
+    """Work-stealing process backend for heterogeneous task costs.
+
+    Replaces static contiguous chunking with the scheduler in
+    :mod:`.scheduler`: per-worker local queues built in LPT order from
+    a :class:`~.scheduler.TaskCostModel` (fed by prior observed
+    timings when a store is attached), adaptive chunk splitting, and
+    steal-half rebalancing when a worker runs dry.  Worker processes
+    are long-lived pipe loops (started once, reused across ``run``
+    calls) and are respawned if they die mid-batch, with their tasks
+    requeued exactly once.
+
+    The determinism contract is identical to every other backend:
+    submission-order reassembly plus explicit per-task seeds make the
+    results byte-identical to :class:`SerialRunner` regardless of cost
+    skew, steal pattern, or worker churn
+    (``tests/parallel/test_determinism_chaos.py``).
+    """
+
+    name = "stealing"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        span_buffer_size: int = 4096,
+        store: Optional[ResultStore] = None,
+        cost_model: Optional[TaskCostModel] = None,
+        chunk_factor: int = 4,
+        min_chunk: int = 1,
+        tick_seconds: float = 1.0,
+    ) -> None:
+        super().__init__(
+            max_workers=max_workers,
+            start_method=start_method,
+            span_buffer_size=span_buffer_size,
+            store=store,
+        )
+        self.cost_model = (
+            cost_model if cost_model is not None else TaskCostModel(store=store)
+        )
+        self.chunk_factor = chunk_factor
+        self.min_chunk = min_chunk
+        self.tick_seconds = tick_seconds
+        self.last_scheduler: Optional[WorkStealingScheduler] = None
+        self._endpoints: Optional[List[_ProcessEndpoint]] = None
+
+    def _ensure_endpoints(self) -> List[_ProcessEndpoint]:
+        if self._endpoints is None:
+            self._endpoints = [
+                _ProcessEndpoint(f"local-{index}", self.start_method)
+                for index in range(self.max_workers)
+            ]
+        return self._endpoints
+
+    def _run_batch(
+        self,
+        tasks: List[Task],
+        persist: Optional[Callable[[int, TaskResult], None]],
+    ) -> List[TaskResult]:
+        if not tasks:
+            return []
+        capture = bool(get_metrics().enabled)
+        scheduler = WorkStealingScheduler(
+            self._ensure_endpoints(),
+            cost_model=self.cost_model,
+            chunk_factor=self.chunk_factor,
+            min_chunk=self.min_chunk,
+            tick_seconds=self.tick_seconds,
+            on_telemetry=self._merge_telemetry,
+        )
+        with get_tracer().span(
+            "fabric.dispatch",
+            tasks=len(tasks),
+            workers=self.max_workers,
+            schedule="stealing",
+        ):
+            results = scheduler.execute(
+                tasks,
+                persist=persist,
+                capture_telemetry=capture,
+                span_buffer_size=self.span_buffer_size,
+                make_result=lambda index, value, error: TaskResult(
+                    index=index,
+                    value=value,
+                    error=error,
+                    label=tasks[index].label,
+                ),
+            )
+        self.last_scheduler = scheduler
+        return results
+
+    def close(self) -> None:
+        if self._endpoints is not None:
+            for endpoint in self._endpoints:
+                endpoint.close()
+            self._endpoints = None
+
+
 class AutoRunner(TaskRunner):
     """Picks a backend per batch: serial for small work, processes else.
 
@@ -430,9 +630,15 @@ class AutoRunner(TaskRunner):
         self.min_tasks = max(1, min_tasks)
         self.store = store
         self._serial = SerialRunner()
-        self._process = ProcessRunner(
-            max_workers=max_workers, chunk_size=chunk_size
-        )
+        # An explicit chunk_size pins the static path; the default is
+        # the work-stealing scheduler (strictly better on skewed costs,
+        # equivalent on uniform ones).
+        if chunk_size is not None:
+            self._process: TaskRunner = ProcessRunner(
+                max_workers=max_workers, chunk_size=chunk_size
+            )
+        else:
+            self._process = StealingRunner(max_workers=max_workers, store=store)
 
     def effective_workers(self) -> int:
         cpu = os.cpu_count() or 1
@@ -458,20 +664,65 @@ class AutoRunner(TaskRunner):
         self._process.close()
 
 
-def get_runner(
-    jobs: Optional[int] = None, store: Optional[ResultStore] = None
-) -> TaskRunner:
-    """Map a ``--jobs`` value onto a backend.
+def parse_worker_addresses(workers: Sequence[str]) -> List[Tuple[str, int]]:
+    """Parse ``host:port`` worker specs (commas and repeats both work)."""
+    addresses: List[Tuple[str, int]] = []
+    for spec in workers:
+        for part in str(spec).split(","):
+            part = part.strip()
+            if not part:
+                continue
+            host, separator, port_text = part.rpartition(":")
+            if not separator or not host:
+                raise ValueError(
+                    f"worker address {part!r} is not of the form host:port"
+                )
+            try:
+                port = int(port_text)
+            except ValueError as exc:
+                raise ValueError(
+                    f"worker address {part!r} has a non-integer port"
+                ) from exc
+            addresses.append((host, port))
+    if not addresses:
+        raise ValueError("no worker addresses given")
+    return addresses
 
-    ``None``, ``0`` or ``1`` — :class:`SerialRunner` (the default keeps
-    current behaviour); ``N > 1`` — :class:`ProcessRunner` with ``N``
-    workers; any negative value — :class:`AutoRunner` (use every core
-    when the batch is big enough).  ``store`` attaches a result store
-    (``--cache DIR``): every backend then consults it before dispatch
-    and persists task results as they complete.
+
+def get_runner(
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    workers: Optional[Sequence[str]] = None,
+    schedule: Optional[str] = None,
+) -> TaskRunner:
+    """Map the CLI's ``--jobs``/``--workers``/``--schedule`` onto a backend.
+
+    ``workers`` (a list of ``host:port`` specs) selects the remote
+    fabric: a :class:`~repro.parallel.remote.RemoteRunner` driving
+    ``parole worker serve`` processes over the length-prefixed JSON
+    socket protocol.  Otherwise ``jobs`` picks the local backend:
+    ``None``/``0``/``1`` — :class:`SerialRunner` (the default keeps
+    current behaviour); ``N > 1`` — the work-stealing
+    :class:`StealingRunner` with ``N`` workers (``schedule="static"``
+    falls back to the chunked :class:`ProcessRunner`); any negative
+    value — :class:`AutoRunner` (use every core when the batch is big
+    enough).  ``store`` attaches a result store (``--cache DIR``):
+    every backend then consults it before dispatch and persists task
+    results as they complete — with remote workers it doubles as the
+    shared dedupe cache.
     """
+    if schedule is not None and schedule not in ("stealing", "static"):
+        raise ValueError(
+            f"schedule must be 'stealing' or 'static', not {schedule!r}"
+        )
+    if workers:
+        from .remote import RemoteRunner
+
+        return RemoteRunner(parse_worker_addresses(workers), store=store)
     if jobs is None or jobs in (0, 1):
         return SerialRunner(store=store)
     if jobs < 0:
         return AutoRunner(store=store)
-    return ProcessRunner(max_workers=jobs, store=store)
+    if schedule == "static":
+        return ProcessRunner(max_workers=jobs, store=store)
+    return StealingRunner(max_workers=jobs, store=store)

@@ -39,6 +39,7 @@ __all__ = [
     "TaskError",
     "init_worker",
     "run_chunk",
+    "steal_worker_main",
 ]
 
 
@@ -84,6 +85,10 @@ class ChunkResult:
     metrics_state: Optional[Dict[str, Any]] = None
     #: Buffered span/event records from the worker's chunk-local tracer.
     spans: List[Dict[str, Any]] = field(default_factory=list)
+    #: Per-task wall-clock seconds, aligned with ``outcomes``.  Feeds
+    #: the work-stealing scheduler's task-cost model; empty on results
+    #: produced by pre-timing workers (the field is additive).
+    task_seconds: Tuple[float, ...] = ()
 
 
 def init_worker() -> None:
@@ -130,7 +135,9 @@ def run_chunk(payload: ChunkPayload) -> ChunkResult:
         enable_tracing(ring)
     try:
         outcomes: List[Tuple[int, Any, Optional[TaskError]]] = []
+        task_seconds: List[float] = []
         for index, fn, args, kwargs, seed in payload.tasks:
+            task_started = time.perf_counter()
             try:
                 value = call_task(fn, args, kwargs, seed)
                 outcomes.append((index, value, None))
@@ -146,6 +153,7 @@ def run_chunk(payload: ChunkPayload) -> ChunkResult:
                         ),
                     )
                 )
+            task_seconds.append(time.perf_counter() - task_started)
         metrics_state = registry.dump_state() if registry is not None else None
         spans = ring.events() if ring is not None else []
     finally:
@@ -158,4 +166,54 @@ def run_chunk(payload: ChunkPayload) -> ChunkResult:
         elapsed_seconds=time.perf_counter() - started,
         metrics_state=metrics_state,
         spans=spans,
+        task_seconds=tuple(task_seconds),
     )
+
+
+def steal_worker_main(conn) -> None:
+    """Long-lived loop for one work-stealing fabric worker.
+
+    Unlike the pool path (one ``run_chunk`` call per submission), a
+    stealing worker stays attached to its pipe for the whole batch:
+    the scheduler sends ``(chunk_id, ChunkPayload)`` messages and the
+    worker answers each with ``(chunk_id, ChunkResult)``.  ``None`` (or
+    a closed pipe) is the shutdown signal.  A crash inside the protocol
+    machinery itself — not a task failure, which :func:`run_chunk`
+    already ships as a :class:`TaskError` — is reported as a failed
+    chunk so the scheduler can requeue rather than hang.
+    """
+    init_worker()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        chunk_id, payload = message
+        try:
+            result = run_chunk(payload)
+        except BaseException:  # noqa: BLE001 - must answer or the batch hangs
+            result = ChunkResult(
+                outcomes=[
+                    (
+                        index,
+                        None,
+                        TaskError(
+                            exc_type="WorkerProtocolError",
+                            message="worker crashed outside task code",
+                            traceback=traceback.format_exc(),
+                        ),
+                    )
+                    for index, *_rest in payload.tasks
+                ],
+                pid=os.getpid(),
+            )
+        try:
+            conn.send((chunk_id, result))
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass

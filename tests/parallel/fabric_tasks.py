@@ -1,0 +1,48 @@
+"""Module-level task functions shared by the fabric test suites.
+
+The process and remote backends ship functions by qualified name
+(pickle locally, ``module:qualname`` over the socket protocol), so the
+tasks the tests run must live at module level in an importable module —
+``tests.parallel.*`` is inside the wire protocol's import allow-list.
+Every function here is deterministic given its arguments and ``seed``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+
+def cube(x: int, seed: Optional[int] = None) -> int:
+    """Cheap pure arithmetic; seed folds in so seeding is observable."""
+    return x**3 + (seed or 0) % 7
+
+
+def slow_mul(a: int, b: int, seed: Optional[int] = None) -> int:
+    """Multiply after a small sleep — forces real overlap in pools."""
+    time.sleep(0.01)
+    return a * b
+
+
+def skewed_sleep(value: int, duration: float, seed: Optional[int] = None) -> int:
+    """Sleep ``duration`` seconds, return a seed-dependent function of
+    ``value`` — the adversarial-cost-skew workload: the *output* is
+    duration-independent, so any scheduling of the sleeps must produce
+    identical results."""
+    time.sleep(duration)
+    return value * 2 + (seed or 0) % 5
+
+
+def seeded_draw(n: int, seed: Optional[int] = None) -> list:
+    """``n`` float64 draws from a seed-owned Generator (exact floats)."""
+    rng = np.random.default_rng(seed)
+    return rng.random(n).tolist()
+
+
+def flaky(x: int, seed: Optional[int] = None) -> int:
+    """Raises on multiples of 5 — error-propagation fixture."""
+    if x % 5 == 0:
+        raise ValueError(f"flaky task rejected x={x}")
+    return x + 1
