@@ -328,6 +328,7 @@ def _cmd_worker_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         max_chunks_per_connection=args.max_chunks,
         once=args.once,
+        token=args.token,
     )
     host, port = server.start()
     # Machine-readable bind line first: scripts (and the CI soak) parse
@@ -657,6 +658,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-chunks", type=int, default=None, metavar="N",
         help="drop each connection after N chunks (fault-injection "
              "hook for churn testing)",
+    )
+    worker_serve.add_argument(
+        "--token", default=None, metavar="SECRET",
+        help="shared secret clients must present at handshake "
+             "(default: $PAROLE_FABRIC_TOKEN; required for any "
+             "non-loopback --host)",
     )
     worker_serve.set_defaults(handler=_cmd_worker_serve)
 

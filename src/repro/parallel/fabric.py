@@ -462,10 +462,16 @@ class _ProcessEndpoint(WorkerEndpoint):
         child_conn.close()
         self._conn, self._proc = parent_conn, proc
 
+    @property
+    def connected(self) -> bool:
+        return self._conn is not None
+
     def waitable(self):
         return self._conn
 
     def send_chunk(self, chunk_id, entries, capture_telemetry, span_buffer_size):
+        if self._conn is None:
+            raise EndpointDied(f"{self.ident}: worker pipe is closed")
         payload = ChunkPayload(
             tasks=tuple(entries),
             capture_telemetry=capture_telemetry,
@@ -477,6 +483,8 @@ class _ProcessEndpoint(WorkerEndpoint):
             raise EndpointDied(f"{self.ident}: {exc}") from exc
 
     def recv_outcome(self):
+        if self._conn is None:
+            raise EndpointDied(f"{self.ident}: worker pipe is closed")
         try:
             return self._conn.recv()
         except (EOFError, OSError) as exc:
@@ -563,7 +571,21 @@ class StealingRunner(ProcessRunner):
                 _ProcessEndpoint(f"local-{index}", self.start_method)
                 for index in range(self.max_workers)
             ]
-        return self._endpoints
+            return self._endpoints
+        # Worker processes are reused across batches; one whose respawn
+        # failed in a prior batch has a closed pipe.  Restart it here,
+        # and run on the live subset if the restart fails again.
+        live = [
+            endpoint
+            for endpoint in self._endpoints
+            if endpoint.connected or endpoint.respawn()
+        ]
+        if not live:
+            raise ParallelError(
+                "no stealing-fabric workers left: every worker process "
+                "died and refused to restart"
+            )
+        return live
 
     def _run_batch(
         self,

@@ -22,6 +22,16 @@ round-trip codec the result store already uses — so a value computed
 remotely decodes bit-identical to one computed locally.  Function
 references resolve through the same import allow-list as the codec;
 anything outside ``repro.``/``tests.``/``benchmarks.`` is refused.
+
+**Trust model.**  The handshake proves *compatibility* (same code,
+same numeric stack), not *identity*: every field in the ``hello``
+frame is a non-secret fact anyone with a repo checkout can produce,
+and the allow-list still spans every test/benchmark callable.  A
+worker must therefore only listen on loopback or a trusted private
+network — or be given a shared secret: set ``PAROLE_FABRIC_TOKEN``
+(or pass ``token=`` / ``--token``) on both sides and the server
+refuses any ``hello`` whose token does not match
+(constant-time compare, never echoed back).
 :class:`~repro.store.ResultStore` handles in task kwargs encode to
 ``null`` (a store handle must not cross hosts; tasks treat a missing
 store as "run without checkpointing", which never changes results).
@@ -29,8 +39,10 @@ store as "run without checkpointing", which never changes results).
 
 from __future__ import annotations
 
+import hmac
 import importlib
 import json
+import os
 import platform
 import socket
 import struct
@@ -42,8 +54,10 @@ from ..store.codec import CodecError, decode, encode
 from .worker import TaskError
 
 __all__ = [
+    "AUTH_TOKEN_ENV",
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "fabric_token",
     "ProtocolError",
     "ConnectionClosed",
     "HandshakeRefused",
@@ -60,6 +74,15 @@ __all__ = [
 
 #: Bump on any frame-shape change; mismatched peers refuse each other.
 PROTOCOL_VERSION = 1
+
+#: Environment variable carrying the optional shared-secret fabric
+#: token; when set on a server, every client must present it.
+AUTH_TOKEN_ENV = "PAROLE_FABRIC_TOKEN"
+
+
+def fabric_token() -> Optional[str]:
+    """The shared-secret token from the environment, or None."""
+    return os.environ.get(AUTH_TOKEN_ENV) or None
 
 #: Upper bound on a single frame (tasks ship arguments, results ship
 #: whole experiment payloads — generous, but a garbage length prefix
@@ -154,19 +177,44 @@ def _env_summary() -> Dict[str, Any]:
     }
 
 
-def hello_message(source_digest: Optional[str] = None) -> Dict[str, Any]:
-    """The client's opening frame."""
-    return {
+def hello_message(
+    source_digest: Optional[str] = None, token: Optional[str] = None
+) -> Dict[str, Any]:
+    """The client's opening frame.
+
+    ``token`` defaults to ``$PAROLE_FABRIC_TOKEN``; it is only included
+    when set, so tokenless deployments keep the v1 frame shape.
+    """
+    message = {
         "type": "hello",
         "protocol": PROTOCOL_VERSION,
         "env": _env_summary(),
         "source_digest": source_digest or code_fingerprint(),
         "store_schema": STORE_SCHEMA_VERSION,
     }
+    token = token if token is not None else fabric_token()
+    if token:
+        message["token"] = token
+    return message
 
 
-def handshake_mismatch(hello: Dict[str, Any]) -> Optional[str]:
-    """Why this host must refuse ``hello``, or None when compatible."""
+def handshake_mismatch(
+    hello: Dict[str, Any], token: Optional[str] = None
+) -> Optional[str]:
+    """Why this host must refuse ``hello``, or None when compatible.
+
+    ``token`` is the shared secret this host requires (default:
+    ``$PAROLE_FABRIC_TOKEN``); when set, a missing or different client
+    token is refused before anything else, and the reason never echoes
+    either value.
+    """
+    expected = token if token is not None else fabric_token()
+    if expected:
+        presented = hello.get("token")
+        if not isinstance(presented, str) or not hmac.compare_digest(
+            presented, expected
+        ):
+            return "authentication token missing or mismatched"
     if hello.get("protocol") != PROTOCOL_VERSION:
         return (
             f"protocol version {hello.get('protocol')!r} != "

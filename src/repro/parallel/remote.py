@@ -33,6 +33,7 @@ output is byte-identical no matter which host ran which task
 
 from __future__ import annotations
 
+import logging
 import os
 import socket
 import threading
@@ -51,6 +52,7 @@ from .protocol import (
     encode_entries,
     encode_outcomes,
     decode_outcomes,
+    fabric_token,
     handshake_mismatch,
     hello_message,
     recv_frame,
@@ -66,7 +68,11 @@ from .worker import ChunkPayload, ChunkResult, init_worker, run_chunk
 
 __all__ = ["WorkerServer", "RemoteRunner"]
 
+logger = logging.getLogger(__name__)
+
 Address = Tuple[str, int]
+
+_LOOPBACK_HOSTS = ("127.0.0.1", "localhost", "::1")
 
 
 def _run_chunk_frame(message: Dict[str, Any]) -> Dict[str, Any]:
@@ -133,7 +139,10 @@ class WorkerServer:
     served chunks — the churn-injection hook the determinism tests use
     to prove reassignment is loss-free and single-winner.  ``once``
     stops the server when its first client disconnects (handy for
-    bounded CI soaks).
+    bounded CI soaks).  ``token`` (default ``$PAROLE_FABRIC_TOKEN``)
+    makes the handshake require that shared secret; without one the
+    server should only bind loopback or a trusted network (see the
+    trust-model note in :mod:`.protocol`).
     """
 
     def __init__(
@@ -143,34 +152,40 @@ class WorkerServer:
         jobs: int = 1,
         max_chunks_per_connection: Optional[int] = None,
         once: bool = False,
+        token: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.jobs = max(1, jobs)
         self.max_chunks_per_connection = max_chunks_per_connection
         self.once = once
+        self.token = token
         self.chunks_served = 0
         self.connections_served = 0
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._executor = None
+        #: Guards executor creation and the served counters — both are
+        #: touched from per-connection handler threads.
+        self._lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------
 
     def _ensure_executor(self):
-        if self._executor is None:
-            if self.jobs > 1:
-                from concurrent.futures import ProcessPoolExecutor
+        with self._lock:
+            if self._executor is None:
+                if self.jobs > 1:
+                    from concurrent.futures import ProcessPoolExecutor
 
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.jobs, initializer=init_worker
-                )
-            else:
-                from concurrent.futures import ThreadPoolExecutor
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.jobs, initializer=init_worker
+                    )
+                else:
+                    from concurrent.futures import ThreadPoolExecutor
 
-                self._executor = ThreadPoolExecutor(max_workers=1)
-        return self._executor
+                    self._executor = ThreadPoolExecutor(max_workers=1)
+            return self._executor
 
     def start(self) -> Address:
         """Bind, listen and serve on a background thread.
@@ -186,6 +201,18 @@ class WorkerServer:
         listener.settimeout(0.25)
         self._listener = listener
         self.host, self.port = listener.getsockname()[:2]
+        if (
+            self.host not in _LOOPBACK_HOSTS
+            and (self.token or fabric_token()) is None
+        ):
+            logger.warning(
+                "fabric worker listening on %s:%s without an "
+                "authentication token: any peer with a repo checkout can "
+                "submit work; set %s or --token, or bind loopback",
+                self.host,
+                self.port,
+                "PAROLE_FABRIC_TOKEN",
+            )
         self._stop.clear()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="parole-worker-accept", daemon=True
@@ -257,7 +284,8 @@ class WorkerServer:
                 conn.close()
             except OSError:
                 pass
-            self.connections_served += 1
+            with self._lock:
+                self.connections_served += 1
             if self.once:
                 self._stop.set()
 
@@ -272,7 +300,7 @@ class WorkerServer:
                 conn, {"type": "reject", "reason": "expected hello frame"}
             )
             return
-        reason = handshake_mismatch(hello)
+        reason = handshake_mismatch(hello, token=self.token)
         if reason is not None:
             send_frame(conn, {"type": "reject", "reason": reason})
             return
@@ -301,7 +329,8 @@ class WorkerServer:
                 break
             elif kind == "chunk":
                 served_here += 1
-                self.chunks_served += 1
+                with self._lock:
+                    self.chunks_served += 1
                 limit = self.max_chunks_per_connection
                 executor = self._ensure_executor()
                 if self.jobs > 1:
@@ -366,6 +395,7 @@ class _RemoteEndpoint(WorkerEndpoint):
         heartbeat_timeout: float = 60.0,
         reconnect_attempts: int = 2,
         reconnect_backoff: float = 0.2,
+        token: Optional[str] = None,
     ) -> None:
         self.address = address
         self.ident = f"{address[0]}:{address[1]}"
@@ -374,6 +404,7 @@ class _RemoteEndpoint(WorkerEndpoint):
         self.heartbeat_timeout = heartbeat_timeout
         self.reconnect_attempts = max(0, reconnect_attempts)
         self.reconnect_backoff = reconnect_backoff
+        self.token = token
         self.slots = 1
         self._sock: Optional[socket.socket] = None
         self._last_rx = 0.0
@@ -386,7 +417,10 @@ class _RemoteEndpoint(WorkerEndpoint):
         )
         try:
             sock.settimeout(self.connect_timeout)
-            send_frame(sock, hello_message())
+            hello = hello_message()
+            if self.token is not None:
+                hello["token"] = self.token
+            send_frame(sock, hello)
             reply = recv_frame(sock)
             if reply.get("type") == "reject":
                 raise HandshakeRefused(
@@ -407,10 +441,16 @@ class _RemoteEndpoint(WorkerEndpoint):
         self._last_rx = time.perf_counter()
         self._ping_sent = None
 
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
     def waitable(self):
         return self._sock
 
     def send_chunk(self, chunk_id, entries, capture_telemetry, span_buffer_size):
+        if self._sock is None:
+            raise EndpointDied(f"{self.ident}: connection is closed")
         try:
             send_frame(
                 self._sock,
@@ -426,6 +466,8 @@ class _RemoteEndpoint(WorkerEndpoint):
             raise EndpointDied(f"{self.ident}: {exc}") from exc
 
     def recv_outcome(self):
+        if self._sock is None:
+            raise EndpointDied(f"{self.ident}: connection is closed")
         try:
             frame = recv_frame(self._sock)
         except (ConnectionClosed, OSError) as exc:
@@ -454,6 +496,8 @@ class _RemoteEndpoint(WorkerEndpoint):
         return int(frame["chunk_id"]), result
 
     def maintain(self, now: float) -> None:
+        if self._sock is None:
+            raise EndpointDied(f"{self.ident}: connection is closed")
         if self._ping_sent is not None:
             if now - self._ping_sent > self.heartbeat_timeout:
                 raise EndpointDied(
@@ -518,6 +562,7 @@ class RemoteRunner(TaskRunner):
         min_chunk: int = 1,
         tick_seconds: float = 0.5,
         span_buffer_size: int = 4096,
+        token: Optional[str] = None,
     ) -> None:
         parsed: List[Address] = []
         for address in addresses:
@@ -541,12 +586,34 @@ class RemoteRunner(TaskRunner):
         self.min_chunk = min_chunk
         self.tick_seconds = tick_seconds
         self.span_buffer_size = span_buffer_size
+        self.token = token
         self.last_scheduler: Optional[WorkStealingScheduler] = None
         self._endpoints: Optional[List[_RemoteEndpoint]] = None
 
     def _ensure_endpoints(self) -> List[_RemoteEndpoint]:
         if self._endpoints is not None:
-            return self._endpoints
+            # Endpoints are reused across batches, but a respawn that
+            # failed in a *prior* batch leaves a closed connection
+            # behind.  Give each one a fresh reconnect attempt and run
+            # this batch on the live subset; a still-dead endpoint
+            # stays in the list so later batches retry it.
+            live = [
+                endpoint
+                for endpoint in self._endpoints
+                if endpoint.connected or endpoint.respawn()
+            ]
+            dead = len(self._endpoints) - len(live)
+            if dead:
+                get_metrics().counter("fabric.worker_unreachable").inc(dead)
+                get_tracer().event(
+                    "fabric.workers_degraded", unreachable=dead
+                )
+            if not live:
+                raise ParallelError(
+                    "no remote workers reachable: every endpoint died in "
+                    "earlier batches and refused to reconnect"
+                )
+            return live
         endpoints: List[_RemoteEndpoint] = []
         failures: List[str] = []
         for address in self.addresses:
@@ -558,6 +625,7 @@ class RemoteRunner(TaskRunner):
                         heartbeat_interval=self.heartbeat_interval,
                         heartbeat_timeout=self.heartbeat_timeout,
                         reconnect_attempts=self.reconnect_attempts,
+                        token=self.token,
                     )
                 )
             except HandshakeRefused:

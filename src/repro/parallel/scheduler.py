@@ -17,9 +17,10 @@ honestly:
 * adaptive chunk splitting (:func:`next_chunk_size`) — early dispatches
   move big chunks to amortize IPC, the tail degrades to single tasks so
   no worker sits on a fat remainder;
-* **stealing**: a worker that drains its local queue takes half of the
-  most-loaded victim's remaining queue (classic steal-half, brokered by
-  the scheduler, counted in ``fabric.steals``);
+* **stealing**: a worker that drains its local queue takes the
+  expensive front half of the most-loaded victim's remaining queue
+  (steal-half, brokered by the scheduler, counted in
+  ``fabric.steals``);
 * worker churn tolerance: a dead endpoint's outstanding and queued
   tasks are requeued and no task outcome is recorded twice, so store
   writes stay single-winner.
@@ -186,8 +187,10 @@ def plan_queues(
     Tasks are taken in descending estimated cost (stable on ties, so a
     cold model degrades to submission order) and each goes to the
     currently least-loaded queue — the classic longest-processing-time
-    heuristic, ≤ 4/3·OPT makespan.  Queues are kept in cheap-first
-    order so stealing from the *back* takes the expensive tail.
+    heuristic, ≤ 4/3·OPT makespan.  Each queue comes back in
+    expensive-first order: dispatch pops from the *front* so long tasks
+    start immediately and the cheap tail back-fills, and a thief steals
+    the expensive *front* half of whatever remains.
     """
     if workers <= 0:
         raise ValueError("workers must be positive")
@@ -198,12 +201,11 @@ def plan_queues(
     queues: List[List[int]] = [[] for _ in range(workers)]
     for index in order:
         target = min(range(workers), key=lambda w: (loads[w], w))
-        # Prepend: each queue ends up cheapest-first, expensive tail.
-        queues[target].insert(0, index)
+        # Appending in descending-cost order keeps every queue
+        # expensive-first.
+        queues[target].append(index)
         loads[target] += estimates[index]
-    # Dispatch pops from the *front*; put the expensive work first so
-    # long tasks start immediately and the cheap tail back-fills.
-    return [list(reversed(queue)) for queue in queues]
+    return queues
 
 
 class WorkerEndpoint:
@@ -315,7 +317,15 @@ class WorkStealingScheduler:
         ]
         chunk_id = self._next_chunk_id
         self._next_chunk_id += 1
-        state.endpoint.send_chunk(chunk_id, entries, capture, span_buffer)
+        try:
+            state.endpoint.send_chunk(chunk_id, entries, capture, span_buffer)
+        except EndpointDied:
+            # Put the popped slice back so _bury requeues it with the
+            # rest of the dead endpoint's work — a death detected on
+            # *send* must lose exactly as little as one detected on
+            # receive.
+            state.queue = indices + state.queue
+            raise
         state.inflight[chunk_id] = indices
         self.chunks_dispatched += 1
         return True
@@ -328,12 +338,14 @@ class WorkStealingScheduler:
         )
         if victim is None or victim.backlog == 0:
             return False
-        # Steal-half from the back: the victim keeps the work it is
-        # about to dispatch, the thief takes the far tail.
+        # Steal-half from the front: queues are expensive-first, so the
+        # thief takes the high-cost half — the costliest remaining work
+        # starts immediately on the idle worker while the victim keeps
+        # the cheap back-fill it can finish quickly.
         count = -(-victim.backlog // 2)
-        victim.queue, stolen = (
-            victim.queue[: victim.backlog - count],
-            victim.queue[victim.backlog - count :],
+        stolen, victim.queue = (
+            victim.queue[:count],
+            victim.queue[count:],
         )
         thief.queue.extend(stolen)
         self.steals += 1
@@ -424,9 +436,17 @@ class WorkStealingScheduler:
         while len(done) < total:
             for state in self._states:
                 if state.alive:
-                    self._fill(
-                        state, tasks, capture_telemetry, span_buffer_size
-                    )
+                    try:
+                        self._fill(
+                            state, tasks, capture_telemetry, span_buffer_size
+                        )
+                    except EndpointDied:
+                        # A worker can die between a receive and the
+                        # next dispatch (remote disconnect, the
+                        # max_chunks_per_connection churn hook); the
+                        # failed send is handled exactly like a failed
+                        # receive.
+                        self._bury(state, done)
             waiting = {
                 s.endpoint.waitable(): s
                 for s in self._states

@@ -95,6 +95,39 @@ class TestHandshake:
         reason = handshake_mismatch(hello)
         assert reason is not None and "numpy_version" in reason
 
+    def test_token_gates_the_handshake(self):
+        refused = handshake_mismatch(hello_message(), token="s3cret")
+        assert refused is not None and "token" in refused
+        assert "s3cret" not in refused  # never echo the secret
+        wrong = handshake_mismatch(
+            hello_message(token="wrong"), token="s3cret"
+        )
+        assert wrong is not None and "token" in wrong
+        assert handshake_mismatch(
+            hello_message(token="s3cret"), token="s3cret"
+        ) is None
+
+    def test_env_token_applies_to_both_sides(self, monkeypatch):
+        monkeypatch.setenv("PAROLE_FABRIC_TOKEN", "envtok")
+        assert handshake_mismatch(hello_message()) is None
+        monkeypatch.delenv("PAROLE_FABRIC_TOKEN")
+        assert handshake_mismatch(hello_message(token="envtok")) is None
+
+    def test_server_with_token_refuses_tokenless_client(self):
+        with WorkerServer(token="s3cret") as server:
+            with pytest.raises(ProtocolError, match="refused the handshake"):
+                RemoteRunner(
+                    [(server.host, server.port)], connect_timeout=2.0
+                ).map(_tasks(2))
+
+    def test_matching_token_runs_end_to_end(self):
+        tasks = _tasks(4)
+        with WorkerServer(token="s3cret") as server:
+            with RemoteRunner(
+                [(server.host, server.port)], token="s3cret"
+            ) as runner:
+                assert runner.map(tasks) == SerialRunner().map(tasks)
+
     def test_server_sends_reject_frame_on_stale_code(self):
         with WorkerServer() as server:
             sock = socket.create_connection((server.host, server.port), 5.0)
@@ -262,6 +295,44 @@ class TestChurn:
                 connect_timeout=2.0,
             ) as runner:
                 assert runner.map(tasks) == expected
+
+    def test_runner_reuse_survives_a_worker_lost_between_batches(self):
+        # Regression: endpoints are reused across _run_batch calls; one
+        # whose respawn failed earlier is left with a closed socket and
+        # used to crash the next batch with AttributeError.
+        tasks = _tasks(6)
+        expected = SerialRunner().map(tasks)
+        one = WorkerServer()
+        two = WorkerServer()
+        one.start()
+        two.start()
+        runner = RemoteRunner(
+            [(one.host, one.port), (two.host, two.port)],
+            tick_seconds=0.2,
+            reconnect_attempts=1,
+            connect_timeout=2.0,
+        )
+        try:
+            assert runner.map(tasks) == expected  # both workers live
+            two_port = two.port
+            two.stop()
+            # Simulate the aftermath of a failed mid-batch respawn: the
+            # endpoint for `two` is left closed but stays in the list.
+            for endpoint in runner._endpoints:
+                if endpoint.address == (two.host, two_port):
+                    endpoint.close()
+            assert runner.map(tasks) == expected  # degrades to survivor
+            # A worker coming back on the same address is picked up by
+            # the next batch's reconnect pass.
+            revived = WorkerServer(host=two.host, port=two_port)
+            revived.start()
+            try:
+                assert runner.map(tasks) == expected
+            finally:
+                revived.stop()
+        finally:
+            runner.close()
+            one.stop()
 
     def test_all_workers_unreachable_raises(self):
         probe = socket.socket()

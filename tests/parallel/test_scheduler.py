@@ -1,19 +1,26 @@
 """Work-stealing scheduler: cost model, planning, and the StealingRunner."""
 
+import socket
+
 import pytest
 
 from repro.errors import ParallelError
 from repro.parallel import (
+    ChunkResult,
+    EndpointDied,
     ProcessRunner,
     SerialRunner,
     StealingRunner,
     Task,
     TaskCostModel,
+    WorkerEndpoint,
+    WorkStealingScheduler,
     cost_group,
     next_chunk_size,
     plan_queues,
     spawn_task_seeds,
 )
+from repro.parallel.worker import call_task
 from repro.store import ResultStore
 from tests.parallel.fabric_tasks import cube, flaky, seeded_draw, skewed_sleep
 
@@ -92,6 +99,90 @@ class TestPlanning:
     def test_plan_queues_dispatches_expensive_first(self):
         queues = plan_queues([1.0, 9.0, 1.0, 1.0], 1)
         assert queues[0][0] == 1  # the expensive task leads
+
+
+class _InlineEndpoint(WorkerEndpoint):
+    """Runs chunks synchronously in-process; a socketpair makes it
+    compatible with ``multiprocessing.connection.wait``."""
+
+    def __init__(self, ident, fail_sends=0):
+        self.ident = ident
+        self.fail_sends = fail_sends
+        self.executed = []
+        self._sent = 0
+        self._results = []
+        self._rx, self._tx = socket.socketpair()
+
+    def waitable(self):
+        return self._rx
+
+    def send_chunk(self, chunk_id, entries, capture_telemetry, span_buffer_size):
+        self._sent += 1
+        if self._sent <= self.fail_sends:
+            raise EndpointDied(f"{self.ident}: injected send failure")
+        outcomes = []
+        for index, fn, args, kwargs, seed in entries:
+            outcomes.append((index, call_task(fn, args, kwargs, seed), None))
+            self.executed.append(index)
+        self._results.append(
+            (chunk_id, ChunkResult(outcomes=outcomes))
+        )
+        self._tx.sendall(b"\x01")
+
+    def recv_outcome(self):
+        self._rx.recv(1)
+        return self._results.pop(0)
+
+    def respawn(self):
+        return False
+
+    def close(self):
+        self._rx.close()
+        self._tx.close()
+
+
+class TestEndpointDeath:
+    def test_send_failure_buries_endpoint_and_requeues(self):
+        # Regression: a worker dying between a receive and the next
+        # dispatch raises EndpointDied from send_chunk; the batch must
+        # requeue its tasks (including the slice popped for the failed
+        # send) instead of crashing.
+        dies = _InlineEndpoint("dies-on-send", fail_sends=1)
+        healthy = _InlineEndpoint("healthy")
+        scheduler = WorkStealingScheduler([dies, healthy])
+        tasks = _cube_tasks(8)
+        try:
+            results = scheduler.execute(tasks)
+        finally:
+            dies.close()
+            healthy.close()
+        assert [value for _, value, _ in results] == SerialRunner().map(tasks)
+        assert dies.executed == []  # died on its first send, respawn refused
+        assert sorted(healthy.executed) == list(range(8))
+
+    def test_send_failure_with_no_survivors_raises(self):
+        only = _InlineEndpoint("doomed", fail_sends=1)
+        scheduler = WorkStealingScheduler([only])
+        try:
+            with pytest.raises(ParallelError, match="all fabric workers died"):
+                scheduler.execute(_cube_tasks(4))
+        finally:
+            only.close()
+
+    def test_steal_takes_the_expensive_front_half(self):
+        a = _InlineEndpoint("victim")
+        b = _InlineEndpoint("thief")
+        scheduler = WorkStealingScheduler([a, b])
+        victim, thief = scheduler._states
+        victim.queue = [3, 0, 1, 2]  # expensive-first, as plan_queues builds
+        try:
+            assert scheduler._steal_into(thief)
+        finally:
+            a.close()
+            b.close()
+        assert thief.queue == [3, 0]  # the high-cost front half
+        assert victim.queue == [1, 2]
+        assert scheduler.steals == 1
 
 
 class TestBalancedChunks:
