@@ -1,0 +1,104 @@
+"""Strategy × defense matrix: full quick-tier grid throughput + safety.
+
+One measurement backs the leaderboard story: the complete default grid
+(every shipped strategy × every shipped defense, plus the fault-plan
+extras) is driven cold through :func:`repro.matrix.run_matrix` and must
+
+* finish at a usable interactive rate (cells/minute floor with ~10x
+  headroom below the development-machine figure, so the armed gate
+  catches order-of-magnitude regressions rather than scheduler noise);
+* report **zero invariant violations** across every cell — the grid is
+  only a leaderboard if every cell ran inside the safety envelope.
+
+Archived as ``BENCH_matrix.json`` via the shared perf-record writer.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.matrix import MatrixConfig, run_matrix
+
+from conftest import BenchSeries, GateVerdict
+
+BENCH_SCHEMA = "BENCH_matrix/v1"
+
+MIN_CELLS_PER_MINUTE = 60.0
+
+
+def test_matrix_grid(save_artifact, emit_bench):
+    """Run the full default grid cold and gate rate + safety."""
+    config = MatrixConfig()
+    started = time.perf_counter()
+    report = run_matrix(config)
+    elapsed = time.perf_counter() - started
+
+    cells = len(report.cells)
+    cells_per_minute = cells * 60.0 / elapsed if elapsed > 0 else 0.0
+    top = report.leaderboard()[0]
+
+    lines = [
+        "Strategy x defense matrix (full default grid, cold)",
+        "",
+        report.render(),
+        "",
+        f"{cells} cells in {elapsed:.2f}s "
+        f"({cells_per_minute:,.0f} cells/minute)",
+        f"top of leaderboard: {top.strategy} vs {top.defense} "
+        f"({top.net_profit_eth:+.4f} ETH)",
+    ]
+    save_artifact("bench_matrix", "\n".join(lines))
+
+    emit_bench(
+        "matrix",
+        series=[
+            BenchSeries("cells_per_minute", "cells/min", (cells_per_minute,)),
+            BenchSeries("grid_cells", "cells", (float(cells),)),
+            BenchSeries(
+                "elapsed_seconds", "s", (elapsed,), direction="lower"
+            ),
+            BenchSeries(
+                "top_net_profit", "ETH", (top.net_profit_eth,),
+            ),
+            BenchSeries(
+                "total_detections", "detections",
+                (float(sum(cell.detections for cell in report.cells)),),
+            ),
+        ],
+        gates=[
+            GateVerdict(
+                name="cells_per_minute",
+                armed=True,
+                passed=cells_per_minute >= MIN_CELLS_PER_MINUTE,
+                threshold=MIN_CELLS_PER_MINUTE,
+                observed=cells_per_minute,
+            ),
+            GateVerdict(
+                name="zero_invariant_violations",
+                armed=True,
+                passed=report.ok,
+                threshold=0.0,
+                observed=float(len(report.total_violations)),
+            ),
+        ],
+        view={
+            "schema": BENCH_SCHEMA,
+            "grid": {
+                "strategies": list(config.strategies),
+                "defenses": list(config.defenses),
+                "fault_plans": list(config.fault_plans),
+                "cells": cells,
+            },
+            "wall": {
+                "elapsed_seconds": elapsed,
+                "cells_per_minute": cells_per_minute,
+            },
+            "report": report.deterministic_payload(),
+        },
+    )
+
+    assert report.ok, f"invariant violations: {report.total_violations}"
+    assert cells_per_minute >= MIN_CELLS_PER_MINUTE, (
+        f"grid ran at {cells_per_minute:.0f} cells/minute, below the "
+        f"{MIN_CELLS_PER_MINUTE:.0f} cells/minute floor"
+    )

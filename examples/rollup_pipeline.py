@@ -53,7 +53,9 @@ def main() -> None:
             gentranseq=GenTranSeqConfig(episodes=8, steps_per_episode=40, seed=1),
         )
     )
-    node.add_aggregator(AdversarialAggregator("agg-evil", attack.as_reorderer()))
+    node.add_aggregator(
+        AdversarialAggregator("agg-evil", strategy=attack.as_strategy())
+    )
     node.add_aggregator(Aggregator("agg-honest"))
     node.add_verifier(Verifier("verifier-0"))
     node.add_verifier(Verifier("verifier-1"))

@@ -1,0 +1,69 @@
+"""Strategy × defense leaderboard through the :mod:`repro.api` facade.
+
+Shows the PR-10 surface end to end:
+
+1. enumerate the registered adversary strategies and sequencing
+   defenses (``api.list_strategies()`` / ``api.list_defenses()``);
+2. run a reduced strategies × defenses grid with ``api.run_matrix()``
+   and print the deterministic leaderboard;
+3. register a custom strategy plug-in and re-run the grid with it —
+   no core changes needed, the registry is the extension point.
+
+Usage::
+
+    python examples/strategy_matrix.py
+"""
+
+from repro import api
+from repro.strategies import (
+    STRATEGIES,
+    BaseStrategy,
+    MempoolView,
+    StrategyAction,
+)
+
+
+class ReverseStrategy(BaseStrategy):
+    """A toy permute-only plug-in: serve every batch in reverse."""
+
+    name = "reverse"
+    description = "permute-only demo plug-in: reverse the collected order"
+
+    def observe(self, pre_state, view: MempoolView) -> StrategyAction:
+        return StrategyAction.permutation(tuple(reversed(view.transactions)))
+
+
+def main() -> None:
+    print("registered strategies:")
+    for info in api.list_strategies():
+        print(f"  {info.name:<20} {info.description}")
+    print("registered defenses:")
+    for info in api.list_defenses():
+        print(f"  {info.name:<20} {info.description}")
+
+    print()
+    print("=" * 72)
+    print("reduced grid: 3 strategies x 3 defenses (no fault cells)")
+    print("=" * 72)
+    report = api.run_matrix(
+        strategies=("honest", "parole-reorder", "sandwich"),
+        defenses=("none", "fcfs", "guarded"),
+        fault_plans=(),
+    )
+    print(report.render())
+
+    print()
+    print("=" * 72)
+    print("custom plug-in: the registry is the extension point")
+    print("=" * 72)
+    STRATEGIES.register(
+        "reverse", ReverseStrategy.description, lambda context: ReverseStrategy()
+    )
+    report = api.run_matrix(
+        strategies=("reverse",), defenses=("none", "fcfs"), fault_plans=()
+    )
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -53,7 +53,14 @@ from .rollup import (
 from .tokens import LimitedEditionNFT, ScarcityPricing
 from .workloads import Workload, case_study_fixture, generate_workload
 from . import api
-from .api import list_experiments, open_store, run_experiment
+from .api import (
+    list_defenses,
+    list_experiments,
+    list_strategies,
+    open_store,
+    run_experiment,
+    run_matrix,
+)
 from .store import ResultStore
 
 __version__ = "1.0.0"
@@ -100,8 +107,11 @@ __all__ = [
     "generate_workload",
     # experiment facade + result store
     "api",
+    "list_defenses",
     "list_experiments",
+    "list_strategies",
     "open_store",
     "run_experiment",
+    "run_matrix",
     "ResultStore",
 ]

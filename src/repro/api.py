@@ -1,11 +1,17 @@
 """The public experiment facade: one import for the whole reproduction.
 
-Three calls cover the common workflows documented in ``docs/api.md``:
+Six calls cover the common workflows documented in ``docs/api.md``:
 
 * :func:`list_experiments` — what can be run (id + description + seed);
 * :func:`run_experiment` — run one registered experiment through the
   uniform ``(preset, seed, runner)`` interface, optionally memoized in
   a content-addressed :class:`~repro.store.ResultStore`;
+* :func:`list_strategies` — every adversary strategy plug-in registered
+  in :data:`repro.strategies.STRATEGIES`;
+* :func:`list_defenses` — every sequencing defense registered in
+  :data:`repro.matrix.DEFENSES`;
+* :func:`run_matrix` — the strategies × defenses × fault-plans
+  leaderboard (what ``parole matrix`` prints);
 * :func:`open_store` — open (or create) a store for resumable runs.
 
 Prefer this module over importing individual ``run_figN`` harnesses:
@@ -23,7 +29,7 @@ guaranteed to match the archived artifacts.
 from __future__ import annotations
 
 import pathlib
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Union
 
 from .errors import ReproError
 from .experiments import QUICK, EffortPreset
@@ -33,12 +39,19 @@ from .experiments.runner import (
     SpecOutcome,
     execute_spec,
 )
+from .matrix.defenses import DEFENSES, DefenseInfo
+from .matrix.runner import MatrixReport, matrix_config_for
+from .matrix.runner import run_matrix as _run_matrix_grid
 from .parallel import TaskRunner
 from .store import ResultStore
+from .strategies.registry import STRATEGIES, StrategyInfo
 
 __all__ = [
     "list_experiments",
     "run_experiment",
+    "list_strategies",
+    "list_defenses",
+    "run_matrix",
     "open_store",
 ]
 
@@ -80,6 +93,52 @@ def run_experiment(
     return execute_spec(
         spec, effort, seed=seed, task_runner=runner, store=store
     )
+
+
+def list_strategies() -> List[StrategyInfo]:
+    """Every registered adversary strategy plug-in, in registry order.
+
+    Each entry carries ``name``, ``description`` and the factory the
+    matrix runner uses; register additional plug-ins on
+    :data:`repro.strategies.STRATEGIES` and both this listing and
+    :func:`run_matrix` pick them up.
+    """
+    return STRATEGIES.list()
+
+
+def list_defenses() -> List[DefenseInfo]:
+    """Every registered sequencing defense, in registry order."""
+    return DEFENSES.list()
+
+
+def run_matrix(
+    strategies: Optional[Sequence[str]] = None,
+    defenses: Optional[Sequence[str]] = None,
+    fault_plans: Optional[Sequence[str]] = None,
+    preset: Union[EffortPreset, str] = QUICK,
+    seed: int = 0,
+    runner: Optional[TaskRunner] = None,
+    store: Optional[ResultStore] = None,
+) -> MatrixReport:
+    """Run the strategies × defenses × fault-plans leaderboard.
+
+    ``strategies``/``defenses``/``fault_plans`` default to every
+    registered name (``None`` means "all"); pass explicit subsets to
+    shrink the grid.  The returned :class:`~repro.matrix.MatrixReport`
+    renders the leaderboard (``report.render()``) and serializes to
+    canonical JSON (``report.deterministic_json()``) that is
+    byte-identical across ``runner`` parallelism and cold/warm
+    ``store`` runs.
+    """
+    preset_name = preset if isinstance(preset, str) else preset.name
+    config = matrix_config_for(
+        preset_name,
+        seed=seed,
+        strategies=tuple(strategies) if strategies is not None else None,
+        defenses=tuple(defenses) if defenses is not None else None,
+        fault_plans=tuple(fault_plans) if fault_plans is not None else None,
+    )
+    return _run_matrix_grid(config=config, runner=runner, store=store)
 
 
 def open_store(

@@ -319,6 +319,40 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .matrix import matrix_config_for, run_matrix
+
+    store = _store(args)
+    config = matrix_config_for(
+        _preset(args).name,
+        seed=args.seed,
+        strategies=tuple(args.strategies) if args.strategies else None,
+        defenses=tuple(args.defenses) if args.defenses else None,
+        fault_plans=(
+            tuple(args.fault_plans) if args.fault_plans is not None else None
+        ),
+    )
+    with _runner(args) as runner:
+        report = run_matrix(config, runner=runner, store=store)
+    if args.json:
+        print(report.deterministic_json())
+    else:
+        print(report.render())
+    if args.out:
+        pathlib.Path(args.out).write_text(report.deterministic_json() + "\n")
+    if store is not None:
+        stats = store.stats
+        # stderr so a --json stdout stays byte-comparable across runs.
+        print(
+            f"cache: {stats.hits} hits / {stats.misses} misses "
+            f"(hit ratio {stats.hit_ratio:.0%})",
+            file=sys.stderr,
+        )
+    return 0 if report.ok else 1
+
+
 def _cmd_worker_serve(args: argparse.Namespace) -> int:
     from .parallel.remote import WorkerServer
 
@@ -629,6 +663,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_flag(stream)
     _add_cache_flags(stream)
     stream.set_defaults(handler=_cmd_stream)
+
+    matrix = subparsers.add_parser(
+        "matrix",
+        help="strategies x defenses x fault-plans leaderboard "
+             "(profit, detection rate, revert rate per cell)",
+    )
+    matrix.add_argument(
+        "--strategies", nargs="*", default=None, metavar="NAME",
+        help="strategy plug-ins to run (default: every registered one; "
+             "see 'repro.api.list_strategies()')",
+    )
+    matrix.add_argument(
+        "--defenses", nargs="*", default=None, metavar="NAME",
+        help="sequencing defenses to cross (default: every registered one)",
+    )
+    matrix.add_argument(
+        "--fault-plans", nargs="*", default=None, metavar="NAME",
+        help="chaos fault plans for the designated fault strategy "
+             "(default: commit-failure mempool-stall aggregator-crash; "
+             "pass with no values to skip fault cells)",
+    )
+    matrix.add_argument("--seed", type=int, default=0)
+    matrix.add_argument("--full", action="store_true",
+                        help="use the full-effort grid (more rounds)")
+    matrix.add_argument("--json", action="store_true",
+                        help="print the deterministic leaderboard as JSON")
+    matrix.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the deterministic JSON to FILE",
+    )
+    _add_jobs_flag(matrix)
+    _add_workers_flag(matrix)
+    _add_cache_flags(matrix)
+    matrix.set_defaults(handler=_cmd_matrix)
 
     worker = subparsers.add_parser(
         "worker",

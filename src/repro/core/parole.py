@@ -11,6 +11,7 @@ degrades gracefully to honest.
 from __future__ import annotations
 
 import logging
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -135,8 +136,31 @@ class ParoleAttack:
             ifu: alt.wealth(ifu) - base.wealth(ifu) for ifu in self.ifus
         }
 
+    def as_strategy(self):
+        """This attack as a strategy plug-in for the adversarial aggregator.
+
+        Returns a :class:`~repro.strategies.parole_reorder.
+        ParoleReorderStrategy` wrapping *this* instance, so outcome
+        bookkeeping (``outcomes``, ``total_profit``) keeps accumulating
+        here.
+        """
+        from ..strategies.parole_reorder import ParoleReorderStrategy
+
+        return ParoleReorderStrategy(attack=self)
+
     def as_reorderer(self) -> Reorderer:
-        """Adapter for :class:`~repro.rollup.aggregator.AdversarialAggregator`."""
+        """Deprecated adapter for the pre-PR-10 aggregator interface.
+
+        Use :meth:`as_strategy` instead; bare callables only support
+        permute-only actions.
+        """
+        warnings.warn(
+            "ParoleAttack.as_reorderer() is deprecated; use "
+            "ParoleAttack.as_strategy() with "
+            "AdversarialAggregator(strategy=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
 
         def reorder(
             pre_state: L2State, collected: Sequence[NFTTransaction]

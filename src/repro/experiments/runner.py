@@ -23,6 +23,11 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from ..config import SnapshotStudyConfig, TelemetryConfig
 from ..errors import ReproError
+from ..matrix.runner import (
+    matrix_to_json,
+    render_matrix,
+    run_matrix_experiment,
+)
 from ..parallel import SerialRunner, TaskRunner, get_runner
 from ..store import CodecError, ResultStore, decode, encode, experiment_key
 from ..telemetry import ManifestRecorder, configure, get_metrics, get_tracer
@@ -184,6 +189,13 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
         ),
         defense_eval.render_defense_eval,
         _dataclass_list,
+    ),
+    ExperimentSpec(
+        "matrix",
+        "strategies x defenses x fault-plans leaderboard",
+        run_matrix_experiment,
+        render_matrix,
+        matrix_to_json,
     ),
 )
 

@@ -3,25 +3,45 @@
 Honest aggregators execute their collected transactions in the fee-
 priority order the mempool handed them (Section IV-B: "the aggregators
 collect the transactions and are supposed to execute them in order of
-their base and priority fees").  The adversarial aggregator routes its
-collection through a *reorderer* — the PAROLE module — before executing;
-the reorderer is injected as a callable so this package stays independent
-of :mod:`repro.core`.
+their base and priority fees").  The adversarial aggregator hosts a
+*strategy* plug-in (see :mod:`repro.strategies`): it builds a
+:class:`~repro.strategies.base.MempoolView` of its collection, asks the
+strategy for a :class:`~repro.strategies.base.StrategyAction`, and
+verifies the action against its declared capabilities before executing.
+An invalid action degrades the round to the honest order.
+
+The pre-PR-10 interface — a bare permute-only *reorderer* callable —
+keeps working through a deprecation shim that wraps the callable in
+:class:`~repro.strategies.base.ReordererStrategy`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
+from ..errors import ReproError
+from ..strategies.base import (
+    BaseStrategy,
+    MempoolView,
+    Reorderer,
+    ReordererStrategy,
+    StrategyAction,
+    validate_action,
+)
 from ..telemetry import get_metrics, span
 from .batch import Batch, build_batch
 from .ovm import OVM, ReplayTrace
 from .state import L2State
 from .transaction import NFTTransaction
 
-#: Signature of a reordering strategy: (pre-state, collected txs) -> new order.
-Reorderer = Callable[[L2State, Sequence[NFTTransaction]], Sequence[NFTTransaction]]
+__all__ = [
+    "AggregationResult",
+    "Aggregator",
+    "AdversarialAggregator",
+    "Reorderer",
+]
 
 
 @dataclass
@@ -93,51 +113,136 @@ class Aggregator:
 
 
 class AdversarialAggregator(Aggregator):
-    """``A_P`` — the aggregator committing the PAROLE attack.
+    """``A_P`` — an aggregator hosting an adversary strategy plug-in.
 
     Parameters
     ----------
     address:
         The aggregator's account.
+    strategy:
+        A :class:`~repro.strategies.base.BaseStrategy` (or anything
+        structurally compatible).  The shipped plug-ins live in
+        :mod:`repro.strategies`; the PAROLE reference is
+        :meth:`repro.core.parole.ParoleAttack.as_strategy`.
     reorderer:
-        The PAROLE module entry point (see
-        :meth:`repro.core.parole.ParoleAttack.as_reorderer`).
+        *Deprecated.*  A bare permute-only callable; wrapped in
+        :class:`~repro.strategies.base.ReordererStrategy` with a
+        :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
         address: str,
-        reorderer: Reorderer,
+        reorderer: Optional[Reorderer] = None,
         ovm: Optional[OVM] = None,
+        *,
+        strategy: Optional[BaseStrategy] = None,
     ) -> None:
         super().__init__(address, ovm)
-        self.reorderer = reorderer
+        if strategy is not None and reorderer is not None:
+            raise ReproError(
+                "pass either strategy= or the legacy reorderer, not both"
+            )
+        if strategy is None:
+            if reorderer is None:
+                raise ReproError(
+                    "AdversarialAggregator requires a strategy "
+                    "(or, deprecated, a reorderer callable)"
+                )
+            warnings.warn(
+                "AdversarialAggregator(reorderer=...) is deprecated; pass "
+                "strategy=repro.strategies.ReordererStrategy(reorderer) or "
+                "a strategy plug-in instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            strategy = ReordererStrategy(reorderer)
+        self.strategy = strategy
+        #: Rounds whose executed order differed from the collected order.
         self.rounds_attacked = 0
+        #: Rounds whose action was rejected by the safety check.
+        self.actions_rejected = 0
+        #: Rounds where the strategy proposed *any* change (pre-defense).
+        self.rounds_proposed = 0
+        #: Adversary-authored transactions proposed across all rounds.
+        self.inserted_total = 0
+        #: The validated action of the most recent round (None if the
+        #: round was rejected) — the matrix runner's accounting hook.
+        self.last_action: Optional[StrategyAction] = None
+        self._round_index = 0
+
+    # -- strategy/defense hooks (overridden by DefendedAggregator) ----- #
+
+    def build_view(
+        self, pre_state: L2State, collected: Tuple[NFTTransaction, ...]
+    ) -> MempoolView:
+        """The mempool view handed to the strategy this round."""
+        return MempoolView(
+            transactions=collected, round_index=self._round_index
+        )
+
+    def reveal_action(
+        self, action: StrategyAction, view: MempoolView
+    ) -> StrategyAction:
+        """Map an action on a blinded view back to real transactions."""
+        return action
+
+    def apply_policy(
+        self,
+        pre_state: L2State,
+        collected: Tuple[NFTTransaction, ...],
+        action: StrategyAction,
+    ) -> Tuple[NFTTransaction, ...]:
+        """Sequencing-policy hook: defenses may re-order a valid action."""
+        return action.sequence
+
+    # ------------------------------------------------------------------ #
 
     def order_transactions(
         self, pre_state: L2State, collected: Sequence[NFTTransaction]
     ) -> Sequence[NFTTransaction]:
-        """Route the collection through the PAROLE module."""
+        """Route the collection through the hosted strategy."""
+        collected = tuple(collected)
         with span(
             "aggregator.reorder", aggregator=self.address, n_txs=len(collected)
         ) as current:
-            reordered = tuple(self.reorderer(pre_state, collected))
-            if sorted(tx.tx_hash for tx in reordered) != sorted(
-                tx.tx_hash for tx in collected
-            ):
-                # The PAROLE module may only permute — never drop or inject.
-                # Fall back to the honest order if the reorderer misbehaved.
+            view = self.build_view(pre_state, collected)
+            self._round_index += 1
+            action = self.reveal_action(
+                self.strategy.observe(pre_state, view), view
+            )
+            allowed = frozenset(
+                account.address for account in self.strategy.accounts()
+            )
+            verdict = validate_action(collected, action, allowed)
+            if not verdict.ok:
+                # The strategy used a capability it did not declare (or
+                # dropped victims).  Fall back to the honest order —
+                # the generalization of the old permute-only rejection.
                 get_metrics().counter("aggregator.reorderer_rejected").inc()
-                current.add(rejected=True)
-                return tuple(collected)
+                current.add(rejected=True, reason=verdict.reason)
+                self.actions_rejected += 1
+                self.last_action = None
+                return collected
+            if action.inserted or action.sequence != collected:
+                self.rounds_proposed += 1
+            sequence = self.apply_policy(pre_state, collected, action)
+            collected_hashes = {tx.tx_hash for tx in collected}
+            victims = tuple(
+                tx for tx in sequence if tx.tx_hash in collected_hashes
+            )
             moved = sum(
-                1 for before, after in zip(collected, reordered)
+                1 for before, after in zip(collected, victims)
                 if before is not after and before != after
             )
-            current.add(positions_moved=moved)
+            current.add(
+                positions_moved=moved, inserted=len(action.inserted)
+            )
             get_metrics().histogram(
                 "aggregator.positions_moved", bounds=(0, 1, 2, 5, 10, 25, 50, 100)
             ).observe(moved)
-            if reordered != tuple(collected):
+            if sequence != collected:
                 self.rounds_attacked += 1
-            return reordered
+            self.inserted_total += len(action.inserted)
+            self.last_action = action
+            return sequence

@@ -1,0 +1,78 @@
+"""Speculative backruns on observed-but-unconfirmed state.
+
+Grounded in "Optimistic MEV in Ethereum Layer 2s" (PAPERS.md): on an
+optimistic rollup the mempool backlog is visible *before* it is
+sequenced, so an adversary can bet on its effect — here, that pending
+mints it can observe (``MempoolView.pending``) will execute soon and
+lift the scarcity price.  The strategy appends a speculative mint at
+the *tail* of the current batch: it buys at this batch's closing price,
+expecting the observed backlog to ramp the price next round.
+
+The speculation can misfire — the backlog may contain burns, or may
+never be sequenced — which is the defining risk of optimistic MEV.
+Under an encrypting defense the pending view is sealed (no visible
+mints), so the strategy degrades to honest.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..rollup.state import L2State
+from ..rollup.transaction import NFTTransaction, TxKind
+from .base import BaseStrategy, MempoolView, StrategyAccount, StrategyAction
+
+
+class OptimisticBackrunStrategy(BaseStrategy):
+    """Tail-insert mints when the observable backlog signals a ramp."""
+
+    name = "optimistic-backrun"
+    description = (
+        "speculative backruns on observed-but-unconfirmed pending state"
+    )
+
+    def __init__(
+        self,
+        account: str = "backrun-attacker",
+        balance_eth: float = 40.0,
+        fee_bid: float = 0.3,
+        #: Pending mints required before the bet is placed.
+        min_pending_mints: int = 2,
+        seed: int = 0,
+    ) -> None:
+        self.account = account
+        self.balance_eth = float(balance_eth)
+        self.fee_bid = float(fee_bid)
+        self.min_pending_mints = int(min_pending_mints)
+        self.seed = int(seed)
+        self._counter = 0
+        self.bets = 0
+
+    def accounts(self) -> Tuple[StrategyAccount, ...]:
+        return (StrategyAccount(self.account, self.balance_eth),)
+
+    def observe(self, pre_state: L2State, view: MempoolView) -> StrategyAction:
+        pending_mints = sum(
+            1
+            for tx in view.pending
+            if tx.kind is TxKind.MINT and tx.sender != self.account
+        )
+        if pending_mints < self.min_pending_mints:
+            return self.honest(view)
+        if pre_state.balance(self.account) < pre_state.unit_price:
+            return self.honest(view)
+        self._counter += 1
+        bet = NFTTransaction(
+            kind=TxKind.MINT,
+            sender=self.account,
+            base_fee=1.0,
+            priority_fee=self.fee_bid,
+            nonce=self._counter,
+            label=f"backrun-bet-{self.seed}-{self._counter}",
+        )
+        self.bets += 1
+        return StrategyAction(
+            sequence=view.transactions + (bet,),
+            inserted=(bet,),
+            kinds=("permute", "insert"),
+        )

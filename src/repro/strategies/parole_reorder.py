@@ -1,0 +1,58 @@
+"""The PAROLE attack re-homed as the reference strategy plug-in.
+
+Wraps :class:`~repro.core.parole.ParoleAttack` (arbitrage pre-check +
+GENTRANSEQ DQN reordering) behind the :class:`~repro.strategies.base.
+BaseStrategy` contract.  The action is a pure permutation — exactly the
+capability the paper's adversarial aggregator has — and profit accrues
+to the IFU accounts, which is why :meth:`beneficiaries` reports the
+IFUs rather than adversary-funded accounts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..config import AttackConfig, GenTranSeqConfig
+from ..core.parole import ParoleAttack
+from ..rollup.state import L2State
+from .base import BaseStrategy, MempoolView, StrategyAction
+
+
+class ParoleReorderStrategy(BaseStrategy):
+    """GENTRANSEQ permute-only reordering in favor of the IFUs."""
+
+    name = "parole-reorder"
+    description = (
+        "PAROLE reference plug-in: GENTRANSEQ permute-only reordering "
+        "favoring the IFUs"
+    )
+
+    def __init__(
+        self,
+        ifus: Sequence[str] = (),
+        seed: int = 0,
+        episodes: int = 3,
+        steps_per_episode: int = 24,
+        objective_name: str = "mean",
+        attack: Optional[ParoleAttack] = None,
+    ) -> None:
+        if attack is None:
+            attack = ParoleAttack(
+                config=AttackConfig(
+                    ifu_accounts=tuple(ifus),
+                    gentranseq=GenTranSeqConfig(
+                        episodes=episodes,
+                        steps_per_episode=steps_per_episode,
+                        seed=seed,
+                    ),
+                ),
+                objective_name=objective_name,
+            )
+        self.attack = attack
+
+    def beneficiaries(self) -> Tuple[str, ...]:
+        return self.attack.ifus
+
+    def observe(self, pre_state: L2State, view: MempoolView) -> StrategyAction:
+        outcome = self.attack.run(pre_state, view.transactions)
+        return StrategyAction.permutation(outcome.executed_sequence)

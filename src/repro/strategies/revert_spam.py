@@ -1,0 +1,80 @@
+"""Revert-based duplicate-claim spam (fast-finality rollup MEV).
+
+Grounded in "When Priority Fails: Revert-Based MEV on Fast-Finality
+Rollups" (PAPERS.md): when a scarce claim (here: minting a limited-
+edition token at the current scarcity price) is worth more than its
+fee, the rational play is to submit *many* duplicate claims at high
+priority fee and let the losers revert — each loser pays its fee, the
+single winner captures the claim.
+
+The strategy funds one account with a bankroll barely above one claim:
+the first duplicate in the sequence executes, every later duplicate
+fails the balance check and reverts (STRICT execution records it as
+skipped).  Every duplicate is declared up-front via ``revert_marked``,
+so the leaderboard can charge the losers' fees against the strategy's
+profit — the defining cost of this attack class.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..rollup.state import L2State
+from ..rollup.transaction import NFTTransaction, TxKind
+from .base import BaseStrategy, MempoolView, StrategyAccount, StrategyAction
+
+
+class RevertSpamStrategy(BaseStrategy):
+    """Duplicate mint claims at the head of every batch."""
+
+    name = "revert-spam"
+    description = (
+        "duplicate-claim spam: losers revert, paying fees for priority"
+    )
+
+    def __init__(
+        self,
+        account: str = "spam-attacker",
+        duplicates: int = 3,
+        #: Starting balance — sized for roughly *one* winning claim, so
+        #: the remaining duplicates revert by construction.
+        bankroll_eth: float = 0.3,
+        #: Priority fee on every duplicate (the "paying for priority").
+        fee_bid: float = 0.6,
+        base_fee: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        self.account = account
+        self.duplicates = int(duplicates)
+        self.bankroll_eth = float(bankroll_eth)
+        self.fee_bid = float(fee_bid)
+        self.base_fee = float(base_fee)
+        self.seed = int(seed)
+        self._counter = 0
+
+    def accounts(self) -> Tuple[StrategyAccount, ...]:
+        return (StrategyAccount(self.account, self.bankroll_eth),)
+
+    def observe(self, pre_state: L2State, view: MempoolView) -> StrategyAction:
+        if pre_state.remaining_supply < 1:
+            return self.honest(view)
+        claims = []
+        for _ in range(self.duplicates):
+            self._counter += 1
+            claims.append(
+                NFTTransaction(
+                    kind=TxKind.MINT,
+                    sender=self.account,
+                    base_fee=self.base_fee,
+                    priority_fee=self.fee_bid,
+                    nonce=self._counter,
+                    label=f"spam-claim-{self.seed}-{self._counter}",
+                )
+            )
+        claims = tuple(claims)
+        return StrategyAction(
+            sequence=claims + view.transactions,
+            inserted=claims,
+            revert_marked=tuple(tx.tx_hash for tx in claims),
+            kinds=("permute", "insert", "revert"),
+        )

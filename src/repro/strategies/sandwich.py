@@ -1,0 +1,114 @@
+"""Sandwich insertion around victim NFT buys (private-L2-mempool MEV).
+
+Grounded in "How to Serve Your Sandwich? MEV Attacks in Private L2
+Mempools" (PAPERS.md): under scarcity pricing (Eq. 10) every executed
+mint shrinks the remaining supply and lifts the collection's unit
+price, so a batch of victim mints is a price ramp the adversary can
+straddle —
+
+* **front-run**: mint *before* the first victim buy, paying the still-
+  low pre-ramp price;
+* **back-run**: after the last victim buy, sell the adversary's
+  inventory to a second adversary account at the now-inflated price,
+  realizing the appreciation as ETH in the primary account.
+
+Profit is measured over the *pair* of adversary accounts (the back-run
+transfer moves wealth between them; what the sandwich extracts is the
+price ramp itself).  Under an encrypting defense the view contains
+sealed stand-ins with no visible mints, so the strategy degrades to the
+honest action — exactly the protection such mempools claim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..rollup.state import L2State
+from ..rollup.transaction import NFTTransaction, TxKind
+from .base import BaseStrategy, MempoolView, StrategyAccount, StrategyAction
+
+
+class SandwichStrategy(BaseStrategy):
+    """Front-run/back-run insertion around victim mint ramps."""
+
+    name = "sandwich"
+    description = "front-run/back-run insertion around victim NFT buys"
+
+    def __init__(
+        self,
+        account: str = "sandwich-attacker",
+        exit_account: str = "sandwich-exit",
+        balance_eth: float = 40.0,
+        #: Priority fee bid on inserted transactions.  Deliberately a
+        #: *fixed budget*: under a fee-auction defense the insertions
+        #: compete on fee and usually lose their position.
+        fee_bid: float = 0.4,
+        #: Victim mints needed before a sandwich is worth inserting.
+        min_victim_mints: int = 2,
+        seed: int = 0,
+    ) -> None:
+        self.account = account
+        self.exit_account = exit_account
+        self.balance_eth = float(balance_eth)
+        self.fee_bid = float(fee_bid)
+        self.min_victim_mints = int(min_victim_mints)
+        self.seed = int(seed)
+        self._counter = 0
+        self.sandwiches = 0
+
+    def accounts(self) -> Tuple[StrategyAccount, ...]:
+        return (
+            StrategyAccount(self.account, self.balance_eth),
+            StrategyAccount(self.exit_account, self.balance_eth),
+        )
+
+    def _mint(self, label: str) -> NFTTransaction:
+        self._counter += 1
+        return NFTTransaction(
+            kind=TxKind.MINT,
+            sender=self.account,
+            base_fee=1.0,
+            priority_fee=self.fee_bid,
+            nonce=self._counter,
+            label=f"{label}-{self.seed}-{self._counter}",
+        )
+
+    def _exit_transfer(self, label: str) -> NFTTransaction:
+        self._counter += 1
+        return NFTTransaction(
+            kind=TxKind.TRANSFER,
+            sender=self.account,
+            recipient=self.exit_account,
+            base_fee=1.0,
+            priority_fee=self.fee_bid,
+            nonce=self._counter,
+            label=f"{label}-{self.seed}-{self._counter}",
+        )
+
+    def observe(self, pre_state: L2State, view: MempoolView) -> StrategyAction:
+        victims: List[int] = [
+            index
+            for index, tx in enumerate(view.transactions)
+            if tx.kind is TxKind.MINT
+            and tx.sender not in (self.account, self.exit_account)
+        ]
+        if len(victims) < self.min_victim_mints:
+            return self.honest(view)
+        if pre_state.balance(self.account) < pre_state.unit_price:
+            return self.honest(view)
+        first, last = victims[0], victims[-1]
+        front = self._mint("sandwich-front")
+        back = self._exit_transfer("sandwich-back")
+        sequence = (
+            view.transactions[:first]
+            + (front,)
+            + view.transactions[first : last + 1]
+            + (back,)
+            + view.transactions[last + 1 :]
+        )
+        self.sandwiches += 1
+        return StrategyAction(
+            sequence=sequence,
+            inserted=(front, back),
+            kinds=("permute", "insert"),
+        )

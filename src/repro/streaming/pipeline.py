@@ -144,7 +144,9 @@ def _run_lane(config: StreamConfig, lane: int,
         store = ResultStore(config.cache_dir).namespaced("stream")
     scanner = BatchScanner(traffic.ifus, config=config.scanner, store=store)
     node.add_aggregator(
-        AdversarialAggregator(f"stream-agg-{lane}", scanner.as_reorderer())
+        AdversarialAggregator(
+            f"stream-agg-{lane}", strategy=scanner.as_strategy()
+        )
     )
     node.add_verifier(Verifier(f"stream-ver-{lane}"))
     checker = InvariantChecker(node)

@@ -24,6 +24,7 @@ batch size.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -35,6 +36,7 @@ from ..rollup.transaction import NFTTransaction
 from ..solvers import DQNInferenceSolver
 from ..solvers.base import ReorderProblem
 from ..store.keys import code_fingerprint, digest
+from ..strategies.base import BaseStrategy, MempoolView, StrategyAction
 
 
 @dataclass(frozen=True)
@@ -111,6 +113,23 @@ class ScanOutcome:
             "profit": round(self.profit, 9),
             "evaluations": self.evaluations,
         }
+
+
+class ScannerStrategy(BaseStrategy):
+    """A :class:`BatchScanner` behind the strategy plug-in contract."""
+
+    name = "batch-scanner"
+    description = "budgeted DQN reordering served by a BatchScanner"
+
+    def __init__(self, scanner: "BatchScanner") -> None:
+        self.scanner = scanner
+
+    def beneficiaries(self) -> Tuple[str, ...]:
+        return self.scanner.ifus
+
+    def observe(self, pre_state: L2State, view: MempoolView) -> StrategyAction:
+        ordered, _ = self.scanner.scan(pre_state, view.transactions)
+        return StrategyAction.permutation(ordered)
 
 
 class BatchScanner:
@@ -252,10 +271,21 @@ class BatchScanner:
 
     # ------------------------------------------------------------------ #
 
+    def as_strategy(self) -> "ScannerStrategy":
+        """This scanner as a strategy plug-in (permute-only by contract)."""
+        return ScannerStrategy(self)
+
     def as_reorderer(
         self,
     ) -> Callable[[L2State, Sequence[NFTTransaction]], Sequence[NFTTransaction]]:
-        """Adapter for :class:`~repro.rollup.AdversarialAggregator`."""
+        """Deprecated adapter; use :meth:`as_strategy` instead."""
+        warnings.warn(
+            "BatchScanner.as_reorderer() is deprecated; use "
+            "BatchScanner.as_strategy() with "
+            "AdversarialAggregator(strategy=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
 
         def reorder(state: L2State, txs: Sequence[NFTTransaction]):
             ordered, _ = self.scan(state, txs)

@@ -1,0 +1,268 @@
+"""Sequencing defenses: blind/reveal/enforce hooks and the registry."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ReproError
+from repro.matrix import (
+    DEFENSES,
+    DefendedAggregator,
+    Defense,
+    EncryptedMempoolDefense,
+    FCFSDefense,
+    FeeAuctionDefense,
+    GuardedDefense,
+    default_defenses,
+)
+from repro.rollup.transaction import NFTTransaction, TxKind
+from repro.strategies import (
+    BaseStrategy,
+    MempoolView,
+    ReordererStrategy,
+    StrategyAccount,
+    StrategyAction,
+)
+
+SHIPPED = ("none", "fcfs", "fee-auction", "encrypted", "guarded")
+
+
+def _mint(sender, nonce=0, fee=0.1, submitted_at=0.0):
+    return NFTTransaction(
+        kind=TxKind.MINT, sender=sender, base_fee=1.0, priority_fee=fee,
+        nonce=nonce, submitted_at=submitted_at, label=f"{sender}-{nonce}",
+    )
+
+
+def _flagged_guard():
+    report = SimpleNamespace(
+        flagged=True, worst_case_profit_eth=1.0, threshold_eth=0.0
+    )
+    return SimpleNamespace(inspect=lambda state, txs: report)
+
+
+class TestFCFSDefense:
+    def test_returns_arrival_order(self, case_workload):
+        collected = (
+            _mint("late", nonce=0, submitted_at=9.0),
+            _mint("early", nonce=0, submitted_at=1.0),
+            _mint("mid", nonce=0, submitted_at=5.0),
+        )
+        action = StrategyAction.permutation(tuple(reversed(collected)))
+        ruling = FCFSDefense().enforce(
+            case_workload.pre_state, collected, action
+        )
+        assert [tx.sender for tx in ruling.sequence] == [
+            "early", "mid", "late"
+        ]
+        assert not ruling.detected
+
+    def test_insertions_queue_at_the_tail(self, case_workload):
+        collected = (
+            _mint("victim-a", submitted_at=1.0),
+            _mint("victim-b", submitted_at=2.0),
+        )
+        front = _mint("adv", nonce=7, submitted_at=0.0)
+        action = StrategyAction(
+            sequence=(front,) + collected, inserted=(front,),
+            kinds=("permute", "insert"),
+        )
+        ruling = FCFSDefense().enforce(
+            case_workload.pre_state, collected, action
+        )
+        # Front-run attempt lands last, behind every victim.
+        assert ruling.sequence[-1] is front
+        assert [tx.sender for tx in ruling.sequence[:-1]] == [
+            "victim-a", "victim-b"
+        ]
+
+
+class TestFeeAuctionDefense:
+    def test_position_is_bought_not_claimed(self, case_workload):
+        cheap = _mint("cheap", fee=0.01, submitted_at=0.0)
+        rich = _mint("rich", fee=0.9, submitted_at=5.0)
+        collected = (cheap, rich)
+        # Adversary tries to put the cheap tx first anyway.
+        action = StrategyAction.permutation((cheap, rich))
+        ruling = FeeAuctionDefense().enforce(
+            case_workload.pre_state, collected, action
+        )
+        assert [tx.sender for tx in ruling.sequence] == ["rich", "cheap"]
+
+
+class TestEncryptedMempoolDefense:
+    def test_blind_seals_content_but_keeps_fees(self):
+        defense = EncryptedMempoolDefense()
+        view = MempoolView(
+            transactions=(_mint("alice", fee=0.25),),
+            pending=(_mint("bob", fee=0.5),),
+            round_index=3,
+        )
+        blinded = defense.blind(view)
+        assert blinded.encrypted
+        assert blinded.round_index == 3
+        sealed = blinded.transactions[0]
+        assert sealed.kind is TxKind.BURN
+        assert sealed.sender != "alice"
+        assert sealed.priority_fee == 0.25
+        assert blinded.pending[0].priority_fee == 0.5
+
+    def test_reveal_round_trips_sequence_and_marks(self):
+        defense = EncryptedMempoolDefense()
+        real = (_mint("alice", nonce=0), _mint("bob", nonce=1))
+        view = MempoolView(transactions=real)
+        blinded = defense.blind(view)
+        # Strategy permutes the envelopes and marks one for revert.
+        action = StrategyAction(
+            sequence=tuple(reversed(blinded.transactions)),
+            revert_marked=(blinded.transactions[0].tx_hash,),
+            kinds=("permute", "revert"),
+        )
+        revealed = defense.reveal(action, blinded)
+        assert tuple(tx.tx_hash for tx in revealed.sequence) == (
+            real[1].tx_hash, real[0].tx_hash,
+        )
+        assert revealed.revert_marked == (real[0].tx_hash,)
+
+
+class TestGuardedDefense:
+    def test_unchanged_action_skips_the_probe(self, case_workload):
+        defense = GuardedDefense()
+        defense.guard = SimpleNamespace(
+            inspect=lambda state, txs: pytest.fail("probe should not run")
+        )
+        collected = tuple(case_workload.transactions)
+        ruling = defense.enforce(
+            case_workload.pre_state,
+            collected,
+            StrategyAction.permutation(collected),
+        )
+        assert ruling.sequence == collected
+        assert not ruling.detected
+
+    def test_flagged_proposal_demotes_to_honest_order(self, case_workload):
+        defense = GuardedDefense(profit_threshold_eth=0.0)
+        defense.guard = _flagged_guard()
+        collected = tuple(case_workload.transactions)
+        action = StrategyAction.permutation(tuple(reversed(collected)))
+        ruling = defense.enforce(
+            case_workload.pre_state, collected, action
+        )
+        assert ruling.detected
+        assert ruling.sequence == collected
+        assert "worst-case" in ruling.note
+
+    def test_sky_high_threshold_never_flags(self, case_workload):
+        defense = GuardedDefense(profit_threshold_eth=1e9)
+        collected = tuple(case_workload.transactions)
+        action = StrategyAction.permutation(tuple(reversed(collected)))
+        ruling = defense.enforce(
+            case_workload.pre_state, collected, action
+        )
+        assert not ruling.detected
+        assert ruling.sequence == action.sequence
+
+
+class TestDefendedAggregator:
+    def test_detections_counter_increments(self, case_workload):
+        defense = GuardedDefense(profit_threshold_eth=0.0)
+        defense.guard = _flagged_guard()
+        aggregator = DefendedAggregator(
+            "agg",
+            strategy=ReordererStrategy(
+                lambda state, txs: tuple(reversed(txs)), name="reverse"
+            ),
+            defense=defense,
+        )
+        result = aggregator.process(
+            case_workload.pre_state, case_workload.transactions
+        )
+        assert aggregator.detections == 1
+        # Demoted: honest collected order executed, not the reversal.
+        assert result.executed_order == tuple(case_workload.transactions)
+
+    def test_backlog_feeds_the_pending_view(self, case_workload):
+        seen = {}
+
+        class Spy(BaseStrategy):
+            name = "spy"
+
+            def observe(self, pre_state, view):
+                seen["pending"] = view.pending
+                return self.honest(view)
+
+        backlog = (_mint("queued", nonce=3),)
+        aggregator = DefendedAggregator(
+            "agg", strategy=Spy(), backlog=lambda: backlog
+        )
+        aggregator.process(
+            case_workload.pre_state, case_workload.transactions
+        )
+        assert seen["pending"] == backlog
+
+    def test_encrypted_defense_blinds_then_reveals(self, case_workload):
+        seen = {}
+
+        class Spy(BaseStrategy):
+            name = "spy"
+
+            def accounts(self):
+                return (StrategyAccount("spy", 1.0),)
+
+            def observe(self, pre_state, view):
+                seen["encrypted"] = view.encrypted
+                seen["senders"] = {tx.sender for tx in view.transactions}
+                return StrategyAction.permutation(
+                    tuple(reversed(view.transactions))
+                )
+
+        aggregator = DefendedAggregator(
+            "agg", strategy=Spy(), defense=EncryptedMempoolDefense()
+        )
+        result = aggregator.process(
+            case_workload.pre_state, case_workload.transactions
+        )
+        assert seen["encrypted"]
+        real_senders = {tx.sender for tx in case_workload.transactions}
+        assert seen["senders"].isdisjoint(real_senders)
+        # The committed batch is the *real* transactions, reversed.
+        assert result.executed_order == tuple(
+            reversed(case_workload.transactions)
+        )
+
+
+class TestDefenseRegistry:
+    def test_ships_all_defenses_in_order(self):
+        assert DEFENSES.names() == SHIPPED
+
+    def test_create_builds_fresh_instances(self):
+        first = DEFENSES.create("encrypted")
+        second = DEFENSES.create("encrypted")
+        assert first is not second
+        assert isinstance(first, EncryptedMempoolDefense)
+
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(ReproError, match="fcfs"):
+            DEFENSES.create("no-such-defense")
+
+    def test_info_and_iteration(self):
+        assert DEFENSES.info("none").name == "none"
+        assert len(DEFENSES) == len(SHIPPED)
+        assert [info.name for info in DEFENSES] == list(SHIPPED)
+        assert "guarded" in DEFENSES
+
+    def test_default_defenses_is_fresh(self):
+        registry = default_defenses()
+        assert registry is not DEFENSES
+        assert registry.names() == DEFENSES.names()
+
+    def test_base_defense_is_a_pass_through(self, case_workload):
+        collected = tuple(case_workload.transactions)
+        action = StrategyAction.permutation(tuple(reversed(collected)))
+        ruling = Defense().enforce(
+            case_workload.pre_state, collected, action
+        )
+        assert ruling.sequence == action.sequence
+        assert Defense().blind(
+            MempoolView(transactions=collected)
+        ).transactions == collected

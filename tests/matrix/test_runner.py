@@ -1,0 +1,185 @@
+"""Matrix runner: grid semantics, determinism, memoization, faults."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.errors import ReproError
+from repro.experiments.runner import REGISTRY
+from repro.matrix import (
+    FAULT_PLAN_NAMES,
+    MatrixConfig,
+    build_fault_plan,
+    matrix_config_for,
+    run_matrix,
+)
+from repro.parallel import get_runner
+from repro.store import ResultStore
+
+SMALL = MatrixConfig(
+    strategies=("honest", "parole-reorder", "sandwich"),
+    defenses=("none", "fcfs"),
+    fault_plans=("commit-failure",),
+    fault_strategy="sandwich",
+    rounds=2,
+    batch_size=6,
+    submit_per_batch=8,
+    num_users=16,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_matrix(SMALL)
+
+
+class TestMatrixConfig:
+    def test_cells_cover_grid_plus_fault_extras(self):
+        cells = SMALL.cells()
+        assert len(cells) == 3 * 2 + 1
+        assert cells.count(("sandwich", "none", "commit-failure")) == 1
+        assert all(plan == "none" for _, _, plan in cells[:6])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ReproError, match="unknown strategy"):
+            MatrixConfig(strategies=("no-such",))
+
+    def test_unknown_defense_rejected(self):
+        with pytest.raises(ReproError, match="unknown defense"):
+            MatrixConfig(defenses=("no-such",))
+
+    def test_unknown_fault_plan_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault plan"):
+            MatrixConfig(fault_plans=("no-such",))
+
+    def test_fault_strategy_must_be_in_grid(self):
+        with pytest.raises(ReproError, match="fault_strategy"):
+            MatrixConfig(
+                strategies=("honest",), fault_strategy="sandwich"
+            )
+
+    def test_no_fault_cells_waives_fault_strategy(self):
+        config = MatrixConfig(
+            strategies=("honest",), fault_plans=(), fault_strategy="sandwich"
+        )
+        assert len(config.cells()) == len(config.defenses)
+
+    def test_preset_scaling(self):
+        quick = matrix_config_for("quick", seed=1)
+        full = matrix_config_for("full", seed=1)
+        assert full.rounds > quick.rounds
+        assert quick.seed == 1
+
+    def test_subset_swaps_fault_strategy(self):
+        config = matrix_config_for("quick", strategies=("honest", "sandwich"))
+        assert config.fault_strategy in config.strategies
+
+
+class TestBuildFaultPlan:
+    def test_known_names(self):
+        for name in FAULT_PLAN_NAMES:
+            plan = build_fault_plan(name, rounds=4)
+            if name == "none":
+                assert plan is None
+            else:
+                assert plan.events
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ReproError, match="unknown fault plan"):
+            build_fault_plan("meteor-strike", rounds=4)
+
+
+class TestGridRun:
+    def test_zero_invariant_violations(self, small_report):
+        assert small_report.ok
+        assert small_report.total_violations == ()
+        assert all(cell.violations == () for cell in small_report.cells)
+
+    def test_every_cell_ran_all_rounds(self, small_report):
+        for cell in small_report.cells:
+            assert cell.rounds == SMALL.rounds
+            assert cell.batches >= 1
+            assert cell.submitted > 0
+            assert cell.state_root
+            # "Proposed" counts only rounds that deviated from honest.
+            assert 0 <= cell.rounds_proposed <= cell.rounds
+        honest = [c for c in small_report.cells if c.strategy == "honest"]
+        assert all(cell.rounds_proposed == 0 for cell in honest)
+
+    def test_honest_cells_have_no_lift(self, small_report):
+        honest = [
+            cell for cell in small_report.cells if cell.strategy == "honest"
+        ]
+        assert honest
+        for cell in honest:
+            assert cell.attack_lift_eth == pytest.approx(0.0, abs=1e-9)
+            assert cell.inserted_attempted == 0
+
+    def test_fault_cell_applied_its_faults(self, small_report):
+        fault_cells = [
+            cell for cell in small_report.cells
+            if cell.fault_plan == "commit-failure"
+        ]
+        assert len(fault_cells) == 1
+        assert fault_cells[0].faults_applied
+        assert fault_cells[0].commit_retries >= 1
+
+    def test_leaderboard_sorted_by_profit(self, small_report):
+        rows = small_report.leaderboard()
+        profits = [row.net_profit_eth for row in rows]
+        assert profits == sorted(profits, reverse=True)
+        assert len(rows) == len(small_report.cells)
+
+    def test_render_mentions_every_strategy(self, small_report):
+        table = small_report.render()
+        for name in SMALL.strategies:
+            assert name in table
+
+
+class TestDeterminism:
+    def test_jobs_1_vs_2_byte_identical(self, small_report):
+        with get_runner(2) as runner:
+            threaded = run_matrix(SMALL, runner=runner)
+        assert threaded.deterministic_json() == (
+            small_report.deterministic_json()
+        )
+
+    def test_payload_is_json_round_trippable(self, small_report):
+        payload = json.loads(small_report.deterministic_json())
+        assert payload["config"]["seed"] == SMALL.seed
+        assert len(payload["cells"]) == len(small_report.cells)
+        assert payload["violations"] == []
+
+    def test_cold_vs_warm_store_identical(self, tmp_path, small_report):
+        cold_store = ResultStore(tmp_path / "cache")
+        cold = run_matrix(SMALL, store=cold_store)
+        assert cold_store.stats.misses == len(SMALL.cells())
+        assert cold_store.stats.hits == 0
+
+        warm_store = ResultStore(tmp_path / "cache")
+        warm = run_matrix(SMALL, store=warm_store)
+        assert warm_store.stats.hits == len(SMALL.cells())
+        assert warm_store.stats.misses == 0
+        assert cold.deterministic_json() == warm.deterministic_json()
+        assert warm.deterministic_json() == small_report.deterministic_json()
+
+
+class TestFacade:
+    def test_run_matrix_subset_through_api(self):
+        report = api.run_matrix(
+            strategies=("honest",), defenses=("none", "fcfs"),
+            fault_plans=(), preset="quick",
+        )
+        assert report.ok
+        assert {cell.defense for cell in report.cells} == {"none", "fcfs"}
+
+    def test_listings_back_the_matrix(self):
+        strategies = {info.name for info in api.list_strategies()}
+        defenses = {info.name for info in api.list_defenses()}
+        assert set(SMALL.strategies) <= strategies
+        assert set(SMALL.defenses) <= defenses
+
+    def test_matrix_registered_as_experiment(self):
+        assert "matrix" in {spec.experiment_id for spec in REGISTRY}

@@ -1,0 +1,186 @@
+"""Protocol-level tests: actions, declarations, the generalized check."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.rollup.transaction import NFTTransaction, TxKind
+from repro.strategies import (
+    ACTION_KINDS,
+    BaseStrategy,
+    HonestStrategy,
+    MempoolView,
+    ReordererStrategy,
+    StrategyAccount,
+    StrategyAction,
+    validate_action,
+)
+
+
+def _mint(sender, nonce=0, fee=0.1):
+    return NFTTransaction(
+        kind=TxKind.MINT, sender=sender, base_fee=1.0,
+        priority_fee=fee, nonce=nonce, label=f"{sender}-{nonce}",
+    )
+
+
+class TestStrategyAction:
+    def test_permutation_declares_permute_only(self, case_workload):
+        action = StrategyAction.permutation(case_workload.transactions)
+        assert action.kinds == ("permute",)
+        assert action.inserted == ()
+        assert action.revert_marked == ()
+
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(ReproError, match="unknown action kind"):
+            StrategyAction(sequence=(), kinds=("teleport",))
+
+    def test_kind_taxonomy_is_closed(self):
+        assert ACTION_KINDS == {"permute", "insert", "revert"}
+
+    def test_sequences_coerced_to_tuples(self, case_workload):
+        action = StrategyAction(sequence=list(case_workload.transactions))
+        assert isinstance(action.sequence, tuple)
+
+
+class TestStrategyAccount:
+    def test_requires_address(self):
+        with pytest.raises(ReproError):
+            StrategyAccount("")
+
+    def test_rejects_negative_funding(self):
+        with pytest.raises(ReproError):
+            StrategyAccount("adv", balance_eth=-1.0)
+
+
+class TestValidateAction:
+    def test_accepts_any_permutation(self, case_workload):
+        txs = tuple(case_workload.transactions)
+        action = StrategyAction.permutation(tuple(reversed(txs)))
+        assert validate_action(txs, action).ok
+
+    def test_rejects_drop(self, case_workload):
+        txs = tuple(case_workload.transactions)
+        action = StrategyAction.permutation(txs[1:])
+        verdict = validate_action(txs, action)
+        assert not verdict.ok
+        assert "not conserved" in verdict.reason
+
+    def test_rejects_undeclared_insertion(self, case_workload):
+        txs = tuple(case_workload.transactions)
+        extra = _mint("adv")
+        # Inserted tx present in the sequence but not declared.
+        action = StrategyAction.permutation(txs + (extra,))
+        verdict = validate_action(
+            txs, action, allowed_senders=frozenset({"adv"})
+        )
+        assert not verdict.ok
+
+    def test_rejects_insertion_from_foreign_account(self, case_workload):
+        txs = tuple(case_workload.transactions)
+        extra = _mint("mallory")
+        action = StrategyAction(
+            sequence=txs + (extra,), inserted=(extra,),
+            kinds=("permute", "insert"),
+        )
+        verdict = validate_action(
+            txs, action, allowed_senders=frozenset({"adv"})
+        )
+        assert not verdict.ok
+        assert "undeclared account" in verdict.reason
+
+    def test_accepts_declared_insertion(self, case_workload):
+        txs = tuple(case_workload.transactions)
+        extra = _mint("adv")
+        action = StrategyAction(
+            sequence=(extra,) + txs, inserted=(extra,),
+            kinds=("permute", "insert"),
+        )
+        assert validate_action(
+            txs, action, allowed_senders=frozenset({"adv"})
+        ).ok
+
+    def test_rejects_declared_insertion_missing_from_sequence(
+        self, case_workload
+    ):
+        txs = tuple(case_workload.transactions)
+        extra = _mint("adv")
+        action = StrategyAction(
+            sequence=txs, inserted=(extra,), kinds=("permute", "insert")
+        )
+        verdict = validate_action(
+            txs, action, allowed_senders=frozenset({"adv"})
+        )
+        assert not verdict.ok
+        assert "missing from the sequence" in verdict.reason
+
+    def test_rejects_duplicated_victim(self, case_workload):
+        txs = tuple(case_workload.transactions)
+        action = StrategyAction.permutation(txs + (txs[0],))
+        assert not validate_action(txs, action).ok
+
+    def test_rejects_undeclared_revert_marks(self, case_workload):
+        txs = tuple(case_workload.transactions)
+        extra = _mint("adv")
+        action = StrategyAction(
+            sequence=(extra,) + txs, inserted=(extra,),
+            revert_marked=(extra.tx_hash,), kinds=("permute", "insert"),
+        )
+        verdict = validate_action(
+            txs, action, allowed_senders=frozenset({"adv"})
+        )
+        assert not verdict.ok
+        assert "revert" in verdict.reason
+
+    def test_rejects_revert_mark_on_victim(self, case_workload):
+        txs = tuple(case_workload.transactions)
+        action = StrategyAction(
+            sequence=txs, revert_marked=(txs[0].tx_hash,),
+            kinds=("permute", "revert"),
+        )
+        verdict = validate_action(txs, action)
+        assert not verdict.ok
+        assert "own" in verdict.reason
+
+    def test_accepts_declared_revert_spam(self, case_workload):
+        txs = tuple(case_workload.transactions)
+        claims = tuple(_mint("adv", nonce=i) for i in range(3))
+        action = StrategyAction(
+            sequence=claims + txs, inserted=claims,
+            revert_marked=tuple(tx.tx_hash for tx in claims),
+            kinds=("permute", "insert", "revert"),
+        )
+        assert validate_action(
+            txs, action, allowed_senders=frozenset({"adv"})
+        ).ok
+
+
+class TestBaseStrategy:
+    def test_observe_is_abstract(self, case_workload):
+        view = MempoolView(transactions=tuple(case_workload.transactions))
+        with pytest.raises(NotImplementedError):
+            BaseStrategy().observe(case_workload.pre_state, view)
+
+    def test_beneficiaries_default_to_account_addresses(self):
+        class Funded(BaseStrategy):
+            def accounts(self):
+                return (StrategyAccount("adv", 1.0),)
+
+        assert Funded().beneficiaries() == ("adv",)
+
+    def test_honest_strategy_is_identity(self, case_workload):
+        view = MempoolView(transactions=tuple(case_workload.transactions))
+        action = HonestStrategy().observe(case_workload.pre_state, view)
+        assert action.sequence == tuple(case_workload.transactions)
+        assert action.kinds == ("permute",)
+
+
+class TestReordererStrategy:
+    def test_wraps_callable_as_permutation(self, case_workload):
+        strategy = ReordererStrategy(
+            lambda state, txs: tuple(reversed(txs)), name="reverse"
+        )
+        view = MempoolView(transactions=tuple(case_workload.transactions))
+        action = strategy.observe(case_workload.pre_state, view)
+        assert action.sequence == tuple(reversed(case_workload.transactions))
+        assert action.kinds == ("permute",)
+        assert strategy.name == "reverse"

@@ -1,0 +1,223 @@
+"""Property tests: each shipped plug-in's behaviour matches its declaration."""
+
+from collections import Counter
+
+from repro.rollup.ovm import OVM
+from repro.rollup.state import ExecutionMode
+from repro.rollup.transaction import NFTTransaction, TxKind
+from repro.strategies import (
+    STRATEGIES,
+    MempoolView,
+    StrategyContext,
+    validate_action,
+)
+
+
+def _victim_mint(index, fee=0.2):
+    return NFTTransaction(
+        kind=TxKind.MINT, sender=f"user-{index}", base_fee=1.0,
+        priority_fee=fee, nonce=index, submitted_at=index,
+        label=f"victim-{index}",
+    )
+
+
+def _hashes(txs):
+    return Counter(tx.tx_hash for tx in txs)
+
+
+def _victim_view(count=4):
+    return MempoolView(
+        transactions=tuple(_victim_mint(i) for i in range(count))
+    )
+
+
+class TestPermuteOnlyStrategies:
+    """honest and parole-reorder declare permute — and never drop/inject."""
+
+    def test_honest_never_drops_or_injects(self, case_workload):
+        strategy = STRATEGIES.create("honest")
+        view = MempoolView(transactions=tuple(case_workload.transactions))
+        action = strategy.observe(case_workload.pre_state, view)
+        assert action.kinds == ("permute",)
+        assert _hashes(action.sequence) == _hashes(view.transactions)
+
+    def test_parole_reorder_never_drops_or_injects(self, case_workload):
+        for seed in (0, 1, 2):
+            strategy = STRATEGIES.create(
+                "parole-reorder",
+                StrategyContext(ifus=case_workload.ifus, seed=seed),
+            )
+            view = MempoolView(
+                transactions=tuple(case_workload.transactions)
+            )
+            action = strategy.observe(case_workload.pre_state, view)
+            assert action.kinds == ("permute",)
+            assert action.inserted == ()
+            assert _hashes(action.sequence) == _hashes(view.transactions)
+            assert validate_action(view.transactions, action).ok
+
+    def test_parole_reorder_beneficiaries_are_the_ifus(self, case_workload):
+        strategy = STRATEGIES.create(
+            "parole-reorder", StrategyContext(ifus=case_workload.ifus)
+        )
+        assert strategy.beneficiaries() == tuple(case_workload.ifus)
+
+
+class TestSandwichStrategy:
+    def _funded_state(self, case_workload, balance=10.0):
+        state = case_workload.pre_state.copy()
+        state.balances["sandwich-attacker"] = balance
+        state.balances["sandwich-exit"] = balance
+        return state
+
+    def test_insertion_conserves_victims(self, case_workload):
+        strategy = STRATEGIES.create("sandwich")
+        state = self._funded_state(case_workload)
+        view = _victim_view()
+        action = strategy.observe(state, view)
+        assert set(action.kinds) == {"permute", "insert"}
+        assert len(action.inserted) == 2
+        # Sequence minus declared insertions == the collected multiset.
+        leftovers = _hashes(action.sequence) - _hashes(action.inserted)
+        assert leftovers == _hashes(view.transactions)
+        allowed = frozenset(a.address for a in strategy.accounts())
+        assert validate_action(
+            view.transactions, action, allowed_senders=allowed
+        ).ok
+
+    def test_straddles_the_victim_ramp(self, case_workload):
+        strategy = STRATEGIES.create("sandwich")
+        state = self._funded_state(case_workload)
+        view = _victim_view()
+        action = strategy.observe(state, view)
+        front, back = action.inserted
+        positions = {tx.tx_hash: i for i, tx in enumerate(action.sequence)}
+        victim_positions = [
+            positions[tx.tx_hash] for tx in view.transactions
+        ]
+        assert positions[front.tx_hash] < min(victim_positions)
+        assert positions[back.tx_hash] > max(victim_positions)
+        assert front.kind is TxKind.MINT
+        assert back.kind is TxKind.TRANSFER
+
+    def test_too_few_victims_degrades_to_honest(self, case_workload):
+        strategy = STRATEGIES.create("sandwich")
+        state = self._funded_state(case_workload)
+        view = _victim_view(count=1)
+        action = strategy.observe(state, view)
+        assert action.inserted == ()
+        assert action.sequence == view.transactions
+
+    def test_empty_wallet_degrades_to_honest(self, case_workload):
+        strategy = STRATEGIES.create("sandwich")
+        state = self._funded_state(case_workload, balance=0.0)
+        action = strategy.observe(state, _victim_view())
+        assert action.inserted == ()
+
+    def test_encrypted_view_blinds_the_strategy(self, case_workload):
+        # Sealed stand-ins are BURNs from unknown senders: no visible
+        # victim mints, so the sandwich has nothing to straddle.
+        strategy = STRATEGIES.create("sandwich")
+        state = self._funded_state(case_workload)
+        sealed = tuple(
+            NFTTransaction(
+                kind=TxKind.BURN, sender=f"sealed-{i}", base_fee=1.0,
+                priority_fee=0.2, nonce=i, label=f"sealed-{i}",
+            )
+            for i in range(4)
+        )
+        view = MempoolView(transactions=sealed, encrypted=True)
+        action = strategy.observe(state, view)
+        assert action.inserted == ()
+        assert action.sequence == sealed
+
+
+class TestRevertSpamStrategy:
+    def test_marks_are_its_own_insertions(self, case_workload):
+        strategy = STRATEGIES.create("revert-spam")
+        view = _victim_view()
+        action = strategy.observe(case_workload.pre_state, view)
+        assert set(action.kinds) == {"permute", "insert", "revert"}
+        inserted_hashes = {tx.tx_hash for tx in action.inserted}
+        assert set(action.revert_marked) == inserted_hashes
+        allowed = frozenset(a.address for a in strategy.accounts())
+        assert validate_action(
+            view.transactions, action, allowed_senders=allowed
+        ).ok
+
+    def test_losers_actually_revert_and_pay_fees(self, case_workload):
+        strategy = STRATEGIES.create("revert-spam")
+        state = case_workload.pre_state.copy()
+        account = strategy.accounts()[0]
+        # Bankroll covering exactly one claim at the current price.
+        state.balances[account.address] = state.unit_price * 1.2
+        action = strategy.observe(state, MempoolView(transactions=()))
+        assert len(action.inserted) >= 2
+        trace = OVM(mode=ExecutionMode.STRICT).replay(state, action.sequence)
+        executed = [
+            step for step in trace.steps
+            if step.tx.tx_hash in set(action.revert_marked)
+            and step.executed
+        ]
+        reverted = [
+            step for step in trace.steps
+            if step.tx.tx_hash in set(action.revert_marked)
+            and not step.executed
+        ]
+        # Exactly one duplicate claim wins; the rest revert.
+        assert len(executed) == 1
+        assert len(reverted) == len(action.inserted) - 1
+        # Every claim — winner and losers — bid a real fee.
+        assert all(tx.total_fee > 0 for tx in action.inserted)
+
+    def test_exhausted_supply_degrades_to_honest(self, case_workload):
+        strategy = STRATEGIES.create("revert-spam")
+        state = case_workload.pre_state.copy()
+        # Mint out the whole collection so no claim can win.
+        state.inventory["hoarder"] = (
+            state.inventory.get("hoarder", 0) + state.remaining_supply
+        )
+        assert state.remaining_supply == 0
+        action = strategy.observe(state, _victim_view())
+        assert action.inserted == ()
+
+    def test_unique_nonces_across_rounds(self, case_workload):
+        strategy = STRATEGIES.create("revert-spam")
+        first = strategy.observe(
+            case_workload.pre_state, MempoolView(transactions=())
+        )
+        second = strategy.observe(
+            case_workload.pre_state, MempoolView(transactions=())
+        )
+        hashes = [tx.tx_hash for tx in first.inserted + second.inserted]
+        assert len(hashes) == len(set(hashes))
+
+
+class TestOptimisticBackrunStrategy:
+    def _view(self, pending_mints):
+        return MempoolView(
+            transactions=tuple(_victim_mint(i) for i in range(2)),
+            pending=tuple(
+                _victim_mint(10 + i) for i in range(pending_mints)
+            ),
+        )
+
+    def test_bets_on_observed_backlog(self, case_workload):
+        strategy = STRATEGIES.create("optimistic-backrun")
+        state = case_workload.pre_state.copy()
+        state.balances["backrun-attacker"] = 10.0
+        action = strategy.observe(state, self._view(pending_mints=3))
+        assert len(action.inserted) == 1
+        # Speculative mint rides at the tail of the batch.
+        assert action.sequence[-1] is action.inserted[0]
+        allowed = frozenset(a.address for a in strategy.accounts())
+        assert validate_action(
+            self._view(3).transactions, action, allowed_senders=allowed
+        ).ok
+
+    def test_thin_backlog_degrades_to_honest(self, case_workload):
+        strategy = STRATEGIES.create("optimistic-backrun")
+        state = case_workload.pre_state.copy()
+        state.balances["backrun-attacker"] = 10.0
+        action = strategy.observe(state, self._view(pending_mints=1))
+        assert action.inserted == ()

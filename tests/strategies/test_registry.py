@@ -1,0 +1,91 @@
+"""Registry behaviour: listing, creation, custom plug-ins."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.strategies import (
+    STRATEGIES,
+    BaseStrategy,
+    StrategyContext,
+    default_strategies,
+)
+
+SHIPPED = (
+    "honest", "parole-reorder", "sandwich", "revert-spam",
+    "optimistic-backrun",
+)
+
+
+class TestDefaultRegistry:
+    def test_ships_all_strategies_in_order(self):
+        assert STRATEGIES.names() == SHIPPED
+
+    def test_listing_carries_descriptions(self):
+        for info in STRATEGIES.list():
+            assert info.name
+            assert info.description
+
+    def test_create_builds_fresh_instances(self):
+        context = StrategyContext(ifus=("ifu-0",), seed=7)
+        first = STRATEGIES.create("sandwich", context)
+        second = STRATEGIES.create("sandwich", context)
+        assert first is not second
+
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(ReproError, match="honest"):
+            STRATEGIES.create("no-such-strategy")
+
+    def test_contains_and_len(self):
+        assert "honest" in STRATEGIES
+        assert "no-such" not in STRATEGIES
+        assert len(STRATEGIES) == len(SHIPPED)
+
+    def test_default_strategies_returns_fresh_registry(self):
+        registry = default_strategies()
+        assert registry is not STRATEGIES
+        assert registry.names() == STRATEGIES.names()
+
+
+class TestCustomRegistration:
+    def test_registered_plugin_is_creatable(self):
+        class Custom(BaseStrategy):
+            name = "custom"
+
+            def observe(self, pre_state, view):
+                return self.honest(view)
+
+        registry = default_strategies()
+        registry.register("custom", "demo", lambda context: Custom())
+        assert "custom" in registry
+        assert isinstance(registry.create("custom"), Custom)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReproError):
+            default_strategies().register("", "demo", lambda context: None)
+
+    def test_context_defaults(self):
+        context = StrategyContext()
+        assert context.ifus == ()
+        assert context.seed == 0
+        assert context.preset == "quick"
+
+
+class TestLazyExports:
+    def test_plugin_classes_importable_lazily(self):
+        from repro.strategies import (
+            OptimisticBackrunStrategy,
+            ParoleReorderStrategy,
+            RevertSpamStrategy,
+            SandwichStrategy,
+        )
+
+        assert ParoleReorderStrategy.name == "parole-reorder"
+        assert SandwichStrategy.name == "sandwich"
+        assert RevertSpamStrategy.name == "revert-spam"
+        assert OptimisticBackrunStrategy.name == "optimistic-backrun"
+
+    def test_unknown_attribute_raises(self):
+        import repro.strategies as strategies
+
+        with pytest.raises(AttributeError):
+            strategies.NoSuchThing

@@ -1,0 +1,138 @@
+"""Deprecation shims: old reorderer entry points keep working, loudly."""
+
+import warnings
+
+import pytest
+
+from repro.config import AttackConfig, GenTranSeqConfig
+from repro.core import ParoleAttack
+from repro.errors import ReproError
+from repro.rollup import AdversarialAggregator
+from repro.streaming import BatchScanner, ScannerConfig
+
+
+def _tiny_attack(case_workload):
+    return ParoleAttack(
+        config=AttackConfig(
+            ifu_accounts=case_workload.ifus,
+            gentranseq=GenTranSeqConfig(
+                episodes=2, steps_per_episode=10, seed=0
+            ),
+        )
+    )
+
+
+class TestAggregatorShim:
+    def test_bare_reorderer_warns_and_works(self, case_workload):
+        with pytest.warns(DeprecationWarning, match="strategy"):
+            aggregator = AdversarialAggregator(
+                "evil", lambda state, txs: tuple(reversed(txs))
+            )
+        result = aggregator.process(
+            case_workload.pre_state, case_workload.transactions
+        )
+        assert result.executed_order == tuple(
+            reversed(case_workload.transactions)
+        )
+        assert aggregator.rounds_attacked == 1
+
+    def test_keyword_reorderer_also_warns(self, case_workload):
+        with pytest.warns(DeprecationWarning):
+            AdversarialAggregator(
+                "evil", reorderer=lambda state, txs: tuple(txs)
+            )
+
+    def test_strategy_keyword_does_not_warn(self):
+        from repro.strategies import HonestStrategy
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            AdversarialAggregator("evil", strategy=HonestStrategy())
+
+    def test_both_reorderer_and_strategy_rejected(self):
+        from repro.strategies import HonestStrategy
+
+        with pytest.raises(ReproError, match="not both"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                AdversarialAggregator(
+                    "evil",
+                    reorderer=lambda state, txs: tuple(txs),
+                    strategy=HonestStrategy(),
+                )
+
+    def test_neither_rejected(self):
+        with pytest.raises(ReproError):
+            AdversarialAggregator("evil")
+
+
+class TestParoleAttackShim:
+    def test_as_reorderer_warns(self, case_workload):
+        attack = _tiny_attack(case_workload)
+        with pytest.warns(DeprecationWarning, match="as_strategy"):
+            reorderer = attack.as_reorderer()
+        order = reorderer(
+            case_workload.pre_state, case_workload.transactions
+        )
+        assert sorted(tx.tx_hash for tx in order) == sorted(
+            tx.tx_hash for tx in case_workload.transactions
+        )
+
+    def test_as_strategy_shares_bookkeeping(self, case_workload):
+        attack = _tiny_attack(case_workload)
+        strategy = attack.as_strategy()
+        assert strategy.attack is attack
+        from repro.strategies import MempoolView
+
+        strategy.observe(
+            case_workload.pre_state,
+            MempoolView(transactions=tuple(case_workload.transactions)),
+        )
+        # The outcome landed on the wrapped instance.
+        assert len(attack.outcomes) == 1
+
+    def test_old_and_new_paths_produce_identical_orders(self, case_workload):
+        from repro.strategies import MempoolView
+
+        old = _tiny_attack(case_workload)
+        new = _tiny_attack(case_workload)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old_order = tuple(
+                old.as_reorderer()(
+                    case_workload.pre_state, case_workload.transactions
+                )
+            )
+        new_order = new.as_strategy().observe(
+            case_workload.pre_state,
+            MempoolView(transactions=tuple(case_workload.transactions)),
+        ).sequence
+        assert tuple(tx.tx_hash for tx in old_order) == tuple(
+            tx.tx_hash for tx in new_order
+        )
+
+
+class TestBatchScannerShim:
+    def test_as_reorderer_warns(self, case_workload):
+        scanner = BatchScanner(
+            case_workload.ifus,
+            config=ScannerConfig(train_episodes=1, train_steps=5),
+        )
+        with pytest.warns(DeprecationWarning, match="as_strategy"):
+            scanner.as_reorderer()
+
+    def test_as_strategy_is_permute_only(self, case_workload):
+        from repro.strategies import MempoolView
+
+        scanner = BatchScanner(
+            case_workload.ifus,
+            config=ScannerConfig(train_episodes=1, train_steps=5),
+        )
+        action = scanner.as_strategy().observe(
+            case_workload.pre_state,
+            MempoolView(transactions=tuple(case_workload.transactions)),
+        )
+        assert action.kinds == ("permute",)
+        assert sorted(tx.tx_hash for tx in action.sequence) == sorted(
+            tx.tx_hash for tx in case_workload.transactions
+        )
